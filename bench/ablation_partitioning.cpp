@@ -1,0 +1,129 @@
+// Ablations for the partitioning design choices called out in DESIGN.md:
+//   1. FM boundary refinement on/off in the multilevel graph partitioner
+//      (edge-cut, IR, and resulting speedup),
+//   2. predicate-statistics edge weighting of the rule-dependency graph
+//      (§III-B) vs unweighted.
+
+#include "parowl/rules/dependency_graph.hpp"
+
+#include "bench_common.hpp"
+
+using namespace parowl;
+using namespace parowl::bench;
+
+int main() {
+  const unsigned s = scale_factor();
+  print_header("Ablation: partitioning design choices");
+
+  // 1. FM refinement.
+  {
+    Universe u;
+    make_lubm(u, 10 * s);
+    const double serial = serial_seconds(u, reason::Strategy::kQueryDriven);
+    util::Table table({"refinement", "procs", "IR", "bal", "speedup"});
+    for (const bool refine : {true, false}) {
+      partition::MultilevelOptions mopts;
+      mopts.refine = refine;
+      const partition::GraphOwnerPolicy policy(mopts);
+      for (const unsigned k : {4u, 8u}) {
+        const partition::DataPartitioning dp = partition::partition_data(
+            u.store, u.dict, *u.vocab, policy, k);
+        const partition::PartitionMetrics m =
+            partition::compute_partition_metrics(dp, u.dict);
+        const SpeedupPoint p = run_data_point(
+            u, policy, k, reason::Strategy::kQueryDriven, serial);
+        table.add_row({refine ? "FM on" : "FM off", std::to_string(k),
+                       util::fmt_double(m.input_replication, 3),
+                       util::fmt_double(m.bal, 0),
+                       util::fmt_double(p.speedup, 2)});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  // 2. Rule-dependency edge weighting (§III-B).  Both assignments are
+  //    scored under the *weighted* graph — the expected tuple traffic — so
+  //    the numbers are comparable; UOBM is used because its closure-heavy
+  //    predicates make the weights strongly non-uniform.
+  {
+    Universe u;
+    make_uobm(u, 4 * s);
+    const auto compiled = reason::compile_ontology(u.store, *u.vocab);
+    const auto weighted_dep =
+        rules::build_dependency_graph(compiled.rules, &u.store);
+    const auto unweighted_dep =
+        rules::build_dependency_graph(compiled.rules, nullptr);
+
+    // CSR of the weighted graph, used to score both assignments.
+    const auto weighted_adj = weighted_dep.undirected_adjacency();
+    auto weighted_cut = [&](const std::vector<std::uint32_t>& assignment) {
+      std::uint64_t cut = 0;
+      for (std::size_t v = 0; v < weighted_adj.size(); ++v) {
+        for (const auto& [n, w] : weighted_adj[v]) {
+          if (n > v && assignment[n] != assignment[v]) {
+            cut += w;
+          }
+        }
+      }
+      return cut;
+    };
+
+    // Third configuration: weights from the *materialized* KB — the
+    // "statistics from a previous run on a stationary data-set" policy the
+    // paper's related work ([16]) describes.  Base-data statistics can
+    // mispredict post-closure traffic badly (closure-heavy predicates are
+    // rare in the base data); materialized statistics fix that.
+    rdf::TripleStore closed;
+    closed.insert_all(u.store.triples());
+    reason::materialize(closed, u.dict, *u.vocab, {});
+    const auto closed_dep =
+        rules::build_dependency_graph(compiled.rules, &closed);
+
+    struct Config {
+      const char* label;
+      const rules::DependencyGraph* dep;
+      const rdf::TripleStore* stats;
+      bool weighted;
+    };
+    const Config configs[] = {
+        {"unweighted", &unweighted_dep, nullptr, false},
+        {"base stats", &weighted_dep, nullptr, true},
+        {"materialized stats", &closed_dep, &closed, true},
+    };
+
+    util::Table table({"rule graph", "procs", "expected traffic (cut)",
+                       "tuples exchanged", "parallel(s)"});
+    for (const Config& c : configs) {
+      for (const unsigned k : {2u, 4u}) {
+        const auto rp = partition::partition_rules(compiled.rules, *c.dep, k);
+
+        parallel::ParallelOptions opts;
+        opts.approach = parallel::Approach::kRulePartition;
+        opts.partitions = k;
+        opts.weighted_rule_graph = c.weighted;
+        opts.rule_statistics = c.stats;
+        opts.build_merged = false;
+        const auto r =
+            parallel::parallel_materialize(u.store, u.dict, *u.vocab, opts);
+        std::size_t exchanged = 0;
+        for (const auto& rb : r.cluster.breakdown) {
+          exchanged += rb.tuples_exchanged;
+        }
+        table.add_row({c.label, std::to_string(k),
+                       std::to_string(weighted_cut(rp.assignment)),
+                       std::to_string(exchanged),
+                       util::fmt_double(r.cluster.simulated_seconds, 3)});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected: refinement lowers IR and lifts speedup.  For "
+               "the rule graph,\nbase-data statistics can *mispredict* "
+               "post-closure traffic (closure-heavy\npredicates are rare "
+               "in the base data); statistics from a materialized run\n"
+               "(the stationary-data-set policy of the paper's [16]) "
+               "co-locate the heavy\nproducer-consumer pairs and cut "
+               "actual tuple traffic.\n";
+  return 0;
+}

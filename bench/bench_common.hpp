@@ -1,0 +1,136 @@
+#pragma once
+
+// Shared infrastructure for the paper-reproduction benchmark harnesses.
+//
+// Canonical workload scales: the paper's LUBM-10 is ~1M triples on a
+// 16-node Opteron cluster; this repo's simulator runs everything on one
+// machine, so the canonical scales below are chosen to keep each harness in
+// the seconds-to-a-minute range while preserving the properties that drive
+// each figure's *shape* (locality, density, super-linear reasoner cost).
+// Scale multipliers: set PAROWL_BENCH_SCALE=N (default 1) to grow inputs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/gen/mdc.hpp"
+#include "parowl/gen/uobm.hpp"
+#include "parowl/rdf/graph_stats.hpp"
+#include "parowl/parallel/pipeline.hpp"
+#include "parowl/partition/owner_policy.hpp"
+#include "parowl/reason/materialize.hpp"
+#include "parowl/util/table.hpp"
+
+namespace parowl::bench {
+
+inline unsigned scale_factor() {
+  if (const char* env = std::getenv("PAROWL_BENCH_SCALE")) {
+    const int v = std::atoi(env);
+    if (v >= 1) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return 1;
+}
+
+/// One benchmark universe: dictionary + vocabulary + base store.
+struct Universe {
+  rdf::Dictionary dict;
+  std::unique_ptr<ontology::Vocabulary> vocab;
+  rdf::TripleStore store;
+  std::string name;
+
+  Universe() : vocab(std::make_unique<ontology::Vocabulary>(dict)) {}
+  Universe(const Universe&) = delete;
+};
+
+/// "LUBM-N": N universities of the mini profile (~2.3k triples each).
+inline void make_lubm(Universe& u, unsigned universities) {
+  gen::LubmOptions o;
+  o.universities = universities;
+  gen::generate_lubm(o, u.dict, u.store);
+  u.name = "LUBM-" + std::to_string(universities);
+}
+
+/// "UOBM-N": the LUBM base plus dense cross-university links.
+inline void make_uobm(Universe& u, unsigned universities) {
+  gen::UobmOptions o;
+  o.base.universities = universities;
+  o.hometowns = 10 * universities;  // bounded but non-trivial components
+  gen::generate_uobm(o, u.dict, u.store);
+  u.name = "UOBM-" + std::to_string(universities);
+}
+
+/// "MDC-N": N oil fields with deep transitive partOf chains.
+inline void make_mdc(Universe& u, unsigned fields) {
+  gen::MdcOptions o;
+  o.fields = fields;
+  gen::generate_mdc(o, u.dict, u.store);
+  u.name = "MDC-" + std::to_string(fields);
+}
+
+/// Result of one parallel run plus its serial baseline context.
+struct SpeedupPoint {
+  unsigned k = 1;
+  double simulated_seconds = 0.0;
+  double speedup = 1.0;
+  std::size_t rounds = 0;
+  double output_replication = 0.0;
+  double input_replication = 0.0;
+  double slowest_partition_reason = 0.0;  // Σ_r reason_max
+};
+
+/// Run the data-partitioning pipeline at partition count `k` and derive the
+/// speedup against `serial_seconds` (the k=1 simulated time).  `reps` runs
+/// the configuration several times and keeps the fastest (wall-clock noise
+/// on a shared single-core host occasionally inflates one run severely).
+inline SpeedupPoint run_data_point(const Universe& u,
+                                   const partition::OwnerPolicy& policy,
+                                   unsigned k, reason::Strategy strategy,
+                                   double serial_seconds,
+                                   parallel::Transport* transport = nullptr,
+                                   int reps = 2) {
+  SpeedupPoint best;
+  for (int rep = 0; rep < reps; ++rep) {
+    parallel::ParallelOptions opts;
+    opts.partitions = k;
+    opts.policy = &policy;
+    opts.local_strategy = strategy;
+    opts.build_merged = false;
+    opts.transport = transport;
+    const parallel::ParallelResult r =
+        parallel::parallel_materialize(u.store, u.dict, *u.vocab, opts);
+
+    SpeedupPoint p;
+    p.k = k;
+    p.simulated_seconds = r.cluster.simulated_seconds;
+    p.speedup = serial_seconds > 0 && p.simulated_seconds > 0
+                    ? serial_seconds / p.simulated_seconds
+                    : 1.0;
+    p.rounds = r.cluster.rounds;
+    p.output_replication = r.output_replication;
+    p.input_replication = r.metrics ? r.metrics->input_replication : 0.0;
+    p.slowest_partition_reason = r.cluster.reason_seconds;
+    if (rep == 0 || p.simulated_seconds < best.simulated_seconds) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+/// Serial baseline = the same pipeline with one partition (no comm).
+inline double serial_seconds(const Universe& u, reason::Strategy strategy,
+                             int reps = 2) {
+  const partition::GraphOwnerPolicy trivial;
+  const SpeedupPoint p =
+      run_data_point(u, trivial, 1, strategy, 0.0, nullptr, reps);
+  return p.simulated_seconds;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace parowl::bench

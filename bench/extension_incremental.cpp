@@ -1,0 +1,88 @@
+// Incremental-maintenance bench: the paper's setting is a materialized KB
+// where "the frequency of data being added is much smaller than that of
+// queries".  Between full materializations, additions should be absorbed
+// incrementally.  This harness compares, for batches of new facts arriving
+// at an already-materialized LUBM store:
+//   (a) materialize_incremental — semi-naive closure from the delta only;
+//   (b) full re-materialization from scratch.
+
+#include "parowl/util/timer.hpp"
+#include "bench_common.hpp"
+#include "parowl/util/rng.hpp"
+
+using namespace parowl;
+using namespace parowl::bench;
+
+int main() {
+  const unsigned s = scale_factor();
+  print_header("Extension: incremental maintenance vs re-materialization");
+
+  Universe u;
+  make_lubm(u, 8 * s);
+  const std::vector<rdf::Triple> base_triples = u.store.triples();
+
+  // Materialize once.
+  rdf::TripleStore live;
+  live.insert_all(base_triples);
+  reason::materialize(live, u.dict, *u.vocab, {});
+
+  // Synthesize update batches: new graduate students joining existing
+  // departments with advisors and courses (pure instance data).
+  const auto type = u.dict.find_iri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  const auto grad = u.dict.find_iri(std::string(gen::kUnivBenchNs) +
+                                    "GraduateStudent");
+  const auto member_of =
+      u.dict.find_iri(std::string(gen::kUnivBenchNs) + "memberOf");
+  const auto takes =
+      u.dict.find_iri(std::string(gen::kUnivBenchNs) + "takesCourse");
+  const auto dept = u.dict.find_iri("http://www.Univ0.edu/Department0");
+  const auto course =
+      u.dict.find_iri("http://www.Department0.Univ0.edu/Course0_0");
+
+  util::Table table({"batch size", "incremental(ms)", "full rerun(ms)",
+                     "speedup", "inferred (incremental)"});
+  util::Rng rng(11);
+  std::size_t next_id = 0;
+
+  for (const std::size_t batch : {1u, 10u, 100u, 1000u}) {
+    std::vector<rdf::Triple> additions;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto stu = u.dict.intern_iri(
+          "http://www.Department0.Univ0.edu/NewStudent" +
+          std::to_string(next_id++));
+      additions.push_back({stu, type, grad});
+      additions.push_back({stu, member_of, dept});
+      additions.push_back({stu, takes, course});
+    }
+
+    util::Stopwatch inc_watch;
+    const auto inc = reason::materialize_incremental(
+        live, u.dict, *u.vocab, additions);
+    const double inc_ms = inc_watch.elapsed_seconds() * 1e3;
+
+    // Full re-run over the equivalent final base.
+    rdf::TripleStore scratch;
+    scratch.insert_all(base_triples);
+    // Include every addition applied so far (live's base grew batch by
+    // batch) by replaying live's asserted instance triples: simplest is to
+    // re-insert additions from all batches — tracked via the live store's
+    // size bookkeeping is complex, so re-materialize base + this batch's
+    // additions only; the comparison stays apples-to-apples because the
+    // full rerun must at minimum redo the whole base closure.
+    scratch.insert_all(additions);
+    util::Stopwatch full_watch;
+    reason::materialize(scratch, u.dict, *u.vocab, {});
+    const double full_ms = full_watch.elapsed_seconds() * 1e3;
+
+    table.add_row({std::to_string(batch * 3), util::fmt_double(inc_ms, 2),
+                   util::fmt_double(full_ms, 2),
+                   util::fmt_double(inc_ms > 0 ? full_ms / inc_ms : 0, 1),
+                   std::to_string(inc.inferred)});
+  }
+  table.print(std::cout);
+  std::cout << "\nIncremental closure touches only the delta's consequences; "
+               "full reruns pay\nthe whole-KB cost again regardless of batch "
+               "size.\n";
+  return 0;
+}

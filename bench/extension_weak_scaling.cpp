@@ -1,0 +1,50 @@
+// Weak-scaling analysis (not in the paper, standard for parallel systems):
+// grow the data WITH the processor count — LUBM-k on k workers, one
+// university per worker under the domain policy.  Ideal weak scaling keeps
+// the parallel time flat; the query-driven reasoner's super-linear serial
+// cost means the *serial* time explodes while the parallel time should
+// stay near T(LUBM-1).
+//
+// Deviations from flat expose the overheads that grow with the machine:
+// replication (cross-university edges), communication, and rounds.
+
+#include "bench_common.hpp"
+
+using namespace parowl;
+using namespace parowl::bench;
+
+int main() {
+  const unsigned s = scale_factor();
+  print_header("Extension: weak scaling (LUBM-k on k workers)");
+
+  // Baseline: one university on one worker.
+  double base_time = 0.0;
+
+  util::Table table({"universities=workers", "serial(s)", "parallel(s)",
+                     "efficiency", "rounds", "IR"});
+  for (const unsigned k : {1u, 2u, 4u, 8u, 16u}) {
+    Universe u;
+    make_lubm(u, k * s);
+    const partition::DomainOwnerPolicy policy(
+        &partition::lubm_university_key);
+    const double serial = serial_seconds(u, reason::Strategy::kQueryDriven);
+    const SpeedupPoint p = run_data_point(
+        u, policy, k, reason::Strategy::kQueryDriven, serial);
+    if (k == 1) {
+      base_time = p.simulated_seconds;
+    }
+    // Weak-scaling efficiency: T(1 worker, 1 unit) / T(k workers, k units).
+    const double efficiency =
+        p.simulated_seconds > 0 ? base_time / p.simulated_seconds : 0.0;
+    table.add_row({std::to_string(k), util::fmt_double(serial, 3),
+                   util::fmt_double(p.simulated_seconds, 3),
+                   util::fmt_double(efficiency, 2), std::to_string(p.rounds),
+                   util::fmt_double(p.input_replication, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nIdeal weak scaling holds the parallel time at the k=1 "
+               "level (efficiency 1.0)\nwhile the serial time grows "
+               "super-linearly; efficiency decay tracks the growth\nof "
+               "replication and per-round communication.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 3 — "Speedup for the LUBM-10 benchmark" compared against the
+// theoretical maximum speedup derived from the empirical cubic model of
+// Fig. 4.  The theoretical maximum assumes perfectly balanced partitions
+// with no replication (partition size = n/k) and no communication:
+// T_model(n) / T_model(n/k).  The measured series reports both the
+// slowest-partition reasoning speedup and the overall (incl. comm/sync)
+// speedup, as the paper's figure does.
+
+#include "parowl/perfmodel/polyfit.hpp"
+
+#include "bench_common.hpp"
+
+using namespace parowl;
+using namespace parowl::bench;
+
+int main() {
+  const unsigned s = scale_factor();
+  print_header("Fig. 3: measured vs theoretical-maximum speedup (LUBM)");
+
+  // Step 1: regress the cubic model from serial runs at several scales.
+  std::vector<double> sizes, times;
+  for (const unsigned n : {1u, 2u, 3u, 4u, 6u, 8u, 10u}) {
+    Universe u;
+    make_lubm(u, n * s);
+    const double t = serial_seconds(u, reason::Strategy::kQueryDriven);
+    sizes.push_back(
+        static_cast<double>(rdf::compute_graph_stats(u.store, u.dict).nodes));
+    times.push_back(t);
+  }
+  // Through-origin fit: an execution-time model must satisfy T(0) = 0, and
+  // the unconstrained intercept would dominate T(n/k) at large k.
+  const perfmodel::PolyFit cubic =
+      perfmodel::fit_polynomial_through_origin(sizes, times, 3);
+  std::cout << "cubic model: T(n) = " << cubic.to_string()
+            << "   (R^2 = " << util::fmt_double(cubic.r_squared, 4) << ")\n";
+
+  // Step 2: measured speedups on LUBM-10 with the graph policy.
+  Universe u;
+  make_lubm(u, 10 * s);
+  const double total_nodes =
+      static_cast<double>(rdf::compute_graph_stats(u.store, u.dict).nodes);
+  const partition::GraphOwnerPolicy policy;
+  const double serial =
+      serial_seconds(u, reason::Strategy::kQueryDriven);
+
+  util::Table table({"procs", "theoretical max", "measured (slowest part.)",
+                     "measured (overall)"});
+  table.add_row({"1", "1.00", "1.00", "1.00"});
+  for (const unsigned k : {2u, 4u, 8u, 16u}) {
+    const SpeedupPoint p = run_data_point(
+        u, policy, k, reason::Strategy::kQueryDriven, serial);
+    const double theory =
+        perfmodel::model_speedup(cubic, total_nodes, total_nodes / k);
+    const double slowest =
+        p.slowest_partition_reason > 0
+            ? serial / p.slowest_partition_reason
+            : 0.0;
+    table.add_row({std::to_string(k), util::fmt_double(theory, 2),
+                   util::fmt_double(slowest, 2),
+                   util::fmt_double(p.speedup, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper): measured speedups track the "
+               "model-predicted\nmaximum, with the gap widening as "
+               "processors (and comm/sync overhead) grow.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 4 — "Regressing a performance model from observed reasoning times
+// for LUBM data-sets": run the serial (query-driven, Jena-like) reasoner on
+// LUBM-1, LUBM-2, ... and fit a cubic execution-time model by least
+// squares, as the paper does ("Since the worst case of the reasoning for
+// the rule set is cubic, fitting a cubic model is reasonable").
+//
+// Prints the sampled (size, time) points, the fitted cubic, and R².
+
+#include "parowl/perfmodel/polyfit.hpp"
+
+#include "bench_common.hpp"
+
+using namespace parowl;
+using namespace parowl::bench;
+
+int main() {
+  const unsigned s = scale_factor();
+  print_header("Fig. 4: cubic performance model regression (LUBM serial)");
+
+  util::Table table({"dataset", "nodes", "base triples", "reason(s)"});
+  std::vector<double> sizes, times;
+
+  for (const unsigned n : {1u, 2u, 3u, 4u, 6u, 8u, 10u}) {
+    Universe u;
+    make_lubm(u, n * s);
+    const double t = serial_seconds(u, reason::Strategy::kQueryDriven);
+    // Model domain: number of resource nodes, the paper's "n" (reasoning
+    // cost is polynomial in the resources of the KB).
+    const rdf::GraphStats gs = rdf::compute_graph_stats(u.store, u.dict);
+    sizes.push_back(static_cast<double>(gs.nodes));
+    times.push_back(t);
+    table.add_row({u.name, std::to_string(gs.nodes),
+                   std::to_string(u.store.size()), util::fmt_double(t, 3)});
+  }
+  table.print(std::cout);
+
+  const perfmodel::PolyFit cubic = perfmodel::fit_polynomial(sizes, times, 3);
+  std::cout << "\ncubic model: T(n) = " << cubic.to_string() << "\n";
+  std::cout << "R^2 = " << util::fmt_double(cubic.r_squared, 5) << "\n";
+
+  const perfmodel::PolyFit anchored =
+      perfmodel::fit_polynomial_through_origin(sizes, times, 3);
+  std::cout << "through-origin cubic (used for Fig. 3's theoretical max): "
+            << anchored.to_string()
+            << "  R^2 = " << util::fmt_double(anchored.r_squared, 5) << "\n";
+
+  // Sanity check of the model's predictive shape: doubling the size must
+  // more than double the predicted time (super-linear cost).
+  const double t1 = cubic.eval(sizes.back());
+  const double t2 = cubic.eval(2.0 * sizes.back());
+  std::cout << "model growth check: T(2n)/T(n) = "
+            << util::fmt_double(t2 / t1, 2) << " (superlinear if > 2)\n";
+  std::cout << "\nExpected shape (paper): a cubic fits the observed serial "
+               "times with high R^2.\n";
+  return 0;
+}

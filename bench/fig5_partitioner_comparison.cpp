@@ -1,0 +1,49 @@
+// Fig. 5 — "Comparison of performance of the two data-partitioning
+// algorithms for LUBM-10": speedups obtained from the three owner policies
+// (graph, domain-specific, hash) at 2/4/8/16 partitions.
+//
+// The paper could not complete hash runs at 8 and 16 nodes ("experiments
+// did not complete due to memory size limitations") because hash
+// partitioning replicates so heavily; this harness runs them anyway and
+// reports the replication blow-up alongside the (poor) speedup.
+
+#include "bench_common.hpp"
+
+using namespace parowl;
+using namespace parowl::bench;
+
+int main() {
+  const unsigned s = scale_factor();
+  print_header("Fig. 5: data-partitioning policy comparison (LUBM)");
+
+  Universe u;
+  make_lubm(u, 10 * s);
+  const double serial = serial_seconds(u, reason::Strategy::kQueryDriven);
+
+  const partition::GraphOwnerPolicy graph_policy;
+  const partition::DomainOwnerPolicy domain_policy(
+      &partition::lubm_university_key);
+  const partition::HashOwnerPolicy hash_policy;
+  const partition::OwnerPolicy* policies[] = {&graph_policy, &domain_policy,
+                                              &hash_policy};
+
+  util::Table table(
+      {"policy", "procs", "speedup", "IR", "OR", "rounds"});
+  for (const partition::OwnerPolicy* policy : policies) {
+    for (const unsigned k : {2u, 4u, 8u, 16u}) {
+      const SpeedupPoint p = run_data_point(
+          u, *policy, k, reason::Strategy::kQueryDriven, serial);
+      table.add_row({policy->name(), std::to_string(k),
+                     util::fmt_double(p.speedup, 2),
+                     util::fmt_double(p.input_replication, 2),
+                     util::fmt_double(p.output_replication, 2),
+                     std::to_string(p.rounds)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper): domain-specific performs nearly "
+               "as well as graph\npartitioning; hash performs much worse "
+               "because it does not minimize\nedge-cut (IR ~10x higher), "
+               "and in the paper it exhausted memory at 8/16 nodes.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks guarding the RDF substrate's performance: dictionary
+// interning, store insertion, and indexed pattern matching.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/rdf/ntriples.hpp"
+#include "parowl/rdf/triple_store.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace {
+
+using namespace parowl;
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 10000; ++i) {
+    names.push_back("http://example.org/entity/" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    rdf::Dictionary dict;
+    for (const auto& name : names) {
+      benchmark::DoNotOptimize(dict.intern_iri(name));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_DictionaryLookup(benchmark::State& state) {
+  rdf::Dictionary dict;
+  std::vector<std::string> names;
+  for (int i = 0; i < 10000; ++i) {
+    names.push_back("http://example.org/entity/" + std::to_string(i));
+    dict.intern_iri(names.back());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.find_iri(names[i++ % names.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryLookup);
+
+void BM_StoreInsert(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<rdf::Triple> triples;
+  for (int i = 0; i < 50000; ++i) {
+    triples.push_back({static_cast<rdf::TermId>(1 + rng.below(5000)),
+                       static_cast<rdf::TermId>(1 + rng.below(20)),
+                       static_cast<rdf::TermId>(1 + rng.below(5000))});
+  }
+  for (auto _ : state) {
+    rdf::TripleStore store;
+    for (const rdf::Triple& t : triples) {
+      benchmark::DoNotOptimize(store.insert(t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * triples.size());
+}
+BENCHMARK(BM_StoreInsert);
+
+void BM_StoreMatchByPredicate(benchmark::State& state) {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  gen::LubmOptions opts;
+  opts.universities = 2;
+  gen::generate_lubm(opts, dict, store);
+  const auto type = dict.find_iri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  for (auto _ : state) {
+    std::size_t n = 0;
+    store.match({rdf::kAnyTerm, type, rdf::kAnyTerm},
+                [&n](const rdf::Triple&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_StoreMatchByPredicate);
+
+void BM_StoreProbeObjects(benchmark::State& state) {
+  util::Rng rng(2);
+  rdf::TripleStore store;
+  for (int i = 0; i < 100000; ++i) {
+    store.insert({static_cast<rdf::TermId>(1 + rng.below(10000)), 7,
+                  static_cast<rdf::TermId>(1 + rng.below(10000))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.objects(7, static_cast<rdf::TermId>(1 + rng.below(10000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreProbeObjects);
+
+void BM_NtriplesParse(benchmark::State& state) {
+  rdf::Dictionary gen_dict;
+  rdf::TripleStore gen_store;
+  gen::LubmOptions opts;
+  opts.universities = 1;
+  gen::generate_lubm(opts, gen_dict, gen_store);
+  std::ostringstream out;
+  rdf::write_ntriples(out, gen_store, gen_dict);
+  const std::string text = out.str();
+
+  for (auto _ : state) {
+    rdf::Dictionary dict;
+    rdf::TripleStore store;
+    std::istringstream in(text);
+    benchmark::DoNotOptimize(rdf::parse_ntriples(in, dict, store));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_NtriplesParse);
+
+}  // namespace

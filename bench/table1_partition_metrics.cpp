@@ -1,0 +1,63 @@
+// Table I — "Partitioning metrics for the LUBM data-set": bal (std-dev of
+// nodes per partition), OR (output replication), IR (input replication),
+// and partitioning time, for each policy at 2/4/8/16 partitions.
+//
+// bal and IR come straight from the partitioning; OR requires a reasoning
+// run (it counts duplicated *derivations*), so each row runs the parallel
+// pipeline once with the forward engine to collect it.
+
+#include "bench_common.hpp"
+
+using namespace parowl;
+using namespace parowl::bench;
+
+int main() {
+  const unsigned s = scale_factor();
+  print_header("Table I: partitioning metrics for LUBM");
+
+  Universe u;
+  make_lubm(u, 10 * s);
+  const rdf::GraphStats gs = rdf::compute_graph_stats(u.store, u.dict);
+  std::cout << "input graph: " << gs.nodes << " nodes, " << u.store.size()
+            << " triples\n";
+
+  const partition::GraphOwnerPolicy graph_policy;
+  const partition::DomainOwnerPolicy domain_policy(
+      &partition::lubm_university_key);
+  const partition::HashOwnerPolicy hash_policy;
+  const partition::OwnerPolicy* policies[] = {&graph_policy, &domain_policy,
+                                              &hash_policy};
+
+  util::Table table({"partitions", "algorithm", "bal", "OR", "IR",
+                     "part. time(s)"});
+  for (const unsigned k : {2u, 4u, 8u, 16u}) {
+    for (const partition::OwnerPolicy* policy : policies) {
+      const partition::DataPartitioning dp = partition::partition_data(
+          u.store, u.dict, *u.vocab, *policy, k);
+      const partition::PartitionMetrics m =
+          partition::compute_partition_metrics(dp, u.dict);
+
+      // OR needs a reasoning run over the partitioning.
+      parallel::ParallelOptions opts;
+      opts.partitions = k;
+      opts.policy = policy;
+      opts.local_strategy = reason::Strategy::kForward;
+      opts.build_merged = false;
+      const parallel::ParallelResult r =
+          parallel::parallel_materialize(u.store, u.dict, *u.vocab, opts);
+
+      table.add_row({std::to_string(k), policy->name(),
+                     util::fmt_double(m.bal, 0),
+                     util::fmt_double(r.output_replication, 2),
+                     util::fmt_double(m.input_replication, 2),
+                     util::fmt_double(dp.partition_seconds, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper's Table I): graph and domain have "
+               "low IR (~0.07-0.19)\nand low OR; hash IR is an order of "
+               "magnitude higher (0.7-2.1).  bal is small\nrelative to the "
+               "node count; partitioning time is negligible next to "
+               "reasoning.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// End-to-end parallel materialization of a LUBM-style knowledge base:
+// generate the data, partition it with each of the three owner policies,
+// run the round-based parallel reasoner (Algorithm 3), and compare the
+// policies' quality metrics and simulated speedups.
+//
+//   build/examples/lubm_cluster [universities] [partitions]
+
+#include <iostream>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/parallel/pipeline.hpp"
+#include "parowl/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parowl;
+
+  const unsigned universities =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 6;
+  const unsigned partitions =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore store;
+  gen::LubmOptions gopts;
+  gopts.universities = universities;
+  const gen::GenStats gstats = gen::generate_lubm(gopts, dict, store);
+  std::cout << "generated LUBM-" << universities << ": "
+            << gstats.instance_triples << " instance + "
+            << gstats.schema_triples << " schema triples\n\n";
+
+  // Serial baseline (one partition).
+  const partition::GraphOwnerPolicy graph_policy;
+  parallel::ParallelOptions serial_opts;
+  serial_opts.partitions = 1;
+  serial_opts.policy = &graph_policy;
+  serial_opts.build_merged = false;
+  const auto serial =
+      parallel::parallel_materialize(store, dict, vocab, serial_opts);
+  std::cout << "serial: " << serial.inferred << " inferred triples in "
+            << util::fmt_double(serial.cluster.simulated_seconds, 3)
+            << " s\n\n";
+
+  const partition::DomainOwnerPolicy domain_policy(
+      &partition::lubm_university_key);
+  const partition::HashOwnerPolicy hash_policy;
+  const partition::OwnerPolicy* policies[] = {&graph_policy, &domain_policy,
+                                              &hash_policy};
+
+  util::Table table({"policy", "inferred", "rounds", "IR", "OR",
+                     "parallel(s)", "speedup"});
+  for (const partition::OwnerPolicy* policy : policies) {
+    parallel::ParallelOptions opts;
+    opts.partitions = partitions;
+    opts.policy = policy;
+    opts.build_merged = false;
+    const auto r = parallel::parallel_materialize(store, dict, vocab, opts);
+    table.add_row(
+        {policy->name(), std::to_string(r.inferred),
+         std::to_string(r.cluster.rounds),
+         util::fmt_double(r.metrics ? r.metrics->input_replication : 0, 3),
+         util::fmt_double(r.output_replication, 3),
+         util::fmt_double(r.cluster.simulated_seconds, 3),
+         util::fmt_double(r.cluster.simulated_seconds > 0
+                              ? serial.cluster.simulated_seconds /
+                                    r.cluster.simulated_seconds
+                              : 1.0,
+                          2)});
+    if (r.inferred != serial.inferred) {
+      std::cerr << "WARNING: " << policy->name()
+                << " diverged from the serial result!\n";
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nAll policies derive the same closure; they differ in "
+               "replication and balance.\n";
+  return 0;
+}

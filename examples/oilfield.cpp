@@ -1,0 +1,94 @@
+// Domain-specific scenario: a smart-oilfield knowledge base (the MDC-style
+// workload motivated by the paper's CiSoft/Chevron setting).  Shows how a
+// downstream user brings
+//   * their own ontology (generated here),
+//   * custom application rules on top of OWL-Horst (via the rule parser),
+//   * and a domain-specific partitioner keyed on their IRI scheme
+// to the parallel reasoner.
+//
+//   build/examples/oilfield [fields] [partitions]
+
+#include <iostream>
+#include <sstream>
+
+#include "parowl/gen/mdc.hpp"
+#include "parowl/parallel/pipeline.hpp"
+#include "parowl/reason/forward.hpp"
+#include "parowl/rules/rule_parser.hpp"
+#include "parowl/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parowl;
+
+  const unsigned fields =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const unsigned partitions =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore store;
+  gen::MdcOptions gopts;
+  gopts.fields = fields;
+  const gen::GenStats gstats = gen::generate_mdc(gopts, dict, store);
+  std::cout << "generated oilfield KB: " << gstats.instance_triples
+            << " instance triples across " << fields << " fields\n";
+
+  // Parallel OWL-Horst materialization with the field-locality partitioner.
+  const partition::DomainOwnerPolicy policy(&gen::mdc_field_key, "Field");
+  parallel::ParallelOptions opts;
+  opts.partitions = partitions;
+  opts.policy = &policy;
+  const auto result = parallel::parallel_materialize(store, dict, vocab, opts);
+  std::cout << "OWL-Horst closure: " << result.inferred
+            << " inferred triples, "
+            << result.cluster.rounds << " communication rounds, IR = "
+            << util::fmt_double(
+                   result.metrics ? result.metrics->input_replication : 0, 3)
+            << "\n\n";
+
+  // Application rules on top of the materialized KB: flag every well that
+  // hosts a pressure sensor, and propagate an "inFieldOf" shortcut.
+  rules::RuleParser parser(dict);
+  parser.add_prefix("mdc", gen::kMdcNs);
+  std::istringstream rule_text(R"(
+monitored: (?s rdf:type mdc:PressureSensor) (?s mdc:attachedTo ?w) -> (?w rdf:type mdc:MonitoredAsset)
+infield: (?a mdc:partOf ?f) (?f rdf:type mdc:Field) -> (?a mdc:inFieldOf ?f)
+)");
+  std::string error;
+  const auto app_rules = parser.parse(rule_text, &error);
+  if (!app_rules) {
+    std::cerr << "rule parse error: " << error << "\n";
+    return 1;
+  }
+
+  rdf::TripleStore materialized = std::move(*result.merged);
+  reason::ForwardOptions fopts;
+  fopts.dict = &dict;
+  const reason::ForwardStats app_stats =
+      reason::forward_closure(materialized, *app_rules, fopts);
+  std::cout << "application rules derived " << app_stats.derived
+            << " additional triples\n";
+
+  // Report: monitored wells per field.
+  const auto monitored = dict.find_iri(std::string(gen::kMdcNs) +
+                                       "MonitoredAsset");
+  const auto rdf_type = dict.find_iri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  std::vector<std::size_t> per_field(fields, 0);
+  materialized.match(
+      {rdf::kAnyTerm, rdf_type, monitored}, [&](const rdf::Triple& t) {
+        const auto key = gen::mdc_field_key(dict.lexical(t.s));
+        if (key >= 0 && static_cast<unsigned>(key) < fields) {
+          ++per_field[static_cast<std::size_t>(key)];
+        }
+      });
+
+  util::Table table({"field", "monitored assets"});
+  for (unsigned f = 0; f < fields; ++f) {
+    table.add_row({"Field" + std::to_string(f),
+                   std::to_string(per_field[f])});
+  }
+  table.print(std::cout);
+  return 0;
+}

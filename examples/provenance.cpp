@@ -1,0 +1,81 @@
+// Provenance scenario: materialize a knowledge base, then audit *why* each
+// inferred statement holds — the proof trees bottom out at asserted facts.
+// Useful when a downstream consumer (or a regulator) challenges a derived
+// conclusion.
+//
+//   build/examples/provenance [universities]
+
+#include <iostream>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/reason/explain.hpp"
+#include "parowl/reason/materialize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parowl;
+
+  const unsigned universities =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 1;
+
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore base;
+  gen::LubmOptions gopts;
+  gopts.universities = universities;
+  gen::generate_lubm(gopts, dict, base);
+
+  // Materialize with the compiled single-join rules, keeping base and
+  // closure separate so proofs know what was asserted.
+  const rules::CompiledRules compiled =
+      reason::compile_ontology(base, vocab);
+  rdf::TripleStore materialized;
+  materialized.insert_all(base.triples());
+  materialized.insert_all(compiled.ground_facts);
+  base.insert_all(compiled.ground_facts);  // schema closure counts as given
+  reason::ForwardOptions fopts;
+  fopts.dict = &dict;
+  reason::ForwardEngine(materialized, compiled.rules, fopts).run(0);
+  std::cout << "materialized " << materialized.size() << " triples ("
+            << materialized.size() - base.size() << " inferred)\n\n";
+
+  const reason::Explainer explainer(materialized, base, compiled.rules);
+
+  // Audit a handful of derived statements of different kinds.
+  struct Probe {
+    const char* label;
+    std::string s, p, o;
+  };
+  const std::string ns = gen::kUnivBenchNs;
+  const Probe probes[] = {
+      {"subclass + domain typing",
+       "http://www.Department0.Univ0.edu/FullProfessor0",
+       "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", ns + "Person"},
+      {"subproperty chain (headOf < worksFor < memberOf)",
+       "http://www.Department0.Univ0.edu/FullProfessor0", ns + "memberOf",
+       "http://www.Univ0.edu/Department0"},
+      {"transitive subOrganizationOf",
+       "http://www.Department0.Univ0.edu/ResearchGroup0",
+       ns + "subOrganizationOf", "http://www.Univ0.edu"},
+      {"inverse property (degreeFrom -> hasAlumnus)", "http://www.Univ0.edu",
+       ns + "hasAlumnus",
+       "http://www.Department0.Univ0.edu/FullProfessor0"},
+  };
+
+  for (const Probe& probe : probes) {
+    const rdf::TermId s = dict.find_iri(probe.s);
+    const rdf::TermId p = dict.find_iri(probe.p);
+    const rdf::TermId o = dict.find_iri(probe.o);
+    std::cout << "--- " << probe.label << "\n";
+    if (s == rdf::kAnyTerm || p == rdf::kAnyTerm || o == rdf::kAnyTerm) {
+      std::cout << "  (probe terms not present at this scale)\n\n";
+      continue;
+    }
+    const auto proof = explainer.explain({s, p, o});
+    if (!proof) {
+      std::cout << "  not entailed\n\n";
+      continue;
+    }
+    std::cout << explainer.to_text(*proof, dict) << "\n";
+  }
+  return 0;
+}

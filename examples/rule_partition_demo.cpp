@@ -1,0 +1,86 @@
+// Walk-through of the rule-partitioning approach (Algorithm 2): compile the
+// LUBM ontology into single-join instance rules, build the rule-dependency
+// graph (optionally weighted by predicate statistics), partition it, and
+// show which rules land where and what the cut implies for communication.
+//
+//   build/examples/rule_partition_demo [partitions]
+
+#include <iostream>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/parallel/pipeline.hpp"
+#include "parowl/partition/rule_partition.hpp"
+#include "parowl/reason/materialize.hpp"
+#include "parowl/rules/dependency_graph.hpp"
+#include "parowl/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parowl;
+
+  const unsigned partitions =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 3;
+
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore store;
+  gen::LubmOptions gopts;
+  gopts.universities = 2;
+  gen::generate_lubm(gopts, dict, store);
+
+  // 1. Compile the ontology into instance rules.
+  const rules::CompiledRules compiled =
+      reason::compile_ontology(store, vocab);
+  std::cout << "compiled " << compiled.rules.size()
+            << " instance rules (" << compiled.specializations
+            << " schema specializations)\n";
+  std::size_t single_join = 0;
+  for (const auto& r : compiled.rules.rules()) {
+    single_join += (r.body.size() < 2 || r.is_single_join()) ? 1 : 0;
+  }
+  std::cout << single_join << "/" << compiled.rules.size()
+            << " rules are single-join or simpler (the paper's key "
+               "observation, SecII)\n\n";
+
+  // 2. Dependency graph, weighted by predicate frequencies in the data.
+  const rules::DependencyGraph dep =
+      rules::build_dependency_graph(compiled.rules, &store);
+  std::cout << "rule-dependency graph: " << dep.num_rules << " rules, "
+            << dep.edges.size() << " directed dependencies\n";
+
+  // 3. Partition it.
+  const partition::RulePartitioning rp =
+      partition::partition_rules(compiled.rules, dep, partitions);
+  std::cout << "edge cut (expected tuple traffic weight): " << rp.edge_cut
+            << "\n\n";
+  for (unsigned p = 0; p < partitions; ++p) {
+    std::cout << "partition " << p << " (" << rp.parts[p].size()
+              << " rules):\n";
+    std::size_t shown = 0;
+    for (const auto& r : rp.parts[p].rules()) {
+      std::cout << "  " << r.to_string(dict) << "\n";
+      if (++shown == 5 && rp.parts[p].size() > 6) {
+        std::cout << "  ... (" << rp.parts[p].size() - shown << " more)\n";
+        break;
+      }
+    }
+  }
+
+  // 4. Run the parallel reasoner with this rule partitioning and verify it
+  //    matches the serial closure.
+  rdf::TripleStore serial;
+  serial.insert_all(store.triples());
+  const auto serial_result = reason::materialize(serial, dict, vocab, {});
+
+  parallel::ParallelOptions opts;
+  opts.approach = parallel::Approach::kRulePartition;
+  opts.partitions = partitions;
+  const auto par = parallel::parallel_materialize(store, dict, vocab, opts);
+
+  std::cout << "\nserial inferred:   " << serial_result.inferred
+            << "\nparallel inferred: " << par.inferred << " ("
+            << par.cluster.rounds << " rounds)\n"
+            << (par.inferred == serial_result.inferred
+                    ? "results identical.\n"
+                    : "MISMATCH!\n");
+  return 0;
+}

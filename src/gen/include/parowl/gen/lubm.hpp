@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::gen {
+
+/// Namespace of the Univ-Bench-style ontology emitted by the generator.
+inline constexpr const char* kUnivBenchNs =
+    "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+/// Parameters of the LUBM-style generator.  The defaults produce roughly
+/// 10k triples per university ("mini" LUBM), which keeps full benchmark
+/// sweeps tractable on one machine; the instance model and — crucially —
+/// the intra-university locality match the original Univ-Bench generator.
+struct LubmOptions {
+  std::uint32_t universities = 1;
+  std::uint32_t departments_per_university = 4;
+
+  // Faculty per department, split ~30/35/35% into full/associate/assistant
+  // professors; each teaches courses, writes publications, advises.
+  std::uint32_t faculty_per_department = 12;
+  std::uint32_t courses_per_faculty = 2;
+  std::uint32_t publications_per_faculty = 3;
+
+  // Students per faculty member (LUBM's dominant population).
+  std::uint32_t students_per_faculty = 6;
+  double graduate_fraction = 0.25;
+  std::uint32_t courses_per_student = 2;
+
+  // Probability that a degree edge points at a *different* university —
+  // the rare cross-university links of Univ-Bench.
+  double cross_university_degree_prob = 0.1;
+
+  // Size skew across universities: university u's department count scales
+  // by (1 + size_skew * u / (universities-1)), so the last university is
+  // (1 + size_skew)x the first.  0 = uniform (the Univ-Bench default);
+  // positive values create the imbalanced workloads the dynamic
+  // load-balancing extension targets.
+  double size_skew = 0.0;
+
+  // Emit datatype-property triples (names, emails) with literal objects.
+  bool include_literals = true;
+
+  std::uint64_t seed = 42;
+};
+
+/// Statistics of a generated data-set.
+struct GenStats {
+  std::size_t schema_triples = 0;
+  std::size_t instance_triples = 0;
+  std::size_t entities = 0;
+};
+
+/// Emit the Univ-Bench-style ontology (schema triples only) into `store`.
+GenStats generate_lubm_ontology(rdf::Dictionary& dict,
+                                rdf::TripleStore& store);
+
+/// Emit ontology + instance data for `options.universities` universities.
+GenStats generate_lubm(const LubmOptions& options, rdf::Dictionary& dict,
+                       rdf::TripleStore& store);
+
+}  // namespace parowl::gen

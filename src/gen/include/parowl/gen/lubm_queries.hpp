@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parowl::gen {
+
+/// One query of the LUBM workload.
+struct LubmQuery {
+  std::string name;    // "Q1".."Q14"
+  std::string sparql;  // SPARQL-subset text (see query::SparqlParser)
+  bool needs_inference;  // answerable only after materialization
+};
+
+/// The LUBM benchmark's standard query mix, adapted to this repository's
+/// generator vocabulary and SPARQL subset (BGP + DISTINCT/LIMIT; no
+/// OPTIONAL/FILTER, which the original Q4/Q8/Q12 complements drop here).
+/// Queries marked needs_inference exercise the OWL-Horst closure: subclass
+/// and subproperty hierarchies (Faculty, memberOf), transitive
+/// subOrganizationOf, and inverse degreeFrom — the reasoning the paper
+/// materializes ahead of query time.
+[[nodiscard]] std::vector<LubmQuery> lubm_queries();
+
+}  // namespace parowl::gen

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "parowl/gen/lubm.hpp"
+
+namespace parowl::gen {
+
+/// Namespace of the oilfield ontology.
+inline constexpr const char* kMdcNs =
+    "http://cisoft.usc.edu/onto/oilfield.owl#";
+
+/// Parameters of the MDC-style generator.
+///
+/// The paper's MDC data-set is proprietary (CiSoft/Chevron smart-oilfield
+/// data) and is reported to behave like LUBM: strong locality (entities of
+/// one field rarely reference another) and worst-case reasoner behaviour
+/// (deep transitive part-of chains).  This generator reproduces those two
+/// properties with a synthetic production-asset model:
+///   field ⊃ reservoirs ⊃ wells ⊃ completions (transitive partOf chains),
+///   sensors attached to wells producing measurement literals,
+///   pipeline connectedTo (symmetric) + feedsInto (transitive) nets,
+///   rare cross-field export pipelines.
+struct MdcOptions {
+  std::uint32_t fields = 1;
+  std::uint32_t reservoirs_per_field = 3;
+  std::uint32_t wells_per_reservoir = 10;
+  std::uint32_t completions_per_well = 2;
+  std::uint32_t sensors_per_well = 2;
+  std::uint32_t measurements_per_sensor = 2;
+
+  /// Probability a well's export pipeline feeds a *different* field's
+  /// gathering station (the rare cross-field edges).
+  double cross_field_pipeline_prob = 0.05;
+
+  bool include_literals = true;
+  std::uint64_t seed = 7;
+};
+
+/// Emit the oilfield ontology (schema only).
+GenStats generate_mdc_ontology(rdf::Dictionary& dict, rdf::TripleStore& store);
+
+/// Emit ontology + instance data for `options.fields` oil fields.
+GenStats generate_mdc(const MdcOptions& options, rdf::Dictionary& dict,
+                      rdf::TripleStore& store);
+
+/// Locality-key extractor for MDC IRIs ("...Field<N>..." -> N); pairs with
+/// partition::DomainOwnerPolicy.
+[[nodiscard]] std::int64_t mdc_field_key(std::string_view iri);
+
+}  // namespace parowl::gen

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "parowl/gen/lubm.hpp"
+
+namespace parowl::gen {
+
+/// Parameters of the UOBM-style generator.  UOBM ("University Ontology
+/// Benchmark") extends LUBM with the properties that make the data graph
+/// dense and *cross-university connected* — which is exactly why the paper
+/// observes sub-linear speedups on UOBM: locality-based partitions cut many
+/// more edges, so replication (IR) and communication grow.
+struct UobmOptions {
+  LubmOptions base;
+
+  /// Friendship edges per person; a sizable fraction cross universities.
+  std::uint32_t friends_per_person = 2;
+  double cross_university_friend_prob = 0.35;
+
+  /// People are clustered into hometowns *independent of university*;
+  /// hasSameHomeTownWith is symmetric and transitive, linking people across
+  /// the whole data-set.
+  std::uint32_t hometowns = 16;
+  std::uint32_t same_hometown_links_per_person = 1;
+
+  /// Cross-organization membership (person isMemberOf a random department
+  /// anywhere).
+  double cross_membership_prob = 0.1;
+};
+
+/// Emit ontology + instance data with UOBM-style dense cross-links.
+GenStats generate_uobm(const UobmOptions& options, rdf::Dictionary& dict,
+                       rdf::TripleStore& store);
+
+}  // namespace parowl::gen

@@ -1,0 +1,321 @@
+#include "parowl/gen/lubm.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "parowl/ontology/vocabulary.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace parowl::gen {
+namespace {
+
+using ontology::iri::kRdfType;
+
+/// Small helper that interns Univ-Bench terms and asserts triples.
+struct Emitter {
+  rdf::Dictionary& dict;
+  rdf::TripleStore& store;
+  rdf::TermId rdf_type;
+  GenStats stats;
+
+  Emitter(rdf::Dictionary& d, rdf::TripleStore& s)
+      : dict(d), store(s), rdf_type(d.intern_iri(kRdfType)) {}
+
+  rdf::TermId ub(const char* local) {
+    return dict.intern_iri(std::string(kUnivBenchNs) + local);
+  }
+  rdf::TermId iri(const std::string& full) { return dict.intern_iri(full); }
+  rdf::TermId lit(const std::string& value) {
+    return dict.intern_literal("\"" + value + "\"");
+  }
+
+  void schema(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    stats.schema_triples += store.insert({s, p, o}) ? 1 : 0;
+  }
+  void instance(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    stats.instance_triples += store.insert({s, p, o}) ? 1 : 0;
+  }
+  void type(rdf::TermId s, rdf::TermId cls) { instance(s, rdf_type, cls); }
+};
+
+}  // namespace
+
+GenStats generate_lubm_ontology(rdf::Dictionary& dict,
+                                rdf::TripleStore& store) {
+  Emitter e(dict, store);
+  ontology::Vocabulary v(dict);
+
+  // --- classes & hierarchy --------------------------------------------------
+  const auto organization = e.ub("Organization");
+  const auto university = e.ub("University");
+  const auto department = e.ub("Department");
+  const auto research_group = e.ub("ResearchGroup");
+  const auto person = e.ub("Person");
+  const auto employee = e.ub("Employee");
+  const auto faculty = e.ub("Faculty");
+  const auto professor = e.ub("Professor");
+  const auto full_prof = e.ub("FullProfessor");
+  const auto assoc_prof = e.ub("AssociateProfessor");
+  const auto assist_prof = e.ub("AssistantProfessor");
+  const auto lecturer = e.ub("Lecturer");
+  const auto chair = e.ub("Chair");
+  const auto student = e.ub("Student");
+  const auto undergrad = e.ub("UndergraduateStudent");
+  const auto grad = e.ub("GraduateStudent");
+  const auto course = e.ub("Course");
+  const auto grad_course = e.ub("GraduateCourse");
+  const auto publication = e.ub("Publication");
+  const auto article = e.ub("Article");
+
+  auto subclass = [&](rdf::TermId sub, rdf::TermId sup) {
+    e.schema(sub, v.rdfs_subclass_of, sup);
+  };
+  for (const auto cls :
+       {organization, university, department, research_group, person,
+        employee, faculty, professor, full_prof, assoc_prof, assist_prof,
+        lecturer, chair, student, undergrad, grad, course, grad_course,
+        publication, article}) {
+    e.schema(cls, v.rdf_type, v.owl_class);
+  }
+  subclass(university, organization);
+  subclass(department, organization);
+  subclass(research_group, organization);
+  subclass(employee, person);
+  subclass(faculty, employee);
+  subclass(professor, faculty);
+  subclass(full_prof, professor);
+  subclass(assoc_prof, professor);
+  subclass(assist_prof, professor);
+  subclass(lecturer, faculty);
+  subclass(chair, professor);
+  subclass(student, person);
+  subclass(undergrad, student);
+  subclass(grad, student);
+  subclass(grad_course, course);
+  subclass(article, publication);
+
+  // --- properties -----------------------------------------------------------
+  const auto member_of = e.ub("memberOf");
+  const auto works_for = e.ub("worksFor");
+  const auto head_of = e.ub("headOf");
+  const auto sub_org = e.ub("subOrganizationOf");
+  const auto degree_from = e.ub("degreeFrom");
+  const auto ug_degree_from = e.ub("undergraduateDegreeFrom");
+  const auto ms_degree_from = e.ub("mastersDegreeFrom");
+  const auto phd_degree_from = e.ub("doctoralDegreeFrom");
+  const auto has_alumnus = e.ub("hasAlumnus");
+  const auto has_member = e.ub("member");
+  const auto teacher_of = e.ub("teacherOf");
+  const auto takes_course = e.ub("takesCourse");
+  const auto advisor = e.ub("advisor");
+  const auto pub_author = e.ub("publicationAuthor");
+
+  for (const auto prop :
+       {member_of, works_for, head_of, sub_org, degree_from, ug_degree_from,
+        ms_degree_from, phd_degree_from, has_alumnus, has_member, teacher_of,
+        takes_course, advisor, pub_author}) {
+    e.schema(prop, v.rdf_type, v.owl_object_property);
+  }
+
+  // Property hierarchy: headOf < worksFor < memberOf (Univ-Bench).
+  e.schema(head_of, v.rdfs_subproperty_of, works_for);
+  e.schema(works_for, v.rdfs_subproperty_of, member_of);
+  e.schema(ug_degree_from, v.rdfs_subproperty_of, degree_from);
+  e.schema(ms_degree_from, v.rdfs_subproperty_of, degree_from);
+  e.schema(phd_degree_from, v.rdfs_subproperty_of, degree_from);
+
+  // Characteristics and inverses.
+  e.schema(sub_org, v.rdf_type, v.owl_transitive_property);
+  e.schema(degree_from, v.owl_inverse_of, has_alumnus);
+  e.schema(member_of, v.owl_inverse_of, has_member);
+
+  // Domains and ranges (the OWL-Horst typing rules feed on these).
+  e.schema(works_for, v.rdfs_domain, employee);
+  e.schema(member_of, v.rdfs_range, organization);
+  e.schema(sub_org, v.rdfs_domain, organization);
+  e.schema(sub_org, v.rdfs_range, organization);
+  e.schema(teacher_of, v.rdfs_domain, faculty);
+  e.schema(teacher_of, v.rdfs_range, course);
+  e.schema(takes_course, v.rdfs_domain, student);
+  e.schema(advisor, v.rdfs_domain, student);
+  e.schema(advisor, v.rdfs_range, professor);
+  e.schema(pub_author, v.rdfs_domain, publication);
+  e.schema(degree_from, v.rdfs_range, university);
+  e.schema(head_of, v.rdfs_domain, chair);
+
+  return e.stats;
+}
+
+GenStats generate_lubm(const LubmOptions& options, rdf::Dictionary& dict,
+                       rdf::TripleStore& store) {
+  GenStats stats = generate_lubm_ontology(dict, store);
+  Emitter e(dict, store);
+  util::Rng rng(options.seed);
+
+  // Interned vocabulary handles (cheap re-lookups).
+  const auto c_university = e.ub("University");
+  const auto c_department = e.ub("Department");
+  const auto c_research_group = e.ub("ResearchGroup");
+  const auto c_full = e.ub("FullProfessor");
+  const auto c_assoc = e.ub("AssociateProfessor");
+  const auto c_assist = e.ub("AssistantProfessor");
+  const auto c_undergrad = e.ub("UndergraduateStudent");
+  const auto c_grad = e.ub("GraduateStudent");
+  const auto c_course = e.ub("Course");
+  const auto c_grad_course = e.ub("GraduateCourse");
+  const auto c_article = e.ub("Article");
+
+  const auto p_head_of = e.ub("headOf");
+  const auto p_works_for = e.ub("worksFor");
+  const auto p_member_of = e.ub("memberOf");
+  const auto p_sub_org = e.ub("subOrganizationOf");
+  const auto p_teacher_of = e.ub("teacherOf");
+  const auto p_takes = e.ub("takesCourse");
+  const auto p_advisor = e.ub("advisor");
+  const auto p_pub_author = e.ub("publicationAuthor");
+  const auto p_ug_degree = e.ub("undergraduateDegreeFrom");
+  const auto p_phd_degree = e.ub("doctoralDegreeFrom");
+  const auto p_name = e.ub("name");
+  const auto p_email = e.ub("emailAddress");
+
+  const auto num_univ = options.universities;
+  auto univ_iri = [&](std::uint32_t u) {
+    return e.iri("http://www.Univ" + std::to_string(u) + ".edu");
+  };
+
+  // Pick a degree-granting university: usually one's own, occasionally a
+  // random other one (the cross-university edges).
+  auto degree_univ = [&](std::uint32_t own) {
+    if (num_univ > 1 && rng.chance(options.cross_university_degree_prob)) {
+      std::uint32_t other = static_cast<std::uint32_t>(rng.below(num_univ));
+      if (other == own) {
+        other = (other + 1) % num_univ;
+      }
+      return univ_iri(other);
+    }
+    return univ_iri(own);
+  };
+
+  for (std::uint32_t u = 0; u < num_univ; ++u) {
+    const auto univ = univ_iri(u);
+    e.type(univ, c_university);
+    ++stats.entities;
+    const std::string univ_auth = "Univ" + std::to_string(u) + ".edu";
+
+    // Apply the size skew to this university's department count.
+    std::uint32_t departments = options.departments_per_university;
+    if (options.size_skew > 0.0 && num_univ > 1) {
+      const double factor =
+          1.0 + options.size_skew * u / static_cast<double>(num_univ - 1);
+      departments = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 static_cast<double>(departments) * factor + 0.5));
+    }
+
+    for (std::uint32_t d = 0; d < departments; ++d) {
+      const std::string dept_ns =
+          "http://www.Department" + std::to_string(d) + "." + univ_auth + "/";
+      const auto dept =
+          e.iri("http://www.Univ" + std::to_string(u) + ".edu/Department" +
+                std::to_string(d));
+      e.type(dept, c_department);
+      e.instance(dept, p_sub_org, univ);
+      ++stats.entities;
+
+      // A couple of research groups give subOrganizationOf a 2-step chain
+      // for the transitivity rule to extend.
+      const std::uint32_t groups = 2;
+      std::vector<rdf::TermId> group_ids;
+      for (std::uint32_t g = 0; g < groups; ++g) {
+        const auto grp = e.iri(dept_ns + "ResearchGroup" + std::to_string(g));
+        e.type(grp, c_research_group);
+        e.instance(grp, p_sub_org, dept);
+        group_ids.push_back(grp);
+        ++stats.entities;
+      }
+
+      // Faculty.
+      std::vector<rdf::TermId> dept_faculty;
+      std::vector<rdf::TermId> dept_courses;
+      for (std::uint32_t f = 0; f < options.faculty_per_department; ++f) {
+        const rdf::TermId cls = (f % 10 < 3)   ? c_full
+                                : (f % 10 < 6) ? c_assoc
+                                               : c_assist;
+        const char* label = (cls == c_full)    ? "FullProfessor"
+                            : (cls == c_assoc) ? "AssociateProfessor"
+                                               : "AssistantProfessor";
+        const auto prof = e.iri(dept_ns + label + std::to_string(f));
+        e.type(prof, cls);
+        e.instance(prof, p_works_for, dept);
+        e.instance(prof, p_phd_degree, degree_univ(u));
+        dept_faculty.push_back(prof);
+        ++stats.entities;
+
+        for (std::uint32_t c = 0; c < options.courses_per_faculty; ++c) {
+          const auto crs = e.iri(dept_ns + "Course" + std::to_string(f) +
+                                 "_" + std::to_string(c));
+          e.type(crs, c % 2 == 0 ? c_course : c_grad_course);
+          e.instance(prof, p_teacher_of, crs);
+          dept_courses.push_back(crs);
+          ++stats.entities;
+        }
+        for (std::uint32_t pub = 0; pub < options.publications_per_faculty;
+             ++pub) {
+          const auto art = e.iri(dept_ns + "Publication" +
+                                 std::to_string(f) + "_" +
+                                 std::to_string(pub));
+          e.type(art, c_article);
+          e.instance(art, p_pub_author, prof);
+          ++stats.entities;
+        }
+        if (options.include_literals) {
+          e.instance(prof, p_name, e.lit(std::string(label) + " " +
+                                         std::to_string(f)));
+          e.instance(prof, p_email,
+                     e.lit("prof" + std::to_string(f) + "@" + univ_auth));
+        }
+      }
+      // The first full professor chairs the department.
+      if (!dept_faculty.empty()) {
+        e.instance(dept_faculty.front(), p_head_of, dept);
+      }
+
+      // Students.
+      const std::uint32_t num_students =
+          options.faculty_per_department * options.students_per_faculty;
+      for (std::uint32_t s = 0; s < num_students; ++s) {
+        const bool is_grad = rng.uniform() < options.graduate_fraction;
+        const auto stu = e.iri(dept_ns +
+                               (is_grad ? "GraduateStudent" : "UndergraduateStudent") +
+                               std::to_string(s));
+        e.type(stu, is_grad ? c_grad : c_undergrad);
+        e.instance(stu, p_member_of, dept);
+        ++stats.entities;
+
+        if (is_grad) {
+          // Graduate students hold an undergraduate degree, sometimes from
+          // another university.
+          e.instance(stu, p_ug_degree, degree_univ(u));
+          if (!dept_faculty.empty()) {
+            e.instance(stu, p_advisor,
+                       dept_faculty[rng.below(dept_faculty.size())]);
+          }
+        }
+        for (std::uint32_t c = 0;
+             c < options.courses_per_student && !dept_courses.empty(); ++c) {
+          e.instance(stu, p_takes,
+                     dept_courses[rng.below(dept_courses.size())]);
+        }
+        if (options.include_literals) {
+          e.instance(stu, p_name, e.lit("Student " + std::to_string(s)));
+        }
+      }
+    }
+  }
+
+  stats.schema_triples += e.stats.schema_triples;
+  stats.instance_triples += e.stats.instance_triples;
+  return stats;
+}
+
+}  // namespace gen

@@ -1,0 +1,98 @@
+#include "parowl/gen/lubm_queries.hpp"
+
+#include "parowl/gen/lubm.hpp"
+
+namespace parowl::gen {
+
+std::vector<LubmQuery> lubm_queries() {
+  const std::string prefix =
+      std::string("PREFIX ub: <") + kUnivBenchNs + ">\n";
+  auto q = [&prefix](const char* name, const char* body,
+                     bool needs_inference) {
+    return LubmQuery{name, prefix + body, needs_inference};
+  };
+  return {
+      // Q1: graduate students taking a given-style course (pure lookup).
+      q("Q1",
+        "SELECT ?x WHERE { ?x a ub:GraduateStudent . "
+        "?x ub:takesCourse ?c . ?c a ub:GraduateCourse }",
+        false),
+      // Q2: graduate students with an undergraduate degree from the
+      // university their department belongs to (triangle join; the
+      // subOrganizationOf edge is asserted directly for departments).
+      q("Q2",
+        "SELECT ?x ?d ?u WHERE { ?x a ub:GraduateStudent . "
+        "?x ub:memberOf ?d . ?d ub:subOrganizationOf ?u . "
+        "?x ub:undergraduateDegreeFrom ?u }",
+        false),
+      // Q3: publications of a known professor — instances are typed as
+      // Article, so the Publication superclass needs subclass closure.
+      q("Q3",
+        "SELECT ?p WHERE { ?p a ub:Publication . "
+        "?p ub:publicationAuthor "
+        "<http://www.Department0.Univ0.edu/FullProfessor0> }",
+        true),
+      // Q4: professors working for a department, with names — Professor is
+      // a superclass, so instances (Full/Associate/Assistant) appear only
+      // after subclass closure.
+      q("Q4",
+        "SELECT DISTINCT ?x ?n WHERE { ?x a ub:Professor . "
+        "?x ub:worksFor <http://www.Univ0.edu/Department0> . "
+        "?x ub:name ?n }",
+        true),
+      // Q5: members of a department — memberOf is inferred from worksFor
+      // (subPropertyOf) for faculty.
+      q("Q5",
+        "SELECT DISTINCT ?x WHERE { ?x a ub:Person . "
+        "?x ub:memberOf <http://www.Univ0.edu/Department0> }",
+        true),
+      // Q6: all students (subclass closure over Under/Graduate).
+      q("Q6", "SELECT ?x WHERE { ?x a ub:Student }", true),
+      // Q7: courses taught by a professor's students' teachers — simplified
+      // to students of courses taught by a known professor.
+      q("Q7",
+        "SELECT DISTINCT ?y WHERE { "
+        "<http://www.Department0.Univ0.edu/FullProfessor0> ub:teacherOf ?c . "
+        "?y ub:takesCourse ?c }",
+        false),
+      // Q8: students with an email who are members of any department of a
+      // university (memberOf closure + subOrganizationOf).
+      q("Q8",
+        "SELECT DISTINCT ?x ?d WHERE { ?x a ub:Student . "
+        "?x ub:memberOf ?d . ?d ub:subOrganizationOf "
+        "<http://www.Univ0.edu> }",
+        true),
+      // Q9: student / faculty / course triangle via advisor.
+      q("Q9",
+        "SELECT ?x ?y WHERE { ?x a ub:Student . ?y a ub:Faculty . "
+        "?x ub:advisor ?y }",
+        true),
+      // Q10: students taking any course of a known professor (as Q7 but
+      // typed via the Student superclass).
+      q("Q10",
+        "SELECT ?x WHERE { ?x a ub:Student . ?x ub:takesCourse ?c . "
+        "<http://www.Department0.Univ0.edu/FullProfessor0> ub:teacherOf ?c }",
+        true),
+      // Q11: research groups of a university — two-hop transitive
+      // subOrganizationOf, inference-only.
+      q("Q11",
+        "SELECT ?g WHERE { ?g a ub:ResearchGroup . "
+        "?g ub:subOrganizationOf <http://www.Univ0.edu> }",
+        true),
+      // Q12: chairs (headOf) of departments of a university.
+      q("Q12",
+        "SELECT DISTINCT ?x ?d WHERE { ?x ub:headOf ?d . "
+        "?d a ub:Department . ?d ub:subOrganizationOf "
+        "<http://www.Univ0.edu> }",
+        false),
+      // Q13: alumni of a university — hasAlumnus is the inverse of
+      // degreeFrom and exists only after inference.
+      q("Q13",
+        "SELECT ?x WHERE { <http://www.Univ0.edu> ub:hasAlumnus ?x }",
+        true),
+      // Q14: all undergraduate students (baseline scan).
+      q("Q14", "SELECT ?x WHERE { ?x a ub:UndergraduateStudent }", false),
+  };
+}
+
+}  // namespace parowl::gen

@@ -1,0 +1,250 @@
+#include "parowl/gen/mdc.hpp"
+
+#include <string>
+#include <vector>
+
+#include "parowl/ontology/vocabulary.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace parowl::gen {
+namespace {
+
+struct Emitter {
+  rdf::Dictionary& dict;
+  rdf::TripleStore& store;
+  GenStats stats{};
+
+  rdf::TermId mdc(const char* local) {
+    return dict.intern_iri(std::string(kMdcNs) + local);
+  }
+  rdf::TermId iri(const std::string& full) { return dict.intern_iri(full); }
+  rdf::TermId lit(const std::string& value) {
+    return dict.intern_literal("\"" + value + "\"");
+  }
+  void schema(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    stats.schema_triples += store.insert({s, p, o}) ? 1 : 0;
+  }
+  void instance(rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    stats.instance_triples += store.insert({s, p, o}) ? 1 : 0;
+  }
+};
+
+}  // namespace
+
+GenStats generate_mdc_ontology(rdf::Dictionary& dict,
+                               rdf::TripleStore& store) {
+  Emitter e{dict, store};
+  ontology::Vocabulary v(dict);
+
+  const auto asset = e.mdc("Asset");
+  const auto field = e.mdc("Field");
+  const auto reservoir = e.mdc("Reservoir");
+  const auto well = e.mdc("Well");
+  const auto producer = e.mdc("ProducerWell");
+  const auto injector = e.mdc("InjectorWell");
+  const auto completion = e.mdc("Completion");
+  const auto equipment = e.mdc("Equipment");
+  const auto sensor = e.mdc("Sensor");
+  const auto pressure_sensor = e.mdc("PressureSensor");
+  const auto temp_sensor = e.mdc("TemperatureSensor");
+  const auto measurement = e.mdc("Measurement");
+  const auto pipeline = e.mdc("Pipeline");
+  const auto station = e.mdc("GatheringStation");
+
+  for (const auto cls : {asset, field, reservoir, well, producer, injector,
+                         completion, equipment, sensor, pressure_sensor,
+                         temp_sensor, measurement, pipeline, station}) {
+    e.schema(cls, v.rdf_type, v.owl_class);
+  }
+  auto subclass = [&](rdf::TermId sub, rdf::TermId sup) {
+    e.schema(sub, v.rdfs_subclass_of, sup);
+  };
+  subclass(field, asset);
+  subclass(reservoir, asset);
+  subclass(well, asset);
+  subclass(producer, well);
+  subclass(injector, well);
+  subclass(completion, asset);
+  subclass(sensor, equipment);
+  subclass(pressure_sensor, sensor);
+  subclass(temp_sensor, sensor);
+  subclass(pipeline, equipment);
+  subclass(station, asset);
+
+  const auto part_of = e.mdc("partOf");
+  const auto has_part = e.mdc("hasPart");
+  const auto attached_to = e.mdc("attachedTo");
+  const auto measured_by = e.mdc("measuredBy");
+  const auto connected_to = e.mdc("connectedTo");
+  const auto feeds_into = e.mdc("feedsInto");
+  const auto located_in = e.mdc("locatedIn");
+
+  for (const auto prop : {part_of, has_part, attached_to, measured_by,
+                          connected_to, feeds_into, located_in}) {
+    e.schema(prop, v.rdf_type, v.owl_object_property);
+  }
+  // partOf is the workhorse: transitive with an inverse, so deep asset
+  // hierarchies close both ways.
+  e.schema(part_of, v.rdf_type, v.owl_transitive_property);
+  e.schema(part_of, v.owl_inverse_of, has_part);
+  e.schema(connected_to, v.rdf_type, v.owl_symmetric_property);
+  e.schema(feeds_into, v.rdf_type, v.owl_transitive_property);
+  e.schema(located_in, v.rdfs_subproperty_of, part_of);
+
+  e.schema(part_of, v.rdfs_domain, asset);
+  e.schema(attached_to, v.rdfs_domain, equipment);
+  e.schema(attached_to, v.rdfs_range, asset);
+  e.schema(measured_by, v.rdfs_domain, measurement);
+  e.schema(measured_by, v.rdfs_range, sensor);
+  e.schema(feeds_into, v.rdfs_domain, equipment);
+
+  return e.stats;
+}
+
+GenStats generate_mdc(const MdcOptions& options, rdf::Dictionary& dict,
+                      rdf::TripleStore& store) {
+  GenStats stats = generate_mdc_ontology(dict, store);
+  Emitter e{dict, store};
+  ontology::Vocabulary v(dict);
+  util::Rng rng(options.seed);
+
+  const auto c_field = e.mdc("Field");
+  const auto c_reservoir = e.mdc("Reservoir");
+  const auto c_producer = e.mdc("ProducerWell");
+  const auto c_injector = e.mdc("InjectorWell");
+  const auto c_completion = e.mdc("Completion");
+  const auto c_pressure = e.mdc("PressureSensor");
+  const auto c_temp = e.mdc("TemperatureSensor");
+  const auto c_measurement = e.mdc("Measurement");
+  const auto c_pipeline = e.mdc("Pipeline");
+  const auto c_station = e.mdc("GatheringStation");
+
+  const auto p_part_of = e.mdc("partOf");
+  const auto p_attached = e.mdc("attachedTo");
+  const auto p_measured_by = e.mdc("measuredBy");
+  const auto p_connected = e.mdc("connectedTo");
+  const auto p_feeds = e.mdc("feedsInto");
+  const auto p_value = e.mdc("hasValue");
+  const auto p_tag = e.mdc("tagName");
+
+  auto type = [&](rdf::TermId s, rdf::TermId cls) {
+    e.instance(s, v.rdf_type, cls);
+    ++e.stats.entities;
+  };
+
+  // First pass: create every field and gathering station so cross-field
+  // pipelines can target any of them.
+  std::vector<rdf::TermId> stations(options.fields);
+  std::vector<rdf::TermId> field_ids(options.fields);
+  for (std::uint32_t f = 0; f < options.fields; ++f) {
+    const std::string ns =
+        "http://cisoft.usc.edu/data/Field" + std::to_string(f) + "/";
+    const auto fld =
+        e.iri("http://cisoft.usc.edu/data/Field" + std::to_string(f));
+    type(fld, c_field);
+    field_ids[f] = fld;
+    const auto stn = e.iri(ns + "GatheringStation");
+    type(stn, c_station);
+    e.instance(stn, p_part_of, fld);
+    stations[f] = stn;
+  }
+
+  for (std::uint32_t f = 0; f < options.fields; ++f) {
+    const std::string ns =
+        "http://cisoft.usc.edu/data/Field" + std::to_string(f) + "/";
+    const auto stn = stations[f];
+    const auto fld = field_ids[f];
+
+    for (std::uint32_t r = 0; r < options.reservoirs_per_field; ++r) {
+      const auto res = e.iri(ns + "Reservoir" + std::to_string(r));
+      type(res, c_reservoir);
+      e.instance(res, p_part_of, fld);
+
+      rdf::TermId prev_pipe = rdf::kAnyTerm;
+      for (std::uint32_t w = 0; w < options.wells_per_reservoir; ++w) {
+        const std::string wid = std::to_string(r) + "_" + std::to_string(w);
+        const auto wl = e.iri(ns + "Well" + wid);
+        type(wl, w % 4 == 3 ? c_injector : c_producer);
+        e.instance(wl, p_part_of, res);
+
+        for (std::uint32_t c = 0; c < options.completions_per_well; ++c) {
+          const auto comp =
+              e.iri(ns + "Completion" + wid + "_" + std::to_string(c));
+          type(comp, c_completion);
+          // Deepens the partOf chain: completion -> well -> reservoir ->
+          // field, which transitivity closes into 6 extra triples each.
+          e.instance(comp, p_part_of, wl);
+        }
+
+        for (std::uint32_t s = 0; s < options.sensors_per_well; ++s) {
+          const auto sen =
+              e.iri(ns + "Sensor" + wid + "_" + std::to_string(s));
+          type(sen, s % 2 == 0 ? c_pressure : c_temp);
+          e.instance(sen, p_attached, wl);
+          if (options.include_literals) {
+            e.instance(sen, p_tag, e.lit("TAG-" + wid));
+          }
+          for (std::uint32_t m = 0; m < options.measurements_per_sensor;
+               ++m) {
+            const auto meas = e.iri(ns + "Measurement" + wid + "_" +
+                                    std::to_string(s) + "_" +
+                                    std::to_string(m));
+            type(meas, c_measurement);
+            e.instance(meas, p_measured_by, sen);
+            if (options.include_literals) {
+              e.instance(meas, p_value,
+                         e.lit(std::to_string(rng.below(10000))));
+            }
+          }
+        }
+
+        // Flowline: well -> pipeline -> (next pipeline ...) -> station.
+        const auto pipe = e.iri(ns + "Pipeline" + wid);
+        type(pipe, c_pipeline);
+        e.instance(pipe, p_attached, wl);
+        e.instance(wl, p_feeds, pipe);
+        if (prev_pipe != rdf::kAnyTerm) {
+          e.instance(prev_pipe, p_connected, pipe);
+        }
+        // Occasionally the pipeline exports to another field's station —
+        // the rare cross-field edge.
+        rdf::TermId dest = stn;
+        if (options.fields > 1 &&
+            rng.chance(options.cross_field_pipeline_prob)) {
+          std::uint32_t other =
+              static_cast<std::uint32_t>(rng.below(options.fields));
+          if (other == f) {
+            other = (other + 1) % options.fields;
+          }
+          dest = stations[other];
+        }
+        e.instance(pipe, p_feeds, dest);
+        prev_pipe = pipe;
+      }
+    }
+  }
+
+  stats.schema_triples += e.stats.schema_triples;
+  stats.instance_triples += e.stats.instance_triples;
+  stats.entities += e.stats.entities;
+  return stats;
+}
+
+std::int64_t mdc_field_key(std::string_view iri) {
+  const auto pos = iri.find("Field");
+  if (pos == std::string_view::npos) {
+    return -1;
+  }
+  std::size_t i = pos + 5;
+  if (i >= iri.size() || iri[i] < '0' || iri[i] > '9') {
+    return -1;
+  }
+  std::int64_t value = 0;
+  while (i < iri.size() && iri[i] >= '0' && iri[i] <= '9') {
+    value = value * 10 + (iri[i] - '0');
+    ++i;
+  }
+  return value;
+}
+
+}  // namespace parowl::gen

@@ -1,0 +1,116 @@
+#include "parowl/gen/uobm.hpp"
+
+#include <vector>
+
+#include "parowl/ontology/vocabulary.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace parowl::gen {
+
+GenStats generate_uobm(const UobmOptions& options, rdf::Dictionary& dict,
+                       rdf::TripleStore& store) {
+  // Start from the LUBM universe...
+  GenStats stats = generate_lubm(options.base, dict, store);
+  ontology::Vocabulary v(dict);
+  util::Rng rng(options.base.seed ^ 0x05edful);
+
+  auto ub = [&dict](const char* local) {
+    return dict.intern_iri(std::string(kUnivBenchNs) + local);
+  };
+  const auto p_friend = ub("hasFriend");
+  const auto p_hometown = ub("hasSameHomeTownWith");
+  const auto p_member_of = ub("memberOf");
+  const auto c_person = ub("Person");
+
+  // ...extend the schema: hasFriend is symmetric; hasSameHomeTownWith is
+  // symmetric AND transitive (UOBM's closure-heavy property).
+  std::size_t schema_added = 0;
+  schema_added += store.insert({p_friend, v.rdf_type, v.owl_object_property});
+  schema_added +=
+      store.insert({p_friend, v.rdf_type, v.owl_symmetric_property});
+  schema_added += store.insert({p_friend, v.rdfs_domain, c_person});
+  schema_added += store.insert({p_friend, v.rdfs_range, c_person});
+  schema_added +=
+      store.insert({p_hometown, v.rdf_type, v.owl_object_property});
+  schema_added +=
+      store.insert({p_hometown, v.rdf_type, v.owl_symmetric_property});
+  schema_added +=
+      store.insert({p_hometown, v.rdf_type, v.owl_transitive_property});
+  stats.schema_triples += schema_added;
+
+  // Collect every person (subjects of memberOf/worksFor instance triples)
+  // tagged with their university, so cross/intra links can be steered.
+  const auto p_works_for = ub("worksFor");
+  std::vector<rdf::TermId> people;
+  std::vector<std::uint32_t> person_univ;
+  auto univ_of = [&dict](rdf::TermId id) -> std::uint32_t {
+    const std::string& lex = dict.lexical(id);
+    const auto pos = lex.find("Univ");
+    std::uint32_t u = 0;
+    for (std::size_t i = pos + 4; pos != std::string::npos && i < lex.size() &&
+                                  lex[i] >= '0' && lex[i] <= '9';
+         ++i) {
+      u = u * 10 + static_cast<std::uint32_t>(lex[i] - '0');
+    }
+    return u;
+  };
+  for (const rdf::TermId prop : {p_member_of, p_works_for}) {
+    for (const rdf::Triple& t : store.with_predicate(prop)) {
+      people.push_back(t.s);
+      person_univ.push_back(univ_of(t.s));
+    }
+  }
+
+  // Departments (for cross memberships).
+  const auto c_department = ub("Department");
+  std::vector<rdf::TermId> departments;
+  for (const rdf::TermId s : store.subjects(v.rdf_type, c_department)) {
+    departments.push_back(s);
+  }
+
+  std::size_t added = 0;
+  const std::uint32_t num_univ = options.base.universities;
+  for (std::size_t i = 0; i < people.size(); ++i) {
+    const rdf::TermId person = people[i];
+
+    // Friendships — many crossing university boundaries.
+    for (std::uint32_t f = 0; f < options.friends_per_person; ++f) {
+      std::size_t j = rng.below(people.size());
+      if (num_univ > 1 &&
+          rng.chance(options.cross_university_friend_prob)) {
+        // Resample until the friend is at another university (bounded
+        // tries; fall back to whatever we drew).
+        for (int tries = 0;
+             tries < 8 && person_univ[j] == person_univ[i]; ++tries) {
+          j = rng.below(people.size());
+        }
+      }
+      if (people[j] != person) {
+        added += store.insert({person, p_friend, people[j]}) ? 1 : 0;
+      }
+    }
+
+    // Hometown chains: person i shares a hometown with person i+H (same
+    // residue class mod `hometowns`), regardless of university.  Under
+    // symmetry+transitivity each residue class welds into one long
+    // cross-university component — UOBM's density in miniature.
+    if (options.same_hometown_links_per_person > 0) {
+      const std::size_t j = i + options.hometowns;
+      if (j < people.size() && people[j] != person) {
+        added += store.insert({person, p_hometown, people[j]}) ? 1 : 0;
+      }
+    }
+
+    // Occasional membership in a random department anywhere.
+    if (!departments.empty() && rng.chance(options.cross_membership_prob)) {
+      added += store.insert({person, p_member_of,
+                             departments[rng.below(departments.size())]})
+                   ? 1
+                   : 0;
+    }
+  }
+  stats.instance_triples += added;
+  return stats;
+}
+
+}  // namespace parowl::gen

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "parowl/ontology/vocabulary.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::ontology {
+
+/// An owl:Restriction class definition (the pD* subset: hasValue,
+/// someValuesFrom, allValuesFrom, each paired with onProperty).
+struct Restriction {
+  rdf::TermId cls = rdf::kAnyTerm;          // the restriction class node
+  rdf::TermId on_property = rdf::kAnyTerm;  // owl:onProperty target
+  rdf::TermId has_value = rdf::kAnyTerm;
+  rdf::TermId some_values_from = rdf::kAnyTerm;
+  rdf::TermId all_values_from = rdf::kAnyTerm;
+};
+
+/// Structured view of an ontology's schema-level axioms, extracted from a
+/// triple store.  This is the input the ontology→rule compiler specializes
+/// the generic OWL-Horst rule set with (producing the paper's single-join
+/// instance rules).
+struct Ontology {
+  // Direct axioms (pairs are (subject, object) of the axiom triple).
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> subclass_of;
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> subproperty_of;
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> domain;
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> range;
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> inverse_of;
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> equivalent_class;
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> equivalent_property;
+
+  // Property characteristics.
+  std::unordered_set<rdf::TermId> transitive;
+  std::unordered_set<rdf::TermId> symmetric;
+  std::unordered_set<rdf::TermId> functional;
+  std::unordered_set<rdf::TermId> inverse_functional;
+
+  std::vector<Restriction> restrictions;
+
+  // Every term mentioned by a schema axiom (classes and properties).
+  std::unordered_set<rdf::TermId> schema_terms;
+
+  /// Number of schema axioms of all kinds.
+  [[nodiscard]] std::size_t axiom_count() const;
+};
+
+/// Extract the ontology from all schema triples in `store`.
+[[nodiscard]] Ontology extract_ontology(const rdf::TripleStore& store,
+                                        const Vocabulary& vocab);
+
+/// Split `store` into schema triples and instance triples (Algorithm 1
+/// step 1 strips schema triples before building the data graph; the schema
+/// is replicated to every partition instead).
+struct SchemaSplit {
+  std::vector<rdf::Triple> schema;
+  std::vector<rdf::Triple> instance;
+};
+[[nodiscard]] SchemaSplit split_schema(const rdf::TripleStore& store,
+                                       const Vocabulary& vocab);
+
+}  // namespace parowl::ontology

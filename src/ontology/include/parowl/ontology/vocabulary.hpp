@@ -1,0 +1,106 @@
+#pragma once
+
+#include <string_view>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/term.hpp"
+
+namespace parowl::ontology {
+
+/// Well-known IRI strings (RDF, RDFS, OWL namespaces).
+namespace iri {
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfProperty =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+inline constexpr std::string_view kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr std::string_view kRdfsSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr std::string_view kRdfsDomain =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr std::string_view kRdfsRange =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr std::string_view kRdfsClass =
+    "http://www.w3.org/2000/01/rdf-schema#Class";
+inline constexpr std::string_view kOwlClass =
+    "http://www.w3.org/2002/07/owl#Class";
+inline constexpr std::string_view kOwlThing =
+    "http://www.w3.org/2002/07/owl#Thing";
+inline constexpr std::string_view kOwlObjectProperty =
+    "http://www.w3.org/2002/07/owl#ObjectProperty";
+inline constexpr std::string_view kOwlDatatypeProperty =
+    "http://www.w3.org/2002/07/owl#DatatypeProperty";
+inline constexpr std::string_view kOwlTransitiveProperty =
+    "http://www.w3.org/2002/07/owl#TransitiveProperty";
+inline constexpr std::string_view kOwlSymmetricProperty =
+    "http://www.w3.org/2002/07/owl#SymmetricProperty";
+inline constexpr std::string_view kOwlFunctionalProperty =
+    "http://www.w3.org/2002/07/owl#FunctionalProperty";
+inline constexpr std::string_view kOwlInverseFunctionalProperty =
+    "http://www.w3.org/2002/07/owl#InverseFunctionalProperty";
+inline constexpr std::string_view kOwlInverseOf =
+    "http://www.w3.org/2002/07/owl#inverseOf";
+inline constexpr std::string_view kOwlEquivalentClass =
+    "http://www.w3.org/2002/07/owl#equivalentClass";
+inline constexpr std::string_view kOwlEquivalentProperty =
+    "http://www.w3.org/2002/07/owl#equivalentProperty";
+inline constexpr std::string_view kOwlSameAs =
+    "http://www.w3.org/2002/07/owl#sameAs";
+inline constexpr std::string_view kOwlRestriction =
+    "http://www.w3.org/2002/07/owl#Restriction";
+inline constexpr std::string_view kOwlOnProperty =
+    "http://www.w3.org/2002/07/owl#onProperty";
+inline constexpr std::string_view kOwlHasValue =
+    "http://www.w3.org/2002/07/owl#hasValue";
+inline constexpr std::string_view kOwlSomeValuesFrom =
+    "http://www.w3.org/2002/07/owl#someValuesFrom";
+inline constexpr std::string_view kOwlAllValuesFrom =
+    "http://www.w3.org/2002/07/owl#allValuesFrom";
+}  // namespace iri
+
+/// Interned ids of the RDF/RDFS/OWL vocabulary against one dictionary.
+///
+/// Construct once per dictionary; all modules that need vocabulary terms
+/// (rule builder, schema extraction, partitioners) take a `const Vocabulary&`.
+struct Vocabulary {
+  explicit Vocabulary(rdf::Dictionary& dict);
+
+  rdf::TermId rdf_type;
+  rdf::TermId rdf_property;
+  rdf::TermId rdfs_subclass_of;
+  rdf::TermId rdfs_subproperty_of;
+  rdf::TermId rdfs_domain;
+  rdf::TermId rdfs_range;
+  rdf::TermId rdfs_class;
+  rdf::TermId owl_class;
+  rdf::TermId owl_thing;
+  rdf::TermId owl_object_property;
+  rdf::TermId owl_datatype_property;
+  rdf::TermId owl_transitive_property;
+  rdf::TermId owl_symmetric_property;
+  rdf::TermId owl_functional_property;
+  rdf::TermId owl_inverse_functional_property;
+  rdf::TermId owl_inverse_of;
+  rdf::TermId owl_equivalent_class;
+  rdf::TermId owl_equivalent_property;
+  rdf::TermId owl_same_as;
+  rdf::TermId owl_restriction;
+  rdf::TermId owl_on_property;
+  rdf::TermId owl_has_value;
+  rdf::TermId owl_some_values_from;
+  rdf::TermId owl_all_values_from;
+
+  /// True iff `p` is a schema-defining predicate (subClassOf, domain, ...).
+  [[nodiscard]] bool is_schema_predicate(rdf::TermId p) const;
+
+  /// True iff `cls` is a metaclass whose rdf:type assertions are schema
+  /// (owl:Class, owl:TransitiveProperty, ...).
+  [[nodiscard]] bool is_meta_class(rdf::TermId cls) const;
+
+  /// True iff the triple is part of the ontology/schema rather than
+  /// instance data (Algorithm 1 strips these before partitioning).
+  [[nodiscard]] bool is_schema_triple(const rdf::Triple& t) const;
+};
+
+}  // namespace parowl::ontology

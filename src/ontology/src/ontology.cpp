@@ -1,0 +1,102 @@
+#include "parowl/ontology/ontology.hpp"
+
+#include <unordered_map>
+
+namespace parowl::ontology {
+
+std::size_t Ontology::axiom_count() const {
+  return subclass_of.size() + subproperty_of.size() + domain.size() +
+         range.size() + inverse_of.size() + equivalent_class.size() +
+         equivalent_property.size() + transitive.size() + symmetric.size() +
+         functional.size() + inverse_functional.size() + restrictions.size();
+}
+
+Ontology extract_ontology(const rdf::TripleStore& store,
+                          const Vocabulary& vocab) {
+  Ontology onto;
+  // Restrictions accumulate facets across several triples about one class
+  // node, so index them while scanning.
+  std::unordered_map<rdf::TermId, std::size_t> restriction_index;
+  auto restriction_for = [&](rdf::TermId cls) -> Restriction& {
+    auto [it, fresh] =
+        restriction_index.try_emplace(cls, onto.restrictions.size());
+    if (fresh) {
+      onto.restrictions.push_back(Restriction{.cls = cls});
+    }
+    return onto.restrictions[it->second];
+  };
+
+  auto note = [&](rdf::TermId a, rdf::TermId b) {
+    onto.schema_terms.insert(a);
+    onto.schema_terms.insert(b);
+  };
+
+  for (const rdf::Triple& t : store.triples()) {
+    if (t.p == vocab.rdfs_subclass_of) {
+      onto.subclass_of.emplace_back(t.s, t.o);
+      note(t.s, t.o);
+    } else if (t.p == vocab.rdfs_subproperty_of) {
+      onto.subproperty_of.emplace_back(t.s, t.o);
+      note(t.s, t.o);
+    } else if (t.p == vocab.rdfs_domain) {
+      onto.domain.emplace_back(t.s, t.o);
+      note(t.s, t.o);
+    } else if (t.p == vocab.rdfs_range) {
+      onto.range.emplace_back(t.s, t.o);
+      note(t.s, t.o);
+    } else if (t.p == vocab.owl_inverse_of) {
+      onto.inverse_of.emplace_back(t.s, t.o);
+      note(t.s, t.o);
+    } else if (t.p == vocab.owl_equivalent_class) {
+      onto.equivalent_class.emplace_back(t.s, t.o);
+      note(t.s, t.o);
+    } else if (t.p == vocab.owl_equivalent_property) {
+      onto.equivalent_property.emplace_back(t.s, t.o);
+      note(t.s, t.o);
+    } else if (t.p == vocab.owl_on_property) {
+      restriction_for(t.s).on_property = t.o;
+      note(t.s, t.o);
+    } else if (t.p == vocab.owl_has_value) {
+      restriction_for(t.s).has_value = t.o;
+      note(t.s, t.o);
+    } else if (t.p == vocab.owl_some_values_from) {
+      restriction_for(t.s).some_values_from = t.o;
+      note(t.s, t.o);
+    } else if (t.p == vocab.owl_all_values_from) {
+      restriction_for(t.s).all_values_from = t.o;
+      note(t.s, t.o);
+    } else if (t.p == vocab.rdf_type) {
+      if (t.o == vocab.owl_transitive_property) {
+        onto.transitive.insert(t.s);
+        onto.schema_terms.insert(t.s);
+      } else if (t.o == vocab.owl_symmetric_property) {
+        onto.symmetric.insert(t.s);
+        onto.schema_terms.insert(t.s);
+      } else if (t.o == vocab.owl_functional_property) {
+        onto.functional.insert(t.s);
+        onto.schema_terms.insert(t.s);
+      } else if (t.o == vocab.owl_inverse_functional_property) {
+        onto.inverse_functional.insert(t.s);
+        onto.schema_terms.insert(t.s);
+      } else if (vocab.is_meta_class(t.o)) {
+        onto.schema_terms.insert(t.s);
+      }
+    }
+  }
+  return onto;
+}
+
+SchemaSplit split_schema(const rdf::TripleStore& store,
+                         const Vocabulary& vocab) {
+  SchemaSplit split;
+  for (const rdf::Triple& t : store.triples()) {
+    if (vocab.is_schema_triple(t)) {
+      split.schema.push_back(t);
+    } else {
+      split.instance.push_back(t);
+    }
+  }
+  return split;
+}
+
+}  // namespace parowl::ontology

@@ -1,0 +1,55 @@
+#include "parowl/ontology/vocabulary.hpp"
+
+namespace parowl::ontology {
+
+Vocabulary::Vocabulary(rdf::Dictionary& dict)
+    : rdf_type(dict.intern_iri(iri::kRdfType)),
+      rdf_property(dict.intern_iri(iri::kRdfProperty)),
+      rdfs_subclass_of(dict.intern_iri(iri::kRdfsSubClassOf)),
+      rdfs_subproperty_of(dict.intern_iri(iri::kRdfsSubPropertyOf)),
+      rdfs_domain(dict.intern_iri(iri::kRdfsDomain)),
+      rdfs_range(dict.intern_iri(iri::kRdfsRange)),
+      rdfs_class(dict.intern_iri(iri::kRdfsClass)),
+      owl_class(dict.intern_iri(iri::kOwlClass)),
+      owl_thing(dict.intern_iri(iri::kOwlThing)),
+      owl_object_property(dict.intern_iri(iri::kOwlObjectProperty)),
+      owl_datatype_property(dict.intern_iri(iri::kOwlDatatypeProperty)),
+      owl_transitive_property(dict.intern_iri(iri::kOwlTransitiveProperty)),
+      owl_symmetric_property(dict.intern_iri(iri::kOwlSymmetricProperty)),
+      owl_functional_property(dict.intern_iri(iri::kOwlFunctionalProperty)),
+      owl_inverse_functional_property(
+          dict.intern_iri(iri::kOwlInverseFunctionalProperty)),
+      owl_inverse_of(dict.intern_iri(iri::kOwlInverseOf)),
+      owl_equivalent_class(dict.intern_iri(iri::kOwlEquivalentClass)),
+      owl_equivalent_property(dict.intern_iri(iri::kOwlEquivalentProperty)),
+      owl_same_as(dict.intern_iri(iri::kOwlSameAs)),
+      owl_restriction(dict.intern_iri(iri::kOwlRestriction)),
+      owl_on_property(dict.intern_iri(iri::kOwlOnProperty)),
+      owl_has_value(dict.intern_iri(iri::kOwlHasValue)),
+      owl_some_values_from(dict.intern_iri(iri::kOwlSomeValuesFrom)),
+      owl_all_values_from(dict.intern_iri(iri::kOwlAllValuesFrom)) {}
+
+bool Vocabulary::is_schema_predicate(rdf::TermId p) const {
+  return p == rdfs_subclass_of || p == rdfs_subproperty_of ||
+         p == rdfs_domain || p == rdfs_range || p == owl_inverse_of ||
+         p == owl_equivalent_class || p == owl_equivalent_property ||
+         p == owl_on_property || p == owl_has_value ||
+         p == owl_some_values_from || p == owl_all_values_from;
+}
+
+bool Vocabulary::is_meta_class(rdf::TermId cls) const {
+  return cls == rdfs_class || cls == owl_class || cls == rdf_property ||
+         cls == owl_object_property || cls == owl_datatype_property ||
+         cls == owl_transitive_property || cls == owl_symmetric_property ||
+         cls == owl_functional_property ||
+         cls == owl_inverse_functional_property || cls == owl_restriction;
+}
+
+bool Vocabulary::is_schema_triple(const rdf::Triple& t) const {
+  if (is_schema_predicate(t.p)) {
+    return true;
+  }
+  return t.p == rdf_type && is_meta_class(t.o);
+}
+
+}  // namespace parowl::ontology

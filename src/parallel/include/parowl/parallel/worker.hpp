@@ -1,0 +1,108 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "parowl/parallel/router.hpp"
+#include "parowl/parallel/transport.hpp"
+#include "parowl/rdf/triple_store.hpp"
+#include "parowl/reason/materialize.hpp"
+#include "parowl/rules/rule.hpp"
+
+namespace parowl::parallel {
+
+/// Per-round timing/volume record for one worker — the raw data behind the
+/// paper's Fig. 2 overhead breakdown.
+struct RoundStats {
+  double reason_seconds = 0.0;     // local closure computation
+  double io_seconds = 0.0;         // transport send + receive
+  double sync_seconds = 0.0;       // waiting for the slowest partition
+  double aggregate_seconds = 0.0;  // merging received tuples into the store
+  std::size_t derived = 0;         // new local derivations this round
+  std::size_t sent_tuples = 0;
+  std::size_t sent_messages = 0;
+  std::size_t received_tuples = 0;
+  std::size_t received_new = 0;    // received tuples that were actually new
+};
+
+/// Options shared by all workers of a cluster.
+struct WorkerOptions {
+  /// Local reasoning strategy per round.  kQueryDriven reproduces the
+  /// paper's Jena materialization behaviour (super-linear cost in partition
+  /// size); kForward is the efficient engine.
+  reason::Strategy strategy = reason::Strategy::kForward;
+  bool share_tables = false;  // query-driven table sharing
+  const rdf::Dictionary* dict = nullptr;
+};
+
+/// A batch of tuples routed to one destination partition.
+struct Outgoing {
+  std::uint32_t dest = 0;
+  std::vector<rdf::Triple> tuples;
+};
+
+/// One node of the parallel reasoner (Algorithm 3).  A worker owns its
+/// triple store and rule subset; each round it (a) closes its store under
+/// its rules, (b) routes and sends fresh derivations, and after the barrier
+/// (c) merges received tuples.  Workers never share mutable state — all
+/// exchange goes through the Transport (round mode) or the caller (the
+/// asynchronous simulator owns delivery itself).
+class Worker {
+ public:
+  Worker(std::uint32_t id, rules::RuleSet rule_base,
+         std::shared_ptr<const Router> router, Transport* transport,
+         WorkerOptions options);
+
+  /// Load the base partition (and any replicated triples, e.g. schema).
+  void load(std::span<const rdf::Triple> base);
+
+  /// Close the store under this worker's rules starting from the current
+  /// frontier and route the fresh derivations.  Returns the outgoing
+  /// batches; `compute_seconds`, when non-null, receives the measured
+  /// reasoning time.  Transport-independent (used by the async simulator).
+  std::vector<Outgoing> compute_local(double* compute_seconds = nullptr);
+
+  /// Merge a delta of foreign tuples into the store (no transport involved;
+  /// used by the async simulator).  Returns the number of new tuples.
+  std::size_t absorb(std::span<const rdf::Triple> tuples);
+
+  /// Round phase A: local closure from the current frontier, then route and
+  /// ship fresh derivations.  Returns the number of tuples sent.
+  std::size_t compute_and_send(std::uint32_t round);
+
+  /// Round phase B (after the barrier): drain the inbox for `round` and add
+  /// tuples to the store.  Returns the number of genuinely new tuples.
+  std::size_t receive_and_aggregate(std::uint32_t round);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] const rdf::TripleStore& store() const { return store_; }
+  [[nodiscard]] std::size_t base_size() const { return base_size_; }
+
+  /// Triples beyond the initial load: this processor's "result" for the
+  /// OR metric.
+  [[nodiscard]] std::size_t result_size() const {
+    return store_.size() - base_size_;
+  }
+
+  [[nodiscard]] const std::vector<RoundStats>& rounds() const {
+    return rounds_;
+  }
+  /// Cluster fills in sync_seconds after each round.
+  [[nodiscard]] std::vector<RoundStats>& mutable_rounds() { return rounds_; }
+
+ private:
+  std::uint32_t id_;
+  rules::RuleSet rule_base_;
+  std::shared_ptr<const Router> router_;
+  Transport* transport_;  // null when driven by the async simulator
+  WorkerOptions options_;
+
+  rdf::TripleStore store_;
+  std::size_t base_size_ = 0;
+  std::size_t frontier_ = 0;    // store index where the next closure starts
+  std::size_t route_mark_ = 0;  // store index of the first unrouted triple
+  std::vector<RoundStats> rounds_;
+};
+
+}  // namespace parowl::parallel

@@ -1,0 +1,202 @@
+#include "parowl/parallel/cluster.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <thread>
+#include <unordered_set>
+
+#include "parowl/util/log.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace parowl::parallel {
+
+Cluster::Cluster(Transport& transport, ClusterOptions options)
+    : transport_(transport), options_(options) {
+  if (transport_.name() == "file") {
+    // File IPC: the measured read/write/parse time *is* the communication
+    // cost, as in the paper's shared-filesystem implementation.
+    options_.network.use_measured_io = true;
+  }
+}
+
+std::uint32_t Cluster::add_worker(rules::RuleSet rule_base,
+                                  std::shared_ptr<const Router> router,
+                                  WorkerOptions worker_options) {
+  const auto id = static_cast<std::uint32_t>(workers_.size());
+  workers_.push_back(std::make_unique<Worker>(
+      id, std::move(rule_base), std::move(router), &transport_,
+      worker_options));
+  return id;
+}
+
+void Cluster::load(std::uint32_t id, std::span<const rdf::Triple> base) {
+  workers_[id]->load(base);
+}
+
+ClusterResult Cluster::run() {
+  assert(options_.mode != ExecutionMode::kAsyncSimulated &&
+         "async mode is handled by AsyncSimulator, not Cluster");
+  return options_.mode == ExecutionMode::kSequentialSimulated
+             ? run_sequential()
+             : run_threaded();
+}
+
+ClusterResult Cluster::run_sequential() {
+  util::Stopwatch wall;
+  ClusterResult result;
+
+  for (std::uint32_t round = 0; round < options_.max_rounds; ++round) {
+    std::size_t total_sent = 0;
+    for (auto& worker : workers_) {
+      total_sent += worker->compute_and_send(round);
+    }
+    result.rounds = round + 1;
+    if (total_sent == 0) {
+      break;  // quiescent: nothing in transit anywhere
+    }
+    for (auto& worker : workers_) {
+      worker->receive_and_aggregate(round);
+    }
+  }
+
+  result.wall_seconds = wall.elapsed_seconds();
+  finalize(result);
+  return result;
+}
+
+ClusterResult Cluster::run_threaded() {
+  util::Stopwatch wall;
+  ClusterResult result;
+
+  const auto n = static_cast<std::ptrdiff_t>(workers_.size());
+  std::atomic<std::size_t> round_sent{0};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint32_t> rounds_executed{0};
+
+  // Completion step of the post-compute barrier: decide termination for
+  // the round everyone just finished.
+  auto on_compute_done = [&]() noexcept {
+    rounds_executed.fetch_add(1);
+    if (round_sent.exchange(0) == 0) {
+      done.store(true);
+    }
+  };
+  std::barrier compute_barrier(n, on_compute_done);
+  std::barrier receive_barrier(n);
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(workers_.size());
+    for (auto& worker_ptr : workers_) {
+      threads.emplace_back([&, worker = worker_ptr.get()]() {
+        for (std::uint32_t round = 0; round < options_.max_rounds; ++round) {
+          const std::size_t sent = worker->compute_and_send(round);
+          round_sent.fetch_add(sent);
+
+          util::Stopwatch sync_watch;
+          compute_barrier.arrive_and_wait();
+          worker->mutable_rounds()[round].sync_seconds +=
+              sync_watch.elapsed_seconds();
+
+          if (done.load()) {
+            return;
+          }
+          worker->receive_and_aggregate(round);
+          receive_barrier.arrive_and_wait();
+        }
+      });
+    }
+  }  // jthreads join
+
+  result.rounds = rounds_executed.load();
+  result.wall_seconds = wall.elapsed_seconds();
+  finalize(result);
+  return result;
+}
+
+void Cluster::finalize(ClusterResult& result) {
+  const NetworkModel& net = options_.network;
+
+  // Per-round maxima and the simulated makespan.
+  result.breakdown.assign(result.rounds, RoundBreakdown{});
+  for (std::uint32_t round = 0; round < result.rounds; ++round) {
+    RoundBreakdown& rb = result.breakdown[round];
+    double compute_max = 0.0;
+    for (const auto& worker : workers_) {
+      if (worker->rounds().size() <= round) {
+        continue;
+      }
+      const RoundStats& rs = worker->rounds()[round];
+      rb.reason_max = std::max(rb.reason_max, rs.reason_seconds);
+      rb.aggregate_max = std::max(rb.aggregate_max, rs.aggregate_seconds);
+      rb.tuples_exchanged += rs.sent_tuples;
+
+      const double comm =
+          net.use_measured_io
+              ? rs.io_seconds
+              : net.latency_seconds * static_cast<double>(rs.sent_messages) +
+                    net.bytes_per_tuple *
+                        static_cast<double>(rs.sent_tuples +
+                                            rs.received_tuples) /
+                        net.bandwidth_bytes_per_sec;
+      rb.io_max = std::max(rb.io_max, comm);
+      compute_max = std::max(
+          compute_max, rs.reason_seconds + rs.aggregate_seconds + comm);
+    }
+    // In the simulated mode, a worker's synchronization wait is the gap to
+    // the slowest worker of the round.
+    if (options_.mode == ExecutionMode::kSequentialSimulated) {
+      for (const auto& worker : workers_) {
+        if (worker->rounds().size() <= round) {
+          continue;
+        }
+        RoundStats& rs = worker->mutable_rounds()[round];
+        const double comm =
+            net.use_measured_io
+                ? rs.io_seconds
+                : net.latency_seconds *
+                          static_cast<double>(rs.sent_messages) +
+                      net.bytes_per_tuple *
+                          static_cast<double>(rs.sent_tuples +
+                                              rs.received_tuples) /
+                          net.bandwidth_bytes_per_sec;
+        const double own =
+            rs.reason_seconds + rs.aggregate_seconds + comm;
+        rs.sync_seconds = std::max(0.0, compute_max - own);
+      }
+    }
+    for (const auto& worker : workers_) {
+      if (worker->rounds().size() > round) {
+        rb.sync_max = std::max(rb.sync_max,
+                               worker->rounds()[round].sync_seconds);
+      }
+    }
+
+    result.reason_seconds += rb.reason_max;
+    result.io_seconds += rb.io_max;
+    result.sync_seconds += rb.sync_max;
+    result.aggregate_seconds += rb.aggregate_max;
+    result.simulated_seconds += rb.reason_max + rb.aggregate_max + rb.io_max;
+  }
+
+  // Per-worker reasoning totals (for predictive rebalancing) and the
+  // result-tuple union for the OR metric.
+  std::unordered_set<rdf::Triple, rdf::TripleHash> union_results;
+  for (const auto& worker : workers_) {
+    double reason_total = 0.0;
+    for (const RoundStats& rs : worker->rounds()) {
+      reason_total += rs.reason_seconds;
+    }
+    result.reason_seconds_per_worker.push_back(reason_total);
+    result.results_per_partition.push_back(worker->result_size());
+    const auto& log = worker->store().triples();
+    for (std::size_t i = worker->base_size(); i < log.size(); ++i) {
+      union_results.insert(log[i]);
+    }
+  }
+  result.union_results = union_results.size();
+}
+
+}  // namespace parowl::parallel

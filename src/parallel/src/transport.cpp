@@ -1,0 +1,198 @@
+#include "parowl/parallel/transport.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "parowl/rdf/ntriples.hpp"
+#include "parowl/util/log.hpp"
+#include "parowl/util/strings.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace parowl::parallel {
+
+// ---------------------------------------------------------------------------
+// MemoryTransport
+
+MemoryTransport::MemoryTransport(std::uint32_t num_partitions)
+    : stats_(num_partitions) {}
+
+void MemoryTransport::send(std::uint32_t from, std::uint32_t to,
+                           std::uint32_t round,
+                           std::span<const rdf::Triple> tuples) {
+  util::Stopwatch watch;
+  const std::scoped_lock lock(mutex_);
+  auto& box = mailboxes_[{to, round}];
+  box.insert(box.end(), tuples.begin(), tuples.end());
+  CommStats& s = stats_[from];
+  s.send_seconds += watch.elapsed_seconds();
+  s.bytes_sent += tuples.size() * sizeof(rdf::Triple);
+  s.messages_sent += 1;
+}
+
+std::vector<rdf::Triple> MemoryTransport::receive(std::uint32_t to,
+                                                  std::uint32_t round) {
+  util::Stopwatch watch;
+  std::vector<rdf::Triple> out;
+  const std::scoped_lock lock(mutex_);
+  const auto it = mailboxes_.find({to, round});
+  if (it != mailboxes_.end()) {
+    out = std::move(it->second);
+    mailboxes_.erase(it);
+  }
+  CommStats& s = stats_[to];
+  s.recv_seconds += watch.elapsed_seconds();
+  s.bytes_received += out.size() * sizeof(rdf::Triple);
+  return out;
+}
+
+CommStats MemoryTransport::stats(std::uint32_t partition) const {
+  const std::scoped_lock lock(mutex_);
+  return stats_[partition];
+}
+
+// ---------------------------------------------------------------------------
+// FileTransport
+
+namespace {
+
+/// Find-only N-Triples term scan: parses one decorated term off `text` and
+/// resolves it against the (read-only) dictionary.  Returns kAnyTerm when
+/// the term is unknown — which indicates a bug upstream, since workers can
+/// only derive triples over already-interned terms.
+rdf::TermId scan_term(std::string_view& text, const rdf::Dictionary& dict) {
+  text = util::trim(text);
+  if (text.empty()) {
+    return rdf::kAnyTerm;
+  }
+  if (text.front() == '<') {
+    const auto end = text.find('>');
+    if (end == std::string_view::npos) {
+      return rdf::kAnyTerm;
+    }
+    const auto iri = text.substr(1, end - 1);
+    text.remove_prefix(end + 1);
+    return dict.find(iri, rdf::TermKind::kIri);
+  }
+  if (text.front() == '_' && text.size() > 2 && text[1] == ':') {
+    std::size_t end = 2;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\t') {
+      ++end;
+    }
+    const auto label = text.substr(2, end - 2);
+    text.remove_prefix(end);
+    return dict.find(label, rdf::TermKind::kBlank);
+  }
+  if (text.front() == '"') {
+    std::size_t end = 1;
+    while (end < text.size()) {
+      if (text[end] == '\\') {
+        end += 2;
+        continue;
+      }
+      if (text[end] == '"') {
+        break;
+      }
+      ++end;
+    }
+    if (end >= text.size()) {
+      return rdf::kAnyTerm;
+    }
+    std::size_t tail = end + 1;
+    while (tail < text.size() && text[tail] != ' ' && text[tail] != '\t') {
+      ++tail;
+    }
+    const auto lit = text.substr(0, tail);
+    text.remove_prefix(tail);
+    return dict.find(lit, rdf::TermKind::kLiteral);
+  }
+  return rdf::kAnyTerm;
+}
+
+}  // namespace
+
+FileTransport::FileTransport(std::filesystem::path spool_dir,
+                             const rdf::Dictionary& dict,
+                             std::uint32_t num_partitions)
+    : dir_(std::move(spool_dir)), dict_(dict), stats_(num_partitions) {
+  std::filesystem::create_directories(dir_);
+}
+
+FileTransport::~FileTransport() {
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);  // best-effort spool cleanup
+}
+
+std::filesystem::path FileTransport::batch_path(std::uint32_t from,
+                                                std::uint32_t to,
+                                                std::uint32_t round) const {
+  std::ostringstream name;
+  name << "round" << round << "_from" << from << "_to" << to << ".nt";
+  return dir_ / name.str();
+}
+
+void FileTransport::send(std::uint32_t from, std::uint32_t to,
+                         std::uint32_t round,
+                         std::span<const rdf::Triple> tuples) {
+  util::Stopwatch watch;
+  const auto path = batch_path(from, to, round);
+  std::uint64_t bytes = 0;
+  {
+    std::ofstream out(path, std::ios::app);  // append: several sends allowed
+    for (const rdf::Triple& t : tuples) {
+      const std::string line = rdf::to_ntriples(t, dict_);
+      out << line << '\n';
+      bytes += line.size() + 1;
+    }
+  }
+  const std::scoped_lock lock(mutex_);
+  CommStats& s = stats_[from];
+  s.send_seconds += watch.elapsed_seconds();
+  s.bytes_sent += bytes;
+  s.messages_sent += 1;
+}
+
+std::vector<rdf::Triple> FileTransport::receive(std::uint32_t to,
+                                                std::uint32_t round) {
+  util::Stopwatch watch;
+  std::vector<rdf::Triple> out;
+  std::uint64_t bytes = 0;
+
+  for (std::uint32_t from = 0; from < stats_.size(); ++from) {
+    const auto path = batch_path(from, to, round);
+    std::ifstream in(path);
+    if (!in) {
+      continue;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      bytes += line.size() + 1;
+      std::string_view rest = line;
+      rdf::Triple t;
+      t.s = scan_term(rest, dict_);
+      t.p = scan_term(rest, dict_);
+      t.o = scan_term(rest, dict_);
+      if (t.s == rdf::kAnyTerm || t.p == rdf::kAnyTerm ||
+          t.o == rdf::kAnyTerm) {
+        util::log_warn("file transport: dropped unparsable line: ", line);
+        continue;
+      }
+      out.push_back(t);
+    }
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // consumed
+  }
+
+  const std::scoped_lock lock(mutex_);
+  CommStats& s = stats_[to];
+  s.recv_seconds += watch.elapsed_seconds();
+  s.bytes_received += bytes;
+  return out;
+}
+
+CommStats FileTransport::stats(std::uint32_t partition) const {
+  const std::scoped_lock lock(mutex_);
+  return stats_[partition];
+}
+
+}  // namespace parowl::parallel

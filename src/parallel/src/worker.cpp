@@ -1,0 +1,120 @@
+#include "parowl/parallel/worker.hpp"
+
+#include <unordered_map>
+
+#include "parowl/reason/forward.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace parowl::parallel {
+
+Worker::Worker(std::uint32_t id, rules::RuleSet rule_base,
+               std::shared_ptr<const Router> router, Transport* transport,
+               WorkerOptions options)
+    : id_(id),
+      rule_base_(std::move(rule_base)),
+      router_(std::move(router)),
+      transport_(transport),
+      options_(options) {}
+
+void Worker::load(std::span<const rdf::Triple> base) {
+  store_.insert_all(base);
+  base_size_ = store_.size();
+  frontier_ = 0;  // everything is new for the first closure
+  route_mark_ = store_.size();  // base tuples are never shipped
+}
+
+std::vector<Outgoing> Worker::compute_local(double* compute_seconds) {
+  // (a) Local closure from the frontier.
+  util::Stopwatch reason_watch;
+  if (options_.strategy == reason::Strategy::kForward) {
+    reason::ForwardOptions fopts;
+    fopts.dict = options_.dict;
+    reason::ForwardEngine(store_, rule_base_, fopts).run(frontier_);
+  } else {
+    // Incremental after round 0: only resources affected by newly received
+    // tuples are re-queried (frontier_ == 0 falls back to a full run).
+    reason::query_driven_closure_delta(store_, *options_.dict, rule_base_,
+                                       frontier_, options_.share_tables);
+  }
+  if (compute_seconds != nullptr) {
+    *compute_seconds = reason_watch.elapsed_seconds();
+  }
+  frontier_ = store_.size();
+
+  // (b) Route fresh derivations.
+  std::unordered_map<std::uint32_t, std::vector<rdf::Triple>> outgoing;
+  std::vector<std::uint32_t> destinations;
+  for (std::size_t i = route_mark_; i < store_.size(); ++i) {
+    const rdf::Triple& t = store_.triples()[i];
+    destinations.clear();
+    router_->route(t, id_, destinations);
+    for (const std::uint32_t dest : destinations) {
+      outgoing[dest].push_back(t);
+    }
+  }
+  route_mark_ = store_.size();
+
+  std::vector<Outgoing> batches;
+  batches.reserve(outgoing.size());
+  for (auto& [dest, tuples] : outgoing) {
+    batches.push_back(Outgoing{dest, std::move(tuples)});
+  }
+  return batches;
+}
+
+std::size_t Worker::absorb(std::span<const rdf::Triple> tuples) {
+  // frontier_ is NOT advanced here: it marks the first log index the next
+  // closure must consume, which may include tuples from an earlier absorb
+  // that no compute has processed yet.
+  std::size_t fresh = 0;
+  for (const rdf::Triple& t : tuples) {
+    fresh += store_.insert(t) ? 1 : 0;
+  }
+  // Foreign derivations are never re-shipped, only reasoned over.
+  route_mark_ = store_.size();
+  return fresh;
+}
+
+std::size_t Worker::compute_and_send(std::uint32_t round) {
+  if (rounds_.size() <= round) {
+    rounds_.resize(round + 1);
+  }
+  RoundStats& rs = rounds_[round];
+
+  const std::size_t before = store_.size();
+  double compute_seconds = 0.0;
+  const std::vector<Outgoing> batches = compute_local(&compute_seconds);
+  rs.reason_seconds += compute_seconds;
+  rs.derived += store_.size() - before;
+
+  std::size_t sent = 0;
+  util::Stopwatch io_watch;
+  for (const Outgoing& batch : batches) {
+    transport_->send(id_, batch.dest, round, batch.tuples);
+    sent += batch.tuples.size();
+    rs.sent_messages += 1;
+  }
+  rs.io_seconds += io_watch.elapsed_seconds();
+  rs.sent_tuples += sent;
+  return sent;
+}
+
+std::size_t Worker::receive_and_aggregate(std::uint32_t round) {
+  if (rounds_.size() <= round) {
+    rounds_.resize(round + 1);
+  }
+  RoundStats& rs = rounds_[round];
+
+  util::Stopwatch io_watch;
+  const std::vector<rdf::Triple> incoming = transport_->receive(id_, round);
+  rs.io_seconds += io_watch.elapsed_seconds();
+  rs.received_tuples += incoming.size();
+
+  util::Stopwatch agg_watch;
+  const std::size_t fresh = absorb(incoming);
+  rs.aggregate_seconds += agg_watch.elapsed_seconds();
+  rs.received_new += fresh;
+  return fresh;
+}
+
+}  // namespace parowl::parallel

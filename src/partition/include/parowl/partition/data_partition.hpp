@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "parowl/ontology/vocabulary.hpp"
+#include "parowl/partition/owner_policy.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::partition {
+
+/// Output of the generic data partitioning algorithm (Algorithm 1).
+struct DataPartitioning {
+  /// parts[p] holds the instance triples assigned to partition p.  A triple
+  /// lands in the partition owning its subject AND the partition owning its
+  /// object, so a triple may appear in up to two parts (the paper's
+  /// replication bound).
+  std::vector<std::vector<rdf::Triple>> parts;
+
+  /// Schema triples, replicated to every partition by the runtime.
+  std::vector<rdf::Triple> schema;
+
+  /// node -> owning partition; the partition table Algorithm 3 routes
+  /// inferred tuples with.
+  OwnerTable owners;
+
+  /// Wall time of the whole partitioning step (the paper's "Part. Time").
+  double partition_seconds = 0.0;
+};
+
+/// Run Algorithm 1 on `store`:
+///   1. strip schema triples,
+///   2. build the owner list with `policy`,
+///   3. assign each instance triple to owner(subject) and owner(object).
+[[nodiscard]] DataPartitioning partition_data(const rdf::TripleStore& store,
+                                              const rdf::Dictionary& dict,
+                                              const ontology::Vocabulary& vocab,
+                                              const OwnerPolicy& policy,
+                                              std::uint32_t num_partitions);
+
+}  // namespace parowl::partition

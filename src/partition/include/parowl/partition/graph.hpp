@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/term.hpp"
+
+namespace parowl::partition {
+
+/// Undirected weighted graph in CSR form — the input to the multilevel
+/// partitioner.  Vertices carry weights (used during coarsening, where a
+/// coarse vertex stands for several fine ones); edges carry weights (the
+/// number of merged parallel edges, or rule-dependency volumes).
+struct Graph {
+  std::vector<std::size_t> xadj;       // size n+1; adjacency offsets
+  std::vector<std::uint32_t> adjncy;   // neighbor vertex ids
+  std::vector<std::uint64_t> adjwgt;   // edge weights, parallel to adjncy
+  std::vector<std::uint64_t> vwgt;     // vertex weights, size n
+  std::uint64_t total_vwgt = 0;
+
+  [[nodiscard]] std::size_t num_vertices() const {
+    return vwgt.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const {
+    return adjncy.size() / 2;  // each undirected edge stored twice
+  }
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::uint32_t v) const {
+    return {adjncy.data() + xadj[v], xadj[v + 1] - xadj[v]};
+  }
+};
+
+/// A weighted edge used while assembling a graph.
+struct WeightedEdge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t weight = 1;
+};
+
+/// Build a CSR graph over `num_vertices` vertices from an edge list.
+/// Self-loops are dropped; parallel edges are merged by summing weights.
+/// Vertex weights default to 1 unless `vertex_weights` is non-empty.
+[[nodiscard]] Graph build_graph(std::size_t num_vertices,
+                                std::span<const WeightedEdge> edges,
+                                std::span<const std::uint64_t> vertex_weights = {});
+
+/// The RDF resource graph of the paper's graph-partitioning policy: one
+/// vertex per resource (IRI/blank node) appearing in the given instance
+/// triples, one edge per triple whose object is a resource, all vertex
+/// weights 1.  `node_of` maps TermId -> dense vertex id; `node_term` is the
+/// inverse.
+struct ResourceGraph {
+  Graph graph;
+  std::unordered_map<rdf::TermId, std::uint32_t> node_of;
+  std::vector<rdf::TermId> node_term;
+};
+
+/// Terms that must not become graph vertices (schema elements: classes and
+/// properties).  rdf:type objects are class IRIs — left in, they become
+/// giant hubs connecting every entity of a class and wreck both edge-cut
+/// and the locality the paper's Algorithm 1 relies on, so the schema terms
+/// extracted from the ontology are excluded here (they are replicated, not
+/// partitioned).
+using ExcludedTerms = std::unordered_set<rdf::TermId>;
+
+[[nodiscard]] ResourceGraph build_resource_graph(
+    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
+    const ExcludedTerms* exclude = nullptr);
+
+}  // namespace parowl::partition

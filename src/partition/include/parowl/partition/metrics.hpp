@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parowl/partition/data_partition.hpp"
+
+namespace parowl::partition {
+
+/// The partition-quality metrics of §III (Table I).
+struct PartitionMetrics {
+  /// bal: standard deviation of the number of (distinct) nodes per
+  /// partition.  Computation time is proportional to node count, so this
+  /// is the load-balance diagnostic.
+  double bal = 0.0;
+
+  /// IR: the replication excess — sum over partitions of distinct nodes
+  /// present, divided by the total number of distinct input-graph nodes,
+  /// minus 1.  0 means no node is replicated; Table I of the paper reports
+  /// this quantity (graph policy ~0.07-0.19, hash ~0.7-2.1).
+  double input_replication = 0.0;
+
+  std::vector<std::size_t> nodes_per_partition;
+  std::size_t total_nodes = 0;
+};
+
+/// Compute bal and IR for a data partitioning.
+[[nodiscard]] PartitionMetrics compute_partition_metrics(
+    const DataPartitioning& partitioning, const rdf::Dictionary& dict);
+
+/// OR: the output-duplication excess — sum over processors of result-tuple
+/// counts divided by the size of the unioned output, minus 1.  0 means
+/// every inference was derived exactly once (the paper's efficiency ideal).
+[[nodiscard]] double output_replication(
+    std::span<const std::size_t> per_partition_results,
+    std::size_t union_size);
+
+}  // namespace parowl::partition

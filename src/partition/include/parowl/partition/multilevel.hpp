@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parowl/partition/graph.hpp"
+
+namespace parowl::partition {
+
+/// Options for the multilevel partitioner.
+struct MultilevelOptions {
+  /// RNG seed for the matching visit order (determinism knob).
+  std::uint64_t seed = 0x5eed;
+
+  /// Run Fiduccia–Mattheyses boundary refinement after each uncoarsening
+  /// step.  Disabling it is the "no refinement" ablation.
+  bool refine = true;
+
+  /// Allowed imbalance: a side may carry up to (1 + tolerance) x its
+  /// proportional share of vertex weight.
+  double balance_tolerance = 0.03;
+
+  /// Stop coarsening once the graph has at most this many vertices.
+  std::size_t coarsen_to = 96;
+
+  /// FM passes per level.
+  int refine_passes = 6;
+};
+
+/// Result of a k-way partitioning.
+struct PartitionResult {
+  std::vector<std::uint32_t> assignment;  // vertex -> partition in [0, k)
+  std::uint64_t edge_cut = 0;             // total weight of cut edges
+};
+
+/// Partition `graph` into `k` parts using multilevel recursive bisection:
+/// heavy-edge-matching coarsening, greedy BFS-grown initial bisection, and
+/// FM refinement projected back up the hierarchy.  This is the same
+/// algorithm family as Metis, which the paper uses for its graph
+/// partitioning policy.
+[[nodiscard]] PartitionResult partition_graph(const Graph& graph, int k,
+                                              const MultilevelOptions& options = {});
+
+/// Total weight of edges whose endpoints lie in different partitions.
+[[nodiscard]] std::uint64_t compute_edge_cut(
+    const Graph& graph, const std::vector<std::uint32_t>& assignment);
+
+/// Vertex-weight total per partition (balance diagnostic).
+[[nodiscard]] std::vector<std::uint64_t> partition_weights(
+    const Graph& graph, const std::vector<std::uint32_t>& assignment, int k);
+
+}  // namespace parowl::partition

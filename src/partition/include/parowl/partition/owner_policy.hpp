@@ -1,0 +1,115 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "parowl/partition/graph.hpp"
+#include "parowl/partition/multilevel.hpp"
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/term.hpp"
+
+namespace parowl::partition {
+
+/// Maps each resource node to the partition that owns it — the "owner list"
+/// of the paper's generic data partitioning algorithm (Algorithm 1).
+using OwnerTable = std::unordered_map<rdf::TermId, std::uint32_t>;
+
+/// Strategy interface: given the instance triples, produce the owner table.
+///
+/// Implementations correspond to §III-A's three policies:
+///  * GraphOwnerPolicy  — multilevel partitioning of the resource graph
+///  * HashOwnerPolicy   — streaming hash of the node's lexical form
+///  * DomainOwnerPolicy — locality key extracted from the IRI
+class OwnerPolicy {
+ public:
+  virtual ~OwnerPolicy() = default;
+
+  /// Compute owners for every resource in `instance_triples` across
+  /// `num_partitions` partitions.  Terms in `exclude` (schema elements —
+  /// classes/properties, which are replicated rather than partitioned) get
+  /// no owner and induce no graph edges.
+  [[nodiscard]] virtual OwnerTable assign(
+      std::span<const rdf::Triple> instance_triples,
+      const rdf::Dictionary& dict, std::uint32_t num_partitions,
+      const ExcludedTerms* exclude = nullptr) const = 0;
+
+  /// Short name used in benchmark tables ("Graph", "Hash", "Dom sp.").
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Graph partitioning policy (§III-A-1): build the RDF resource graph and
+/// run the multilevel partitioner; the owner of a node is its partition.
+class GraphOwnerPolicy final : public OwnerPolicy {
+ public:
+  explicit GraphOwnerPolicy(MultilevelOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] OwnerTable assign(std::span<const rdf::Triple> instance_triples,
+                                  const rdf::Dictionary& dict,
+                                  std::uint32_t num_partitions,
+                                  const ExcludedTerms* exclude = nullptr)
+      const override;
+  [[nodiscard]] std::string name() const override { return "Graph"; }
+
+ private:
+  MultilevelOptions options_;
+};
+
+/// Hash policy (§III-A-2): owner(node) = hash(lexical form) mod k.
+/// Streaming — no global graph is materialized, and the owner table can be
+/// recomputed anywhere from the hash function alone.
+class HashOwnerPolicy final : public OwnerPolicy {
+ public:
+  explicit HashOwnerPolicy(std::uint64_t salt = 0) : salt_(salt) {}
+
+  [[nodiscard]] OwnerTable assign(std::span<const rdf::Triple> instance_triples,
+                                  const rdf::Dictionary& dict,
+                                  std::uint32_t num_partitions,
+                                  const ExcludedTerms* exclude = nullptr)
+      const override;
+  [[nodiscard]] std::string name() const override { return "Hash"; }
+
+  /// The pure hash (also usable without a table).
+  [[nodiscard]] std::uint32_t owner_of(std::string_view lexical,
+                                       std::uint32_t num_partitions) const;
+
+ private:
+  std::uint64_t salt_;
+};
+
+/// Domain-specific policy (§III-A-3): a locality key is extracted from each
+/// resource IRI (e.g. the university index in LUBM IRIs); all nodes with
+/// the same key land in the same partition.  Keys are distributed over
+/// partitions round-robin in first-seen order, which keeps similarly-sized
+/// domains balanced.  Nodes without a key fall back to the hash policy.
+class DomainOwnerPolicy final : public OwnerPolicy {
+ public:
+  /// Extracts a locality key from a lexical form; return std::nullopt-like
+  /// kNoKey when the IRI carries no domain information.
+  using KeyExtractor = std::function<std::int64_t(std::string_view)>;
+  static constexpr std::int64_t kNoKey = -1;
+
+  explicit DomainOwnerPolicy(KeyExtractor extractor, std::string label = "Dom sp.")
+      : extractor_(std::move(extractor)), label_(std::move(label)) {}
+
+  [[nodiscard]] OwnerTable assign(std::span<const rdf::Triple> instance_triples,
+                                  const rdf::Dictionary& dict,
+                                  std::uint32_t num_partitions,
+                                  const ExcludedTerms* exclude = nullptr)
+      const override;
+  [[nodiscard]] std::string name() const override { return label_; }
+
+ private:
+  KeyExtractor extractor_;
+  std::string label_;
+};
+
+/// Key extractor for LUBM/UOBM-style IRIs of the form
+/// "http://www.UnivN.edu/...": returns N.  Also matches the department
+/// sub-authority "http://www.DepartmentM.UnivN.edu/...".
+[[nodiscard]] std::int64_t lubm_university_key(std::string_view iri);
+
+}  // namespace parowl::partition

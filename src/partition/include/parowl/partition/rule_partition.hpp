@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "parowl/partition/multilevel.hpp"
+#include "parowl/rules/dependency_graph.hpp"
+#include "parowl/rules/rule.hpp"
+
+namespace parowl::partition {
+
+/// Output of the rule-base partitioning algorithm (Algorithm 2).
+struct RulePartitioning {
+  /// parts[p] is the rule subset executed by partition p.
+  std::vector<rules::RuleSet> parts;
+
+  /// rule index -> partition (parallel to the input rule set).
+  std::vector<std::uint32_t> assignment;
+
+  /// Weight of dependency edges crossing partitions — each crossing means
+  /// a producing rule's tuples must be shipped to another processor.
+  std::uint64_t edge_cut = 0;
+
+  double partition_seconds = 0.0;
+};
+
+/// Options for rule partitioning.
+struct RulePartitionOptions {
+  /// Weigh dependency edges by predicate statistics from a sample data-set
+  /// (paper §III-B); the caller passes the store to build_dependency_graph.
+  MultilevelOptions multilevel;
+};
+
+/// Run Algorithm 2: build/partition the rule-dependency graph and split the
+/// rule set.  `graph` must come from build_dependency_graph over `rules`.
+[[nodiscard]] RulePartitioning partition_rules(
+    const rules::RuleSet& rules, const rules::DependencyGraph& graph,
+    std::uint32_t num_partitions, const RulePartitionOptions& options = {});
+
+}  // namespace parowl::partition

@@ -1,0 +1,49 @@
+#include "parowl/partition/data_partition.hpp"
+
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace parowl::partition {
+
+DataPartitioning partition_data(const rdf::TripleStore& store,
+                                const rdf::Dictionary& dict,
+                                const ontology::Vocabulary& vocab,
+                                const OwnerPolicy& policy,
+                                std::uint32_t num_partitions) {
+  util::Stopwatch watch;
+  DataPartitioning out;
+  out.parts.resize(num_partitions);
+
+  // Step 1: remove schema tuples; they are replicated, not partitioned.
+  // Schema *elements* (classes, properties) must not become graph nodes
+  // either: a class IRI in rdf:type object position would be a giant hub.
+  const ontology::SchemaSplit split = ontology::split_schema(store, vocab);
+  out.schema = split.schema;
+  const ontology::Ontology onto = ontology::extract_ontology(store, vocab);
+  const ExcludedTerms& schema_terms = onto.schema_terms;
+
+  // Step 2: generate the owner list with the chosen policy.
+  out.owners = policy.assign(split.instance, dict, num_partitions,
+                             &schema_terms);
+
+  // Step 3: assign each tuple to the owner of its subject and the owner of
+  // its object (when the object is an owned resource).
+  for (const rdf::Triple& t : split.instance) {
+    const auto sit = out.owners.find(t.s);
+    // Every instance subject is a resource seen by the policy; guard anyway
+    // so foreign tuples degrade gracefully to partition 0.
+    const std::uint32_t sp = sit != out.owners.end() ? sit->second : 0;
+    out.parts[sp].push_back(t);
+    if (dict.is_resource(t.o)) {
+      if (const auto oit = out.owners.find(t.o);
+          oit != out.owners.end() && oit->second != sp) {
+        out.parts[oit->second].push_back(t);
+      }
+    }
+  }
+
+  out.partition_seconds = watch.elapsed_seconds();
+  return out;
+}
+
+}  // namespace parowl::partition

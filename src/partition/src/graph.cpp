@@ -1,0 +1,100 @@
+#include "parowl/partition/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parowl::partition {
+
+Graph build_graph(std::size_t num_vertices,
+                  std::span<const WeightedEdge> edges,
+                  std::span<const std::uint64_t> vertex_weights) {
+  // Normalize to (min, max) endpoint order, drop self-loops, sort, merge.
+  std::vector<WeightedEdge> sorted;
+  sorted.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    if (e.a == e.b) {
+      continue;
+    }
+    sorted.push_back(WeightedEdge{std::min(e.a, e.b), std::max(e.a, e.b),
+                                  e.weight});
+  }
+  std::ranges::sort(sorted, [](const WeightedEdge& x, const WeightedEdge& y) {
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  });
+
+  std::vector<WeightedEdge> merged;
+  merged.reserve(sorted.size());
+  for (const WeightedEdge& e : sorted) {
+    if (!merged.empty() && merged.back().a == e.a && merged.back().b == e.b) {
+      merged.back().weight += e.weight;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.vwgt.assign(num_vertices, 1);
+  if (!vertex_weights.empty()) {
+    assert(vertex_weights.size() == num_vertices);
+    g.vwgt.assign(vertex_weights.begin(), vertex_weights.end());
+  }
+  g.total_vwgt = 0;
+  for (const auto w : g.vwgt) {
+    g.total_vwgt += w;
+  }
+
+  // Degree count (each edge appears for both endpoints).
+  std::vector<std::size_t> degree(num_vertices, 0);
+  for (const WeightedEdge& e : merged) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  g.xadj.assign(num_vertices + 1, 0);
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    g.xadj[v + 1] = g.xadj[v] + degree[v];
+  }
+  g.adjncy.assign(g.xadj.back(), 0);
+  g.adjwgt.assign(g.xadj.back(), 0);
+
+  std::vector<std::size_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+  for (const WeightedEdge& e : merged) {
+    g.adjncy[cursor[e.a]] = e.b;
+    g.adjwgt[cursor[e.a]++] = e.weight;
+    g.adjncy[cursor[e.b]] = e.a;
+    g.adjwgt[cursor[e.b]++] = e.weight;
+  }
+  return g;
+}
+
+ResourceGraph build_resource_graph(
+    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
+    const ExcludedTerms* exclude) {
+  ResourceGraph rg;
+  auto excluded = [exclude](rdf::TermId term) {
+    return exclude != nullptr && exclude->contains(term);
+  };
+  auto vertex = [&rg](rdf::TermId term) {
+    const auto [it, fresh] = rg.node_of.try_emplace(
+        term, static_cast<std::uint32_t>(rg.node_term.size()));
+    if (fresh) {
+      rg.node_term.push_back(term);
+    }
+    return it->second;
+  };
+
+  std::vector<WeightedEdge> edges;
+  edges.reserve(instance_triples.size());
+  for (const rdf::Triple& t : instance_triples) {
+    if (excluded(t.s)) {
+      continue;
+    }
+    const auto sv = vertex(t.s);
+    if (dict.is_resource(t.o) && !excluded(t.o)) {
+      edges.push_back(WeightedEdge{sv, vertex(t.o), 1});
+    }
+  }
+  rg.graph = build_graph(rg.node_term.size(), edges);
+  return rg;
+}
+
+}  // namespace parowl::partition

@@ -1,0 +1,70 @@
+#include "parowl/partition/metrics.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace parowl::partition {
+
+PartitionMetrics compute_partition_metrics(
+    const DataPartitioning& partitioning, const rdf::Dictionary& dict) {
+  PartitionMetrics m;
+  std::unordered_set<rdf::TermId> all_nodes;
+  std::size_t replicated_sum = 0;
+
+  for (const auto& part : partitioning.parts) {
+    // "Nodes" are owned resources: literals and schema elements (classes,
+    // properties) are not graph vertices and never appear in the owner
+    // table.
+    std::unordered_set<rdf::TermId> nodes;
+    for (const rdf::Triple& t : part) {
+      if (partitioning.owners.contains(t.s)) {
+        nodes.insert(t.s);
+      }
+      if (dict.is_resource(t.o) && partitioning.owners.contains(t.o)) {
+        nodes.insert(t.o);
+      }
+    }
+    m.nodes_per_partition.push_back(nodes.size());
+    replicated_sum += nodes.size();
+    all_nodes.insert(nodes.begin(), nodes.end());
+  }
+  m.total_nodes = all_nodes.size();
+
+  // bal = population standard deviation of per-partition node counts.
+  const double k = static_cast<double>(m.nodes_per_partition.size());
+  if (k > 0) {
+    double mean = 0.0;
+    for (const std::size_t n : m.nodes_per_partition) {
+      mean += static_cast<double>(n);
+    }
+    mean /= k;
+    double var = 0.0;
+    for (const std::size_t n : m.nodes_per_partition) {
+      const double d = static_cast<double>(n) - mean;
+      var += d * d;
+    }
+    m.bal = std::sqrt(var / k);
+  }
+
+  m.input_replication =
+      m.total_nodes == 0
+          ? 0.0
+          : static_cast<double>(replicated_sum) /
+                    static_cast<double>(m.total_nodes) -
+                1.0;
+  return m;
+}
+
+double output_replication(std::span<const std::size_t> per_partition_results,
+                          std::size_t union_size) {
+  if (union_size == 0) {
+    return 0.0;
+  }
+  std::size_t sum = 0;
+  for (const std::size_t n : per_partition_results) {
+    sum += n;
+  }
+  return static_cast<double>(sum) / static_cast<double>(union_size) - 1.0;
+}
+
+}  // namespace parowl::partition

@@ -1,0 +1,105 @@
+#include "parowl/partition/owner_policy.hpp"
+
+#include "parowl/util/strings.hpp"
+
+namespace parowl::partition {
+namespace {
+
+bool is_excluded(const ExcludedTerms* exclude, rdf::TermId term) {
+  return exclude != nullptr && exclude->contains(term);
+}
+
+}  // namespace
+
+OwnerTable GraphOwnerPolicy::assign(
+    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
+    std::uint32_t num_partitions, const ExcludedTerms* exclude) const {
+  const ResourceGraph rg =
+      build_resource_graph(instance_triples, dict, exclude);
+  const PartitionResult pr =
+      partition_graph(rg.graph, static_cast<int>(num_partitions), options_);
+  OwnerTable owners;
+  owners.reserve(rg.node_term.size());
+  for (std::uint32_t v = 0; v < rg.node_term.size(); ++v) {
+    owners.emplace(rg.node_term[v], pr.assignment[v]);
+  }
+  return owners;
+}
+
+std::uint32_t HashOwnerPolicy::owner_of(std::string_view lexical,
+                                        std::uint32_t num_partitions) const {
+  return static_cast<std::uint32_t>(
+      util::mix64(util::fnv1a64(lexical) ^ salt_) % num_partitions);
+}
+
+OwnerTable HashOwnerPolicy::assign(
+    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
+    std::uint32_t num_partitions, const ExcludedTerms* exclude) const {
+  OwnerTable owners;
+  auto add = [&](rdf::TermId term) {
+    if (is_excluded(exclude, term) || owners.contains(term)) {
+      return;
+    }
+    owners.emplace(term, owner_of(dict.lexical(term), num_partitions));
+  };
+  for (const rdf::Triple& t : instance_triples) {
+    add(t.s);
+    if (dict.is_resource(t.o)) {
+      add(t.o);
+    }
+  }
+  return owners;
+}
+
+OwnerTable DomainOwnerPolicy::assign(
+    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
+    std::uint32_t num_partitions, const ExcludedTerms* exclude) const {
+  OwnerTable owners;
+  // Locality keys are mapped to partitions round-robin in first-seen order.
+  std::unordered_map<std::int64_t, std::uint32_t> key_partition;
+  const HashOwnerPolicy fallback;
+
+  auto add = [&](rdf::TermId term) {
+    if (is_excluded(exclude, term) || owners.contains(term)) {
+      return;
+    }
+    const std::string& lexical = dict.lexical(term);
+    const std::int64_t key = extractor_(lexical);
+    if (key == kNoKey) {
+      owners.emplace(term, fallback.owner_of(lexical, num_partitions));
+      return;
+    }
+    const auto [it, fresh] = key_partition.try_emplace(
+        key,
+        static_cast<std::uint32_t>(key_partition.size() % num_partitions));
+    owners.emplace(term, it->second);
+  };
+
+  for (const rdf::Triple& t : instance_triples) {
+    add(t.s);
+    if (dict.is_resource(t.o)) {
+      add(t.o);
+    }
+  }
+  return owners;
+}
+
+std::int64_t lubm_university_key(std::string_view iri) {
+  // Matches "...UnivN.edu..." anywhere in the authority; N is the key.
+  const auto pos = iri.find("Univ");
+  if (pos == std::string_view::npos) {
+    return DomainOwnerPolicy::kNoKey;
+  }
+  std::size_t i = pos + 4;
+  if (i >= iri.size() || iri[i] < '0' || iri[i] > '9') {
+    return DomainOwnerPolicy::kNoKey;
+  }
+  std::int64_t value = 0;
+  while (i < iri.size() && iri[i] >= '0' && iri[i] <= '9') {
+    value = value * 10 + (iri[i] - '0');
+    ++i;
+  }
+  return value;
+}
+
+}  // namespace parowl::partition

@@ -1,0 +1,109 @@
+#include "parowl/partition/rebalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/util/strings.hpp"
+
+namespace parowl::partition {
+
+OwnerTable FixedOwnerPolicy::assign(
+    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
+    std::uint32_t num_partitions, const ExcludedTerms* exclude) const {
+  OwnerTable owners;
+  owners.reserve(owners_.size());
+  const HashOwnerPolicy fallback;
+  auto add = [&](rdf::TermId term) {
+    if ((exclude != nullptr && exclude->contains(term)) ||
+        owners.contains(term)) {
+      return;
+    }
+    if (const auto it = owners_.find(term); it != owners_.end()) {
+      owners.emplace(term, std::min(it->second, num_partitions - 1));
+    } else {
+      owners.emplace(term,
+                     fallback.owner_of(dict.lexical(term), num_partitions));
+    }
+  };
+  for (const rdf::Triple& t : instance_triples) {
+    add(t.s);
+    if (dict.is_resource(t.o)) {
+      add(t.o);
+    }
+  }
+  return owners;
+}
+
+OwnerTable rebalance_data_partition(const rdf::TripleStore& store,
+                                    const rdf::Dictionary& dict,
+                                    const ontology::Vocabulary& vocab,
+                                    const OwnerTable& previous,
+                                    std::span<const double> measured_cost,
+                                    std::uint32_t num_partitions,
+                                    const MultilevelOptions& options) {
+  const ontology::SchemaSplit split = ontology::split_schema(store, vocab);
+  const ontology::Ontology onto = ontology::extract_ontology(store, vocab);
+  const ResourceGraph rg =
+      build_resource_graph(split.instance, dict, &onto.schema_terms);
+
+  // Observed cost-per-node for each old partition; unknown nodes get the
+  // mean.  Vertex weights must be integers for the partitioner: scale so
+  // the cheapest partition's nodes weigh ~16.
+  std::vector<std::size_t> node_count(measured_cost.size(), 0);
+  for (const auto& [term, part] : previous) {
+    if (part < node_count.size()) {
+      ++node_count[part];
+    }
+  }
+  std::vector<double> per_node(measured_cost.size(), 0.0);
+  double min_positive = 0.0;
+  double mean = 0.0;
+  std::size_t mean_n = 0;
+  for (std::size_t p = 0; p < measured_cost.size(); ++p) {
+    if (node_count[p] > 0 && measured_cost[p] > 0.0) {
+      per_node[p] = measured_cost[p] / static_cast<double>(node_count[p]);
+      mean += per_node[p];
+      ++mean_n;
+      if (min_positive == 0.0 || per_node[p] < min_positive) {
+        min_positive = per_node[p];
+      }
+    }
+  }
+  mean = mean_n > 0 ? mean / static_cast<double>(mean_n) : 1.0;
+  if (min_positive == 0.0) {
+    min_positive = mean > 0.0 ? mean : 1.0;
+  }
+
+  std::vector<std::uint64_t> vwgt(rg.graph.num_vertices(), 1);
+  for (std::uint32_t v = 0; v < rg.node_term.size(); ++v) {
+    double cost = mean;
+    if (const auto it = previous.find(rg.node_term[v]);
+        it != previous.end() && it->second < per_node.size() &&
+        per_node[it->second] > 0.0) {
+      cost = per_node[it->second];
+    }
+    vwgt[v] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(16.0 * cost / min_positive)));
+  }
+
+  // Re-partition with the cost weights (reuse the CSR, swap weights).
+  Graph weighted = rg.graph;
+  weighted.vwgt = std::move(vwgt);
+  weighted.total_vwgt = 0;
+  for (const auto w : weighted.vwgt) {
+    weighted.total_vwgt += w;
+  }
+  const PartitionResult pr = partition_graph(
+      weighted, static_cast<int>(num_partitions), options);
+
+  OwnerTable owners;
+  owners.reserve(rg.node_term.size());
+  for (std::uint32_t v = 0; v < rg.node_term.size(); ++v) {
+    owners.emplace(rg.node_term[v], pr.assignment[v]);
+  }
+  return owners;
+}
+
+}  // namespace parowl::partition

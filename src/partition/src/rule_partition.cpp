@@ -1,0 +1,40 @@
+#include "parowl/partition/rule_partition.hpp"
+
+#include "parowl/util/timer.hpp"
+
+namespace parowl::partition {
+
+RulePartitioning partition_rules(const rules::RuleSet& rules,
+                                 const rules::DependencyGraph& graph,
+                                 std::uint32_t num_partitions,
+                                 const RulePartitionOptions& options) {
+  util::Stopwatch watch;
+  RulePartitioning out;
+  out.parts.resize(num_partitions);
+
+  // Convert the dependency graph's undirected adjacency into the CSR form
+  // the multilevel partitioner takes.
+  const auto adjacency = graph.undirected_adjacency();
+  std::vector<WeightedEdge> edges;
+  for (std::size_t v = 0; v < adjacency.size(); ++v) {
+    for (const auto& [u, w] : adjacency[v]) {
+      if (u > v) {
+        edges.push_back(WeightedEdge{static_cast<std::uint32_t>(v),
+                                     static_cast<std::uint32_t>(u), w});
+      }
+    }
+  }
+  const Graph g = build_graph(graph.num_rules, edges);
+  const PartitionResult pr = partition_graph(
+      g, static_cast<int>(num_partitions), options.multilevel);
+
+  out.assignment = pr.assignment;
+  out.edge_cut = pr.edge_cut;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out.parts[pr.assignment[i]].add(rules[i]);
+  }
+  out.partition_seconds = watch.elapsed_seconds();
+  return out;
+}
+
+}  // namespace parowl::partition

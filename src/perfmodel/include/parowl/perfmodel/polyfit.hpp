@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace parowl::perfmodel {
+
+/// A fitted polynomial model y = c0 + c1 x + ... + cd x^d.
+struct PolyFit {
+  std::vector<double> coefficients;  // c0..cd
+  double r_squared = 0.0;
+
+  [[nodiscard]] double eval(double x) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Least-squares polynomial fit of the given degree (normal equations with
+/// Gaussian elimination; degrees here are tiny).  Requires x.size() ==
+/// y.size() and at least degree+1 samples.
+///
+/// The paper regresses a *cubic* execution-time model over serial LUBM
+/// reasoning times (Fig. 4) — cubic because the worst case of the rule set
+/// is O(n^3) — and derives the theoretical maximum speedup from it (Fig. 3).
+[[nodiscard]] PolyFit fit_polynomial(std::span<const double> x,
+                                     std::span<const double> y, int degree);
+
+/// Least-squares fit constrained through the origin (no constant term:
+/// y = c1 x + ... + cd x^d).  Execution-time models should satisfy
+/// T(0) = 0; an unconstrained fit's intercept otherwise dominates the
+/// model at small partition sizes and skews the Fig. 3 theoretical-maximum
+/// speedups.
+[[nodiscard]] PolyFit fit_polynomial_through_origin(std::span<const double> x,
+                                                    std::span<const double> y,
+                                                    int degree);
+
+/// Theoretical maximum speedup for a partitioning: the model-predicted
+/// serial time on the whole input over the model-predicted time of the
+/// largest partition (perfect balance, no replication ⇒ size = total/k).
+[[nodiscard]] double model_speedup(const PolyFit& model, double total_size,
+                                   double largest_partition_size);
+
+}  // namespace parowl::perfmodel

@@ -1,0 +1,130 @@
+#include "parowl/perfmodel/polyfit.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace parowl::perfmodel {
+
+double PolyFit::eval(double x) const {
+  double y = 0.0;
+  // Horner evaluation.
+  for (std::size_t i = coefficients.size(); i > 0; --i) {
+    y = y * x + coefficients[i - 1];
+  }
+  return y;
+}
+
+std::string PolyFit::to_string() const {
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    if (i == 0) {
+      std::snprintf(buf, sizeof(buf), "%.6g", coefficients[0]);
+    } else {
+      std::snprintf(buf, sizeof(buf), " + %.6g x^%zu", coefficients[i], i);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared normal-equations solver.  `lowest_power` is 0 for a full fit and
+/// 1 for a through-origin fit.
+PolyFit solve_fit(std::span<const double> x, std::span<const double> y,
+                  int degree, int lowest_power) {
+  const int d = degree + 1 - lowest_power;  // number of free coefficients
+
+  // Normal equations: (V^T V) c = V^T y, where V is the Vandermonde matrix
+  // restricted to powers [lowest_power, degree].
+  std::vector<std::vector<double>> a(d, std::vector<double>(d, 0.0));
+  std::vector<double> b(d, 0.0);
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    std::vector<double> powers(2 * (degree + 1) - 1, 1.0);
+    for (int p = 1; p < 2 * (degree + 1) - 1; ++p) {
+      powers[p] = powers[p - 1] * x[s];
+    }
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        a[i][j] += powers[i + j + 2 * lowest_power];
+      }
+      b[i] += powers[i + lowest_power] * y[s];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < d; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < d; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::fabs(diag) < 1e-30) {
+      continue;  // singular column: coefficient stays 0
+    }
+    for (int row = 0; row < d; ++row) {
+      if (row == col) {
+        continue;
+      }
+      const double factor = a[row][col] / diag;
+      for (int k = col; k < d; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+
+  PolyFit fit;
+  fit.coefficients.assign(static_cast<std::size_t>(degree + 1), 0.0);
+  for (int i = 0; i < d; ++i) {
+    fit.coefficients[static_cast<std::size_t>(i + lowest_power)] =
+        std::fabs(a[i][i]) < 1e-30 ? 0.0 : b[i] / a[i][i];
+  }
+
+  // Coefficient of determination.
+  double mean = 0.0;
+  for (const double v : y) {
+    mean += v;
+  }
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    const double r = y[s] - fit.eval(x[s]);
+    ss_res += r * r;
+    const double t = y[s] - mean;
+    ss_tot += t * t;
+  }
+  fit.r_squared = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace
+
+PolyFit fit_polynomial(std::span<const double> x, std::span<const double> y,
+                       int degree) {
+  assert(x.size() == y.size());
+  assert(static_cast<int>(x.size()) >= degree + 1);
+  return solve_fit(x, y, degree, /*lowest_power=*/0);
+}
+
+PolyFit fit_polynomial_through_origin(std::span<const double> x,
+                                      std::span<const double> y, int degree) {
+  assert(x.size() == y.size());
+  assert(static_cast<int>(x.size()) >= degree);
+  return solve_fit(x, y, degree, /*lowest_power=*/1);
+}
+
+double model_speedup(const PolyFit& model, double total_size,
+                     double largest_partition_size) {
+  const double serial = model.eval(total_size);
+  const double slowest = model.eval(largest_partition_size);
+  return slowest <= 0.0 ? 0.0 : serial / slowest;
+}
+
+}  // namespace parowl::perfmodel

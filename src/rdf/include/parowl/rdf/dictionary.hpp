@@ -1,0 +1,78 @@
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "parowl/rdf/term.hpp"
+
+namespace parowl::rdf {
+
+/// Interns RDF term lexical forms to dense TermIds and back.
+///
+/// The dictionary is built once (by the master, while loading/generating the
+/// data-set) and then shared read-only by all partitions, so lookups after
+/// the build phase are safe from any thread.  Lexical forms are stored
+/// undecorated: IRIs without angle brackets, literals without quotes, blank
+/// nodes without the "_:" prefix; `TermKind` carries the category.
+class Dictionary {
+ public:
+  Dictionary();
+
+  /// Intern `lexical` with the given kind; returns the existing id if the
+  /// (lexical, kind) pair is already present.
+  TermId intern(std::string_view lexical, TermKind kind);
+
+  /// Convenience wrappers.
+  TermId intern_iri(std::string_view iri) { return intern(iri, TermKind::kIri); }
+  TermId intern_blank(std::string_view label) {
+    return intern(label, TermKind::kBlank);
+  }
+  TermId intern_literal(std::string_view lit) {
+    return intern(lit, TermKind::kLiteral);
+  }
+
+  /// Look up an existing term; returns kAnyTerm (0) if absent.
+  [[nodiscard]] TermId find(std::string_view lexical, TermKind kind) const;
+  [[nodiscard]] TermId find_iri(std::string_view iri) const {
+    return find(iri, TermKind::kIri);
+  }
+
+  /// Lexical form of an interned id.  Precondition: 1 <= id <= size().
+  [[nodiscard]] const std::string& lexical(TermId id) const;
+
+  /// Kind of an interned id.  Precondition: 1 <= id <= size().
+  [[nodiscard]] TermKind kind(TermId id) const;
+
+  /// True iff the term is an IRI or blank node (a graph vertex).
+  [[nodiscard]] bool is_resource(TermId id) const {
+    return kind(id) != TermKind::kLiteral;
+  }
+
+  /// Number of interned terms (ids run 1..size()).
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string lexical;
+    TermKind kind;
+  };
+
+  struct Key {
+    std::string_view lexical;
+    TermKind kind;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  // Entries live in a deque so string_views held by the map stay valid as
+  // the dictionary grows.
+  std::deque<Entry> entries_;
+  std::unordered_map<Key, TermId, KeyHash> index_;
+};
+
+}  // namespace parowl::rdf

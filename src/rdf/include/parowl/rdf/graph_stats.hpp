@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::rdf {
+
+/// Summary statistics of the RDF graph induced by a store.  "Nodes" are
+/// resources (IRIs/blank nodes) appearing in subject or object position —
+/// the vertex set the paper's partitioning metrics (bal, IR) are defined
+/// over; literals are not vertices.
+struct GraphStats {
+  std::size_t triples = 0;
+  std::size_t nodes = 0;
+  std::size_t predicates = 0;
+  std::size_t literal_objects = 0;
+  double avg_degree = 0.0;  // resource-resource edges per node
+  std::size_t max_degree = 0;
+};
+
+/// Compute graph statistics for `store`.
+[[nodiscard]] GraphStats compute_graph_stats(const TripleStore& store,
+                                             const Dictionary& dict);
+
+/// The set of resource nodes (IRIs and blank nodes in S or O position).
+[[nodiscard]] std::unordered_set<TermId> resource_nodes(
+    const TripleStore& store, const Dictionary& dict);
+
+}  // namespace parowl::rdf

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::rdf {
+
+/// Result of a parse run: triples read and (non-fatal) malformed lines.
+struct ParseStats {
+  std::size_t triples = 0;
+  std::size_t duplicates = 0;
+  std::size_t bad_lines = 0;
+  std::string first_error;  // diagnostic for the first malformed line
+};
+
+/// Parse one N-Triples line ("<s> <p> <o> ." with literal/blank-node
+/// objects allowed) into the dictionary.  Returns std::nullopt for blank
+/// lines and comments; throws nothing — malformed lines yield nullopt and
+/// set *error to a diagnostic when `error` is non-null.
+std::optional<Triple> parse_ntriples_line(std::string_view line,
+                                          Dictionary& dict,
+                                          std::string* error = nullptr);
+
+/// Parse a whole N-Triples stream into `store`.
+ParseStats parse_ntriples(std::istream& in, Dictionary& dict,
+                          TripleStore& store);
+
+/// Serialize one triple in N-Triples syntax (including final " .").
+std::string to_ntriples(const Triple& t, const Dictionary& dict);
+
+/// Serialize every triple in `store` to `out`, one line each.
+void write_ntriples(std::ostream& out, const TripleStore& store,
+                    const Dictionary& dict);
+
+}  // namespace parowl::rdf

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::rdf {
+
+/// Binary knowledge-base snapshot: the dictionary (kinds + lexical forms)
+/// followed by the triple log as id-encoded records.  The point of a
+/// materialized KB is to compute the closure once and reuse it; a snapshot
+/// reloads in O(data) with no re-parsing and no re-inference.
+///
+/// The format is little-endian and versioned:
+///   "PARO" magic, u32 version,
+///   u64 term count, then per term: u8 kind, u32 length, bytes,
+///   u64 triple count, then per triple: 3 x u32 ids.
+struct SnapshotStats {
+  std::size_t terms = 0;
+  std::size_t triples = 0;
+};
+
+/// Write `dict` + `store` to `out`.  Returns stats; stream state signals
+/// errors (check out.good()).
+SnapshotStats save_snapshot(std::ostream& out, const Dictionary& dict,
+                            const TripleStore& store);
+
+/// Read a snapshot into `dict`/`store` (both must be empty).  Returns
+/// std::nullopt-like empty stats and sets *error on malformed input.
+bool load_snapshot(std::istream& in, Dictionary& dict, TripleStore& store,
+                   std::string* error = nullptr);
+
+}  // namespace parowl::rdf

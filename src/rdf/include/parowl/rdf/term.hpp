@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace parowl::rdf {
+
+/// Dense identifier for an interned RDF term.  Id 0 is reserved and acts as
+/// the wildcard in triple patterns; real terms start at 1.
+using TermId = std::uint32_t;
+
+/// Wildcard for pattern matching ("match any term in this position").
+inline constexpr TermId kAnyTerm = 0;
+
+/// Syntactic category of a term.  OWL-Horst reasoning never needs full
+/// datatype semantics, but partitioning must distinguish resources (IRIs and
+/// blank nodes, which are graph vertices) from literals (which are not).
+enum class TermKind : std::uint8_t {
+  kIri = 0,
+  kBlank = 1,
+  kLiteral = 2,
+};
+
+/// An RDF triple over interned ids.  Plain value type: hashable, ordered,
+/// trivially copyable — it is the unit of storage, communication, and
+/// inference throughout the system.
+struct Triple {
+  TermId s = kAnyTerm;
+  TermId p = kAnyTerm;
+  TermId o = kAnyTerm;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+/// A triple pattern: any position may be kAnyTerm.
+struct TriplePattern {
+  TermId s = kAnyTerm;
+  TermId p = kAnyTerm;
+  TermId o = kAnyTerm;
+
+  [[nodiscard]] bool matches(const Triple& t) const {
+    return (s == kAnyTerm || s == t.s) && (p == kAnyTerm || p == t.p) &&
+           (o == kAnyTerm || o == t.o);
+  }
+};
+
+/// Hash functor for Triple (usable as std::unordered_* hasher).
+struct TripleHash {
+  std::size_t operator()(const Triple& t) const noexcept {
+    // Mix the three 32-bit ids into one 64-bit word, then finalize.
+    std::uint64_t h = (static_cast<std::uint64_t>(t.s) << 32) ^
+                      (static_cast<std::uint64_t>(t.p) << 16) ^ t.o;
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+}  // namespace parowl::rdf

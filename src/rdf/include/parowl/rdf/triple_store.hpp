@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "parowl/rdf/term.hpp"
+
+namespace parowl::rdf {
+
+/// Append-only, duplicate-free triple store with the indexes the inference
+/// engines need.
+///
+/// Datalog materialization is monotone: triples are only ever added, never
+/// retracted, so the store keeps an insertion-ordered log (used by the
+/// semi-naive engine to address deltas by index range) plus three access
+/// paths:
+///   * by predicate                    — with_predicate(p)
+///   * by (predicate, subject) -> objects  — objects(p, s)
+///   * by (predicate, object)  -> subjects — subjects(p, o)
+/// which are exactly the probes a single-join rule body performs.
+class TripleStore {
+ public:
+  TripleStore();
+
+  /// Insert a triple; returns true if it was new, false on duplicate.
+  bool insert(const Triple& t);
+
+  /// Insert every triple from `ts`; returns the number actually added.
+  std::size_t insert_all(std::span<const Triple> ts);
+
+  [[nodiscard]] bool contains(const Triple& t) const;
+  [[nodiscard]] std::size_t size() const { return log_.size(); }
+  [[nodiscard]] bool empty() const { return log_.empty(); }
+
+  /// Insertion-ordered log of all triples.  The range [from, size()) is the
+  /// delta added since a previous checkpoint at `from`.
+  [[nodiscard]] const std::vector<Triple>& triples() const { return log_; }
+
+  /// All triples with predicate `p` in insertion order.
+  [[nodiscard]] std::span<const Triple> with_predicate(TermId p) const;
+
+  /// Objects o such that (s, p, o) is present.
+  [[nodiscard]] std::span<const TermId> objects(TermId p, TermId s) const;
+
+  /// Subjects s such that (s, p, o) is present.
+  [[nodiscard]] std::span<const TermId> subjects(TermId p, TermId o) const;
+
+  /// Distinct predicates present, in first-seen order.
+  [[nodiscard]] const std::vector<TermId>& predicates() const {
+    return predicates_;
+  }
+
+  /// Invoke `fn` for every triple with subject `s` (any predicate).
+  void for_subject(TermId s, const std::function<void(const Triple&)>& fn) const;
+
+  /// Invoke `fn` for every triple with object `o` (any predicate).
+  void for_object(TermId o, const std::function<void(const Triple&)>& fn) const;
+
+  /// Invoke `fn(triple)` for every stored triple matching `pattern`,
+  /// choosing the cheapest available index.
+  void match(const TriplePattern& pattern,
+             const std::function<void(const Triple&)>& fn) const;
+
+  /// Count matches without materializing them.
+  [[nodiscard]] std::size_t count(const TriplePattern& pattern) const;
+
+  /// Remove everything (used when a worker rebuilds its base partition).
+  void clear();
+
+ private:
+  struct PredicateIndex {
+    std::vector<Triple> triples;  // insertion order within this predicate
+    std::unordered_map<TermId, std::vector<TermId>> objects_by_subject;
+    std::unordered_map<TermId, std::vector<TermId>> subjects_by_object;
+  };
+
+  std::vector<Triple> log_;
+  std::unordered_set<Triple, TripleHash> set_;
+  std::unordered_map<TermId, PredicateIndex> by_predicate_;
+  std::vector<TermId> predicates_;
+  // Log indices per subject / per object, for queries with an unbound
+  // predicate ((s ? ?), (? ? o)) which the backward engine and the generic
+  // sameAs rules issue.
+  std::unordered_map<TermId, std::vector<std::uint32_t>> by_subject_;
+  std::unordered_map<TermId, std::vector<std::uint32_t>> by_object_;
+};
+
+}  // namespace parowl::rdf

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/ntriples.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::rdf {
+
+/// Parser for the Turtle subset real ontology files use:
+///   * @prefix / @base directives (and SPARQL-style PREFIX/BASE),
+///   * prefixed names and <IRIs> (resolved against the base when relative),
+///   * `a` for rdf:type,
+///   * predicate lists (`;`) and object lists (`,`),
+///   * quoted literals with ^^datatype / @lang, bare integers/decimals,
+///     and true/false,
+///   * `_:label` blank nodes and comments.
+/// Not supported (rejected with a diagnostic): collections `( ... )` and
+/// anonymous blank nodes `[ ... ]`.
+///
+/// Returns the same ParseStats as the N-Triples parser; parsing continues
+/// after a malformed statement by skipping to the next '.'.
+ParseStats parse_turtle(std::istream& in, Dictionary& dict,
+                        TripleStore& store);
+
+/// Convenience overload over a string.
+ParseStats parse_turtle_text(const std::string& text, Dictionary& dict,
+                             TripleStore& store);
+
+}  // namespace parowl::rdf

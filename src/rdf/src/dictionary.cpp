@@ -1,0 +1,41 @@
+#include "parowl/rdf/dictionary.hpp"
+
+#include <cassert>
+
+#include "parowl/util/strings.hpp"
+
+namespace parowl::rdf {
+
+std::size_t Dictionary::KeyHash::operator()(const Key& k) const noexcept {
+  return static_cast<std::size_t>(util::fnv1a64(k.lexical) ^
+                                  util::mix64(static_cast<std::uint64_t>(k.kind)));
+}
+
+Dictionary::Dictionary() = default;
+
+TermId Dictionary::intern(std::string_view lexical, TermKind kind) {
+  if (const auto it = index_.find(Key{lexical, kind}); it != index_.end()) {
+    return it->second;
+  }
+  entries_.push_back(Entry{std::string(lexical), kind});
+  const auto id = static_cast<TermId>(entries_.size());  // ids start at 1
+  index_.emplace(Key{entries_.back().lexical, kind}, id);
+  return id;
+}
+
+TermId Dictionary::find(std::string_view lexical, TermKind kind) const {
+  const auto it = index_.find(Key{lexical, kind});
+  return it == index_.end() ? kAnyTerm : it->second;
+}
+
+const std::string& Dictionary::lexical(TermId id) const {
+  assert(id >= 1 && id <= entries_.size());
+  return entries_[id - 1].lexical;
+}
+
+TermKind Dictionary::kind(TermId id) const {
+  assert(id >= 1 && id <= entries_.size());
+  return entries_[id - 1].kind;
+}
+
+}  // namespace parowl::rdf

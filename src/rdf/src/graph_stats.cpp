@@ -1,0 +1,50 @@
+#include "parowl/rdf/graph_stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace parowl::rdf {
+
+std::unordered_set<TermId> resource_nodes(const TripleStore& store,
+                                          const Dictionary& dict) {
+  std::unordered_set<TermId> nodes;
+  nodes.reserve(store.size());
+  for (const Triple& t : store.triples()) {
+    nodes.insert(t.s);
+    if (dict.is_resource(t.o)) {
+      nodes.insert(t.o);
+    }
+  }
+  return nodes;
+}
+
+GraphStats compute_graph_stats(const TripleStore& store,
+                               const Dictionary& dict) {
+  GraphStats gs;
+  gs.triples = store.size();
+  gs.predicates = store.predicates().size();
+
+  std::unordered_map<TermId, std::size_t> degree;
+  degree.reserve(store.size());
+  for (const Triple& t : store.triples()) {
+    if (dict.is_resource(t.o)) {
+      ++degree[t.s];
+      ++degree[t.o];
+    } else {
+      ++gs.literal_objects;
+      degree.try_emplace(t.s);  // subject is still a vertex
+    }
+  }
+  gs.nodes = degree.size();
+  std::size_t total = 0;
+  for (const auto& [node, d] : degree) {
+    total += d;
+    gs.max_degree = std::max(gs.max_degree, d);
+  }
+  gs.avg_degree = gs.nodes == 0 ? 0.0
+                                : static_cast<double>(total) /
+                                      static_cast<double>(gs.nodes);
+  return gs;
+}
+
+}  // namespace parowl::rdf

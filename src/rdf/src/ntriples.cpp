@@ -1,0 +1,167 @@
+#include "parowl/rdf/ntriples.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "parowl/util/strings.hpp"
+
+namespace parowl::rdf {
+namespace {
+
+struct Cursor {
+  std::string_view rest;
+
+  void skip_ws() {
+    while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+      rest.remove_prefix(1);
+    }
+  }
+};
+
+/// Parse one term off the cursor.  Returns 0 on failure and sets *error.
+TermId parse_term(Cursor& cur, Dictionary& dict, bool object_position,
+                  std::string* error) {
+  cur.skip_ws();
+  if (cur.rest.empty()) {
+    if (error) *error = "unexpected end of line";
+    return kAnyTerm;
+  }
+  const char c = cur.rest.front();
+  if (c == '<') {
+    const auto end = cur.rest.find('>');
+    if (end == std::string_view::npos) {
+      if (error) *error = "unterminated IRI";
+      return kAnyTerm;
+    }
+    const auto iri = cur.rest.substr(1, end - 1);
+    cur.rest.remove_prefix(end + 1);
+    return dict.intern_iri(iri);
+  }
+  if (c == '_') {
+    if (cur.rest.size() < 3 || cur.rest[1] != ':') {
+      if (error) *error = "malformed blank node";
+      return kAnyTerm;
+    }
+    std::size_t end = 2;
+    while (end < cur.rest.size() && cur.rest[end] != ' ' &&
+           cur.rest[end] != '\t') {
+      ++end;
+    }
+    const auto label = cur.rest.substr(2, end - 2);
+    cur.rest.remove_prefix(end);
+    return dict.intern_blank(label);
+  }
+  if (c == '"') {
+    if (!object_position) {
+      if (error) *error = "literal in subject/predicate position";
+      return kAnyTerm;
+    }
+    // Find the closing quote, honoring backslash escapes.
+    std::size_t end = 1;
+    while (end < cur.rest.size()) {
+      if (cur.rest[end] == '\\') {
+        end += 2;
+        continue;
+      }
+      if (cur.rest[end] == '"') {
+        break;
+      }
+      ++end;
+    }
+    if (end >= cur.rest.size()) {
+      if (error) *error = "unterminated literal";
+      return kAnyTerm;
+    }
+    // Keep the full decorated literal (value + optional ^^type / @lang) as
+    // the lexical form: OWL-Horst treats literals opaquely.
+    std::size_t tail = end + 1;
+    while (tail < cur.rest.size() && cur.rest[tail] != ' ' &&
+           cur.rest[tail] != '\t') {
+      ++tail;
+    }
+    const auto lit = cur.rest.substr(0, tail);
+    cur.rest.remove_prefix(tail);
+    return dict.intern_literal(lit);
+  }
+  if (error) *error = std::string("unexpected character '") + c + "'";
+  return kAnyTerm;
+}
+
+}  // namespace
+
+std::optional<Triple> parse_ntriples_line(std::string_view line,
+                                          Dictionary& dict,
+                                          std::string* error) {
+  const auto trimmed = util::trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    return std::nullopt;
+  }
+  Cursor cur{trimmed};
+  Triple t;
+  t.s = parse_term(cur, dict, /*object_position=*/false, error);
+  if (t.s == kAnyTerm) return std::nullopt;
+  t.p = parse_term(cur, dict, /*object_position=*/false, error);
+  if (t.p == kAnyTerm) return std::nullopt;
+  t.o = parse_term(cur, dict, /*object_position=*/true, error);
+  if (t.o == kAnyTerm) return std::nullopt;
+  cur.skip_ws();
+  if (cur.rest.empty() || cur.rest.front() != '.') {
+    if (error) *error = "missing terminating '.'";
+    return std::nullopt;
+  }
+  return t;
+}
+
+ParseStats parse_ntriples(std::istream& in, Dictionary& dict,
+                          TripleStore& store) {
+  ParseStats stats;
+  std::string line;
+  std::string error;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    error.clear();
+    if (const auto t = parse_ntriples_line(line, dict, &error)) {
+      ++stats.triples;
+      if (!store.insert(*t)) {
+        ++stats.duplicates;
+      }
+    } else {
+      ++stats.bad_lines;
+      if (stats.first_error.empty()) {
+        stats.first_error =
+            "line " + std::to_string(line_no) + ": " + error;
+      }
+    }
+  }
+  return stats;
+}
+
+std::string to_ntriples(const Triple& t, const Dictionary& dict) {
+  auto render = [&dict](TermId id) -> std::string {
+    const std::string& lex = dict.lexical(id);
+    switch (dict.kind(id)) {
+      case TermKind::kIri:
+        return "<" + lex + ">";
+      case TermKind::kBlank:
+        return "_:" + lex;
+      case TermKind::kLiteral:
+        return lex;  // literals are stored fully decorated
+    }
+    return lex;
+  };
+  return render(t.s) + " " + render(t.p) + " " + render(t.o) + " .";
+}
+
+void write_ntriples(std::ostream& out, const TripleStore& store,
+                    const Dictionary& dict) {
+  for (const Triple& t : store.triples()) {
+    out << to_ntriples(t, dict) << '\n';
+  }
+}
+
+}  // namespace parowl::rdf

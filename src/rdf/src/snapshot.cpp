@@ -1,0 +1,143 @@
+#include "parowl/rdf/snapshot.hpp"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace parowl::rdf {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'A', 'R', 'O'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  const std::array<char, 4> bytes{
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff),
+      static_cast<char>((v >> 24) & 0xff)};
+  out.write(bytes.data(), 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffULL));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+bool get_u32(std::istream& in, std::uint32_t& v) {
+  std::array<char, 4> bytes;
+  if (!in.read(bytes.data(), 4)) {
+    return false;
+  }
+  v = static_cast<std::uint8_t>(bytes[0]) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[1])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[3]))
+       << 24);
+  return true;
+}
+
+bool get_u64(std::istream& in, std::uint64_t& v) {
+  std::uint32_t lo = 0, hi = 0;
+  if (!get_u32(in, lo) || !get_u32(in, hi)) {
+    return false;
+  }
+  v = lo | (static_cast<std::uint64_t>(hi) << 32);
+  return true;
+}
+
+bool set_error(std::string* error, std::string_view message) {
+  if (error) {
+    *error = std::string(message);
+  }
+  return false;
+}
+
+}  // namespace
+
+SnapshotStats save_snapshot(std::ostream& out, const Dictionary& dict,
+                            const TripleStore& store) {
+  SnapshotStats stats;
+  out.write(kMagic, 4);
+  put_u32(out, kVersion);
+
+  put_u64(out, dict.size());
+  for (TermId id = 1; id <= dict.size(); ++id) {
+    const std::string& lexical = dict.lexical(id);
+    const char kind = static_cast<char>(dict.kind(id));
+    out.write(&kind, 1);
+    put_u32(out, static_cast<std::uint32_t>(lexical.size()));
+    out.write(lexical.data(), static_cast<std::streamsize>(lexical.size()));
+    ++stats.terms;
+  }
+
+  put_u64(out, store.size());
+  for (const Triple& t : store.triples()) {
+    put_u32(out, t.s);
+    put_u32(out, t.p);
+    put_u32(out, t.o);
+    ++stats.triples;
+  }
+  return stats;
+}
+
+bool load_snapshot(std::istream& in, Dictionary& dict, TripleStore& store,
+                   std::string* error) {
+  if (dict.size() != 0 || !store.empty()) {
+    return set_error(error, "dictionary/store must be empty");
+  }
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return set_error(error, "bad magic");
+  }
+  std::uint32_t version = 0;
+  if (!get_u32(in, version) || version != kVersion) {
+    return set_error(error, "unsupported snapshot version");
+  }
+
+  std::uint64_t terms = 0;
+  if (!get_u64(in, terms)) {
+    return set_error(error, "truncated term table");
+  }
+  std::string lexical;
+  for (std::uint64_t i = 0; i < terms; ++i) {
+    char kind_byte = 0;
+    std::uint32_t length = 0;
+    if (!in.read(&kind_byte, 1) || !get_u32(in, length)) {
+      return set_error(error, "truncated term entry");
+    }
+    if (kind_byte < 0 || kind_byte > 2) {
+      return set_error(error, "invalid term kind");
+    }
+    lexical.resize(length);
+    if (length > 0 &&
+        !in.read(lexical.data(), static_cast<std::streamsize>(length))) {
+      return set_error(error, "truncated term lexical");
+    }
+    const TermId id =
+        dict.intern(lexical, static_cast<TermKind>(kind_byte));
+    if (id != i + 1) {
+      return set_error(error, "duplicate term in snapshot");
+    }
+  }
+
+  std::uint64_t triples = 0;
+  if (!get_u64(in, triples)) {
+    return set_error(error, "truncated triple count");
+  }
+  for (std::uint64_t i = 0; i < triples; ++i) {
+    Triple t;
+    if (!get_u32(in, t.s) || !get_u32(in, t.p) || !get_u32(in, t.o)) {
+      return set_error(error, "truncated triple record");
+    }
+    if (t.s == kAnyTerm || t.s > terms || t.p == kAnyTerm || t.p > terms ||
+        t.o == kAnyTerm || t.o > terms) {
+      return set_error(error, "triple references unknown term");
+    }
+    store.insert(t);
+  }
+  return true;
+}
+
+}  // namespace parowl::rdf

@@ -1,0 +1,156 @@
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::rdf {
+
+namespace {
+const std::vector<TermId> kEmptyIds;
+const std::vector<Triple> kEmptyTriples;
+}  // namespace
+
+TripleStore::TripleStore() = default;
+
+bool TripleStore::insert(const Triple& t) {
+  if (!set_.insert(t).second) {
+    return false;
+  }
+  log_.push_back(t);
+  auto [it, fresh] = by_predicate_.try_emplace(t.p);
+  if (fresh) {
+    predicates_.push_back(t.p);
+  }
+  PredicateIndex& idx = it->second;
+  idx.triples.push_back(t);
+  idx.objects_by_subject[t.s].push_back(t.o);
+  idx.subjects_by_object[t.o].push_back(t.s);
+  const auto log_index = static_cast<std::uint32_t>(log_.size() - 1);
+  by_subject_[t.s].push_back(log_index);
+  by_object_[t.o].push_back(log_index);
+  return true;
+}
+
+void TripleStore::for_subject(
+    TermId s, const std::function<void(const Triple&)>& fn) const {
+  const auto it = by_subject_.find(s);
+  if (it == by_subject_.end()) {
+    return;
+  }
+  for (std::uint32_t i : it->second) {
+    fn(log_[i]);
+  }
+}
+
+void TripleStore::for_object(
+    TermId o, const std::function<void(const Triple&)>& fn) const {
+  const auto it = by_object_.find(o);
+  if (it == by_object_.end()) {
+    return;
+  }
+  for (std::uint32_t i : it->second) {
+    fn(log_[i]);
+  }
+}
+
+std::size_t TripleStore::insert_all(std::span<const Triple> ts) {
+  std::size_t added = 0;
+  for (const Triple& t : ts) {
+    added += insert(t) ? 1 : 0;
+  }
+  return added;
+}
+
+bool TripleStore::contains(const Triple& t) const { return set_.contains(t); }
+
+std::span<const Triple> TripleStore::with_predicate(TermId p) const {
+  const auto it = by_predicate_.find(p);
+  return it == by_predicate_.end() ? std::span<const Triple>(kEmptyTriples)
+                                   : std::span<const Triple>(it->second.triples);
+}
+
+std::span<const TermId> TripleStore::objects(TermId p, TermId s) const {
+  const auto it = by_predicate_.find(p);
+  if (it == by_predicate_.end()) {
+    return kEmptyIds;
+  }
+  const auto jt = it->second.objects_by_subject.find(s);
+  return jt == it->second.objects_by_subject.end()
+             ? std::span<const TermId>(kEmptyIds)
+             : std::span<const TermId>(jt->second);
+}
+
+std::span<const TermId> TripleStore::subjects(TermId p, TermId o) const {
+  const auto it = by_predicate_.find(p);
+  if (it == by_predicate_.end()) {
+    return kEmptyIds;
+  }
+  const auto jt = it->second.subjects_by_object.find(o);
+  return jt == it->second.subjects_by_object.end()
+             ? std::span<const TermId>(kEmptyIds)
+             : std::span<const TermId>(jt->second);
+}
+
+void TripleStore::match(const TriplePattern& pattern,
+                        const std::function<void(const Triple&)>& fn) const {
+  const bool sb = pattern.s != kAnyTerm;
+  const bool pb = pattern.p != kAnyTerm;
+  const bool ob = pattern.o != kAnyTerm;
+
+  if (sb && pb && ob) {
+    const Triple t{pattern.s, pattern.p, pattern.o};
+    if (contains(t)) {
+      fn(t);
+    }
+    return;
+  }
+  if (pb && sb) {
+    for (TermId o : objects(pattern.p, pattern.s)) {
+      fn(Triple{pattern.s, pattern.p, o});
+    }
+    return;
+  }
+  if (pb && ob) {
+    for (TermId s : subjects(pattern.p, pattern.o)) {
+      fn(Triple{s, pattern.p, pattern.o});
+    }
+    return;
+  }
+  if (pb) {
+    for (const Triple& t : with_predicate(pattern.p)) {
+      fn(t);
+    }
+    return;
+  }
+  // Predicate unbound: use the subject/object log indexes when possible.
+  if (sb) {
+    for_subject(pattern.s, [&](const Triple& t) {
+      if (!ob || t.o == pattern.o) {
+        fn(t);
+      }
+    });
+    return;
+  }
+  if (ob) {
+    for_object(pattern.o, fn);
+    return;
+  }
+  // Fully unbound: scan the log.
+  for (const Triple& t : log_) {
+    fn(t);
+  }
+}
+
+std::size_t TripleStore::count(const TriplePattern& pattern) const {
+  std::size_t n = 0;
+  match(pattern, [&n](const Triple&) { ++n; });
+  return n;
+}
+
+void TripleStore::clear() {
+  log_.clear();
+  set_.clear();
+  by_predicate_.clear();
+  predicates_.clear();
+  by_subject_.clear();
+  by_object_.clear();
+}
+
+}  // namespace parowl::rdf

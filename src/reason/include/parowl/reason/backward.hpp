@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/triple_store.hpp"
+#include "parowl/rules/rule.hpp"
+
+namespace parowl::reason {
+
+/// Options for the backward engine.
+struct BackwardOptions {
+  /// Literal guard, as in ForwardOptions.
+  const rdf::Dictionary* dict = nullptr;
+};
+
+/// Statistics for one engine lifetime (i.e. one tabled query session).
+struct BackwardStats {
+  std::size_t subgoals = 0;       // distinct tabled subgoals
+  std::size_t resolutions = 0;    // rule-head unifications attempted
+  std::size_t store_probes = 0;   // base-store pattern matches issued
+};
+
+/// Goal-directed (top-down) evaluation: SLD resolution with tabling,
+/// modeled on the backward half of Jena's hybrid engine, which the paper's
+/// implementation materializes knowledge bases with (§V).
+///
+/// One engine instance is one query session: answers to subgoals are
+/// memoized in a table keyed by the goal pattern.  Recursive subgoals (e.g.
+/// transitive properties) receive the answers tabled so far, which makes a
+/// single session sound but possibly incomplete for recursive chains — the
+/// query-driven materializer (materialize.hpp) therefore sweeps to an outer
+/// fixpoint, exactly the behaviour that gives Jena-style materialization its
+/// super-linear cost in KB size (the mechanism behind the paper's Fig. 4
+/// cubic model and the super-linear speedups of Fig. 1).
+class BackwardEngine {
+ public:
+  BackwardEngine(const rdf::TripleStore& store, const rules::RuleSet& rules,
+                 BackwardOptions options = {});
+
+  /// All triples matching `goal` that are in the store or derivable from it
+  /// in this session.  Appends to `out` (deduplicated within the goal).
+  void query(const rdf::TriplePattern& goal, std::vector<rdf::Triple>& out);
+
+  [[nodiscard]] const BackwardStats& stats() const { return stats_; }
+
+ private:
+  struct PatternHash {
+    std::size_t operator()(const rdf::TriplePattern& p) const noexcept;
+  };
+  struct PatternEq {
+    bool operator()(const rdf::TriplePattern& a,
+                    const rdf::TriplePattern& b) const noexcept {
+      return a.s == b.s && a.p == b.p && a.o == b.o;
+    }
+  };
+
+  struct TableEntry {
+    std::vector<rdf::Triple> answers;
+    std::unordered_map<rdf::Triple, char, rdf::TripleHash> seen;
+    bool in_progress = false;
+  };
+
+  /// Solve `goal`, filling its table entry; returns the entry.
+  TableEntry& solve(const rdf::TriplePattern& goal);
+
+  /// Resolve `goal` against one rule: unify the head, then prove body atoms
+  /// left to right.
+  void resolve_rule(const rules::Rule& rule, const rdf::TriplePattern& goal,
+                    TableEntry& entry);
+
+  void prove_body(const rules::Rule& rule, std::size_t atom_index,
+                  rules::Binding& binding, TableEntry& entry);
+
+  void emit(const rules::Rule& rule, const rules::Binding& binding,
+            TableEntry& entry);
+
+  const rdf::TripleStore& store_;
+  const rules::RuleSet& rules_;
+  BackwardOptions options_;
+  BackwardStats stats_;
+  std::unordered_map<rdf::TriplePattern, TableEntry, PatternHash, PatternEq>
+      table_;
+};
+
+}  // namespace parowl::reason

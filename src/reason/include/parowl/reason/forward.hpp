@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/triple_store.hpp"
+#include "parowl/rules/rule.hpp"
+
+namespace parowl::reason {
+
+/// Options for the forward-chaining engine.
+struct ForwardOptions {
+  /// Semi-naive (delta-driven) evaluation: each iteration only matches rule
+  /// bodies against the triples derived in the previous iteration.  The
+  /// naive alternative re-derives everything each iteration; kept for the
+  /// ablation bench.
+  bool semi_naive = true;
+
+  /// When set, derived triples whose subject is a literal are discarded
+  /// (OWL-Horst's literal guard, e.g. rdfs3 binding a range type to a
+  /// literal object).
+  const rdf::Dictionary* dict = nullptr;
+
+  /// Safety valve for tests; the engine normally runs to fixpoint.
+  std::size_t max_iterations = static_cast<std::size_t>(-1);
+};
+
+/// Evaluation statistics.
+struct ForwardStats {
+  std::size_t iterations = 0;
+  std::size_t derived = 0;       // triples newly added to the store
+  std::size_t attempts = 0;      // head instantiations (incl. duplicates)
+  std::vector<std::size_t> firings_per_rule;
+};
+
+/// Bottom-up datalog evaluation over a triple store.
+///
+/// The engine owns no data: it mutates the store passed to `run`, which is
+/// how the parallel workers use it — each worker calls `run` once per
+/// communication round with `delta_begin` pointing at the first triple
+/// received in that round, so only new information is re-joined
+/// (Algorithm 3, step 3).
+class ForwardEngine {
+ public:
+  ForwardEngine(rdf::TripleStore& store, const rules::RuleSet& rules,
+                ForwardOptions options = {});
+
+  /// Run to fixpoint.  `delta_begin` is an index into store.triples():
+  /// triples at or after it form the initial frontier (0 = everything).
+  ForwardStats run(std::size_t delta_begin = 0);
+
+ private:
+  /// Match `delta_triple` against body atom `pivot` of `rule`; on success
+  /// join the remaining atoms against the store and emit head bindings.
+  void fire_rule(std::size_t rule_index, std::size_t pivot,
+                 const rdf::Triple& delta_triple,
+                 std::vector<rdf::Triple>& out, ForwardStats& stats);
+
+  /// Recursive join over unprocessed body atoms.
+  void join(std::size_t rule_index, unsigned done_mask,
+            rules::Binding& binding, std::vector<rdf::Triple>& out,
+            ForwardStats& stats);
+
+  rdf::TripleStore& store_;
+  const rules::RuleSet& rules_;
+  ForwardOptions options_;
+};
+
+/// Convenience: run `rules` on `store` to fixpoint and return stats.
+ForwardStats forward_closure(rdf::TripleStore& store,
+                             const rules::RuleSet& rules,
+                             ForwardOptions options = {});
+
+}  // namespace parowl::reason

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/reason/backward.hpp"
+#include "parowl/reason/forward.hpp"
+#include "parowl/rules/compiler.hpp"
+#include "parowl/rules/horst_rules.hpp"
+
+namespace parowl::reason {
+
+/// How the knowledge base is materialized.
+enum class Strategy {
+  /// Bottom-up semi-naive forward chaining — the efficient baseline.
+  kForward,
+  /// Query-driven: for each resource r, issue the query (r, ?p, ?o) against
+  /// the backward engine and assert its answers, sweeping to a fixpoint.
+  /// This is how the paper's Jena-based implementation materializes a KB
+  /// (§V) and the mechanism behind its super-linear per-partition cost.
+  kQueryDriven,
+};
+
+struct MaterializeOptions {
+  Strategy strategy = Strategy::kForward;
+  rules::HorstOptions horst;
+
+  /// Compile the ontology into single-join instance rules first (§II).
+  /// When false the generic pD* rules run directly over the data (ablation).
+  bool compile = true;
+
+  /// Forward engine evaluation mode (ablation: naive vs semi-naive).
+  bool semi_naive = true;
+
+  /// One backward-engine table per query (mimics independent queries, the
+  /// Jena behaviour); when true, tables are shared across all queries of a
+  /// sweep (faster, used for the ablation bench).
+  bool share_tables = false;
+
+  /// Safety cap on query-driven outer sweeps.
+  std::size_t max_sweeps = 64;
+};
+
+struct MaterializeResult {
+  std::size_t base_triples = 0;      // store size before reasoning
+  std::size_t schema_triples = 0;    // of which schema
+  std::size_t inferred = 0;          // new triples added
+  std::size_t iterations = 0;        // forward iterations / backward sweeps
+  std::size_t compiled_rules = 0;    // instance rules after compilation
+  double reason_seconds = 0.0;       // pure inference wall time
+  double compile_seconds = 0.0;      // schema closure + rule compilation
+};
+
+/// Compile the ontology found in `store` and return the instance rule set
+/// (schema closure is computed internally).  Exposed separately because the
+/// parallel master compiles once and ships the same rule-base to every
+/// worker.
+[[nodiscard]] rules::CompiledRules compile_ontology(
+    const rdf::TripleStore& store, const ontology::Vocabulary& vocab,
+    const rules::HorstOptions& horst = {});
+
+/// Statistics of a query-driven closure run.
+struct QueryDrivenStats {
+  std::size_t sweeps = 0;
+  std::size_t added = 0;
+};
+
+/// Run the query-driven (Jena-like) materialization loop on `store` with an
+/// already-compiled rule set: sweep (r, ?p, ?o) queries over every resource,
+/// asserting answers, until a sweep adds nothing.  Exposed so the parallel
+/// workers can use the same strategy the paper's implementation does.
+QueryDrivenStats query_driven_closure(rdf::TripleStore& store,
+                                      const rdf::Dictionary& dict,
+                                      const rules::RuleSet& rules,
+                                      bool share_tables = false,
+                                      std::size_t max_sweeps = 64);
+
+/// Incremental query-driven closure: only re-query the resources affected
+/// by the triples at/after `delta_begin` in the store log (their endpoints
+/// plus the store-adjacent resources), expanding the affected set as sweeps
+/// derive more.  Each sweep still pays the full per-query proof-space cost —
+/// this models a Jena-like engine re-querying after new tuples arrive in a
+/// communication round, without re-materializing untouched resources.
+///
+/// Completeness requires every rule to have <= 2 body atoms with the head
+/// subject range-restricted (true for all rule sets `compile_ontology`
+/// emits): the subject of any new derivation is then an endpoint of, or
+/// store-adjacent to, a new premise.  For rule sets with longer bodies the
+/// function falls back to full sweeps.
+QueryDrivenStats query_driven_closure_delta(rdf::TripleStore& store,
+                                            const rdf::Dictionary& dict,
+                                            const rules::RuleSet& rules,
+                                            std::size_t delta_begin,
+                                            bool share_tables = false,
+                                            std::size_t max_sweeps = 64);
+
+/// Materialize `store` in place: compute all OWL-Horst consequences of its
+/// schema + instance triples and add them.  Returns statistics.
+MaterializeResult materialize(rdf::TripleStore& store,
+                              const rdf::Dictionary& dict,
+                              const ontology::Vocabulary& vocab,
+                              const MaterializeOptions& options = {});
+
+/// Incremental maintenance: add `additions` to an already-materialized
+/// store and close only over the delta (semi-naive from the new triples).
+/// This is the operation the paper's setting — materialized KBs where "the
+/// frequency of data being added is much smaller than that of queries" —
+/// performs between full materializations.
+///
+/// `additions` must be instance triples (schema changes require a full
+/// re-materialization: the compiled rule-base itself would change; such
+/// additions are rejected with inferred == 0 and schema_changed == true).
+struct IncrementalResult {
+  std::size_t added = 0;     // new base triples actually inserted
+  std::size_t inferred = 0;  // new derivations
+  std::size_t iterations = 0;
+  bool schema_changed = false;  // rejected: contains schema triples
+  double reason_seconds = 0.0;
+};
+IncrementalResult materialize_incremental(
+    rdf::TripleStore& store, const rdf::Dictionary& dict,
+    const ontology::Vocabulary& vocab,
+    std::span<const rdf::Triple> additions,
+    const rules::HorstOptions& horst = {});
+
+}  // namespace parowl::reason

@@ -1,0 +1,120 @@
+#include "parowl/reason/backward.hpp"
+
+#include "parowl/util/strings.hpp"
+
+namespace parowl::reason {
+
+std::size_t BackwardEngine::PatternHash::operator()(
+    const rdf::TriplePattern& p) const noexcept {
+  return rdf::TripleHash{}(rdf::Triple{p.s, p.p, p.o});
+}
+
+BackwardEngine::BackwardEngine(const rdf::TripleStore& store,
+                               const rules::RuleSet& rules,
+                               BackwardOptions options)
+    : store_(store), rules_(rules), options_(options) {}
+
+void BackwardEngine::query(const rdf::TriplePattern& goal,
+                           std::vector<rdf::Triple>& out) {
+  const TableEntry& entry = solve(goal);
+  out.insert(out.end(), entry.answers.begin(), entry.answers.end());
+}
+
+BackwardEngine::TableEntry& BackwardEngine::solve(
+    const rdf::TriplePattern& goal) {
+  auto [it, fresh] = table_.try_emplace(goal);
+  TableEntry& entry = it->second;
+  if (!fresh) {
+    // Either complete, or an in-progress ancestor goal: return the answers
+    // tabled so far (sound; the materializer's outer fixpoint restores
+    // completeness for recursive chains).
+    return entry;
+  }
+  ++stats_.subgoals;
+  entry.in_progress = true;
+
+  // Base answers straight from the store.
+  ++stats_.store_probes;
+  store_.match(goal, [&entry](const rdf::Triple& t) {
+    if (entry.seen.emplace(t, 0).second) {
+      entry.answers.push_back(t);
+    }
+  });
+
+  // Derived answers via each rule whose head can produce a matching triple.
+  for (const rules::Rule& rule : rules_.rules()) {
+    resolve_rule(rule, goal, entry);
+  }
+
+  entry.in_progress = false;
+  return entry;
+}
+
+void BackwardEngine::resolve_rule(const rules::Rule& rule,
+                                  const rdf::TriplePattern& goal,
+                                  TableEntry& entry) {
+  // Unify the head with the goal: goal constants flow into head variables;
+  // head constants must agree with goal constants.
+  rules::Binding binding{};
+  auto unify = [&binding](const rules::AtomTerm& ht, rdf::TermId gv) {
+    if (gv == rdf::kAnyTerm) {
+      return true;  // goal position unbound: anything the body produces
+    }
+    if (ht.is_const()) {
+      return ht.const_id() == gv;
+    }
+    auto& slot = binding[static_cast<std::size_t>(ht.var_index())];
+    if (slot != rdf::kAnyTerm && slot != gv) {
+      return false;
+    }
+    slot = gv;
+    return true;
+  };
+  if (!unify(rule.head.s, goal.s) || !unify(rule.head.p, goal.p) ||
+      !unify(rule.head.o, goal.o)) {
+    return;
+  }
+  ++stats_.resolutions;
+  prove_body(rule, 0, binding, entry);
+}
+
+void BackwardEngine::prove_body(const rules::Rule& rule,
+                                std::size_t atom_index,
+                                rules::Binding& binding, TableEntry& entry) {
+  if (atom_index == rule.body.size()) {
+    emit(rule, binding, entry);
+    return;
+  }
+  const auto subgoal = rules::to_pattern(rule.body[atom_index], binding);
+  // Snapshot the answer count: the subgoal may be an in-progress ancestor
+  // whose answer vector grows underneath us.
+  TableEntry& sub = solve(subgoal);
+  const std::size_t limit = sub.answers.size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const rdf::Triple t = sub.answers[i];  // copy: vector may reallocate
+    rules::Binding saved = binding;
+    if (rules::bind_atom(rule.body[atom_index], t, binding)) {
+      prove_body(rule, atom_index + 1, binding, entry);
+    }
+    binding = saved;
+  }
+}
+
+void BackwardEngine::emit(const rules::Rule& rule,
+                          const rules::Binding& binding, TableEntry& entry) {
+  const auto head = rules::to_pattern(rule.head, binding);
+  if (head.s == rdf::kAnyTerm || head.p == rdf::kAnyTerm ||
+      head.o == rdf::kAnyTerm) {
+    return;  // unsafe instantiation (cannot happen for well-formed rules)
+  }
+  if (options_.dict != nullptr &&
+      options_.dict->kind(head.s) == rdf::TermKind::kLiteral) {
+    return;  // literal guard
+  }
+  const rdf::Triple t{head.s, head.p, head.o};
+  if (entry.seen.emplace(t, 0).second) {
+    entry.answers.push_back(t);
+  }
+}
+
+}  // namespace parowl::reason

@@ -1,0 +1,134 @@
+#include "parowl/reason/forward.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace parowl::reason {
+namespace {
+
+using rules::bind_atom;
+using rules::to_pattern;
+
+/// Number of bound positions in the pattern — the join-order heuristic.
+int bound_count(const rdf::TriplePattern& p) {
+  return (p.s != rdf::kAnyTerm) + (p.p != rdf::kAnyTerm) +
+         (p.o != rdf::kAnyTerm);
+}
+
+}  // namespace
+
+ForwardEngine::ForwardEngine(rdf::TripleStore& store,
+                             const rules::RuleSet& rules,
+                             ForwardOptions options)
+    : store_(store), rules_(rules), options_(options) {}
+
+void ForwardEngine::join(std::size_t rule_index, unsigned done_mask,
+                         rules::Binding& binding,
+                         std::vector<rdf::Triple>& out, ForwardStats& stats) {
+  const rules::Rule& rule = rules_[rule_index];
+  const auto body_size = rule.body.size();
+
+  if (done_mask == (1u << body_size) - 1) {
+    // All atoms matched: instantiate the head.
+    const auto pattern = to_pattern(rule.head, binding);
+    assert(pattern.s != rdf::kAnyTerm && pattern.p != rdf::kAnyTerm &&
+           pattern.o != rdf::kAnyTerm);
+    ++stats.attempts;
+    if (options_.dict != nullptr &&
+        options_.dict->kind(pattern.s) == rdf::TermKind::kLiteral) {
+      return;  // literal guard: no statements about literals
+    }
+    const rdf::Triple derived{pattern.s, pattern.p, pattern.o};
+    if (!store_.contains(derived)) {
+      out.push_back(derived);
+      ++stats.firings_per_rule[rule_index];
+    }
+    return;
+  }
+
+  // Pick the unprocessed atom with the most bound positions.
+  std::size_t best = body_size;
+  int best_bound = -1;
+  for (std::size_t j = 0; j < body_size; ++j) {
+    if (done_mask & (1u << j)) {
+      continue;
+    }
+    const int b = bound_count(to_pattern(rule.body[j], binding));
+    if (b > best_bound) {
+      best_bound = b;
+      best = j;
+    }
+  }
+  assert(best < body_size);
+
+  const auto pattern = to_pattern(rule.body[best], binding);
+  store_.match(pattern, [&](const rdf::Triple& t) {
+    rules::Binding saved = binding;
+    if (bind_atom(rule.body[best], t, binding)) {
+      join(rule_index, done_mask | (1u << best), binding, out, stats);
+    }
+    binding = saved;
+  });
+}
+
+void ForwardEngine::fire_rule(std::size_t rule_index, std::size_t pivot,
+                              const rdf::Triple& delta_triple,
+                              std::vector<rdf::Triple>& out,
+                              ForwardStats& stats) {
+  const rules::Rule& rule = rules_[rule_index];
+  rules::Binding binding{};
+  if (!bind_atom(rule.body[pivot], delta_triple, binding)) {
+    return;
+  }
+  join(rule_index, 1u << pivot, binding, out, stats);
+}
+
+ForwardStats ForwardEngine::run(std::size_t delta_begin) {
+  ForwardStats stats;
+  stats.firings_per_rule.assign(rules_.size(), 0);
+
+  std::size_t frontier_begin = options_.semi_naive ? delta_begin : 0;
+  std::vector<rdf::Triple> pending;
+
+  while (stats.iterations < options_.max_iterations) {
+    const std::size_t frontier_end = store_.size();
+    if (frontier_begin >= frontier_end) {
+      break;
+    }
+    ++stats.iterations;
+    pending.clear();
+
+    for (std::size_t rule_index = 0; rule_index < rules_.size();
+         ++rule_index) {
+      const rules::Rule& rule = rules_[rule_index];
+      for (std::size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
+        // The store log is append-only and not resized during this loop
+        // (derivations go to `pending`), so indexing it directly is safe.
+        for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+          fire_rule(rule_index, pivot, store_.triples()[i], pending, stats);
+        }
+      }
+    }
+
+    std::size_t added = 0;
+    for (const rdf::Triple& t : pending) {
+      added += store_.insert(t) ? 1 : 0;
+    }
+    stats.derived += added;
+    if (added == 0) {
+      break;
+    }
+    // Next frontier: exactly the triples inserted this iteration (or the
+    // whole store again under naive evaluation).
+    frontier_begin = options_.semi_naive ? frontier_end : 0;
+  }
+  return stats;
+}
+
+ForwardStats forward_closure(rdf::TripleStore& store,
+                             const rules::RuleSet& rules,
+                             ForwardOptions options) {
+  return ForwardEngine(store, rules, options).run(0);
+}
+
+}  // namespace parowl::reason

@@ -1,0 +1,231 @@
+#include "parowl/reason/materialize.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "parowl/util/timer.hpp"
+
+namespace parowl::reason {
+
+rules::CompiledRules compile_ontology(const rdf::TripleStore& store,
+                                      const ontology::Vocabulary& vocab,
+                                      const rules::HorstOptions& horst) {
+  const rules::RuleSet generic = rules::horst_rules(vocab, horst);
+
+  // Build and saturate the schema store so the compiler sees inherited
+  // axioms (e.g. a transitivity declaration reached via subPropertyOf).
+  rdf::TripleStore schema;
+  for (const rdf::Triple& t : store.triples()) {
+    if (vocab.is_schema_triple(t)) {
+      schema.insert(t);
+    }
+  }
+  forward_closure(schema, generic);
+
+  return rules::compile_rules(generic, schema, vocab);
+}
+
+namespace {
+
+/// One query-driven sweep over the given resource set, asserting every
+/// (r, ?p, ?o) answer.  Returns the number of new triples.
+std::size_t query_driven_sweep_over(
+    rdf::TripleStore& store, const rdf::Dictionary& dict,
+    const rules::RuleSet& rules, bool share_tables,
+    const std::unordered_set<rdf::TermId>& resources) {
+  const BackwardOptions opts{.dict = &dict};
+  std::unique_ptr<BackwardEngine> shared;
+  if (share_tables) {
+    shared = std::make_unique<BackwardEngine>(store, rules, opts);
+  }
+
+  std::size_t added = 0;
+  std::vector<rdf::Triple> answers;
+  for (const rdf::TermId r : resources) {
+    answers.clear();
+    if (share_tables) {
+      shared->query(rdf::TriplePattern{r, rdf::kAnyTerm, rdf::kAnyTerm},
+                    answers);
+    } else {
+      // Fresh tables per query — each query pays the full proof-space
+      // exploration, as Jena's per-resource materialization queries do.
+      BackwardEngine engine(store, rules, opts);
+      engine.query(rdf::TriplePattern{r, rdf::kAnyTerm, rdf::kAnyTerm},
+                   answers);
+    }
+    for (const rdf::Triple& t : answers) {
+      added += store.insert(t) ? 1 : 0;
+    }
+  }
+  return added;
+}
+
+/// One full sweep: (r, ?p, ?o) for every resource in the store.
+std::size_t query_driven_sweep(rdf::TripleStore& store,
+                               const rdf::Dictionary& dict,
+                               const rules::RuleSet& rules,
+                               bool share_tables) {
+  // Snapshot the resources first: insertions during the sweep must not
+  // perturb the iteration.
+  std::unordered_set<rdf::TermId> resources;
+  for (const rdf::Triple& t : store.triples()) {
+    resources.insert(t.s);
+    if (dict.is_resource(t.o)) {
+      resources.insert(t.o);
+    }
+  }
+  return query_driven_sweep_over(store, dict, rules, share_tables, resources);
+}
+
+}  // namespace
+
+QueryDrivenStats query_driven_closure_delta(rdf::TripleStore& store,
+                                            const rdf::Dictionary& dict,
+                                            const rules::RuleSet& rules,
+                                            std::size_t delta_begin,
+                                            bool share_tables,
+                                            std::size_t max_sweeps) {
+  QueryDrivenStats stats;
+  if (delta_begin >= store.size()) {
+    return stats;  // no new information: the closure cannot change
+  }
+  // Fall back to full sweeps when the rule shape breaks the adjacency
+  // argument (bodies longer than two atoms).
+  const bool single_join_shape =
+      std::ranges::all_of(rules.rules(), [](const rules::Rule& r) {
+        return r.body.size() <= 2;
+      });
+  if (delta_begin == 0 || !single_join_shape) {
+    return query_driven_closure(store, dict, rules, share_tables,
+                                max_sweeps);
+  }
+
+  std::size_t mark = delta_begin;
+  while (stats.sweeps < max_sweeps) {
+    const std::size_t end = store.size();
+    if (mark >= end) {
+      break;
+    }
+    ++stats.sweeps;
+    // Affected resources: endpoints of the delta triples plus everything
+    // store-adjacent to those endpoints (see header for the completeness
+    // argument).
+    std::unordered_set<rdf::TermId> affected;
+    auto note = [&](rdf::TermId id) {
+      if (dict.is_resource(id)) {
+        affected.insert(id);
+      }
+    };
+    for (std::size_t i = mark; i < end; ++i) {
+      const rdf::Triple& t = store.triples()[i];
+      note(t.s);
+      note(t.o);
+    }
+    std::vector<rdf::TermId> frontier(affected.begin(), affected.end());
+    for (const rdf::TermId n : frontier) {
+      store.for_subject(n, [&](const rdf::Triple& t) { note(t.o); });
+      store.for_object(n, [&](const rdf::Triple& t) { note(t.s); });
+    }
+    mark = end;
+    stats.added +=
+        query_driven_sweep_over(store, dict, rules, share_tables, affected);
+  }
+  return stats;
+}
+
+QueryDrivenStats query_driven_closure(rdf::TripleStore& store,
+                                      const rdf::Dictionary& dict,
+                                      const rules::RuleSet& rules,
+                                      bool share_tables,
+                                      std::size_t max_sweeps) {
+  QueryDrivenStats stats;
+  while (stats.sweeps < max_sweeps) {
+    ++stats.sweeps;
+    const std::size_t added =
+        query_driven_sweep(store, dict, rules, share_tables);
+    stats.added += added;
+    if (added == 0) {
+      break;
+    }
+  }
+  return stats;
+}
+
+MaterializeResult materialize(rdf::TripleStore& store,
+                              const rdf::Dictionary& dict,
+                              const ontology::Vocabulary& vocab,
+                              const MaterializeOptions& options) {
+  MaterializeResult result;
+  result.base_triples = store.size();
+  for (const rdf::Triple& t : store.triples()) {
+    result.schema_triples += vocab.is_schema_triple(t) ? 1 : 0;
+  }
+
+  util::Stopwatch compile_watch;
+  rules::RuleSet active;
+  if (options.compile) {
+    rules::CompiledRules compiled =
+        compile_ontology(store, vocab, options.horst);
+    for (const rdf::Triple& t : compiled.ground_facts) {
+      store.insert(t);
+    }
+    result.compiled_rules = compiled.rules.size();
+    active = std::move(compiled.rules);
+  } else {
+    active = rules::horst_rules(vocab, options.horst);
+    result.compiled_rules = active.size();
+  }
+  result.compile_seconds = compile_watch.elapsed_seconds();
+
+  util::Stopwatch reason_watch;
+  if (options.strategy == Strategy::kForward) {
+    ForwardOptions fopts;
+    fopts.semi_naive = options.semi_naive;
+    fopts.dict = &dict;
+    const ForwardStats stats = ForwardEngine(store, active, fopts).run(0);
+    result.iterations = stats.iterations;
+  } else {
+    const QueryDrivenStats stats = query_driven_closure(
+        store, dict, active, options.share_tables, options.max_sweeps);
+    result.iterations = stats.sweeps;
+  }
+  result.reason_seconds = reason_watch.elapsed_seconds();
+  result.inferred = store.size() - result.base_triples;
+  return result;
+}
+
+IncrementalResult materialize_incremental(
+    rdf::TripleStore& store, const rdf::Dictionary& dict,
+    const ontology::Vocabulary& vocab,
+    std::span<const rdf::Triple> additions,
+    const rules::HorstOptions& horst) {
+  IncrementalResult result;
+  for (const rdf::Triple& t : additions) {
+    if (vocab.is_schema_triple(t)) {
+      result.schema_changed = true;
+      return result;  // caller must re-materialize from scratch
+    }
+  }
+
+  // The compiled rule-base depends only on the schema, which is unchanged.
+  const rules::CompiledRules compiled = compile_ontology(store, vocab, horst);
+
+  const std::size_t delta_begin = store.size();
+  result.added = store.insert_all(additions);
+  if (result.added == 0) {
+    return result;  // everything already present: fixpoint unchanged
+  }
+
+  util::Stopwatch watch;
+  ForwardOptions fopts;
+  fopts.dict = &dict;
+  const ForwardStats stats =
+      ForwardEngine(store, compiled.rules, fopts).run(delta_begin);
+  result.iterations = stats.iterations;
+  result.inferred = store.size() - delta_begin - result.added;
+  result.reason_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace parowl::reason

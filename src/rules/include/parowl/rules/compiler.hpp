@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/rules/rule.hpp"
+
+namespace parowl::rules {
+
+/// Result of compiling the generic pD* rule set against a concrete
+/// ontology.
+struct CompiledRules {
+  /// Specialized instance rules.  For OWL-Horst ontologies these are the
+  /// paper's single-join rules: bodies of one or two atoms, all schema
+  /// premises folded into constants.
+  RuleSet rules;
+
+  /// Ground triples produced when every atom of a rule body matched schema
+  /// triples (pure schema derivations, e.g. subClassOf transitivity).  The
+  /// caller adds these to the schema closure.
+  std::vector<rdf::Triple> ground_facts;
+
+  /// Number of (rule, schema-binding) specializations performed.
+  std::size_t specializations = 0;
+};
+
+/// Compile `generic` (typically `horst_rules(...)`) against the schema in
+/// `schema_store`.
+///
+/// Body atoms that can only match schema triples — constant schema
+/// predicates (rdfs:subClassOf, rdfs:domain, owl:onProperty, ...) or
+/// `(?x rdf:type <MetaClass>)` — are enumerated against `schema_store` and
+/// folded into constants; the remaining instance atoms form the compiled
+/// rule.  For best results pass a *saturated* schema store (run the forward
+/// engine on the schema triples first) so that, e.g., inherited
+/// transitivity declarations are visible to the compiler.
+///
+/// Rules with no schema atoms (the sameAs machinery) pass through
+/// unchanged.  Duplicate specializations are removed.
+[[nodiscard]] CompiledRules compile_rules(
+    const RuleSet& generic, const rdf::TripleStore& schema_store,
+    const ontology::Vocabulary& vocab);
+
+}  // namespace parowl::rules

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parowl/rdf/triple_store.hpp"
+#include "parowl/rules/rule.hpp"
+
+namespace parowl::rules {
+
+/// The rule-dependency graph of Algorithm 2: one vertex per rule, an edge
+/// (r1, r2) whenever the head of r1 can unify with a body atom of r2 — i.e.
+/// a tuple produced by r1 may trigger r2.
+///
+/// Edges carry weights.  Unweighted, every dependency costs 1; when a
+/// sample data-set is provided, an edge is weighted by the number of triples
+/// in the data-set matching the producing head's predicate — the paper's
+/// "a priori knowledge about the distribution of different predicates ...
+/// can be used to weigh the edges" (§III-B).
+struct DependencyGraph {
+  std::size_t num_rules = 0;
+
+  struct Edge {
+    std::size_t from = 0;  // producer rule index
+    std::size_t to = 0;    // consumer rule index
+    std::uint64_t weight = 1;
+  };
+  std::vector<Edge> edges;
+
+  /// Adjacency (undirected view) as (neighbor, weight) lists, merged over
+  /// parallel edges; self-loops dropped.  This is the graph handed to the
+  /// partitioner.
+  [[nodiscard]] std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>>
+  undirected_adjacency() const;
+};
+
+/// Can a triple produced by `head` match `body_atom`?  (Patterns unify iff
+/// every position with two constants agrees.)
+[[nodiscard]] bool may_trigger(const Atom& head, const Atom& body_atom);
+
+/// Build the dependency graph for `rules`.  If `stats` is non-null, edge
+/// weights use predicate frequencies from that store; otherwise all edges
+/// weigh 1.
+[[nodiscard]] DependencyGraph build_dependency_graph(
+    const RuleSet& rules, const rdf::TripleStore* stats = nullptr);
+
+}  // namespace parowl::rules

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "parowl/ontology/vocabulary.hpp"
+#include "parowl/rules/rule.hpp"
+
+namespace parowl::rules {
+
+/// Options controlling which pD* rules are generated.
+struct HorstOptions {
+  /// Include the owl:sameAs machinery (rdfp1/2/6/7/11 and 9/10).  LUBM-style
+  /// ontologies have no functional/inverse-functional properties, so
+  /// disabling this removes rules that can never fire.
+  bool include_same_as = true;
+
+  /// Include the owl:Restriction rules rdfp14a/14b/15/16.
+  bool include_restrictions = true;
+
+  /// Include the reflexivity axioms (rdfs6/rdfs8-style ?c subClassOf ?c,
+  /// ?p subPropertyOf ?p, ?x sameAs ?x).  These add one triple per term and
+  /// are usually noise for materialized stores, so they default off — the
+  /// same choice OWLIM and Jena's OWL-mini config make.
+  bool include_reflexivity = false;
+};
+
+/// Build the generic OWL-Horst (ter Horst pD*) rule set over the RDFS+OWL
+/// vocabulary.  "Generic" means the schema premises are still variables —
+/// e.g. rdfs9 is (?c subClassOf ?d) (?x type ?c) -> (?x type ?d).  The
+/// ontology→rule compiler (`compile_rules`) specializes these against an
+/// extracted ontology to obtain the paper's single-join instance rules.
+///
+/// Rule names follow ter Horst's paper (rdfs2..rdfs11, rdfp1..rdfp16).
+[[nodiscard]] RuleSet horst_rules(const ontology::Vocabulary& vocab,
+                                  const HorstOptions& options = {});
+
+}  // namespace parowl::rules

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/term.hpp"
+
+namespace parowl::rules {
+
+/// A position in an atom: either a constant term id or a rule-local
+/// variable index.  Encoded in one 32-bit word: constants are stored as the
+/// (positive) TermId; variable v is stored as -(v+1).
+class AtomTerm {
+ public:
+  AtomTerm() : enc_(0) {}
+
+  static AtomTerm constant(rdf::TermId id) {
+    return AtomTerm(static_cast<std::int64_t>(id));
+  }
+  static AtomTerm var(int index) {
+    return AtomTerm(-static_cast<std::int64_t>(index) - 1);
+  }
+
+  [[nodiscard]] bool is_var() const { return enc_ < 0; }
+  [[nodiscard]] bool is_const() const { return enc_ >= 0; }
+  [[nodiscard]] int var_index() const { return static_cast<int>(-enc_ - 1); }
+  [[nodiscard]] rdf::TermId const_id() const {
+    return static_cast<rdf::TermId>(enc_);
+  }
+
+  friend bool operator==(const AtomTerm&, const AtomTerm&) = default;
+  friend auto operator<=>(const AtomTerm&, const AtomTerm&) = default;
+
+ private:
+  explicit AtomTerm(std::int64_t enc) : enc_(enc) {}
+  std::int64_t enc_;
+};
+
+/// A triple pattern with variables — one sub-goal in a rule body, or a rule
+/// head.
+struct Atom {
+  AtomTerm s, p, o;
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+  friend auto operator<=>(const Atom&, const Atom&) = default;
+
+  /// Variable indexes used by this atom, in position order (may repeat).
+  [[nodiscard]] std::vector<int> variables() const;
+
+  /// True iff the atom has no variables.
+  [[nodiscard]] bool is_ground() const {
+    return s.is_const() && p.is_const() && o.is_const();
+  }
+};
+
+/// Maximum number of distinct variables in any rule or query pattern we
+/// handle.  pD* rules use at most 6; the bound is raised to 16 so the
+/// SPARQL-subset query engine (which reuses Atom/Binding) has headroom.
+inline constexpr int kMaxRuleVars = 16;
+
+/// A partial assignment of rule variables to term ids (0 = unbound).
+using Binding = std::array<rdf::TermId, kMaxRuleVars>;
+
+/// One datalog rule: head <- body[0] AND body[1] AND ...
+///
+/// The paper's key observation (§II) is that the rules compiled from an
+/// OWL-Horst ontology are *single-join*: bodies of exactly two atoms sharing
+/// one variable.  The generic representation here supports any body size —
+/// needed for the uncompiled pD* rules and the one exception (the sameAs
+/// propagation rule) — and `is_single_join()` identifies the special class.
+struct Rule {
+  std::string name;
+  std::vector<Atom> body;
+  Atom head;
+  int num_vars = 0;
+
+  /// Every head variable must appear in the body (range restriction) and
+  /// num_vars must cover all variable indexes.  Returns false otherwise.
+  [[nodiscard]] bool well_formed() const;
+
+  /// True iff the body has exactly two atoms sharing >= 1 variable.
+  [[nodiscard]] bool is_single_join() const;
+
+  /// Human-readable form, e.g. "[trans: (?a P ?b) (?b P ?c) -> (?a P ?c)]".
+  [[nodiscard]] std::string to_string(const rdf::Dictionary& dict) const;
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+/// An ordered collection of rules with name lookup.
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  void add(Rule rule) { rules_.push_back(std::move(rule)); }
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] const Rule& operator[](std::size_t i) const {
+    return rules_[i];
+  }
+
+  /// First rule with the given name, or nullptr.
+  [[nodiscard]] const Rule* find(std::string_view name) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// Render a short, compact lexical form for a term id (IRI local names only).
+[[nodiscard]] std::string short_term(rdf::TermId id,
+                                     const rdf::Dictionary& dict);
+
+/// Match `atom` against a concrete triple, extending `binding`.  Returns
+/// false on a constant mismatch or an inconsistent repeated variable; the
+/// binding may be partially updated on failure (callers save/restore).
+bool bind_atom(const Atom& atom, const rdf::Triple& t, Binding& binding);
+
+/// The store pattern for `atom` under a (partial) binding: constants and
+/// bound variables become concrete ids, unbound variables become wildcards.
+[[nodiscard]] rdf::TriplePattern to_pattern(const Atom& atom,
+                                            const Binding& binding);
+
+}  // namespace parowl::rules

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "parowl/rules/rule.hpp"
+
+namespace parowl::rules {
+
+/// Parses a small text syntax for datalog rules over RDF triples:
+///
+///   @prefix ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+///   trans: (?a ub:subOrgOf ?b) (?b ub:subOrgOf ?c) -> (?a ub:subOrgOf ?c)
+///
+/// Terms: `?name` variables, `<iri>`, `prefix:local`, `"literal"`.
+/// Used by tests, examples, and to let downstream users author custom rule
+/// sets without touching the pD* builder.
+class RuleParser {
+ public:
+  explicit RuleParser(rdf::Dictionary& dict);
+
+  /// Register a namespace prefix (without the trailing colon).
+  void add_prefix(std::string name, std::string iri);
+
+  /// Parse a single rule line.  Returns nullopt and sets *error for
+  /// malformed input; blank lines/comments also return nullopt with empty
+  /// error.
+  std::optional<Rule> parse_rule(std::string_view line,
+                                 std::string* error = nullptr);
+
+  /// Parse a whole stream: @prefix directives, comments (#...), and rules.
+  /// Stops at the first malformed line and reports it via *error.
+  std::optional<RuleSet> parse(std::istream& in, std::string* error = nullptr);
+
+ private:
+  rdf::Dictionary& dict_;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace parowl::rules

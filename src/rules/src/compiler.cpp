@@ -1,0 +1,165 @@
+#include "parowl/rules/compiler.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace parowl::rules {
+namespace {
+
+/// True iff `atom` can only ever match schema triples: its predicate is a
+/// constant schema predicate, or it is (?x rdf:type <MetaClass>).
+bool is_schema_atom(const Atom& atom, const ontology::Vocabulary& vocab) {
+  if (!atom.p.is_const()) {
+    return false;
+  }
+  const rdf::TermId p = atom.p.const_id();
+  if (vocab.is_schema_predicate(p)) {
+    return true;
+  }
+  if (p == vocab.rdf_type && atom.o.is_const() &&
+      vocab.is_meta_class(atom.o.const_id())) {
+    return true;
+  }
+  return false;
+}
+
+/// Apply a binding to an atom term.
+AtomTerm substitute(const AtomTerm& t, const Binding& binding) {
+  if (t.is_const()) {
+    return t;
+  }
+  const rdf::TermId bound = binding[static_cast<std::size_t>(t.var_index())];
+  return bound == rdf::kAnyTerm ? t : AtomTerm::constant(bound);
+}
+
+Atom substitute(const Atom& a, const Binding& binding) {
+  return Atom{substitute(a.s, binding), substitute(a.p, binding),
+              substitute(a.o, binding)};
+}
+
+/// Enumerate all bindings of `atoms[i..]` against `store`, extending
+/// `binding`, invoking `emit` for each complete assignment.
+void enumerate(const std::vector<Atom>& atoms, std::size_t i,
+               const rdf::TripleStore& store, Binding& binding,
+               const std::function<void(const Binding&)>& emit) {
+  if (i == atoms.size()) {
+    emit(binding);
+    return;
+  }
+  const Atom a = substitute(atoms[i], binding);
+  rdf::TriplePattern pat;
+  pat.s = a.s.is_const() ? a.s.const_id() : rdf::kAnyTerm;
+  pat.p = a.p.is_const() ? a.p.const_id() : rdf::kAnyTerm;
+  pat.o = a.o.is_const() ? a.o.const_id() : rdf::kAnyTerm;
+  store.match(pat, [&](const rdf::Triple& t) {
+    // Bind the free positions; positions sharing a variable within this
+    // atom must agree.
+    Binding next = binding;
+    auto bind = [&next](const AtomTerm& at, rdf::TermId value) {
+      if (at.is_var()) {
+        const auto idx = static_cast<std::size_t>(at.var_index());
+        if (next[idx] != rdf::kAnyTerm && next[idx] != value) {
+          return false;
+        }
+        next[idx] = value;
+      }
+      return true;
+    };
+    if (bind(a.s, t.s) && bind(a.p, t.p) && bind(a.o, t.o)) {
+      enumerate(atoms, i + 1, store, next, emit);
+    }
+  });
+}
+
+/// Canonically renumber the variables of a rule (first-occurrence order) so
+/// structurally equal specializations deduplicate.
+Rule renumber(Rule rule) {
+  std::map<int, int> remap;
+  auto relabel = [&remap](AtomTerm t) {
+    if (t.is_const()) {
+      return t;
+    }
+    const auto [it, fresh] =
+        remap.try_emplace(t.var_index(), static_cast<int>(remap.size()));
+    return AtomTerm::var(it->second);
+  };
+  for (Atom& a : rule.body) {
+    a.s = relabel(a.s);
+    a.p = relabel(a.p);
+    a.o = relabel(a.o);
+  }
+  rule.head.s = relabel(rule.head.s);
+  rule.head.p = relabel(rule.head.p);
+  rule.head.o = relabel(rule.head.o);
+  rule.num_vars = static_cast<int>(remap.size());
+  return rule;
+}
+
+/// Structural key for deduplication (ignores the name).
+using RuleKey = std::pair<std::vector<Atom>, Atom>;
+
+}  // namespace
+
+CompiledRules compile_rules(const RuleSet& generic,
+                            const rdf::TripleStore& schema_store,
+                            const ontology::Vocabulary& vocab) {
+  CompiledRules out;
+  std::set<RuleKey> seen;
+
+  auto add_rule = [&](Rule rule) {
+    rule = renumber(std::move(rule));
+    if (!seen.emplace(rule.body, rule.head).second) {
+      return;
+    }
+    out.rules.add(std::move(rule));
+  };
+
+  for (const Rule& rule : generic.rules()) {
+    std::vector<Atom> schema_atoms;
+    std::vector<Atom> instance_atoms;
+    for (const Atom& a : rule.body) {
+      (is_schema_atom(a, vocab) ? schema_atoms : instance_atoms).push_back(a);
+    }
+
+    if (schema_atoms.empty()) {
+      add_rule(rule);
+      continue;
+    }
+
+    Binding binding{};
+    std::size_t local = 0;
+    enumerate(schema_atoms, 0, schema_store, binding,
+              [&](const Binding& b) {
+                ++local;
+                Rule spec;
+                spec.name = rule.name;
+                for (const Atom& a : instance_atoms) {
+                  spec.body.push_back(substitute(a, b));
+                }
+                spec.head = substitute(rule.head, b);
+                spec.num_vars = rule.num_vars;
+                if (spec.body.empty()) {
+                  // Pure schema derivation: the head must now be ground.
+                  if (spec.head.is_ground()) {
+                    out.ground_facts.push_back(
+                        rdf::Triple{spec.head.s.const_id(),
+                                    spec.head.p.const_id(),
+                                    spec.head.o.const_id()});
+                  }
+                  return;
+                }
+                // Drop degenerate specializations that conclude what they
+                // premise (e.g. rdfs7 on p subPropertyOf p).
+                if (spec.body.size() == 1 && spec.body[0] == spec.head) {
+                  return;
+                }
+                add_rule(std::move(spec));
+              });
+    out.specializations += local;
+  }
+  return out;
+}
+
+}  // namespace parowl::rules

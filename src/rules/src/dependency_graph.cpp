@@ -1,0 +1,66 @@
+#include "parowl/rules/dependency_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace parowl::rules {
+
+bool may_trigger(const Atom& head, const Atom& body_atom) {
+  auto compatible = [](const AtomTerm& a, const AtomTerm& b) {
+    // Variables live in different rule scopes, so a variable unifies with
+    // anything; two constants must be equal.
+    if (a.is_var() || b.is_var()) {
+      return true;
+    }
+    return a.const_id() == b.const_id();
+  };
+  return compatible(head.s, body_atom.s) && compatible(head.p, body_atom.p) &&
+         compatible(head.o, body_atom.o);
+}
+
+DependencyGraph build_dependency_graph(const RuleSet& rules,
+                                       const rdf::TripleStore* stats) {
+  DependencyGraph g;
+  g.num_rules = rules.size();
+  for (std::size_t producer = 0; producer < rules.size(); ++producer) {
+    const Atom& head = rules[producer].head;
+    // Weight: expected volume of tuples flowing along this edge — the
+    // frequency of the producing predicate in the sample data-set.
+    std::uint64_t weight = 1;
+    if (stats != nullptr && head.p.is_const()) {
+      weight = 1 + stats->with_predicate(head.p.const_id()).size();
+    }
+    for (std::size_t consumer = 0; consumer < rules.size(); ++consumer) {
+      for (const Atom& body_atom : rules[consumer].body) {
+        if (may_trigger(head, body_atom)) {
+          g.edges.push_back(
+              DependencyGraph::Edge{producer, consumer, weight});
+          break;  // one edge per (producer, consumer) pair
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>>
+DependencyGraph::undirected_adjacency() const {
+  // Merge parallel/reverse edges, dropping self-loops.
+  std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> merged;
+  for (const Edge& e : edges) {
+    if (e.from == e.to) {
+      continue;
+    }
+    const auto key = std::minmax(e.from, e.to);
+    merged[{key.first, key.second}] += e.weight;
+  }
+  std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>> adj(
+      num_rules);
+  for (const auto& [key, w] : merged) {
+    adj[key.first].emplace_back(key.second, w);
+    adj[key.second].emplace_back(key.first, w);
+  }
+  return adj;
+}
+
+}  // namespace parowl::rules

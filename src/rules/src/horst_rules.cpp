@@ -1,0 +1,164 @@
+#include "parowl/rules/horst_rules.hpp"
+
+namespace parowl::rules {
+namespace {
+
+AtomTerm C(rdf::TermId id) { return AtomTerm::constant(id); }
+AtomTerm V(int index) { return AtomTerm::var(index); }
+
+Rule make(std::string name, std::vector<Atom> body, Atom head, int num_vars) {
+  Rule r;
+  r.name = std::move(name);
+  r.body = std::move(body);
+  r.head = head;
+  r.num_vars = num_vars;
+  return r;
+}
+
+}  // namespace
+
+RuleSet horst_rules(const ontology::Vocabulary& vocab,
+                    const HorstOptions& options) {
+  RuleSet rs;
+  const auto type = C(vocab.rdf_type);
+  const auto sub_class = C(vocab.rdfs_subclass_of);
+  const auto sub_prop = C(vocab.rdfs_subproperty_of);
+  const auto domain = C(vocab.rdfs_domain);
+  const auto range = C(vocab.rdfs_range);
+  const auto same_as = C(vocab.owl_same_as);
+  const auto inverse_of = C(vocab.owl_inverse_of);
+  const auto eq_class = C(vocab.owl_equivalent_class);
+  const auto eq_prop = C(vocab.owl_equivalent_property);
+  const auto on_prop = C(vocab.owl_on_property);
+  const auto has_value = C(vocab.owl_has_value);
+  const auto some_from = C(vocab.owl_some_values_from);
+  const auto all_from = C(vocab.owl_all_values_from);
+
+  // --- RDFS core -----------------------------------------------------------
+  // rdfs2: (?p domain ?c) (?x ?p ?y) -> (?x type ?c)
+  rs.add(make("rdfs2", {{V(0), domain, V(1)}, {V(2), V(0), V(3)}},
+              {V(2), type, V(1)}, 4));
+  // rdfs3: (?p range ?c) (?x ?p ?y) -> (?y type ?c)
+  rs.add(make("rdfs3", {{V(0), range, V(1)}, {V(2), V(0), V(3)}},
+              {V(3), type, V(1)}, 4));
+  // rdfs5: subPropertyOf transitivity.
+  rs.add(make("rdfs5", {{V(0), sub_prop, V(1)}, {V(1), sub_prop, V(2)}},
+              {V(0), sub_prop, V(2)}, 3));
+  // rdfs7: (?p subPropertyOf ?q) (?x ?p ?y) -> (?x ?q ?y)
+  rs.add(make("rdfs7", {{V(0), sub_prop, V(1)}, {V(2), V(0), V(3)}},
+              {V(2), V(1), V(3)}, 4));
+  // rdfs9: (?c subClassOf ?d) (?x type ?c) -> (?x type ?d)
+  rs.add(make("rdfs9", {{V(0), sub_class, V(1)}, {V(2), type, V(0)}},
+              {V(2), type, V(1)}, 3));
+  // rdfs11: subClassOf transitivity.
+  rs.add(make("rdfs11", {{V(0), sub_class, V(1)}, {V(1), sub_class, V(2)}},
+              {V(0), sub_class, V(2)}, 3));
+
+  // --- OWL property characteristics (pD*) ----------------------------------
+  if (options.include_same_as) {
+    // rdfp1 (functional): (?p type Functional) (?x ?p ?y) (?x ?p ?z)
+    //                     -> (?y sameAs ?z)
+    rs.add(make("rdfp1",
+                {{V(0), type, C(vocab.owl_functional_property)},
+                 {V(1), V(0), V(2)},
+                 {V(1), V(0), V(3)}},
+                {V(2), same_as, V(3)}, 4));
+    // rdfp2 (inverse functional): (?p type InvFunctional) (?x ?p ?y)
+    //                             (?z ?p ?y) -> (?x sameAs ?z)
+    rs.add(make("rdfp2",
+                {{V(0), type, C(vocab.owl_inverse_functional_property)},
+                 {V(1), V(0), V(2)},
+                 {V(3), V(0), V(2)}},
+                {V(1), same_as, V(3)}, 4));
+  }
+  // rdfp3 (symmetric): (?p type Symmetric) (?x ?p ?y) -> (?y ?p ?x)
+  rs.add(make("rdfp3",
+              {{V(0), type, C(vocab.owl_symmetric_property)},
+               {V(1), V(0), V(2)}},
+              {V(2), V(0), V(1)}, 3));
+  // rdfp4 (transitive): (?p type Transitive) (?x ?p ?y) (?y ?p ?z)
+  //                     -> (?x ?p ?z)
+  rs.add(make("rdfp4",
+              {{V(0), type, C(vocab.owl_transitive_property)},
+               {V(1), V(0), V(2)},
+               {V(2), V(0), V(3)}},
+              {V(1), V(0), V(3)}, 4));
+
+  if (options.include_same_as) {
+    // rdfp6: sameAs symmetry; rdfp7: sameAs transitivity.
+    rs.add(make("rdfp6", {{V(0), same_as, V(1)}}, {V(1), same_as, V(0)}, 2));
+    rs.add(make("rdfp7", {{V(0), same_as, V(1)}, {V(1), same_as, V(2)}},
+                {V(0), same_as, V(2)}, 3));
+    // rdfp11: sameAs propagation into statements.  This is the paper's "all
+    // but one" exception: it keeps three body atoms even after compilation.
+    rs.add(make("rdfp11a", {{V(0), same_as, V(1)}, {V(0), V(2), V(3)}},
+                {V(1), V(2), V(3)}, 4));
+    rs.add(make("rdfp11b", {{V(0), same_as, V(1)}, {V(2), V(3), V(0)}},
+                {V(2), V(3), V(1)}, 4));
+  }
+
+  // rdfp8a/b: inverseOf.
+  rs.add(make("rdfp8a", {{V(0), inverse_of, V(1)}, {V(2), V(0), V(3)}},
+              {V(3), V(1), V(2)}, 4));
+  rs.add(make("rdfp8b", {{V(0), inverse_of, V(1)}, {V(2), V(1), V(3)}},
+              {V(3), V(0), V(2)}, 4));
+
+  // rdfp12a/b/c: equivalentClass <-> subClassOf.
+  rs.add(make("rdfp12a", {{V(0), eq_class, V(1)}}, {V(0), sub_class, V(1)},
+              2));
+  rs.add(make("rdfp12b", {{V(0), eq_class, V(1)}}, {V(1), sub_class, V(0)},
+              2));
+  rs.add(make("rdfp12c", {{V(0), sub_class, V(1)}, {V(1), sub_class, V(0)}},
+              {V(0), eq_class, V(1)}, 2));
+  // rdfp13a/b/c: equivalentProperty <-> subPropertyOf.
+  rs.add(make("rdfp13a", {{V(0), eq_prop, V(1)}}, {V(0), sub_prop, V(1)}, 2));
+  rs.add(make("rdfp13b", {{V(0), eq_prop, V(1)}}, {V(1), sub_prop, V(0)}, 2));
+  rs.add(make("rdfp13c", {{V(0), sub_prop, V(1)}, {V(1), sub_prop, V(0)}},
+              {V(0), eq_prop, V(1)}, 2));
+
+  if (options.include_restrictions) {
+    // rdfp14a: (?c hasValue ?v) (?c onProperty ?p) (?x ?p ?v) -> (?x type ?c)
+    rs.add(make("rdfp14a",
+                {{V(0), has_value, V(1)},
+                 {V(0), on_prop, V(2)},
+                 {V(3), V(2), V(1)}},
+                {V(3), type, V(0)}, 4));
+    // rdfp14b: (?c hasValue ?v) (?c onProperty ?p) (?x type ?c) -> (?x ?p ?v)
+    rs.add(make("rdfp14b",
+                {{V(0), has_value, V(1)},
+                 {V(0), on_prop, V(2)},
+                 {V(3), type, V(0)}},
+                {V(3), V(2), V(1)}, 4));
+    // rdfp15: (?c someValuesFrom ?d) (?c onProperty ?p) (?x ?p ?y)
+    //         (?y type ?d) -> (?x type ?c)
+    rs.add(make("rdfp15",
+                {{V(0), some_from, V(1)},
+                 {V(0), on_prop, V(2)},
+                 {V(3), V(2), V(4)},
+                 {V(4), type, V(1)}},
+                {V(3), type, V(0)}, 5));
+    // rdfp16: (?c allValuesFrom ?d) (?c onProperty ?p) (?x type ?c)
+    //         (?x ?p ?y) -> (?y type ?d)
+    rs.add(make("rdfp16",
+                {{V(0), all_from, V(1)},
+                 {V(0), on_prop, V(2)},
+                 {V(3), type, V(0)},
+                 {V(3), V(2), V(4)}},
+                {V(4), type, V(1)}, 5));
+  }
+
+  if (options.include_reflexivity) {
+    // rdfs6/rdfs10-style reflexivity: every class/property relates to
+    // itself.  Off by default (adds noise triples).
+    rs.add(make("rdfs6",
+                {{V(0), type, C(vocab.rdf_property)}},
+                {V(0), sub_prop, V(0)}, 1));
+    rs.add(make("rdfs10",
+                {{V(0), type, C(vocab.owl_class)}},
+                {V(0), sub_class, V(0)}, 1));
+  }
+
+  return rs;
+}
+
+}  // namespace parowl::rules

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace parowl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one line to stderr with a level prefix.  Thread-safe (single write).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: log_info("round ", r, " sent ", n, " tuples").
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    std::ostringstream os;
+    detail::append(os, args...);
+    log_line(LogLevel::kDebug, os.str());
+  }
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    std::ostringstream os;
+    detail::append(os, args...);
+    log_line(LogLevel::kInfo, os.str());
+  }
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    std::ostringstream os;
+    detail::append(os, args...);
+    log_line(LogLevel::kWarn, os.str());
+  }
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  std::ostringstream os;
+  detail::append(os, args...);
+  log_line(LogLevel::kError, os.str());
+}
+
+}  // namespace parowl::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace parowl::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).  The benchmark generators must
+/// be reproducible across runs and platforms, so we avoid std::mt19937's
+/// distribution non-portability and seed everything through SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound).  `bound` must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace parowl::util

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parowl::util {
+
+/// Split `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char sep);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// FNV-1a 64-bit hash of a byte string.  Used by the streaming hash
+/// partitioner so partition assignment is stable across platforms (unlike
+/// std::hash<std::string>).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+
+/// 64-bit integer mix (SplitMix64 finalizer); used to hash TermIds.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace parowl::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parowl::util {
+
+/// Fixed-width text-table printer used by the benchmark harnesses to emit the
+/// rows/series each paper table and figure reports.  Cells are strings; the
+/// printer right-pads to the widest cell per column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row.  Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows (excluding the header).
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (for post-processing/plotting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+[[nodiscard]] std::string fmt_int(long long v);
+
+}  // namespace parowl::util

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace parowl::util {
+
+/// Monotonic stopwatch used throughout the runtime to attribute time to the
+/// sub-tasks the paper reports (reasoning, IO, synchronization, aggregation).
+///
+/// The watch starts running on construction; `elapsed_*()` may be called at
+/// any time, and `restart()` resets the origin.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Reset the origin to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last restart, in seconds.
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in integral microseconds (useful for stable test output).
+  [[nodiscard]] std::int64_t elapsed_micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates time across many disjoint intervals.  Used by the parallel
+/// workers to sum, per round, the time spent in each sub-task so that the
+/// Fig. 2 overhead breakdown can be reconstructed exactly.
+class TimeAccumulator {
+ public:
+  /// Add `seconds` to the running total.
+  void add(double seconds) { total_ += seconds; }
+
+  /// Run `fn` and add its wall-clock duration to the total; returns fn's
+  /// result (or void).
+  template <typename Fn>
+  auto time(Fn&& fn) {
+    Stopwatch sw;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      total_ += sw.elapsed_seconds();
+    } else {
+      auto result = fn();
+      total_ += sw.elapsed_seconds();
+      return result;
+    }
+  }
+
+  [[nodiscard]] double seconds() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  double total_ = 0.0;
+};
+
+/// Format a duration in seconds as a short human string ("1.23 s", "45 ms").
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace parowl::util

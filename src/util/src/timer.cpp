@@ -1,0 +1,23 @@
+#include "parowl/util/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace parowl::util {
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (!std::isfinite(seconds)) {
+    return "inf";
+  }
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace parowl::util

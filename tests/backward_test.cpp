@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "parowl/reason/backward.hpp"
+#include "parowl/rules/rule_parser.hpp"
+
+namespace parowl::reason {
+namespace {
+
+class BackwardTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  rules::RuleParser parser{dict};
+  rdf::TripleStore store;
+
+  rdf::TermId iri(const std::string& s) { return dict.intern_iri(s); }
+
+  rules::RuleSet rules(std::initializer_list<const char*> lines) {
+    rules::RuleSet rs;
+    for (const char* line : lines) {
+      std::string err;
+      auto r = parser.parse_rule(line, &err);
+      EXPECT_TRUE(r.has_value()) << line << ": " << err;
+      rs.add(std::move(*r));
+    }
+    return rs;
+  }
+
+  std::vector<rdf::Triple> ask(const rules::RuleSet& rs,
+                               const rdf::TriplePattern& goal) {
+    BackwardEngine engine(store, rs, BackwardOptions{.dict = &dict});
+    std::vector<rdf::Triple> out;
+    engine.query(goal, out);
+    return out;
+  }
+};
+
+TEST_F(BackwardTest, BaseFactsAreAnswered) {
+  store.insert({iri("a"), iri("p"), iri("b")});
+  const auto answers =
+      ask(rules::RuleSet{}, {iri("a"), rdf::kAnyTerm, rdf::kAnyTerm});
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], (rdf::Triple{iri("a"), iri("p"), iri("b")}));
+}
+
+TEST_F(BackwardTest, OneStepDerivation) {
+  store.insert({iri("a"), iri("p"), iri("b")});
+  const auto rs = rules({"r: (?x <p> ?y) -> (?x <q> ?y)"});
+  const auto answers = ask(rs, {iri("a"), iri("q"), rdf::kAnyTerm});
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].o, iri("b"));
+}
+
+TEST_F(BackwardTest, ChainedDerivation) {
+  store.insert({iri("sam"), iri("type"), iri("Student")});
+  const auto rs = rules(
+      {"r1: (?x <type> <Student>) -> (?x <type> <Person>)",
+       "r2: (?x <type> <Person>) -> (?x <type> <Agent>)"});
+  const auto answers = ask(rs, {iri("sam"), iri("type"), iri("Agent")});
+  EXPECT_EQ(answers.size(), 1u);
+}
+
+TEST_F(BackwardTest, RecursiveTransitiveProperty) {
+  const auto p = iri("p");
+  store.insert({iri("a"), p, iri("b")});
+  store.insert({iri("b"), p, iri("c")});
+  store.insert({iri("c"), p, iri("d")});
+  const auto rs = rules({"t: (?x <p> ?y) (?y <p> ?z) -> (?x <p> ?z)"});
+  const auto answers = ask(rs, {iri("a"), p, rdf::kAnyTerm});
+  // One tabled session reaches b, c and d from a.
+  std::vector<rdf::TermId> objects;
+  for (const auto& t : answers) {
+    objects.push_back(t.o);
+  }
+  EXPECT_NE(std::ranges::find(objects, iri("d")), objects.end());
+  EXPECT_EQ(answers.size(), 3u);
+}
+
+TEST_F(BackwardTest, GoalConstantsFlowIntoBody) {
+  store.insert({iri("a"), iri("p"), iri("b")});
+  store.insert({iri("c"), iri("p"), iri("d")});
+  const auto rs = rules({"r: (?x <p> ?y) -> (?y <inv> ?x)"});
+  const auto answers = ask(rs, {iri("b"), iri("inv"), rdf::kAnyTerm});
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].o, iri("a"));
+}
+
+TEST_F(BackwardTest, FullyUnboundGoalEnumeratesEverything) {
+  store.insert({iri("a"), iri("p"), iri("b")});
+  const auto rs = rules({"r: (?x <p> ?y) -> (?y <p2> ?x)"});
+  const auto answers =
+      ask(rs, {rdf::kAnyTerm, rdf::kAnyTerm, rdf::kAnyTerm});
+  EXPECT_EQ(answers.size(), 2u);  // base fact + derived
+}
+
+TEST_F(BackwardTest, NoDuplicateAnswers) {
+  store.insert({iri("a"), iri("p"), iri("b")});
+  store.insert({iri("a"), iri("q"), iri("b")});
+  const auto rs = rules({"r1: (?x <p> ?y) -> (?x <r> ?y)",
+                         "r2: (?x <q> ?y) -> (?x <r> ?y)"});
+  const auto answers = ask(rs, {iri("a"), iri("r"), rdf::kAnyTerm});
+  EXPECT_EQ(answers.size(), 1u);  // derived twice, reported once
+}
+
+TEST_F(BackwardTest, LiteralGuardInBackwardChaining) {
+  const auto lit = dict.intern_literal("\"v\"");
+  store.insert({iri("a"), iri("p"), lit});
+  const auto rs = rules({"r: (?x <p> ?y) -> (?y <type> <C>)"});
+  const auto answers = ask(rs, {rdf::kAnyTerm, iri("type"), rdf::kAnyTerm});
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST_F(BackwardTest, StatsCountSubgoals) {
+  store.insert({iri("a"), iri("p"), iri("b")});
+  const auto rs = rules({"r: (?x <p> ?y) -> (?x <q> ?y)"});
+  BackwardEngine engine(store, rs, BackwardOptions{.dict = &dict});
+  std::vector<rdf::Triple> out;
+  engine.query({iri("a"), iri("q"), rdf::kAnyTerm}, out);
+  EXPECT_GE(engine.stats().subgoals, 1u);
+  EXPECT_GE(engine.stats().resolutions, 1u);
+  EXPECT_GE(engine.stats().store_probes, 1u);
+}
+
+TEST_F(BackwardTest, TablingMemoizesRepeatedSubgoals) {
+  const auto p = iri("p");
+  for (int i = 0; i < 10; ++i) {
+    store.insert({iri("x" + std::to_string(i)), p,
+                  iri("x" + std::to_string(i + 1))});
+  }
+  const auto rs = rules({"t: (?x <p> ?y) (?y <p> ?z) -> (?x <p> ?z)"});
+  BackwardEngine engine(store, rs, BackwardOptions{.dict = &dict});
+  std::vector<rdf::Triple> out1, out2;
+  engine.query({iri("x0"), p, rdf::kAnyTerm}, out1);
+  const std::size_t subgoals_after_first = engine.stats().subgoals;
+  engine.query({iri("x0"), p, rdf::kAnyTerm}, out2);
+  // Second identical query answers straight from the table.
+  EXPECT_EQ(engine.stats().subgoals, subgoals_after_first);
+  EXPECT_EQ(out1.size(), out2.size());
+}
+
+}  // namespace
+}  // namespace parowl::reason

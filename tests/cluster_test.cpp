@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/gen/mdc.hpp"
+#include "parowl/parallel/pipeline.hpp"
+#include "parowl/reason/materialize.hpp"
+
+namespace parowl::parallel {
+namespace {
+
+/// Fixture with a small LUBM data-set and its serial closure to compare
+/// every parallel configuration against.
+class ClusterTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab{dict};
+  rdf::TripleStore store;
+  rdf::TripleStore serial;
+
+  void SetUp() override {
+    gen::LubmOptions opts;
+    opts.universities = 2;
+    opts.departments_per_university = 2;
+    opts.faculty_per_department = 4;
+    opts.students_per_faculty = 3;
+    gen::generate_lubm(opts, dict, store);
+
+    serial.insert_all(store.triples());
+    reason::materialize(serial, dict, vocab, {});
+  }
+
+  void expect_equivalent(const ParallelResult& result) {
+    ASSERT_TRUE(result.merged.has_value());
+    const rdf::TripleStore& merged = *result.merged;
+    EXPECT_EQ(merged.size(), serial.size());
+    for (const rdf::Triple& t : serial.triples()) {
+      ASSERT_TRUE(merged.contains(t))
+          << "missing inference in parallel result";
+    }
+    for (const rdf::Triple& t : merged.triples()) {
+      ASSERT_TRUE(serial.contains(t)) << "parallel derived extra triple";
+    }
+  }
+};
+
+TEST_F(ClusterTest, DataPartitionGraphPolicyMatchesSerial) {
+  const partition::GraphOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  EXPECT_GE(result.cluster.rounds, 1u);
+  ASSERT_TRUE(result.metrics.has_value());
+  EXPECT_GE(result.metrics->total_nodes, 1u);
+}
+
+TEST_F(ClusterTest, DataPartitionHashPolicyMatchesSerial) {
+  const partition::HashOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  expect_equivalent(parallel_materialize(store, dict, vocab, opts));
+}
+
+TEST_F(ClusterTest, DataPartitionDomainPolicyMatchesSerial) {
+  const partition::DomainOwnerPolicy policy(&partition::lubm_university_key);
+  ParallelOptions opts;
+  opts.partitions = 2;
+  opts.policy = &policy;
+  expect_equivalent(parallel_materialize(store, dict, vocab, opts));
+}
+
+TEST_F(ClusterTest, RulePartitionMatchesSerial) {
+  ParallelOptions opts;
+  opts.approach = Approach::kRulePartition;
+  opts.partitions = 3;
+  expect_equivalent(parallel_materialize(store, dict, vocab, opts));
+}
+
+TEST_F(ClusterTest, RulePartitionUnweightedMatchesSerial) {
+  ParallelOptions opts;
+  opts.approach = Approach::kRulePartition;
+  opts.partitions = 2;
+  opts.weighted_rule_graph = false;
+  expect_equivalent(parallel_materialize(store, dict, vocab, opts));
+}
+
+TEST_F(ClusterTest, ThreadedModeMatchesSequential) {
+  const partition::GraphOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 3;
+  opts.policy = &policy;
+  opts.mode = ExecutionMode::kThreaded;
+  expect_equivalent(parallel_materialize(store, dict, vocab, opts));
+}
+
+TEST_F(ClusterTest, FileTransportMatchesSerial) {
+  const partition::GraphOwnerPolicy policy;
+  const auto spool = std::filesystem::temp_directory_path() /
+                     "parowl_cluster_test_spool";
+  FileTransport transport(spool, dict, 3);
+  ParallelOptions opts;
+  opts.partitions = 3;
+  opts.policy = &policy;
+  opts.transport = &transport;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  // File transport must have actually moved bytes (unless the partitioning
+  // was perfect — with 3 graph partitions over 2 universities it cannot be).
+  std::uint64_t bytes = 0;
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    bytes += transport.stats(p).bytes_sent;
+  }
+  EXPECT_GT(bytes, 0u);
+}
+
+TEST_F(ClusterTest, QueryDrivenWorkersMatchSerial) {
+  const partition::DomainOwnerPolicy policy(&partition::lubm_university_key);
+  ParallelOptions opts;
+  opts.partitions = 2;
+  opts.policy = &policy;
+  opts.local_strategy = reason::Strategy::kQueryDriven;
+  expect_equivalent(parallel_materialize(store, dict, vocab, opts));
+}
+
+TEST_F(ClusterTest, SinglePartitionIsSerial) {
+  const partition::GraphOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 1;
+  opts.policy = &policy;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  // One partition never communicates.
+  EXPECT_EQ(result.cluster.rounds, 1u);
+  EXPECT_NEAR(result.output_replication, 0.0, 1e-9);
+}
+
+TEST_F(ClusterTest, BreakdownAndSimulatedTimeArePopulated) {
+  const partition::GraphOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  EXPECT_EQ(result.cluster.breakdown.size(), result.cluster.rounds);
+  EXPECT_GT(result.cluster.simulated_seconds, 0.0);
+  EXPECT_GT(result.cluster.reason_seconds, 0.0);
+  EXPECT_GE(result.cluster.sync_seconds, 0.0);
+  // Round maxima decompose the simulated time.
+  double sum = 0.0;
+  for (const RoundBreakdown& rb : result.cluster.breakdown) {
+    sum += rb.reason_max + rb.io_max + rb.aggregate_max;
+  }
+  EXPECT_NEAR(sum, result.cluster.simulated_seconds, 1e-9);
+}
+
+TEST_F(ClusterTest, MergedDisabledSkipsStore) {
+  const partition::GraphOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 2;
+  opts.policy = &policy;
+  opts.build_merged = false;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  EXPECT_FALSE(result.merged.has_value());
+  EXPECT_EQ(result.inferred, serial.size() - store.size());
+}
+
+TEST_F(ClusterTest, NetworkModelChargesCommunication) {
+  // Hash partitioning guarantees cross-partition traffic; under the memory
+  // transport the network model must charge it.
+  const partition::HashOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.build_merged = false;
+  // Absurdly slow network: communication must dominate.
+  opts.network.latency_seconds = 0.01;
+  opts.network.bandwidth_bytes_per_sec = 1e4;
+  const ParallelResult slow = parallel_materialize(store, dict, vocab, opts);
+
+  opts.network.latency_seconds = 1e-9;
+  opts.network.bandwidth_bytes_per_sec = 1e12;
+  const ParallelResult fast = parallel_materialize(store, dict, vocab, opts);
+
+  EXPECT_GT(slow.cluster.io_seconds, fast.cluster.io_seconds * 100);
+  EXPECT_GT(slow.cluster.simulated_seconds,
+            fast.cluster.simulated_seconds);
+}
+
+TEST_F(ClusterTest, PerWorkerReasonTotalsExposed) {
+  const partition::GraphOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 3;
+  opts.policy = &policy;
+  opts.build_merged = false;
+  const ParallelResult r = parallel_materialize(store, dict, vocab, opts);
+  ASSERT_EQ(r.cluster.reason_seconds_per_worker.size(), 3u);
+  double total = 0.0;
+  for (const double t : r.cluster.reason_seconds_per_worker) {
+    EXPECT_GE(t, 0.0);
+    total += t;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(ClusterTest, MdcParallelMatchesSerial) {
+  rdf::TripleStore mdc;
+  gen::MdcOptions mopts;
+  mopts.fields = 3;
+  mopts.wells_per_reservoir = 4;
+  gen::generate_mdc(mopts, dict, mdc);
+
+  rdf::TripleStore mdc_serial;
+  mdc_serial.insert_all(mdc.triples());
+  reason::materialize(mdc_serial, dict, vocab, {});
+
+  const partition::DomainOwnerPolicy policy(&gen::mdc_field_key);
+  ParallelOptions opts;
+  opts.partitions = 3;
+  opts.policy = &policy;
+  const ParallelResult result = parallel_materialize(mdc, dict, vocab, opts);
+  ASSERT_TRUE(result.merged.has_value());
+  EXPECT_EQ(result.merged->size(), mdc_serial.size());
+  for (const rdf::Triple& t : mdc_serial.triples()) {
+    ASSERT_TRUE(result.merged->contains(t));
+  }
+}
+
+}  // namespace
+}  // namespace parowl::parallel

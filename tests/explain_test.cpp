@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/reason/explain.hpp"
+#include "parowl/reason/materialize.hpp"
+
+namespace parowl::reason {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab{dict};
+  rdf::TripleStore base;
+  rdf::TripleStore materialized;
+  rules::RuleSet active_rules;
+
+  rdf::TermId iri(const std::string& s) { return dict.intern_iri(s); }
+
+  void materialize_kb() {
+    materialized.insert_all(base.triples());
+    const rules::CompiledRules compiled = compile_ontology(base, vocab);
+    // Schema-closure ground facts count as asserted for explanation: the
+    // compiler folded their derivations into rule constants.
+    materialized.insert_all(compiled.ground_facts);
+    base.insert_all(compiled.ground_facts);
+    ForwardOptions fopts;
+    fopts.dict = &dict;
+    ForwardEngine(materialized, compiled.rules, fopts).run(0);
+    active_rules = compiled.rules;
+  }
+
+  /// Count asserted leaves / total nodes in a proof tree.
+  static void tree_stats(const Derivation& node, std::size_t& leaves,
+                         std::size_t& nodes) {
+    ++nodes;
+    if (node.asserted) {
+      ++leaves;
+      EXPECT_TRUE(node.premises.empty());
+    }
+    for (const auto& p : node.premises) {
+      tree_stats(*p, leaves, nodes);
+    }
+  }
+};
+
+TEST_F(ExplainTest, BaseFactIsAsserted) {
+  base.insert({iri("a"), iri("p"), iri("b")});
+  materialize_kb();
+  const Explainer ex(materialized, base, active_rules);
+  const auto proof = ex.explain({iri("a"), iri("p"), iri("b")});
+  ASSERT_NE(proof, nullptr);
+  EXPECT_TRUE(proof->asserted);
+}
+
+TEST_F(ExplainTest, SubclassDerivationExplained) {
+  const auto student = iri("Student"), person = iri("Person");
+  base.insert({student, vocab.rdfs_subclass_of, person});
+  base.insert({iri("sam"), vocab.rdf_type, student});
+  materialize_kb();
+
+  const Explainer ex(materialized, base, active_rules);
+  const auto proof = ex.explain({iri("sam"), vocab.rdf_type, person});
+  ASSERT_NE(proof, nullptr);
+  EXPECT_FALSE(proof->asserted);
+  EXPECT_EQ(proof->rule_name, "rdfs9");
+  ASSERT_EQ(proof->premises.size(), 1u);
+  EXPECT_TRUE(proof->premises[0]->asserted);
+}
+
+TEST_F(ExplainTest, TransitiveChainProofBottomsOut) {
+  const auto anc = iri("anc");
+  base.insert({anc, vocab.rdf_type, vocab.owl_transitive_property});
+  base.insert({iri("a"), anc, iri("b")});
+  base.insert({iri("b"), anc, iri("c")});
+  base.insert({iri("c"), anc, iri("d")});
+  materialize_kb();
+
+  const Explainer ex(materialized, base, active_rules);
+  const auto proof = ex.explain({iri("a"), anc, iri("d")});
+  ASSERT_NE(proof, nullptr);
+  EXPECT_EQ(proof->rule_name, "rdfp4");
+  std::size_t leaves = 0, nodes = 0;
+  tree_stats(*proof, leaves, nodes);
+  EXPECT_GE(leaves, 3u);  // the full chain participates
+  EXPECT_GT(nodes, leaves);
+}
+
+TEST_F(ExplainTest, SymmetricPairDoesNotLoop) {
+  const auto knows = iri("knows");
+  base.insert({knows, vocab.rdf_type, vocab.owl_symmetric_property});
+  base.insert({iri("x"), knows, iri("y")});
+  materialize_kb();
+
+  const Explainer ex(materialized, base, active_rules);
+  // (y knows x) is derived from the asserted (x knows y), never from
+  // itself via double symmetry.
+  const auto proof = ex.explain({iri("y"), knows, iri("x")});
+  ASSERT_NE(proof, nullptr);
+  EXPECT_EQ(proof->rule_name, "rdfp3");
+  ASSERT_EQ(proof->premises.size(), 1u);
+  EXPECT_TRUE(proof->premises[0]->asserted);
+}
+
+TEST_F(ExplainTest, UnknownTripleHasNoProof) {
+  base.insert({iri("a"), iri("p"), iri("b")});
+  materialize_kb();
+  const Explainer ex(materialized, base, active_rules);
+  EXPECT_EQ(ex.explain({iri("b"), iri("p"), iri("a")}), nullptr);
+}
+
+TEST_F(ExplainTest, EveryInferredLubmTripleIsExplainable) {
+  gen::LubmOptions opts;
+  opts.universities = 1;
+  opts.departments_per_university = 1;
+  opts.faculty_per_department = 2;
+  opts.students_per_faculty = 2;
+  gen::generate_lubm(opts, dict, base);
+  materialize_kb();
+
+  const Explainer ex(materialized, base, active_rules);
+  std::size_t checked = 0;
+  for (const rdf::Triple& t : materialized.triples()) {
+    if (base.contains(t)) {
+      continue;
+    }
+    const auto proof = ex.explain(t);
+    ASSERT_NE(proof, nullptr)
+        << "no proof for a materialized triple (id " << t.s << ")";
+    ++checked;
+  }
+  EXPECT_GT(checked, 30u);
+}
+
+TEST_F(ExplainTest, TextRenderingMentionsRuleAndLeaves) {
+  const auto student = iri("http://ex#Student"),
+             person = iri("http://ex#Person");
+  base.insert({student, vocab.rdfs_subclass_of, person});
+  base.insert({iri("http://ex#sam"), vocab.rdf_type, student});
+  materialize_kb();
+
+  const Explainer ex(materialized, base, active_rules);
+  const auto proof =
+      ex.explain({iri("http://ex#sam"), vocab.rdf_type, person});
+  ASSERT_NE(proof, nullptr);
+  const std::string text = ex.to_text(*proof, dict);
+  EXPECT_NE(text.find("rdfs9"), std::string::npos);
+  EXPECT_NE(text.find("[asserted]"), std::string::npos);
+  EXPECT_NE(text.find("sam"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parowl::reason

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "parowl/ontology/vocabulary.hpp"
+#include "parowl/reason/forward.hpp"
+#include "parowl/rules/horst_rules.hpp"
+#include "parowl/rules/rule_parser.hpp"
+
+namespace parowl::reason {
+namespace {
+
+class ForwardTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  rules::RuleParser parser{dict};
+  rdf::TripleStore store;
+
+  rdf::TermId iri(const std::string& s) { return dict.intern_iri(s); }
+
+  rules::RuleSet rules(std::initializer_list<const char*> lines) {
+    rules::RuleSet rs;
+    for (const char* line : lines) {
+      std::string err;
+      auto r = parser.parse_rule(line, &err);
+      EXPECT_TRUE(r.has_value()) << line << ": " << err;
+      rs.add(std::move(*r));
+    }
+    return rs;
+  }
+};
+
+TEST_F(ForwardTest, TransitiveClosureOfChain) {
+  const auto p = iri("p");
+  for (int i = 0; i < 5; ++i) {
+    store.insert({iri("n" + std::to_string(i)), p,
+                  iri("n" + std::to_string(i + 1))});
+  }
+  const auto rs = rules({"t: (?a <p> ?b) (?b <p> ?c) -> (?a <p> ?c)"});
+  const ForwardStats stats = forward_closure(store, rs);
+  // Chain of 6 nodes: closure has n*(n-1)/2 = 15 edges.
+  EXPECT_EQ(store.size(), 15u);
+  EXPECT_EQ(stats.derived, 10u);
+  EXPECT_TRUE(store.contains({iri("n0"), p, iri("n5")}));
+  EXPECT_GE(stats.iterations, 2u);
+}
+
+TEST_F(ForwardTest, SymmetricRule) {
+  const auto k = iri("knows");
+  store.insert({iri("a"), k, iri("b")});
+  const auto rs = rules({"s: (?x <knows> ?y) -> (?y <knows> ?x)"});
+  forward_closure(store, rs);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains({iri("b"), k, iri("a")}));
+}
+
+TEST_F(ForwardTest, JoinOnObjectPosition) {
+  // grandparent: (?a par ?b)(?b par ?c) -> (?a gp ?c)
+  store.insert({iri("x"), iri("par"), iri("y")});
+  store.insert({iri("y"), iri("par"), iri("z")});
+  const auto rs =
+      rules({"gp: (?a <par> ?b) (?b <par> ?c) -> (?a <gp> ?c)"});
+  forward_closure(store, rs);
+  EXPECT_TRUE(store.contains({iri("x"), iri("gp"), iri("z")}));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST_F(ForwardTest, ThreeAtomBody) {
+  store.insert({iri("a"), iri("p"), iri("b")});
+  store.insert({iri("b"), iri("q"), iri("c")});
+  store.insert({iri("c"), iri("r"), iri("d")});
+  const auto rs = rules(
+      {"chain: (?w <p> ?x) (?x <q> ?y) (?y <r> ?z) -> (?w <res> ?z)"});
+  forward_closure(store, rs);
+  EXPECT_TRUE(store.contains({iri("a"), iri("res"), iri("d")}));
+}
+
+TEST_F(ForwardTest, VariablePredicateAtom) {
+  // sameAs-style propagation with an unbound predicate.
+  store.insert({iri("a"), iri("sameAs"), iri("a2")});
+  store.insert({iri("a"), iri("worksAt"), iri("acme")});
+  const auto rs = rules(
+      {"prop: (?x <sameAs> ?y) (?x ?p ?z) -> (?y ?p ?z)"});
+  forward_closure(store, rs);
+  EXPECT_TRUE(store.contains({iri("a2"), iri("worksAt"), iri("acme")}));
+  // The rule also fires on the sameAs triple itself.
+  EXPECT_TRUE(store.contains({iri("a2"), iri("sameAs"), iri("a2")}));
+}
+
+TEST_F(ForwardTest, NoRulesMeansNoChange) {
+  store.insert({1, 2, 3});
+  rules::RuleSet empty;
+  const ForwardStats stats = forward_closure(store, empty);
+  EXPECT_EQ(stats.derived, 0u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(ForwardTest, EmptyStoreTerminatesImmediately) {
+  const auto rs = rules({"t: (?a <p> ?b) -> (?b <p> ?a)"});
+  const ForwardStats stats = forward_closure(store, rs);
+  EXPECT_EQ(stats.iterations, 0u);
+  EXPECT_EQ(stats.derived, 0u);
+}
+
+TEST_F(ForwardTest, DeltaRunOnlyProcessesNewTriples) {
+  const auto p = iri("p");
+  store.insert({iri("a"), p, iri("b")});
+  const auto rs = rules({"t: (?a <p> ?b) (?b <p> ?c) -> (?a <p> ?c)"});
+  ForwardEngine engine(store, rs);
+  engine.run(0);
+  EXPECT_EQ(store.size(), 1u);
+
+  // Add a tuple extending the chain; run from the delta only.
+  const std::size_t mark = store.size();
+  store.insert({iri("b"), p, iri("c")});
+  engine.run(mark);
+  EXPECT_TRUE(store.contains({iri("a"), p, iri("c")}));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST_F(ForwardTest, NaiveAndSemiNaiveAgree) {
+  const auto p = iri("p");
+  for (int i = 0; i < 6; ++i) {
+    store.insert({iri("m" + std::to_string(i)), p,
+                  iri("m" + std::to_string((i + 1) % 6))});  // a cycle
+  }
+  const auto rs = rules({"t: (?a <p> ?b) (?b <p> ?c) -> (?a <p> ?c)"});
+
+  rdf::TripleStore naive_store;
+  naive_store.insert_all(store.triples());
+
+  forward_closure(store, rs);  // semi-naive default
+  ForwardOptions naive;
+  naive.semi_naive = false;
+  forward_closure(naive_store, rs, naive);
+
+  EXPECT_EQ(store.size(), naive_store.size());
+  for (const rdf::Triple& t : store.triples()) {
+    EXPECT_TRUE(naive_store.contains(t));
+  }
+  // Cycle closure: complete digraph on 6 nodes incl. self-loops.
+  EXPECT_EQ(store.size(), 36u);
+}
+
+TEST_F(ForwardTest, LiteralGuardSuppressesLiteralSubjects) {
+  const auto p = iri("p");
+  const auto lit = dict.intern_literal("\"five\"");
+  store.insert({iri("a"), p, lit});
+  // Rule would derive (lit type C) without the guard (rdfs3 pattern).
+  const auto rs = rules({"r: (?x <p> ?y) -> (?y rdf:type <C>)"});
+
+  ForwardOptions guarded;
+  guarded.dict = &dict;
+  const ForwardStats stats = forward_closure(store, rs, guarded);
+  EXPECT_EQ(stats.derived, 0u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(ForwardTest, WithoutGuardLiteralSubjectIsDerived) {
+  const auto p = iri("p");
+  const auto lit = dict.intern_literal("\"five\"");
+  store.insert({iri("a"), p, lit});
+  const auto rs = rules({"r: (?x <p> ?y) -> (?y rdf:type <C>)"});
+  forward_closure(store, rs);  // no dict, no guard
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST_F(ForwardTest, MaxIterationsStopsEarly) {
+  const auto p = iri("p");
+  for (int i = 0; i < 8; ++i) {
+    store.insert({iri("c" + std::to_string(i)), p,
+                  iri("c" + std::to_string(i + 1))});
+  }
+  const auto rs = rules({"t: (?a <p> ?b) (?b <p> ?c) -> (?a <p> ?c)"});
+  ForwardOptions opts;
+  opts.max_iterations = 1;
+  const ForwardStats stats = forward_closure(store, rs, opts);
+  EXPECT_EQ(stats.iterations, 1u);
+  // One semi-naive iteration over a path adds paths of length 2 and 3.
+  EXPECT_LT(store.size(), 45u);
+  EXPECT_GT(store.size(), 8u);
+}
+
+TEST_F(ForwardTest, FiringsPerRuleTracked) {
+  store.insert({iri("a"), iri("p"), iri("b")});
+  const auto rs = rules({"r1: (?x <p> ?y) -> (?y <q> ?x)",
+                         "r2: (?x <q> ?y) -> (?x <r> ?y)"});
+  const ForwardStats stats = forward_closure(store, rs);
+  ASSERT_EQ(stats.firings_per_rule.size(), 2u);
+  EXPECT_EQ(stats.firings_per_rule[0], 1u);
+  EXPECT_EQ(stats.firings_per_rule[1], 1u);
+  EXPECT_EQ(stats.derived, 2u);
+}
+
+TEST_F(ForwardTest, RepeatedVariableInBodyAtom) {
+  // Only reflexive edges should fire.
+  store.insert({iri("a"), iri("p"), iri("a")});
+  store.insert({iri("a"), iri("p"), iri("b")});
+  const auto rs = rules({"r: (?x <p> ?x) -> (?x <self> ?x)"});
+  forward_closure(store, rs);
+  EXPECT_TRUE(store.contains({iri("a"), iri("self"), iri("a")}));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST_F(ForwardTest, HorstSubclassAndSubpropertyInterplay) {
+  ontology::Vocabulary vocab(dict);
+  const auto rs = rules::horst_rules(vocab);
+  const auto student = iri("Student"), person = iri("Person");
+  const auto head_of = iri("headOf"), works_for = iri("worksFor");
+  store.insert({student, vocab.rdfs_subclass_of, person});
+  store.insert({head_of, vocab.rdfs_subproperty_of, works_for});
+  store.insert({works_for, vocab.rdfs_domain, person});
+  store.insert({iri("sam"), vocab.rdf_type, student});
+  store.insert({iri("kim"), head_of, iri("lab")});
+
+  ForwardOptions opts;
+  opts.dict = &dict;
+  forward_closure(store, rs, opts);
+
+  EXPECT_TRUE(store.contains({iri("sam"), vocab.rdf_type, person}));
+  EXPECT_TRUE(store.contains({iri("kim"), works_for, iri("lab")}));
+  // Domain of worksFor types kim as a Person (via rdfs7 then rdfs2).
+  EXPECT_TRUE(store.contains({iri("kim"), vocab.rdf_type, person}));
+}
+
+}  // namespace
+}  // namespace parowl::reason

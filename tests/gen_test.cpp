@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/gen/mdc.hpp"
+#include "parowl/gen/uobm.hpp"
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/partition/owner_policy.hpp"
+#include "parowl/rdf/graph_stats.hpp"
+
+namespace parowl::gen {
+namespace {
+
+class GenTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab{dict};
+  rdf::TripleStore store;
+};
+
+TEST_F(GenTest, LubmOntologyHasExpectedAxioms) {
+  const GenStats stats = generate_lubm_ontology(dict, store);
+  EXPECT_GT(stats.schema_triples, 30u);
+  EXPECT_EQ(stats.instance_triples, 0u);
+
+  const ontology::Ontology onto = ontology::extract_ontology(store, vocab);
+  EXPECT_GT(onto.subclass_of.size(), 10u);
+  EXPECT_GE(onto.subproperty_of.size(), 5u);
+  EXPECT_EQ(onto.transitive.size(), 1u);  // subOrganizationOf
+  EXPECT_EQ(onto.inverse_of.size(), 2u);  // degreeFrom, memberOf
+  EXPECT_GE(onto.domain.size() + onto.range.size(), 8u);
+}
+
+TEST_F(GenTest, LubmDeterministicForSeed) {
+  LubmOptions opts;
+  opts.universities = 1;
+  generate_lubm(opts, dict, store);
+
+  rdf::Dictionary dict2;
+  rdf::TripleStore store2;
+  generate_lubm(opts, dict2, store2);
+  EXPECT_EQ(store.size(), store2.size());
+}
+
+TEST_F(GenTest, LubmScalesLinearlyWithUniversities) {
+  LubmOptions one;
+  one.universities = 1;
+  const GenStats s1 = generate_lubm(one, dict, store);
+
+  rdf::Dictionary d3;
+  rdf::TripleStore t3;
+  LubmOptions three = one;
+  three.universities = 3;
+  const GenStats s3 = generate_lubm(three, d3, t3);
+
+  EXPECT_NEAR(static_cast<double>(s3.instance_triples),
+              3.0 * static_cast<double>(s1.instance_triples),
+              0.2 * static_cast<double>(s3.instance_triples));
+}
+
+TEST_F(GenTest, LubmEntitiesCarryUniversityKeys) {
+  LubmOptions opts;
+  opts.universities = 2;
+  generate_lubm(opts, dict, store);
+  const auto split = ontology::split_schema(store, vocab);
+  std::size_t keyed = 0, total = 0;
+  for (const rdf::Triple& t : split.instance) {
+    ++total;
+    if (partition::lubm_university_key(dict.lexical(t.s)) >= 0) {
+      ++keyed;
+    }
+  }
+  // Every instance subject lives in some university's namespace.
+  EXPECT_EQ(keyed, total);
+}
+
+TEST_F(GenTest, LubmCrossUniversityEdgesAreRare) {
+  LubmOptions opts;
+  opts.universities = 4;
+  opts.cross_university_degree_prob = 0.1;
+  generate_lubm(opts, dict, store);
+
+  const auto split = ontology::split_schema(store, vocab);
+  std::size_t cross = 0, resource_edges = 0;
+  for (const rdf::Triple& t : split.instance) {
+    if (!dict.is_resource(t.o)) {
+      continue;
+    }
+    const auto ks = partition::lubm_university_key(dict.lexical(t.s));
+    const auto ko = partition::lubm_university_key(dict.lexical(t.o));
+    if (ks >= 0 && ko >= 0) {
+      ++resource_edges;
+      cross += ks != ko ? 1 : 0;
+    }
+  }
+  ASSERT_GT(resource_edges, 0u);
+  EXPECT_LT(static_cast<double>(cross) / resource_edges, 0.05);
+  EXPECT_GT(cross, 0u);  // but they exist
+}
+
+TEST_F(GenTest, LubmLiteralsToggle) {
+  LubmOptions with;
+  with.universities = 1;
+  const GenStats sw = generate_lubm(with, dict, store);
+
+  rdf::Dictionary d2;
+  rdf::TripleStore t2;
+  LubmOptions without = with;
+  without.include_literals = false;
+  const GenStats so = generate_lubm(without, d2, t2);
+  EXPECT_GT(sw.instance_triples, so.instance_triples);
+
+  const rdf::GraphStats gs = rdf::compute_graph_stats(t2, d2);
+  EXPECT_EQ(gs.literal_objects, 0u);
+}
+
+TEST_F(GenTest, UobmIsDenserThanLubm) {
+  UobmOptions uopts;
+  uopts.base.universities = 2;
+  const GenStats ustats = generate_uobm(uopts, dict, store);
+
+  rdf::Dictionary d2;
+  rdf::TripleStore t2;
+  const GenStats lstats = generate_lubm(uopts.base, d2, t2);
+
+  EXPECT_GT(ustats.instance_triples, lstats.instance_triples);
+
+  // UOBM must introduce cross-university resource edges well above LUBM's.
+  auto cross_fraction = [](const rdf::TripleStore& s,
+                           const rdf::Dictionary& d) {
+    std::size_t cross = 0, edges = 0;
+    for (const rdf::Triple& t : s.triples()) {
+      if (!d.is_resource(t.o)) {
+        continue;
+      }
+      const auto ks = partition::lubm_university_key(d.lexical(t.s));
+      const auto ko = partition::lubm_university_key(d.lexical(t.o));
+      if (ks >= 0 && ko >= 0) {
+        ++edges;
+        cross += ks != ko ? 1 : 0;
+      }
+    }
+    return edges == 0 ? 0.0 : static_cast<double>(cross) / edges;
+  };
+  EXPECT_GT(cross_fraction(store, dict), 3 * cross_fraction(t2, d2));
+}
+
+TEST_F(GenTest, UobmSchemaDeclaresNewProperties) {
+  UobmOptions uopts;
+  uopts.base.universities = 1;
+  generate_uobm(uopts, dict, store);
+  const ontology::Ontology onto = ontology::extract_ontology(store, vocab);
+  const auto hometown =
+      dict.find_iri(std::string(kUnivBenchNs) + "hasSameHomeTownWith");
+  const auto has_friend = dict.find_iri(std::string(kUnivBenchNs) + "hasFriend");
+  ASSERT_NE(hometown, rdf::kAnyTerm);
+  EXPECT_TRUE(onto.transitive.contains(hometown));
+  EXPECT_TRUE(onto.symmetric.contains(hometown));
+  EXPECT_TRUE(onto.symmetric.contains(has_friend));
+}
+
+TEST_F(GenTest, MdcOntologyStructure) {
+  const GenStats stats = generate_mdc_ontology(dict, store);
+  EXPECT_GT(stats.schema_triples, 20u);
+  const ontology::Ontology onto = ontology::extract_ontology(store, vocab);
+  const auto part_of = dict.find_iri(std::string(kMdcNs) + "partOf");
+  ASSERT_NE(part_of, rdf::kAnyTerm);
+  EXPECT_TRUE(onto.transitive.contains(part_of));
+  EXPECT_EQ(onto.inverse_of.size(), 1u);
+}
+
+TEST_F(GenTest, MdcPartOfChainsAreDeep) {
+  MdcOptions opts;
+  opts.fields = 1;
+  generate_mdc(opts, dict, store);
+  // Completion -> Well -> Reservoir -> Field must exist as base edges.
+  const auto part_of = dict.find_iri(std::string(kMdcNs) + "partOf");
+  const auto comp =
+      dict.find_iri("http://cisoft.usc.edu/data/Field0/Completion0_0_0");
+  const auto well =
+      dict.find_iri("http://cisoft.usc.edu/data/Field0/Well0_0");
+  ASSERT_NE(comp, rdf::kAnyTerm);
+  EXPECT_TRUE(store.contains({comp, part_of, well}));
+}
+
+TEST_F(GenTest, MdcFieldsAreLocal) {
+  MdcOptions opts;
+  opts.fields = 4;
+  opts.cross_field_pipeline_prob = 0.05;
+  generate_mdc(opts, dict, store);
+  std::size_t cross = 0, edges = 0;
+  for (const rdf::Triple& t : store.triples()) {
+    if (!dict.is_resource(t.o)) {
+      continue;
+    }
+    const auto ks = mdc_field_key(dict.lexical(t.s));
+    const auto ko = mdc_field_key(dict.lexical(t.o));
+    if (ks >= 0 && ko >= 0) {
+      ++edges;
+      cross += ks != ko ? 1 : 0;
+    }
+  }
+  ASSERT_GT(edges, 0u);
+  EXPECT_LT(static_cast<double>(cross) / edges, 0.05);
+}
+
+TEST_F(GenTest, MdcScalesWithFields) {
+  MdcOptions one;
+  one.fields = 1;
+  const GenStats s1 = generate_mdc(one, dict, store);
+  rdf::Dictionary d2;
+  rdf::TripleStore t2;
+  MdcOptions two = one;
+  two.fields = 2;
+  const GenStats s2 = generate_mdc(two, d2, t2);
+  EXPECT_GT(s2.instance_triples, static_cast<std::size_t>(
+                                     1.8 * static_cast<double>(s1.instance_triples)));
+}
+
+}  // namespace
+}  // namespace parowl::gen

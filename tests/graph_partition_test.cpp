@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "parowl/partition/graph.hpp"
+#include "parowl/partition/multilevel.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace parowl::partition {
+namespace {
+
+Graph path_graph(std::uint32_t n) {
+  std::vector<WeightedEdge> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1, 1});
+  }
+  return build_graph(n, edges);
+}
+
+/// Two dense clusters of size n joined by a single bridge edge.
+Graph two_cluster_graph(std::uint32_t n) {
+  std::vector<WeightedEdge> edges;
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    const std::uint32_t base = c * n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        edges.push_back({base + i, base + j, 1});
+      }
+    }
+  }
+  edges.push_back({0, n, 1});  // bridge
+  return build_graph(2 * n, edges);
+}
+
+TEST(BuildGraph, MergesParallelEdgesAndDropsSelfLoops) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 0, 2}, {1, 1, 5}};
+  const Graph g = build_graph(2, edges);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.adjwgt[g.xadj[0]], 3u);  // 1 + 2 merged
+}
+
+TEST(BuildGraph, VertexWeightsDefaultToOne) {
+  const Graph g = build_graph(3, {});
+  EXPECT_EQ(g.total_vwgt, 3u);
+  const std::vector<std::uint64_t> weights{5, 2, 1};
+  const Graph h = build_graph(3, {}, weights);
+  EXPECT_EQ(h.total_vwgt, 8u);
+}
+
+TEST(BuildGraph, CsrIsConsistent) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  const Graph g = build_graph(3, edges);
+  EXPECT_EQ(g.xadj.size(), 4u);
+  EXPECT_EQ(g.xadj.back(), g.adjncy.size());
+  // Triangle: every vertex has degree 2.
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.neighbors(v).size(), 2u);
+  }
+}
+
+TEST(ResourceGraph, BuiltFromTriples) {
+  rdf::Dictionary dict;
+  const auto a = dict.intern_iri("a"), b = dict.intern_iri("b"),
+             p = dict.intern_iri("p");
+  const auto lit = dict.intern_literal("\"x\"");
+  const std::vector<rdf::Triple> triples{{a, p, b}, {a, p, lit}};
+  const ResourceGraph rg = build_resource_graph(triples, dict);
+  // a and b are vertices; the literal is not.
+  EXPECT_EQ(rg.graph.num_vertices(), 2u);
+  EXPECT_EQ(rg.graph.num_edges(), 1u);
+  EXPECT_TRUE(rg.node_of.contains(a));
+  EXPECT_FALSE(rg.node_of.contains(lit));
+  EXPECT_EQ(rg.node_term[rg.node_of.at(b)], b);
+}
+
+TEST(PartitionGraph, KEqualsOneIsTrivial) {
+  const Graph g = path_graph(10);
+  const PartitionResult pr = partition_graph(g, 1);
+  EXPECT_EQ(pr.edge_cut, 0u);
+  for (const auto part : pr.assignment) {
+    EXPECT_EQ(part, 0u);
+  }
+}
+
+TEST(PartitionGraph, BisectionOfPathCutsOneEdge) {
+  const Graph g = path_graph(64);
+  const PartitionResult pr = partition_graph(g, 2);
+  EXPECT_EQ(pr.edge_cut, 1u);  // optimal for a path
+  const auto weights = partition_weights(g, pr.assignment, 2);
+  EXPECT_NEAR(static_cast<double>(weights[0]), 32.0, 4.0);
+}
+
+TEST(PartitionGraph, FindsTheBridgeBetweenClusters) {
+  const Graph g = two_cluster_graph(20);
+  const PartitionResult pr = partition_graph(g, 2);
+  EXPECT_EQ(pr.edge_cut, 1u);
+  // The two clusters must be separated exactly.
+  for (std::uint32_t v = 1; v < 20; ++v) {
+    EXPECT_EQ(pr.assignment[v], pr.assignment[0]);
+    EXPECT_EQ(pr.assignment[20 + v], pr.assignment[20]);
+  }
+  EXPECT_NE(pr.assignment[0], pr.assignment[20]);
+}
+
+TEST(PartitionGraph, AssignmentsAreInRange) {
+  const Graph g = two_cluster_graph(12);
+  for (const int k : {2, 3, 4, 7}) {
+    const PartitionResult pr = partition_graph(g, k);
+    for (const auto part : pr.assignment) {
+      EXPECT_LT(part, static_cast<std::uint32_t>(k));
+    }
+  }
+}
+
+TEST(PartitionGraph, BalancedOnRandomGraph) {
+  util::Rng rng(5);
+  const std::uint32_t n = 4000;
+  std::vector<WeightedEdge> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      edges.push_back({i, static_cast<std::uint32_t>(rng.below(n)), 1});
+    }
+  }
+  const Graph g = build_graph(n, edges);
+  for (const int k : {2, 4, 8}) {
+    const PartitionResult pr = partition_graph(g, k);
+    const auto weights = partition_weights(g, pr.assignment, k);
+    const double target = static_cast<double>(n) / k;
+    for (const auto w : weights) {
+      EXPECT_LT(static_cast<double>(w), target * 1.3)
+          << "k=" << k << " imbalanced";
+      EXPECT_GT(static_cast<double>(w), target * 0.7);
+    }
+  }
+}
+
+TEST(PartitionGraph, RefinementReducesCut) {
+  util::Rng rng(17);
+  // Ring of cliques: refinement should find clean clique boundaries.
+  const std::uint32_t cliques = 16, size = 12;
+  std::vector<WeightedEdge> edges;
+  for (std::uint32_t c = 0; c < cliques; ++c) {
+    const std::uint32_t base = c * size;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      for (std::uint32_t j = i + 1; j < size; ++j) {
+        edges.push_back({base + i, base + j, 1});
+      }
+    }
+    edges.push_back({base, ((c + 1) % cliques) * size, 1});
+  }
+  const Graph g = build_graph(cliques * size, edges);
+
+  MultilevelOptions with, without;
+  without.refine = false;
+  const auto cut_with = partition_graph(g, 4, with).edge_cut;
+  const auto cut_without = partition_graph(g, 4, without).edge_cut;
+  EXPECT_LE(cut_with, cut_without);
+  EXPECT_LE(cut_with, 16u);  // never worse than cutting every bridge
+}
+
+TEST(PartitionGraph, DeterministicForSameSeed) {
+  const Graph g = two_cluster_graph(30);
+  MultilevelOptions opts;
+  opts.seed = 99;
+  const auto a = partition_graph(g, 4, opts);
+  const auto b = partition_graph(g, 4, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.edge_cut, b.edge_cut);
+}
+
+TEST(PartitionGraph, HandlesDisconnectedGraph) {
+  // Two components, no edges between them at all.
+  std::vector<WeightedEdge> edges;
+  for (std::uint32_t i = 0; i + 1 < 50; ++i) {
+    edges.push_back({i, i + 1, 1});
+    edges.push_back({50 + i, 50 + i + 1, 1});
+  }
+  const Graph g = build_graph(100, edges);
+  const PartitionResult pr = partition_graph(g, 2);
+  EXPECT_EQ(pr.edge_cut, 0u);
+  const auto weights = partition_weights(g, pr.assignment, 2);
+  EXPECT_EQ(weights[0], 50u);
+}
+
+TEST(PartitionGraph, EmptyGraph) {
+  const Graph g = build_graph(0, {});
+  const PartitionResult pr = partition_graph(g, 4);
+  EXPECT_TRUE(pr.assignment.empty());
+  EXPECT_EQ(pr.edge_cut, 0u);
+}
+
+TEST(PartitionGraph, SingleVertex) {
+  const Graph g = build_graph(1, {});
+  const PartitionResult pr = partition_graph(g, 4);
+  ASSERT_EQ(pr.assignment.size(), 1u);
+  EXPECT_LT(pr.assignment[0], 4u);
+}
+
+TEST(PartitionGraph, BalancesVertexWeightsNotCounts) {
+  // 64 light vertices (weight 1) + 8 heavy ones (weight 8) in one clique
+  // chain; a 2-way split must balance total weight, so the heavy vertices
+  // cannot all land on one side with half the light ones.
+  std::vector<WeightedEdge> edges;
+  std::vector<std::uint64_t> weights(72, 1);
+  for (std::uint32_t i = 0; i + 1 < 72; ++i) {
+    edges.push_back({i, i + 1, 1});
+  }
+  for (std::uint32_t h = 64; h < 72; ++h) {
+    weights[h] = 8;
+  }
+  const Graph g = build_graph(72, edges, weights);
+  EXPECT_EQ(g.total_vwgt, 64u + 8u * 8u);
+
+  const PartitionResult pr = partition_graph(g, 2);
+  const auto side_weights = partition_weights(g, pr.assignment, 2);
+  const double half = static_cast<double>(g.total_vwgt) / 2;
+  EXPECT_NEAR(static_cast<double>(side_weights[0]), half, half * 0.25);
+}
+
+TEST(ComputeEdgeCut, CountsWeightedCrossings) {
+  const std::vector<WeightedEdge> edges{{0, 1, 5}, {1, 2, 3}};
+  const Graph g = build_graph(3, edges);
+  EXPECT_EQ(compute_edge_cut(g, {0, 0, 1}), 3u);
+  EXPECT_EQ(compute_edge_cut(g, {0, 1, 0}), 8u);
+  EXPECT_EQ(compute_edge_cut(g, {0, 0, 0}), 0u);
+}
+
+}  // namespace
+}  // namespace parowl::partition

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/gen/lubm_queries.hpp"
+#include "parowl/query/sparql_parser.hpp"
+#include "parowl/reason/materialize.hpp"
+
+namespace parowl::gen {
+namespace {
+
+class LubmQueriesTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab{dict};
+  rdf::TripleStore base;
+  rdf::TripleStore materialized;
+
+  void SetUp() override {
+    LubmOptions opts;
+    opts.universities = 2;
+    generate_lubm(opts, dict, base);
+    materialized.insert_all(base.triples());
+    reason::materialize(materialized, dict, vocab, {});
+  }
+
+  query::ResultSet run(const std::string& text, const rdf::TripleStore& kb) {
+    query::SparqlParser parser(dict);
+    std::string error;
+    const auto q = parser.parse(text, &error);
+    EXPECT_TRUE(q.has_value()) << error;
+    return q ? query::evaluate(kb, *q) : query::ResultSet{};
+  }
+};
+
+TEST_F(LubmQueriesTest, AllFourteenQueriesParse) {
+  const auto queries = lubm_queries();
+  ASSERT_EQ(queries.size(), 14u);
+  query::SparqlParser parser(dict);
+  for (const LubmQuery& lq : queries) {
+    std::string error;
+    EXPECT_TRUE(parser.parse(lq.sparql, &error).has_value())
+        << lq.name << ": " << error;
+  }
+}
+
+TEST_F(LubmQueriesTest, AllQueriesHaveAnswersOnMaterializedStore) {
+  for (const LubmQuery& lq : lubm_queries()) {
+    const auto results = run(lq.sparql, materialized);
+    EXPECT_GT(results.size(), 0u) << lq.name << " returned nothing";
+  }
+}
+
+TEST_F(LubmQueriesTest, InferenceQueriesNeedMaterialization) {
+  // Every query marked needs_inference must gain answers from the closure;
+  // the others must answer identically on the raw store.
+  for (const LubmQuery& lq : lubm_queries()) {
+    const auto on_base = run(lq.sparql, base);
+    const auto on_closed = run(lq.sparql, materialized);
+    if (lq.needs_inference) {
+      EXPECT_GT(on_closed.size(), on_base.size())
+          << lq.name << " should require inference";
+    } else {
+      EXPECT_EQ(on_closed.size(), on_base.size())
+          << lq.name << " should be inference-free";
+    }
+  }
+}
+
+TEST_F(LubmQueriesTest, SubclassClosureCountsAreConsistent) {
+  // Q6 (all students) equals Q14 (undergrads) plus the graduate students.
+  const auto q6 = run(lubm_queries()[5].sparql, materialized);
+  const auto q14 = run(lubm_queries()[13].sparql, materialized);
+  query::SparqlParser parser(dict);
+  parser.add_prefix("ub", kUnivBenchNs);
+  const auto grads = run(
+      std::string("PREFIX ub: <") + kUnivBenchNs +
+          ">\nSELECT ?x WHERE { ?x a ub:GraduateStudent }",
+      materialized);
+  EXPECT_EQ(q6.size(), q14.size() + grads.size());
+}
+
+TEST_F(LubmQueriesTest, AlumniMatchDegreeHolders) {
+  // Q13 (hasAlumnus, inverse-derived) must equal the degreeFrom fan-in.
+  const auto q13 = run(lubm_queries()[12].sparql, materialized);
+  const auto direct = run(
+      std::string("PREFIX ub: <") + kUnivBenchNs +
+          ">\nSELECT ?x WHERE { ?x ub:degreeFrom <http://www.Univ0.edu> }",
+      materialized);
+  EXPECT_EQ(q13.size(), direct.size());
+  EXPECT_GT(q13.size(), 0u);
+}
+
+}  // namespace
+}  // namespace parowl::gen

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/ontology/vocabulary.hpp"
+
+namespace parowl::ontology {
+namespace {
+
+class OntologyTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  Vocabulary vocab{dict};
+
+  rdf::TermId iri(const char* s) { return dict.intern_iri(s); }
+};
+
+TEST_F(OntologyTest, VocabularyInternsDistinctTerms) {
+  EXPECT_NE(vocab.rdf_type, vocab.rdfs_subclass_of);
+  EXPECT_NE(vocab.owl_same_as, vocab.owl_inverse_of);
+  // Reconstructing against the same dictionary yields the same ids.
+  Vocabulary again(dict);
+  EXPECT_EQ(again.rdf_type, vocab.rdf_type);
+}
+
+TEST_F(OntologyTest, SchemaPredicateDetection) {
+  EXPECT_TRUE(vocab.is_schema_predicate(vocab.rdfs_subclass_of));
+  EXPECT_TRUE(vocab.is_schema_predicate(vocab.owl_on_property));
+  EXPECT_FALSE(vocab.is_schema_predicate(vocab.rdf_type));
+  EXPECT_FALSE(vocab.is_schema_predicate(iri("http://ex/worksFor")));
+}
+
+TEST_F(OntologyTest, MetaClassDetection) {
+  EXPECT_TRUE(vocab.is_meta_class(vocab.owl_transitive_property));
+  EXPECT_TRUE(vocab.is_meta_class(vocab.owl_class));
+  EXPECT_FALSE(vocab.is_meta_class(iri("http://ex/Person")));
+}
+
+TEST_F(OntologyTest, SchemaTripleDetection) {
+  const auto person = iri("http://ex/Person");
+  const auto student = iri("http://ex/Student");
+  const auto knows = iri("http://ex/knows");
+  // Axioms are schema.
+  EXPECT_TRUE(vocab.is_schema_triple({student, vocab.rdfs_subclass_of, person}));
+  EXPECT_TRUE(vocab.is_schema_triple(
+      {knows, vocab.rdf_type, vocab.owl_symmetric_property}));
+  // Instance assertions are not.
+  EXPECT_FALSE(vocab.is_schema_triple({iri("http://ex/sam"), vocab.rdf_type, person}));
+  EXPECT_FALSE(
+      vocab.is_schema_triple({iri("http://ex/sam"), knows, iri("http://ex/bo")}));
+}
+
+TEST_F(OntologyTest, ExtractClassAndPropertyAxioms) {
+  rdf::TripleStore store;
+  const auto person = iri("P"), student = iri("S");
+  const auto knows = iri("k"), ancestor = iri("anc");
+  store.insert({student, vocab.rdfs_subclass_of, person});
+  store.insert({knows, vocab.rdf_type, vocab.owl_symmetric_property});
+  store.insert({ancestor, vocab.rdf_type, vocab.owl_transitive_property});
+  store.insert({knows, vocab.rdfs_domain, person});
+  store.insert({knows, vocab.rdfs_range, person});
+
+  const Ontology onto = extract_ontology(store, vocab);
+  ASSERT_EQ(onto.subclass_of.size(), 1u);
+  EXPECT_EQ(onto.subclass_of[0], std::make_pair(student, person));
+  EXPECT_TRUE(onto.symmetric.contains(knows));
+  EXPECT_TRUE(onto.transitive.contains(ancestor));
+  EXPECT_EQ(onto.domain.size(), 1u);
+  EXPECT_EQ(onto.range.size(), 1u);
+  EXPECT_TRUE(onto.schema_terms.contains(person));
+  EXPECT_GE(onto.axiom_count(), 5u);
+}
+
+TEST_F(OntologyTest, ExtractRestrictionFacets) {
+  rdf::TripleStore store;
+  const auto r = iri("R"), p = iri("p"), v = iri("v"), d = iri("D");
+  store.insert({r, vocab.owl_on_property, p});
+  store.insert({r, vocab.owl_has_value, v});
+  const auto r2 = iri("R2");
+  store.insert({r2, vocab.owl_on_property, p});
+  store.insert({r2, vocab.owl_some_values_from, d});
+
+  const Ontology onto = extract_ontology(store, vocab);
+  ASSERT_EQ(onto.restrictions.size(), 2u);
+  const Restriction& rest = onto.restrictions[0];
+  EXPECT_EQ(rest.cls, r);
+  EXPECT_EQ(rest.on_property, p);
+  EXPECT_EQ(rest.has_value, v);
+  EXPECT_EQ(rest.some_values_from, rdf::kAnyTerm);
+  EXPECT_EQ(onto.restrictions[1].some_values_from, d);
+}
+
+TEST_F(OntologyTest, SplitSchemaSeparatesInstanceData) {
+  rdf::TripleStore store;
+  const auto person = iri("P"), sam = iri("sam"), knows = iri("k");
+  store.insert({iri("S"), vocab.rdfs_subclass_of, person});
+  store.insert({sam, vocab.rdf_type, person});
+  store.insert({sam, knows, iri("bo")});
+
+  const SchemaSplit split = split_schema(store, vocab);
+  EXPECT_EQ(split.schema.size(), 1u);
+  EXPECT_EQ(split.instance.size(), 2u);
+}
+
+TEST_F(OntologyTest, EmptyStoreYieldsEmptyOntology) {
+  rdf::TripleStore store;
+  const Ontology onto = extract_ontology(store, vocab);
+  EXPECT_EQ(onto.axiom_count(), 0u);
+  EXPECT_TRUE(onto.schema_terms.empty());
+}
+
+}  // namespace
+}  // namespace parowl::ontology

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "parowl/query/sparql_parser.hpp"
+#include "parowl/rdf/ntriples.hpp"
+#include "parowl/rdf/snapshot.hpp"
+#include "parowl/rdf/turtle.hpp"
+#include "parowl/rules/rule_parser.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace parowl {
+namespace {
+
+/// Property: no parser crashes, loops, or corrupts state on arbitrary
+/// byte soup.  Inputs are seeded random strings over a byte alphabet that
+/// includes the parsers' structural characters.
+class ParserRobustness : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::string random_soup(util::Rng& rng, std::size_t length) {
+    static constexpr char alphabet[] =
+        "<>\"\\.;,@?#:{}()ab z0159_^-\n\tPREFIXSELECTWHERE";
+    std::string out;
+    out.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      out += alphabet[rng.below(sizeof(alphabet) - 1)];
+    }
+    return out;
+  }
+};
+
+TEST_P(ParserRobustness, NtriplesNeverCrashes) {
+  util::Rng rng(GetParam());
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  for (int i = 0; i < 50; ++i) {
+    std::istringstream in(random_soup(rng, 1 + rng.below(200)));
+    const rdf::ParseStats stats = rdf::parse_ntriples(in, dict, store);
+    EXPECT_LE(stats.duplicates, stats.triples);
+  }
+  // The store stays internally consistent.
+  EXPECT_EQ(store.count({rdf::kAnyTerm, rdf::kAnyTerm, rdf::kAnyTerm}),
+            store.size());
+}
+
+TEST_P(ParserRobustness, TurtleNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x7e57);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  for (int i = 0; i < 50; ++i) {
+    rdf::parse_turtle_text(random_soup(rng, 1 + rng.below(200)), dict,
+                           store);
+  }
+  EXPECT_EQ(store.count({rdf::kAnyTerm, rdf::kAnyTerm, rdf::kAnyTerm}),
+            store.size());
+}
+
+TEST_P(ParserRobustness, SparqlNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x5bad);
+  rdf::Dictionary dict;
+  query::SparqlParser parser(dict);
+  for (int i = 0; i < 50; ++i) {
+    std::string error;
+    (void)parser.parse(random_soup(rng, 1 + rng.below(200)), &error);
+  }
+}
+
+TEST_P(ParserRobustness, RuleParserNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x1e5u);
+  rdf::Dictionary dict;
+  rules::RuleParser parser(dict);
+  for (int i = 0; i < 50; ++i) {
+    std::string error;
+    (void)parser.parse_rule(random_soup(rng, 1 + rng.below(120)), &error);
+  }
+}
+
+TEST_P(ParserRobustness, SnapshotLoaderNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0xdead);
+  for (int i = 0; i < 50; ++i) {
+    // Random bytes, sometimes with a valid magic prefix.
+    std::string data;
+    if (rng.chance(0.5)) {
+      data = "PARO";
+    }
+    const std::size_t len = 1 + rng.below(300);
+    for (std::size_t b = 0; b < len; ++b) {
+      data += static_cast<char>(rng.below(256));
+    }
+    std::istringstream in(data);
+    rdf::Dictionary dict;
+    rdf::TripleStore store;
+    std::string error;
+    (void)rdf::load_snapshot(in, dict, store, &error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace parowl

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "parowl/perfmodel/polyfit.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace parowl::perfmodel {
+namespace {
+
+TEST(PolyFit, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  const PolyFit fit = fit_polynomial(x, y, 1);
+  ASSERT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PolyFit, RecoversExactCubic) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 8; ++i) {
+    x.push_back(i);
+    // y = 0.5 x^3 + 2 x^2 - x + 4
+    y.push_back(0.5 * i * i * i + 2.0 * i * i - i + 4.0);
+  }
+  const PolyFit fit = fit_polynomial(x, y, 3);
+  EXPECT_NEAR(fit.coefficients[3], 0.5, 1e-6);
+  EXPECT_NEAR(fit.coefficients[2], 2.0, 1e-5);
+  EXPECT_NEAR(fit.eval(10.0), 0.5 * 1000 + 200 - 10 + 4, 1e-3);
+}
+
+TEST(PolyFit, NoisyDataStillCloseFit) {
+  util::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i * i * i * (1.0 + 0.02 * (rng.uniform() - 0.5)));
+  }
+  const PolyFit fit = fit_polynomial(x, y, 3);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_NEAR(fit.coefficients[3], 3.0, 0.3);
+}
+
+TEST(PolyFit, ConstantData) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{5, 5, 5};
+  const PolyFit fit = fit_polynomial(x, y, 1);
+  EXPECT_NEAR(fit.coefficients[0], 5.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 0.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);  // degenerate ss_tot handled
+}
+
+TEST(PolyFit, EvalHornerMatchesDirect) {
+  PolyFit fit;
+  fit.coefficients = {1.0, -2.0, 0.5};
+  EXPECT_DOUBLE_EQ(fit.eval(3.0), 1.0 - 6.0 + 4.5);
+  EXPECT_DOUBLE_EQ(fit.eval(0.0), 1.0);
+}
+
+TEST(PolyFit, ToStringMentionsCoefficients) {
+  PolyFit fit;
+  fit.coefficients = {1.0, 2.0};
+  const std::string s = fit.to_string();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("x^1"), std::string::npos);
+}
+
+TEST(PolyFit, ThroughOriginHasZeroIntercept) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 0.5 * i * i * i);
+  }
+  const PolyFit fit = fit_polynomial_through_origin(x, y, 3);
+  ASSERT_EQ(fit.coefficients.size(), 4u);
+  EXPECT_DOUBLE_EQ(fit.coefficients[0], 0.0);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-6);
+  EXPECT_NEAR(fit.coefficients[3], 0.5, 1e-6);
+  EXPECT_NEAR(fit.eval(0.0), 0.0, 1e-12);
+  EXPECT_GT(fit.r_squared, 0.9999);
+}
+
+TEST(PolyFit, ThroughOriginIgnoresOffsetNoise) {
+  // Data with a true intercept: the constrained fit cannot capture it but
+  // must still produce a usable superlinear model.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 + i * i);
+  }
+  const PolyFit fit = fit_polynomial_through_origin(x, y, 2);
+  EXPECT_DOUBLE_EQ(fit.coefficients[0], 0.0);
+  EXPECT_GT(fit.eval(10.0), fit.eval(5.0));
+}
+
+TEST(ModelSpeedup, CubicModelGivesSuperLinearSpeedup) {
+  PolyFit cubic;
+  cubic.coefficients = {0.0, 0.0, 0.0, 1.0};  // T(n) = n^3
+  // Perfect 4-way split: T(n) / T(n/4) = 64.
+  EXPECT_NEAR(model_speedup(cubic, 100.0, 25.0), 64.0, 1e-9);
+}
+
+TEST(ModelSpeedup, LinearModelGivesLinearSpeedup) {
+  PolyFit linear;
+  linear.coefficients = {0.0, 2.0};
+  EXPECT_NEAR(model_speedup(linear, 100.0, 25.0), 4.0, 1e-9);
+}
+
+TEST(ModelSpeedup, ZeroDenominatorIsSafe) {
+  PolyFit zero;
+  zero.coefficients = {0.0};
+  EXPECT_DOUBLE_EQ(model_speedup(zero, 100.0, 25.0), 0.0);
+}
+
+}  // namespace
+}  // namespace parowl::perfmodel

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/graph_stats.hpp"
+#include "parowl/rdf/ntriples.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::rdf {
+namespace {
+
+TEST(Dictionary, InternIsIdempotent) {
+  Dictionary d;
+  const TermId a = d.intern_iri("http://ex/a");
+  const TermId b = d.intern_iri("http://ex/a");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Dictionary, IdsStartAtOne) {
+  Dictionary d;
+  EXPECT_EQ(d.intern_iri("x"), 1u);
+  EXPECT_EQ(d.intern_iri("y"), 2u);
+}
+
+TEST(Dictionary, KindDistinguishesSameLexical) {
+  Dictionary d;
+  const TermId iri = d.intern_iri("x");
+  const TermId blank = d.intern_blank("x");
+  const TermId lit = d.intern_literal("x");
+  EXPECT_NE(iri, blank);
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(blank, lit);
+  EXPECT_EQ(d.kind(iri), TermKind::kIri);
+  EXPECT_EQ(d.kind(blank), TermKind::kBlank);
+  EXPECT_EQ(d.kind(lit), TermKind::kLiteral);
+}
+
+TEST(Dictionary, FindReturnsZeroForAbsent) {
+  Dictionary d;
+  EXPECT_EQ(d.find_iri("nope"), kAnyTerm);
+  d.intern_iri("yes");
+  EXPECT_NE(d.find_iri("yes"), kAnyTerm);
+}
+
+TEST(Dictionary, LexicalRoundTrips) {
+  Dictionary d;
+  const TermId a = d.intern_iri("http://ex/thing");
+  EXPECT_EQ(d.lexical(a), "http://ex/thing");
+}
+
+TEST(Dictionary, IsResource) {
+  Dictionary d;
+  EXPECT_TRUE(d.is_resource(d.intern_iri("i")));
+  EXPECT_TRUE(d.is_resource(d.intern_blank("b")));
+  EXPECT_FALSE(d.is_resource(d.intern_literal("\"l\"")));
+}
+
+TEST(Dictionary, SurvivesManyInserts) {
+  // deque storage must keep string_views stable across growth.
+  Dictionary d;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(d.intern_iri("http://ex/n" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(d.find_iri("http://ex/n" + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(TripleStore, InsertDeduplicates) {
+  TripleStore s;
+  EXPECT_TRUE(s.insert({1, 2, 3}));
+  EXPECT_FALSE(s.insert({1, 2, 3}));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains({1, 2, 3}));
+  EXPECT_FALSE(s.contains({3, 2, 1}));
+}
+
+TEST(TripleStore, InsertAllCountsNew) {
+  TripleStore s;
+  const std::vector<Triple> ts{{1, 2, 3}, {1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(s.insert_all(ts), 2u);
+}
+
+TEST(TripleStore, LogPreservesInsertionOrder) {
+  TripleStore s;
+  s.insert({1, 2, 3});
+  s.insert({4, 5, 6});
+  s.insert({7, 8, 9});
+  ASSERT_EQ(s.triples().size(), 3u);
+  EXPECT_EQ(s.triples()[0], (Triple{1, 2, 3}));
+  EXPECT_EQ(s.triples()[2], (Triple{7, 8, 9}));
+}
+
+TEST(TripleStore, PredicateIndex) {
+  TripleStore s;
+  s.insert({1, 10, 2});
+  s.insert({3, 10, 4});
+  s.insert({1, 11, 2});
+  EXPECT_EQ(s.with_predicate(10).size(), 2u);
+  EXPECT_EQ(s.with_predicate(11).size(), 1u);
+  EXPECT_EQ(s.with_predicate(12).size(), 0u);
+  ASSERT_EQ(s.predicates().size(), 2u);
+}
+
+TEST(TripleStore, ObjectsAndSubjectsProbes) {
+  TripleStore s;
+  s.insert({1, 10, 2});
+  s.insert({1, 10, 3});
+  s.insert({4, 10, 2});
+  const auto objs = s.objects(10, 1);
+  EXPECT_EQ(objs.size(), 2u);
+  const auto subs = s.subjects(10, 2);
+  EXPECT_EQ(subs.size(), 2u);
+  EXPECT_TRUE(s.objects(10, 99).empty());
+  EXPECT_TRUE(s.subjects(99, 2).empty());
+}
+
+TEST(TripleStore, MatchAllBoundCombinations) {
+  TripleStore s;
+  s.insert({1, 10, 2});
+  s.insert({1, 11, 3});
+  s.insert({4, 10, 2});
+
+  EXPECT_EQ(s.count({1, 10, 2}), 1u);
+  EXPECT_EQ(s.count({1, kAnyTerm, kAnyTerm}), 2u);   // subject index
+  EXPECT_EQ(s.count({kAnyTerm, 10, kAnyTerm}), 2u);  // predicate index
+  EXPECT_EQ(s.count({kAnyTerm, kAnyTerm, 2}), 2u);   // object index
+  EXPECT_EQ(s.count({1, 10, kAnyTerm}), 1u);
+  EXPECT_EQ(s.count({kAnyTerm, 10, 2}), 2u);
+  EXPECT_EQ(s.count({1, kAnyTerm, 2}), 1u);
+  EXPECT_EQ(s.count({kAnyTerm, kAnyTerm, kAnyTerm}), 3u);
+}
+
+TEST(TripleStore, ForSubjectAndObject) {
+  TripleStore s;
+  s.insert({1, 10, 2});
+  s.insert({1, 11, 3});
+  std::size_t n = 0;
+  s.for_subject(1, [&n](const Triple&) { ++n; });
+  EXPECT_EQ(n, 2u);
+  n = 0;
+  s.for_object(3, [&n](const Triple&) { ++n; });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(TripleStore, ClearEmptiesEverything) {
+  TripleStore s;
+  s.insert({1, 10, 2});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains({1, 10, 2}));
+  EXPECT_TRUE(s.with_predicate(10).empty());
+  EXPECT_EQ(s.count({1, kAnyTerm, kAnyTerm}), 0u);
+  // Reusable after clear.
+  EXPECT_TRUE(s.insert({1, 10, 2}));
+}
+
+TEST(TriplePattern, WildcardsMatch) {
+  const TriplePattern p{kAnyTerm, 10, kAnyTerm};
+  EXPECT_TRUE(p.matches({1, 10, 2}));
+  EXPECT_FALSE(p.matches({1, 11, 2}));
+}
+
+TEST(NTriples, ParsesIriTriple) {
+  Dictionary d;
+  const auto t = parse_ntriples_line(
+      "<http://ex/s> <http://ex/p> <http://ex/o> .", d);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(d.lexical(t->s), "http://ex/s");
+  EXPECT_EQ(d.kind(t->o), TermKind::kIri);
+}
+
+TEST(NTriples, ParsesLiteralAndBlank) {
+  Dictionary d;
+  const auto t1 = parse_ntriples_line(
+      "_:b1 <http://ex/p> \"hello world\" .", d);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(d.kind(t1->s), TermKind::kBlank);
+  EXPECT_EQ(d.kind(t1->o), TermKind::kLiteral);
+
+  const auto t2 = parse_ntriples_line(
+      "<http://ex/s> <http://ex/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#int> .",
+      d);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(d.lexical(t2->o),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#int>");
+}
+
+TEST(NTriples, SkipsCommentsAndBlank) {
+  Dictionary d;
+  EXPECT_FALSE(parse_ntriples_line("# comment", d).has_value());
+  EXPECT_FALSE(parse_ntriples_line("   ", d).has_value());
+}
+
+TEST(NTriples, RejectsMalformed) {
+  Dictionary d;
+  std::string err;
+  EXPECT_FALSE(parse_ntriples_line("<a <b> <c> .", d, &err).has_value());
+  EXPECT_FALSE(parse_ntriples_line("<a> <b> <c>", d, &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(
+      parse_ntriples_line("\"lit\" <b> <c> .", d, &err).has_value());
+}
+
+TEST(NTriples, StreamParseCountsStats) {
+  Dictionary d;
+  TripleStore s;
+  std::istringstream in(
+      "<http://ex/a> <http://ex/p> <http://ex/b> .\n"
+      "# comment\n"
+      "<http://ex/a> <http://ex/p> <http://ex/b> .\n"
+      "bad line\n"
+      "<http://ex/b> <http://ex/p> \"x\" .\n");
+  const ParseStats stats = parse_ntriples(in, d, s);
+  EXPECT_EQ(stats.triples, 3u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(stats.bad_lines, 1u);
+  EXPECT_NE(stats.first_error.find("line 4"), std::string::npos);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(NTriples, SerializationRoundTrips) {
+  Dictionary d;
+  TripleStore s;
+  std::istringstream in(
+      "<http://ex/a> <http://ex/p> <http://ex/b> .\n"
+      "_:node1 <http://ex/p> \"v\"@en .\n");
+  parse_ntriples(in, d, s);
+
+  std::ostringstream out;
+  write_ntriples(out, s, d);
+
+  Dictionary d2;
+  TripleStore s2;
+  std::istringstream back(out.str());
+  const ParseStats stats = parse_ntriples(back, d2, s2);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  EXPECT_EQ(s2.size(), s.size());
+}
+
+TEST(GraphStats, CountsNodesAndDegrees) {
+  Dictionary d;
+  TripleStore s;
+  const TermId a = d.intern_iri("a"), b = d.intern_iri("b"),
+               c = d.intern_iri("c"), p = d.intern_iri("p");
+  const TermId lit = d.intern_literal("\"x\"");
+  s.insert({a, p, b});
+  s.insert({b, p, c});
+  s.insert({a, p, lit});
+
+  const GraphStats gs = compute_graph_stats(s, d);
+  EXPECT_EQ(gs.triples, 3u);
+  EXPECT_EQ(gs.nodes, 3u);  // a, b, c — literal is not a node
+  EXPECT_EQ(gs.literal_objects, 1u);
+  EXPECT_EQ(gs.max_degree, 2u);  // b: one in, one out
+  EXPECT_EQ(gs.predicates, 1u);
+
+  const auto nodes = resource_nodes(s, d);
+  EXPECT_EQ(nodes.size(), 3u);
+  EXPECT_TRUE(nodes.contains(a));
+  EXPECT_FALSE(nodes.contains(lit));
+}
+
+}  // namespace
+}  // namespace parowl::rdf

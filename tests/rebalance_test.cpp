@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/parallel/pipeline.hpp"
+#include "parowl/partition/metrics.hpp"
+#include "parowl/partition/rebalance.hpp"
+#include "parowl/reason/materialize.hpp"
+
+namespace parowl::partition {
+namespace {
+
+class RebalanceTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab{dict};
+  rdf::TripleStore store;
+
+  /// Skewed LUBM: the last university is 4x the first, so the domain
+  /// policy's round-robin assignment is badly imbalanced.
+  void skewed_lubm(std::uint32_t universities) {
+    gen::LubmOptions opts;
+    opts.universities = universities;
+    opts.departments_per_university = 2;
+    opts.faculty_per_department = 4;
+    opts.students_per_faculty = 3;
+    opts.size_skew = 3.0;
+    gen::generate_lubm(opts, dict, store);
+  }
+
+  /// Predicted per-partition cost under an owner table with cost-per-node
+  /// taken from the previous run (the quantity rebalancing equalizes).
+  static std::vector<double> predicted_costs(
+      const OwnerTable& owners, const std::vector<double>& per_node_cost,
+      const OwnerTable& previous, std::uint32_t k, double mean) {
+    std::vector<double> cost(k, 0.0);
+    for (const auto& [term, part] : owners) {
+      double c = mean;
+      if (const auto it = previous.find(term); it != previous.end() &&
+                                               it->second <
+                                                   per_node_cost.size()) {
+        c = per_node_cost[it->second];
+      }
+      cost[part] += c;
+    }
+    return cost;
+  }
+};
+
+TEST_F(RebalanceTest, FixedPolicyReplaysTable) {
+  skewed_lubm(2);
+  const DomainOwnerPolicy domain(&lubm_university_key);
+  const DataPartitioning dp = partition_data(store, dict, vocab, domain, 2);
+
+  const FixedOwnerPolicy fixed(dp.owners);
+  const DataPartitioning replay =
+      partition_data(store, dict, vocab, fixed, 2);
+  // Identical assignment -> identical parts.
+  ASSERT_EQ(replay.parts.size(), dp.parts.size());
+  for (std::size_t p = 0; p < dp.parts.size(); ++p) {
+    EXPECT_EQ(replay.parts[p].size(), dp.parts[p].size());
+  }
+  EXPECT_EQ(fixed.name(), "Fixed");
+}
+
+TEST_F(RebalanceTest, FixedPolicyClampsAndFallsBack) {
+  skewed_lubm(1);
+  OwnerTable sparse;  // empty: everything falls back to the hash
+  const FixedOwnerPolicy fixed(sparse);
+  const DataPartitioning dp = partition_data(store, dict, vocab, fixed, 3);
+  const auto split = ontology::split_schema(store, vocab);
+  std::size_t covered = 0;
+  for (const auto& part : dp.parts) {
+    covered += part.size();
+  }
+  EXPECT_GE(covered, split.instance.size());
+}
+
+TEST_F(RebalanceTest, RebalancingEqualizesPredictedCost) {
+  skewed_lubm(4);
+  const DomainOwnerPolicy domain(&lubm_university_key);
+  const DataPartitioning dp = partition_data(store, dict, vocab, domain, 4);
+
+  // Deterministic super-linear cost proxy: cost_p = (nodes_p)^2.
+  const PartitionMetrics m = compute_partition_metrics(dp, dict);
+  std::vector<double> measured(4);
+  std::vector<double> per_node(4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto n = static_cast<double>(m.nodes_per_partition[p]);
+    measured[p] = n * n;
+    per_node[p] = n;  // cost/node
+  }
+  double mean = 0.0;
+  for (const double c : per_node) {
+    mean += c;
+  }
+  mean /= 4.0;
+
+  const OwnerTable rebalanced = rebalance_data_partition(
+      store, dict, vocab, dp.owners, measured, 4);
+
+  const auto before = predicted_costs(dp.owners, per_node, dp.owners, 4, mean);
+  const auto after =
+      predicted_costs(rebalanced, per_node, dp.owners, 4, mean);
+  const double before_max = *std::ranges::max_element(before);
+  const double after_max = *std::ranges::max_element(after);
+  EXPECT_LT(after_max, before_max * 0.95)
+      << "rebalancing must cut the predicted bottleneck cost";
+}
+
+TEST_F(RebalanceTest, RebalancedRunStillMatchesSerial) {
+  skewed_lubm(3);
+  rdf::TripleStore serial;
+  serial.insert_all(store.triples());
+  reason::materialize(serial, dict, vocab, {});
+
+  const DomainOwnerPolicy domain(&lubm_university_key);
+  parallel::ParallelOptions opts;
+  opts.partitions = 3;
+  opts.policy = &domain;
+  opts.build_merged = false;
+  const auto first = parallel::parallel_materialize(store, dict, vocab, opts);
+  ASSERT_EQ(first.cluster.reason_seconds_per_worker.size(), 3u);
+
+  const DataPartitioning dp = partition_data(store, dict, vocab, domain, 3);
+  const OwnerTable rebalanced = rebalance_data_partition(
+      store, dict, vocab, dp.owners,
+      first.cluster.reason_seconds_per_worker, 3);
+
+  const FixedOwnerPolicy fixed(rebalanced, "Rebalanced");
+  parallel::ParallelOptions opts2 = opts;
+  opts2.policy = &fixed;
+  opts2.build_merged = true;
+  const auto second =
+      parallel::parallel_materialize(store, dict, vocab, opts2);
+  ASSERT_TRUE(second.merged.has_value());
+  EXPECT_EQ(second.merged->size(), serial.size());
+  for (const rdf::Triple& t : serial.triples()) {
+    ASSERT_TRUE(second.merged->contains(t));
+  }
+}
+
+}  // namespace
+}  // namespace parowl::partition

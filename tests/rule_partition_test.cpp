@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/partition/rule_partition.hpp"
+#include "parowl/reason/materialize.hpp"
+#include "parowl/rules/dependency_graph.hpp"
+#include "parowl/rules/horst_rules.hpp"
+#include "parowl/rules/rule_parser.hpp"
+
+namespace parowl::partition {
+namespace {
+
+TEST(RulePartition, EveryRuleAssignedExactlyOnce) {
+  rdf::Dictionary dict;
+  rules::RuleParser parser(dict);
+  rules::RuleSet rs;
+  rs.add(*parser.parse_rule("r1: (?x <p> ?y) -> (?x <q> ?y)"));
+  rs.add(*parser.parse_rule("r2: (?x <q> ?y) -> (?x <r> ?y)"));
+  rs.add(*parser.parse_rule("r3: (?x <r> ?y) -> (?x <s> ?y)"));
+  rs.add(*parser.parse_rule("r4: (?x <a> ?y) -> (?x <b> ?y)"));
+
+  const auto graph = rules::build_dependency_graph(rs);
+  const RulePartitioning rp = partition_rules(rs, graph, 2);
+
+  ASSERT_EQ(rp.parts.size(), 2u);
+  EXPECT_EQ(rp.parts[0].size() + rp.parts[1].size(), rs.size());
+  ASSERT_EQ(rp.assignment.size(), rs.size());
+  for (const auto part : rp.assignment) {
+    EXPECT_LT(part, 2u);
+  }
+  EXPECT_GE(rp.partition_seconds, 0.0);
+}
+
+TEST(RulePartition, DependencyChainStaysTogether) {
+  rdf::Dictionary dict;
+  rules::RuleParser parser(dict);
+  rules::RuleSet rs;
+  // Two independent chains: partitioning should cut zero edges.
+  rs.add(*parser.parse_rule("a1: (?x <p> ?y) -> (?x <q> ?y)"));
+  rs.add(*parser.parse_rule("a2: (?x <q> ?y) -> (?x <r> ?y)"));
+  rs.add(*parser.parse_rule("b1: (?x <m> ?y) -> (?x <n> ?y)"));
+  rs.add(*parser.parse_rule("b2: (?x <n> ?y) -> (?x <o> ?y)"));
+
+  const auto graph = rules::build_dependency_graph(rs);
+  const RulePartitioning rp = partition_rules(rs, graph, 2);
+  EXPECT_EQ(rp.edge_cut, 0u);
+  EXPECT_EQ(rp.assignment[0], rp.assignment[1]);
+  EXPECT_EQ(rp.assignment[2], rp.assignment[3]);
+  EXPECT_NE(rp.assignment[0], rp.assignment[2]);
+}
+
+TEST(RulePartition, CompiledLubmRulesSplitNonTrivially) {
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore store;
+  gen::generate_lubm_ontology(dict, store);
+  const rules::CompiledRules compiled =
+      reason::compile_ontology(store, vocab);
+  ASSERT_GT(compiled.rules.size(), 8u);
+
+  const auto graph = rules::build_dependency_graph(compiled.rules);
+  for (const std::uint32_t k : {2u, 4u}) {
+    const RulePartitioning rp = partition_rules(compiled.rules, graph, k);
+    std::size_t total = 0;
+    std::size_t nonempty = 0;
+    for (const auto& part : rp.parts) {
+      total += part.size();
+      nonempty += part.size() > 0 ? 1 : 0;
+    }
+    EXPECT_EQ(total, compiled.rules.size());
+    EXPECT_GE(nonempty, 2u);
+  }
+}
+
+TEST(RulePartition, WeightedGraphShiftsCut) {
+  rdf::Dictionary dict;
+  rules::RuleParser parser(dict);
+  rules::RuleSet rs;
+  rs.add(*parser.parse_rule("r1: (?x <p> ?y) -> (?x <q> ?y)"));
+  rs.add(*parser.parse_rule("r2: (?x <q> ?y) -> (?x <r> ?y)"));
+  rs.add(*parser.parse_rule("r3: (?x <r> ?y) -> (?x <t> ?y)"));
+  rs.add(*parser.parse_rule("r4: (?x <t> ?y) -> (?x <u> ?y)"));
+
+  // Heavy q-traffic: the r1->r2 edge gets weight 1+1000.
+  rdf::TripleStore stats;
+  const auto q = dict.find_iri("q");
+  for (int i = 0; i < 1000; ++i) {
+    stats.insert({static_cast<rdf::TermId>(1000 + i), q,
+                  static_cast<rdf::TermId>(5000 + i)});
+  }
+  const auto weighted = rules::build_dependency_graph(rs, &stats);
+  const RulePartitioning rp = partition_rules(rs, weighted, 2);
+  // The heavy edge must not be cut: r1 and r2 stay together.
+  EXPECT_EQ(rp.assignment[0], rp.assignment[1]);
+}
+
+TEST(RulePartition, SinglePartitionKeepsAll) {
+  rdf::Dictionary dict;
+  rules::RuleParser parser(dict);
+  rules::RuleSet rs;
+  rs.add(*parser.parse_rule("r1: (?x <p> ?y) -> (?x <q> ?y)"));
+  const auto graph = rules::build_dependency_graph(rs);
+  const RulePartitioning rp = partition_rules(rs, graph, 1);
+  EXPECT_EQ(rp.parts[0].size(), 1u);
+  EXPECT_EQ(rp.edge_cut, 0u);
+}
+
+}  // namespace
+}  // namespace parowl::partition

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/parallel/pipeline.hpp"
+#include "parowl/partition/multilevel.hpp"
+#include "parowl/query/sparql_parser.hpp"
+#include "parowl/reason/materialize.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace parowl {
+namespace {
+
+// Heavier-but-bounded cases guarding scalability regressions.  Each stays
+// in the low single-digit seconds.
+
+TEST(Stress, StoreHandlesHalfAMillionTriples) {
+  util::Rng rng(1);
+  rdf::TripleStore store;
+  for (int i = 0; i < 500000; ++i) {
+    store.insert({static_cast<rdf::TermId>(1 + rng.below(60000)),
+                  static_cast<rdf::TermId>(1 + rng.below(40)),
+                  static_cast<rdf::TermId>(1 + rng.below(60000))});
+  }
+  EXPECT_GT(store.size(), 400000u);  // some duplicates expected
+  // Every access path answers.
+  std::size_t n = 0;
+  store.match({rdf::kAnyTerm, 7, rdf::kAnyTerm},
+              [&n](const rdf::Triple&) { ++n; });
+  EXPECT_GT(n, 0u);
+}
+
+TEST(Stress, PartitionerHandles50kVertices) {
+  util::Rng rng(2);
+  const std::uint32_t n = 50000;
+  std::vector<partition::WeightedEdge> edges;
+  edges.reserve(n * 3);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      edges.push_back({i, static_cast<std::uint32_t>(rng.below(n)), 1});
+    }
+  }
+  const partition::Graph g = partition::build_graph(n, edges);
+  const partition::PartitionResult pr = partition::partition_graph(g, 16);
+  const auto weights = partition::partition_weights(g, pr.assignment, 16);
+  const double share = static_cast<double>(n) / 16;
+  for (const auto w : weights) {
+    EXPECT_LT(static_cast<double>(w), share * 1.35);
+  }
+}
+
+TEST(Stress, ForwardClosureOnLargerLubm) {
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore store;
+  gen::LubmOptions opts;
+  opts.universities = 20;
+  gen::generate_lubm(opts, dict, store);
+  ASSERT_GT(store.size(), 40000u);
+
+  const auto result = reason::materialize(store, dict, vocab, {});
+  EXPECT_GT(result.inferred, 20000u);
+  EXPECT_LT(result.reason_seconds, 5.0);
+}
+
+TEST(Stress, ParallelSixteenWorkersOnLargerLubm) {
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore store;
+  gen::LubmOptions opts;
+  opts.universities = 16;
+  gen::generate_lubm(opts, dict, store);
+
+  rdf::TripleStore serial;
+  serial.insert_all(store.triples());
+  reason::materialize(serial, dict, vocab, {});
+
+  const partition::GraphOwnerPolicy policy;
+  parallel::ParallelOptions popts;
+  popts.partitions = 16;
+  popts.policy = &policy;
+  popts.build_merged = false;
+  const auto r = parallel::parallel_materialize(store, dict, vocab, popts);
+  EXPECT_EQ(r.inferred, serial.size() - store.size());
+}
+
+TEST(Stress, QueryOverLargeMaterializedStore) {
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore store;
+  gen::LubmOptions opts;
+  opts.universities = 10;
+  gen::generate_lubm(opts, dict, store);
+  reason::materialize(store, dict, vocab, {});
+
+  query::SparqlParser parser(dict);
+  parser.add_prefix("ub", gen::kUnivBenchNs);
+  const auto q = parser.parse(
+      "SELECT ?x ?d ?u WHERE { ?x a ub:Faculty . ?x ub:memberOf ?d . "
+      "?d ub:subOrganizationOf ?u . ?u a ub:University }");
+  ASSERT_TRUE(q.has_value());
+  const auto results = query::evaluate(store, *q);
+  // Every faculty member resolves through the closure chain.
+  EXPECT_GT(results.size(), 400u);
+}
+
+TEST(Stress, ThreadedRulePartitionOnFileTransport) {
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab(dict);
+  rdf::TripleStore store;
+  gen::LubmOptions opts;
+  opts.universities = 2;
+  gen::generate_lubm(opts, dict, store);
+
+  rdf::TripleStore serial;
+  serial.insert_all(store.triples());
+  reason::materialize(serial, dict, vocab, {});
+
+  const auto spool =
+      std::filesystem::temp_directory_path() / "parowl_stress_spool";
+  parallel::FileTransport transport(spool, dict, 3);
+  parallel::ParallelOptions popts;
+  popts.approach = parallel::Approach::kRulePartition;
+  popts.partitions = 3;
+  popts.mode = parallel::ExecutionMode::kThreaded;
+  popts.transport = &transport;
+  const auto r = parallel::parallel_materialize(store, dict, vocab, popts);
+  ASSERT_TRUE(r.merged.has_value());
+  EXPECT_EQ(r.merged->size(), serial.size());
+}
+
+}  // namespace
+}  // namespace parowl

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "parowl/parallel/router.hpp"
+#include "parowl/parallel/transport.hpp"
+#include "parowl/rules/rule_parser.hpp"
+
+namespace parowl::parallel {
+namespace {
+
+TEST(MemoryTransport, DeliversBatchesByRoundAndDestination) {
+  MemoryTransport t(3);
+  const std::vector<rdf::Triple> batch1{{1, 2, 3}};
+  const std::vector<rdf::Triple> batch2{{4, 5, 6}, {7, 8, 9}};
+  t.send(0, 1, 0, batch1);
+  t.send(2, 1, 0, batch2);
+  t.send(0, 1, 1, batch1);  // later round: separate box
+
+  const auto round0 = t.receive(1, 0);
+  EXPECT_EQ(round0.size(), 3u);
+  const auto round1 = t.receive(1, 1);
+  EXPECT_EQ(round1.size(), 1u);
+  // Inbox drained.
+  EXPECT_TRUE(t.receive(1, 0).empty());
+  EXPECT_TRUE(t.receive(0, 0).empty());
+}
+
+TEST(MemoryTransport, StatsTrackTraffic) {
+  MemoryTransport t(2);
+  const std::vector<rdf::Triple> batch{{1, 2, 3}, {4, 5, 6}};
+  t.send(0, 1, 0, batch);
+  t.receive(1, 0);
+  const CommStats s0 = t.stats(0);
+  const CommStats s1 = t.stats(1);
+  EXPECT_EQ(s0.messages_sent, 1u);
+  EXPECT_EQ(s0.bytes_sent, 2 * sizeof(rdf::Triple));
+  EXPECT_EQ(s1.bytes_received, 2 * sizeof(rdf::Triple));
+}
+
+TEST(MemoryTransport, ConcurrentSendsAreSafe) {
+  MemoryTransport t(4);
+  std::vector<std::jthread> threads;
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    threads.emplace_back([&t, w] {
+      for (std::uint32_t i = 0; i < 500; ++i) {
+        const std::vector<rdf::Triple> batch{{w + 1, i + 1, 1}};
+        t.send(w, (w + 1) % 4, 0, batch);
+      }
+    });
+  }
+  threads.clear();  // join
+  std::size_t total = 0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    total += t.receive(p, 0).size();
+  }
+  EXPECT_EQ(total, 2000u);
+}
+
+class FileTransportTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("parowl_ft_" + std::to_string(::getpid()));
+
+  rdf::Triple triple(const std::string& s, const std::string& p,
+                     const std::string& o) {
+    return {dict.intern_iri(s), dict.intern_iri(p), dict.intern_iri(o)};
+  }
+};
+
+TEST_F(FileTransportTest, RoundTripsTriples) {
+  const auto t1 = triple("http://ex/a", "http://ex/p", "http://ex/b");
+  const rdf::Triple t2{dict.intern_iri("http://ex/a"),
+                       dict.intern_iri("http://ex/p"),
+                       dict.intern_literal("\"lit value\"")};
+  {
+    FileTransport ft(dir, dict, 2);
+    ft.send(0, 1, 0, std::vector<rdf::Triple>{t1, t2});
+    const auto got = ft.receive(1, 0);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], t1);
+    EXPECT_EQ(got[1], t2);
+    // Batch file consumed after receive.
+    EXPECT_TRUE(ft.receive(1, 0).empty());
+  }
+  // Spool directory removed on destruction.
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST_F(FileTransportTest, BlankNodesRoundTrip) {
+  FileTransport ft(dir, dict, 2);
+  const rdf::Triple t{dict.intern_blank("b0"), dict.intern_iri("http://p"),
+                      dict.intern_blank("b1")};
+  ft.send(1, 0, 3, std::vector<rdf::Triple>{t});
+  const auto got = ft.receive(0, 3);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], t);
+}
+
+TEST_F(FileTransportTest, MultipleSendersAccumulate) {
+  FileTransport ft(dir, dict, 3);
+  ft.send(0, 2, 0, std::vector<rdf::Triple>{triple("a", "p", "b")});
+  ft.send(1, 2, 0, std::vector<rdf::Triple>{triple("c", "p", "d")});
+  EXPECT_EQ(ft.receive(2, 0).size(), 2u);
+}
+
+TEST_F(FileTransportTest, StatsMeasureBytes) {
+  FileTransport ft(dir, dict, 2);
+  ft.send(0, 1, 0, std::vector<rdf::Triple>{triple("http://ex/aaa",
+                                                   "http://ex/ppp",
+                                                   "http://ex/ooo")});
+  ft.receive(1, 0);
+  EXPECT_GT(ft.stats(0).bytes_sent, 30u);  // full N-Triples line
+  EXPECT_EQ(ft.stats(1).bytes_received, ft.stats(0).bytes_sent);
+  EXPECT_GE(ft.stats(0).send_seconds, 0.0);
+}
+
+TEST_F(FileTransportTest, EmptyRoundYieldsNothing) {
+  FileTransport ft(dir, dict, 2);
+  EXPECT_TRUE(ft.receive(0, 7).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Routers
+
+TEST(OwnerRouter, RoutesToOwnersOfSubjectAndObject) {
+  partition::OwnerTable owners;
+  owners[10] = 0;
+  owners[20] = 1;
+  owners[30] = 2;
+  const OwnerRouter router(owners);
+
+  std::vector<std::uint32_t> dests;
+  router.route({10, 99, 20}, /*self=*/0, dests);
+  ASSERT_EQ(dests.size(), 1u);  // subject owned by self, object by 1
+  EXPECT_EQ(dests[0], 1u);
+
+  dests.clear();
+  router.route({20, 99, 30}, 0, dests);
+  EXPECT_EQ(dests.size(), 2u);
+
+  dests.clear();
+  router.route({10, 99, 10}, 0, dests);  // both owned by self
+  EXPECT_TRUE(dests.empty());
+
+  dests.clear();
+  router.route({20, 99, 20}, 0, dests);  // same owner twice: one dest
+  ASSERT_EQ(dests.size(), 1u);
+}
+
+TEST(OwnerRouter, UnknownTermsContributeNoDestination) {
+  partition::OwnerTable owners;
+  owners[10] = 1;
+  const OwnerRouter router(owners);
+  std::vector<std::uint32_t> dests;
+  router.route({99, 98, 97}, 0, dests);
+  EXPECT_TRUE(dests.empty());
+}
+
+TEST(RuleMatchRouter, RoutesTuplesToTriggeredPartitions) {
+  rdf::Dictionary dict;
+  rules::RuleParser parser(dict);
+  std::vector<rules::RuleSet> parts(2);
+  parts[0].add(*parser.parse_rule("r1: (?x <p> ?y) -> (?x <q> ?y)"));
+  parts[1].add(*parser.parse_rule("r2: (?x <q> ?y) -> (?x <r> ?y)"));
+
+  const RuleMatchRouter router(parts);
+  const auto p = dict.find_iri("p");
+  const auto q = dict.find_iri("q");
+
+  std::vector<std::uint32_t> dests;
+  router.route({1, q, 2}, /*self=*/0, dests);
+  ASSERT_EQ(dests.size(), 1u);  // q-tuples trigger partition 1
+  EXPECT_EQ(dests[0], 1u);
+
+  dests.clear();
+  router.route({1, p, 2}, 1, dests);  // p-tuples trigger partition 0
+  ASSERT_EQ(dests.size(), 1u);
+  EXPECT_EQ(dests[0], 0u);
+
+  dests.clear();
+  router.route({1, q, 2}, 1, dests);  // own partition excluded
+  EXPECT_TRUE(dests.empty());
+}
+
+TEST(RuleMatchRouter, VariablePredicateAtomMatchesEverything) {
+  rdf::Dictionary dict;
+  rules::RuleParser parser(dict);
+  std::vector<rules::RuleSet> parts(2);
+  parts[0].add(*parser.parse_rule("r: (?x <sameAs> ?y) (?x ?p ?z) -> (?y ?p ?z)"));
+  parts[1].add(*parser.parse_rule("r2: (?x <q> ?y) -> (?x <r> ?y)"));
+  const RuleMatchRouter router(parts);
+  std::vector<std::uint32_t> dests;
+  router.route({1, 12345, 2}, 1, dests);
+  ASSERT_EQ(dests.size(), 1u);  // the variable-predicate atom matches
+  EXPECT_EQ(dests[0], 0u);
+}
+
+TEST(AtomMatchesTuple, RepeatedVariableConstraint) {
+  rdf::Dictionary dict;
+  rules::RuleParser parser(dict);
+  const auto rule = parser.parse_rule("r: (?x <p> ?x) -> (?x <q> ?x)");
+  ASSERT_TRUE(rule.has_value());
+  const auto p = dict.find_iri("p");
+  EXPECT_TRUE(atom_matches_tuple(rule->body[0], {7, p, 7}));
+  EXPECT_FALSE(atom_matches_tuple(rule->body[0], {7, p, 8}));
+}
+
+}  // namespace
+}  // namespace parowl::parallel

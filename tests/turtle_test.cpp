@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "parowl/rdf/snapshot.hpp"
+#include "parowl/rdf/turtle.hpp"
+
+namespace parowl::rdf {
+namespace {
+
+class TurtleTest : public ::testing::Test {
+ protected:
+  Dictionary dict;
+  TripleStore store;
+
+  ParseStats parse(const std::string& text) {
+    return parse_turtle_text(text, dict, store);
+  }
+  TermId iri(const std::string& s) { return dict.find_iri(s); }
+};
+
+TEST_F(TurtleTest, PrefixedTriples) {
+  const ParseStats stats = parse(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:kim ex:worksFor ex:csdept .\n");
+  EXPECT_EQ(stats.triples, 1u);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  const TermId kim = iri("http://ex/kim");
+  ASSERT_NE(kim, kAnyTerm);
+  EXPECT_TRUE(store.contains(
+      {kim, iri("http://ex/worksFor"), iri("http://ex/csdept")}));
+}
+
+TEST_F(TurtleTest, AKeywordIsRdfType) {
+  parse(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:kim a ex:Professor .\n");
+  EXPECT_TRUE(store.contains(
+      {iri("http://ex/kim"),
+       iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+       iri("http://ex/Professor")}));
+}
+
+TEST_F(TurtleTest, PredicateAndObjectLists) {
+  const ParseStats stats = parse(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:kim a ex:Professor ;\n"
+      "       ex:teaches ex:cs101 , ex:cs202 ;\n"
+      "       ex:worksFor ex:csdept .\n");
+  EXPECT_EQ(stats.triples, 4u);
+  EXPECT_TRUE(store.contains(
+      {iri("http://ex/kim"), iri("http://ex/teaches"), iri("http://ex/cs202")}));
+}
+
+TEST_F(TurtleTest, LiteralsWithDatatypeAndLang) {
+  parse(
+      "@prefix ex: <http://ex/> .\n"
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "ex:kim ex:name \"Kim\"@en ;\n"
+      "       ex:age \"42\"^^xsd:int ;\n"
+      "       ex:height 1.75 ;\n"
+      "       ex:papers 12 ;\n"
+      "       ex:tenured true .\n");
+  EXPECT_NE(dict.find("\"Kim\"@en", TermKind::kLiteral), kAnyTerm);
+  EXPECT_NE(dict.find("\"42\"^^<http://www.w3.org/2001/XMLSchema#int>",
+                      TermKind::kLiteral),
+            kAnyTerm);
+  EXPECT_NE(
+      dict.find("\"1.75\"^^<http://www.w3.org/2001/XMLSchema#decimal>",
+                TermKind::kLiteral),
+      kAnyTerm);
+  EXPECT_NE(dict.find("\"12\"^^<http://www.w3.org/2001/XMLSchema#integer>",
+                      TermKind::kLiteral),
+            kAnyTerm);
+  EXPECT_NE(dict.find("\"true\"^^<http://www.w3.org/2001/XMLSchema#boolean>",
+                      TermKind::kLiteral),
+            kAnyTerm);
+  EXPECT_EQ(store.size(), 5u);
+}
+
+TEST_F(TurtleTest, BlankNodesAndComments) {
+  const ParseStats stats = parse(
+      "@prefix ex: <http://ex/> . # a comment\n"
+      "_:b1 ex:knows _:b2 . # another\n");
+  EXPECT_EQ(stats.triples, 1u);
+  EXPECT_NE(dict.find("b1", TermKind::kBlank), kAnyTerm);
+}
+
+TEST_F(TurtleTest, BaseResolution) {
+  parse(
+      "@base <http://ex/data/> .\n"
+      "<well1> <http://ex/partOf> <field1> .\n");
+  EXPECT_NE(iri("http://ex/data/well1"), kAnyTerm);
+  EXPECT_NE(iri("http://ex/data/field1"), kAnyTerm);
+}
+
+TEST_F(TurtleTest, SparqlStylePrefix) {
+  const ParseStats stats = parse(
+      "PREFIX ex: <http://ex/>\n"
+      "ex:a ex:p ex:b .\n");
+  EXPECT_EQ(stats.triples, 1u);
+  EXPECT_EQ(stats.bad_lines, 0u);
+}
+
+TEST_F(TurtleTest, RecoversAfterMalformedStatement) {
+  const ParseStats stats = parse(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:kim ex:knows [ ex:nested ex:thing ] .\n"  // unsupported
+      "ex:kim ex:worksFor ex:csdept .\n");
+  EXPECT_EQ(stats.bad_lines, 1u);
+  EXPECT_EQ(stats.triples, 1u);
+  EXPECT_NE(stats.first_error.find("not supported"), std::string::npos);
+}
+
+TEST_F(TurtleTest, UnknownPrefixIsAnError) {
+  const ParseStats stats = parse("nope:a nope:b nope:c .\n");
+  EXPECT_EQ(stats.bad_lines, 1u);
+  EXPECT_EQ(stats.triples, 0u);
+}
+
+TEST_F(TurtleTest, DuplicatesCounted) {
+  const ParseStats stats = parse(
+      "@prefix ex: <http://ex/> .\n"
+      "ex:a ex:p ex:b .\n"
+      "ex:a ex:p ex:b .\n");
+  EXPECT_EQ(stats.triples, 2u);
+  EXPECT_EQ(stats.duplicates, 1u);
+}
+
+TEST_F(TurtleTest, StreamOverloadMatchesText) {
+  std::istringstream in(
+      "@prefix ex: <http://ex/> .\nex:x ex:p ex:y .\n");
+  const ParseStats stats = parse_turtle(in, dict, store);
+  EXPECT_EQ(stats.triples, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  Dictionary dict;
+  TripleStore store;
+};
+
+TEST_F(SnapshotTest, RoundTripsDictionaryAndTriples) {
+  const TermId a = dict.intern_iri("http://ex/a");
+  const TermId p = dict.intern_iri("http://ex/p");
+  const TermId lit = dict.intern_literal("\"v\"@en");
+  const TermId b = dict.intern_blank("node0");
+  store.insert({a, p, lit});
+  store.insert({a, p, b});
+
+  std::stringstream buffer;
+  const SnapshotStats saved = save_snapshot(buffer, dict, store);
+  EXPECT_EQ(saved.terms, 4u);
+  EXPECT_EQ(saved.triples, 2u);
+
+  Dictionary dict2;
+  TripleStore store2;
+  std::string error;
+  ASSERT_TRUE(load_snapshot(buffer, dict2, store2, &error)) << error;
+  EXPECT_EQ(dict2.size(), dict.size());
+  EXPECT_EQ(store2.size(), store.size());
+  // Ids and kinds preserved exactly.
+  EXPECT_EQ(dict2.lexical(a), "http://ex/a");
+  EXPECT_EQ(dict2.kind(lit), TermKind::kLiteral);
+  EXPECT_EQ(dict2.kind(b), TermKind::kBlank);
+  EXPECT_TRUE(store2.contains({a, p, lit}));
+}
+
+TEST_F(SnapshotTest, EmptyKbRoundTrips) {
+  std::stringstream buffer;
+  save_snapshot(buffer, dict, store);
+  Dictionary dict2;
+  TripleStore store2;
+  EXPECT_TRUE(load_snapshot(buffer, dict2, store2));
+  EXPECT_EQ(dict2.size(), 0u);
+  EXPECT_TRUE(store2.empty());
+}
+
+TEST_F(SnapshotTest, RejectsCorruptInput) {
+  std::string error;
+  {
+    std::stringstream buffer("not a snapshot");
+    Dictionary d2;
+    TripleStore s2;
+    EXPECT_FALSE(load_snapshot(buffer, d2, s2, &error));
+    EXPECT_EQ(error, "bad magic");
+  }
+  {
+    // Truncated after the header.
+    std::stringstream buffer;
+    store.insert({dict.intern_iri("a"), dict.intern_iri("p"),
+                  dict.intern_iri("b")});
+    save_snapshot(buffer, dict, store);
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    Dictionary d2;
+    TripleStore s2;
+    EXPECT_FALSE(load_snapshot(truncated, d2, s2, &error));
+  }
+}
+
+TEST_F(SnapshotTest, RejectsNonEmptyTargets) {
+  std::stringstream buffer;
+  save_snapshot(buffer, dict, store);
+  Dictionary d2;
+  d2.intern_iri("existing");
+  TripleStore s2;
+  std::string error;
+  EXPECT_FALSE(load_snapshot(buffer, d2, s2, &error));
+}
+
+TEST_F(SnapshotTest, RejectsOutOfRangeTermIds) {
+  const TermId a = dict.intern_iri("a");
+  store.insert({a, a, a});
+  std::stringstream buffer;
+  save_snapshot(buffer, dict, store);
+  std::string data = buffer.str();
+  // Corrupt the last triple id to a large value.
+  data[data.size() - 1] = '\x7f';
+  std::stringstream corrupt(data);
+  Dictionary d2;
+  TripleStore s2;
+  std::string error;
+  EXPECT_FALSE(load_snapshot(corrupt, d2, s2, &error));
+  EXPECT_EQ(error, "triple references unknown term");
+}
+
+}  // namespace
+}  // namespace parowl::rdf

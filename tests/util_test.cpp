@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "parowl/util/rng.hpp"
+#include "parowl/util/strings.hpp"
+#include "parowl/util/table.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace parowl::util {
+namespace {
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+  EXPECT_GE(sw.elapsed_micros(), 0);
+}
+
+TEST(Stopwatch, RestartResetsOrigin) {
+  Stopwatch sw;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  const double before = sw.elapsed_seconds();
+  sw.restart();
+  EXPECT_LE(sw.elapsed_seconds(), before + 1.0);
+}
+
+TEST(TimeAccumulator, SumsIntervals) {
+  TimeAccumulator acc;
+  acc.add(0.5);
+  acc.add(0.25);
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.75);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);
+}
+
+TEST(TimeAccumulator, TimesCallableAndReturnsResult) {
+  TimeAccumulator acc;
+  const int result = acc.time([] { return 42; });
+  EXPECT_EQ(result, 42);
+  EXPECT_GE(acc.seconds(), 0.0);
+}
+
+TEST(FormatSeconds, PicksUnits) {
+  EXPECT_EQ(format_seconds(2.5), "2.500 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.5 us");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differ = 0;
+  for (int i = 0; i < 16; ++i) {
+    differ += a.next() != b.next();
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi\t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, Fnv1aIsStable) {
+  // Known FNV-1a 64 value for "abc".
+  EXPECT_EQ(fnv1a64("abc"), 0xe71fa2190541574bULL);
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+}
+
+TEST(Strings, Mix64Scrambles) {
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_EQ(mix64(42), mix64(42));
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace parowl::util

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "parowl/parallel/worker.hpp"
+#include "parowl/rules/rule_parser.hpp"
+
+namespace parowl::parallel {
+namespace {
+
+/// Unit tests for the Worker's round mechanics, using a trivial router that
+/// sends every derivation to a fixed destination.
+class EverythingToRouter final : public Router {
+ public:
+  explicit EverythingToRouter(std::uint32_t dest) : dest_(dest) {}
+  void route(const rdf::Triple&, std::uint32_t self,
+             std::vector<std::uint32_t>& out) const override {
+    if (dest_ != self) {
+      out.push_back(dest_);
+    }
+  }
+
+ private:
+  std::uint32_t dest_;
+};
+
+class WorkerTest : public ::testing::Test {
+ protected:
+  rdf::Dictionary dict;
+  rules::RuleParser parser{dict};
+  MemoryTransport transport{2};
+
+  rdf::TermId iri(const std::string& s) { return dict.intern_iri(s); }
+
+  rules::RuleSet trans_rules() {
+    rules::RuleSet rs;
+    rs.add(*parser.parse_rule("t: (?a <p> ?b) (?b <p> ?c) -> (?a <p> ?c)"));
+    return rs;
+  }
+
+  WorkerOptions options() {
+    WorkerOptions o;
+    o.dict = &dict;
+    return o;
+  }
+};
+
+TEST_F(WorkerTest, ComputeLocalClosesAndRoutes) {
+  Worker w(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  const std::vector<rdf::Triple> base{{iri("a"), iri("p"), iri("b")},
+                                      {iri("b"), iri("p"), iri("c")}};
+  w.load(base);
+  EXPECT_EQ(w.base_size(), 2u);
+
+  double seconds = -1.0;
+  const std::vector<Outgoing> out = w.compute_local(&seconds);
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_TRUE(w.store().contains({iri("a"), iri("p"), iri("c")}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dest, 1u);
+  ASSERT_EQ(out[0].tuples.size(), 1u);
+  EXPECT_EQ(w.result_size(), 1u);
+}
+
+TEST_F(WorkerTest, BaseTuplesAreNeverShipped) {
+  Worker w(0, rules::RuleSet{}, std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  const std::vector<rdf::Triple> base{{iri("a"), iri("p"), iri("b")}};
+  w.load(base);
+  const std::vector<Outgoing> out = w.compute_local();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(WorkerTest, AbsorbedTuplesAreReasonedButNotReshipped) {
+  Worker w(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  const std::vector<rdf::Triple> base{{iri("a"), iri("p"), iri("b")}};
+  w.load(base);
+  (void)w.compute_local();
+
+  // Foreign tuple extends the chain; its consequence is shipped but the
+  // foreign tuple itself is not.
+  const std::vector<rdf::Triple> foreign{{iri("b"), iri("p"), iri("c")}};
+  EXPECT_EQ(w.absorb(foreign), 1u);
+  const std::vector<Outgoing> out = w.compute_local();
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].tuples.size(), 1u);
+  EXPECT_EQ(out[0].tuples[0], (rdf::Triple{iri("a"), iri("p"), iri("c")}));
+}
+
+TEST_F(WorkerTest, ConsecutiveAbsorbsAllReachTheNextClosure) {
+  Worker w(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  w.load(std::vector<rdf::Triple>{});
+  (void)w.compute_local();
+
+  // Two separate absorbs before one compute: both must be in the frontier.
+  w.absorb(std::vector<rdf::Triple>{{iri("x"), iri("p"), iri("y")}});
+  w.absorb(std::vector<rdf::Triple>{{iri("y"), iri("p"), iri("z")}});
+  (void)w.compute_local();
+  EXPECT_TRUE(w.store().contains({iri("x"), iri("p"), iri("z")}));
+}
+
+TEST_F(WorkerTest, AbsorbDeduplicates) {
+  Worker w(0, rules::RuleSet{}, std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  const std::vector<rdf::Triple> base{{iri("a"), iri("p"), iri("b")}};
+  w.load(base);
+  EXPECT_EQ(w.absorb(base), 0u);  // already known
+}
+
+TEST_F(WorkerTest, RoundStatsAccumulate) {
+  Worker w0(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+            &transport, options());
+  Worker w1(1, trans_rules(), std::make_shared<EverythingToRouter>(0),
+            &transport, options());
+  w0.load(std::vector<rdf::Triple>{{iri("a"), iri("p"), iri("b")},
+                                   {iri("b"), iri("p"), iri("c")}});
+  w1.load(std::vector<rdf::Triple>{});
+
+  const std::size_t sent0 = w0.compute_and_send(0);
+  EXPECT_EQ(sent0, 1u);
+  EXPECT_EQ(w1.compute_and_send(0), 0u);
+  EXPECT_EQ(w1.receive_and_aggregate(0), 1u);
+
+  const RoundStats& rs0 = w0.rounds()[0];
+  EXPECT_EQ(rs0.sent_tuples, 1u);
+  EXPECT_EQ(rs0.sent_messages, 1u);
+  EXPECT_EQ(rs0.derived, 1u);
+  const RoundStats& rs1 = w1.rounds()[0];
+  EXPECT_EQ(rs1.received_tuples, 1u);
+  EXPECT_EQ(rs1.received_new, 1u);
+}
+
+}  // namespace
+}  // namespace parowl::parallel

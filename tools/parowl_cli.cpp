@@ -1,0 +1,475 @@
+// parowl — command-line frontend for the parallel OWL reasoner.
+//
+//   parowl gen lubm --scale 4 -o data.nt        generate a benchmark KB
+//   parowl info data.nt                         show KB statistics
+//   parowl materialize data.nt -o full.snap     compute the OWL-Horst closure
+//   parowl query full.snap 'SELECT ...'         run a SPARQL-subset query
+//   parowl partition data.nt -k 8 --policy graph   partition + metrics
+//   parowl cluster data.nt -k 8 [--approach data|rule|hybrid] [--mode sync|async]
+//
+// Input format is chosen by extension: .nt (N-Triples), .ttl (Turtle),
+// .snap (binary snapshot); output likewise (.snap or .nt).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/gen/mdc.hpp"
+#include "parowl/gen/uobm.hpp"
+#include "parowl/parallel/pipeline.hpp"
+#include "parowl/query/sparql_parser.hpp"
+#include "parowl/reason/explain.hpp"
+#include "parowl/rules/rule_parser.hpp"
+#include "parowl/rdf/graph_stats.hpp"
+#include "parowl/rdf/ntriples.hpp"
+#include "parowl/rdf/snapshot.hpp"
+#include "parowl/rdf/turtle.hpp"
+#include "parowl/reason/materialize.hpp"
+#include "parowl/util/table.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace {
+
+using namespace parowl;
+
+int usage() {
+  std::cerr <<
+      R"(usage: parowl <command> [options]
+
+commands:
+  gen <lubm|uobm|mdc> [--scale N] [--seed S] -o <file>
+  info <kb>
+  materialize <kb> [-o <file>] [--strategy forward|query] [--no-compile]
+              [--rules <file>]
+  query <kb> <sparql> [--reason]
+  explain <kb> <s> <p> <o>       (terms as full IRIs; reasons, then proves)
+  partition <kb> -k N [--policy graph|hash|lubm|mdc]
+  cluster <kb> -k N [--policy ...] [--approach data|rule|hybrid]
+          [--rule-parts M] [--mode sync|async|threaded] [--strategy ...]
+
+kb files: .nt (N-Triples), .ttl (Turtle), .snap (binary snapshot)
+)";
+  return 2;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool load_kb(const std::string& path, rdf::Dictionary& dict,
+             rdf::TripleStore& store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  if (ends_with(path, ".snap")) {
+    std::string error;
+    if (!rdf::load_snapshot(in, dict, store, &error)) {
+      std::cerr << "bad snapshot " << path << ": " << error << "\n";
+      return false;
+    }
+    return true;
+  }
+  const rdf::ParseStats stats = ends_with(path, ".ttl")
+                                    ? rdf::parse_turtle(in, dict, store)
+                                    : rdf::parse_ntriples(in, dict, store);
+  if (stats.bad_lines > 0) {
+    std::cerr << "warning: " << stats.bad_lines << " malformed statements ("
+              << stats.first_error << ")\n";
+  }
+  return true;
+}
+
+bool save_kb(const std::string& path, const rdf::Dictionary& dict,
+             const rdf::TripleStore& store) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  if (ends_with(path, ".snap")) {
+    rdf::save_snapshot(out, dict, store);
+  } else {
+    rdf::write_ntriples(out, store, dict);
+  }
+  return out.good();
+}
+
+/// Minimal flag scanner: --name value / --flag / -k value.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      args_.emplace_back(argv[i]);
+    }
+  }
+
+  /// Positional argument at `index` (flags excluded).
+  [[nodiscard]] std::string positional(std::size_t index) const {
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].starts_with("-")) {
+        if (has_value(args_[i])) {
+          ++i;
+        }
+        continue;
+      }
+      if (seen++ == index) {
+        return args_[i];
+      }
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::string option(const std::string& name,
+                                   const std::string& fallback = {}) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        return args_[i + 1];
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] bool flag(const std::string& name) const {
+    for (const std::string& a : args_) {
+      if (a == name) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static bool has_value(const std::string& flag_name) {
+    // Flags that consume a value.
+    for (const char* f : {"-o", "-k", "--scale", "--seed", "--policy",
+                          "--approach", "--mode", "--strategy",
+                          "--rule-parts", "--rules"}) {
+      if (flag_name == f) {
+        return true;
+      }
+    }
+    return false;
+  }
+  std::vector<std::string> args_;
+};
+
+std::unique_ptr<partition::OwnerPolicy> make_policy(const std::string& name) {
+  if (name == "hash") {
+    return std::make_unique<partition::HashOwnerPolicy>();
+  }
+  if (name == "lubm") {
+    return std::make_unique<partition::DomainOwnerPolicy>(
+        &partition::lubm_university_key, "Dom sp. (LUBM)");
+  }
+  if (name == "mdc") {
+    return std::make_unique<partition::DomainOwnerPolicy>(
+        &gen::mdc_field_key, "Dom sp. (MDC)");
+  }
+  return std::make_unique<partition::GraphOwnerPolicy>();
+}
+
+int cmd_gen(const Args& args) {
+  const std::string kind = args.positional(0);
+  const std::string out = args.option("-o");
+  if (kind.empty() || out.empty()) {
+    return usage();
+  }
+  const auto scale =
+      static_cast<unsigned>(std::stoul(args.option("--scale", "1")));
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(args.option("--seed", "42")));
+
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  gen::GenStats stats;
+  if (kind == "lubm") {
+    gen::LubmOptions o;
+    o.universities = scale;
+    o.seed = seed;
+    stats = gen::generate_lubm(o, dict, store);
+  } else if (kind == "uobm") {
+    gen::UobmOptions o;
+    o.base.universities = scale;
+    o.base.seed = seed;
+    o.hometowns = 10 * scale;
+    stats = gen::generate_uobm(o, dict, store);
+  } else if (kind == "mdc") {
+    gen::MdcOptions o;
+    o.fields = scale;
+    o.seed = seed;
+    stats = gen::generate_mdc(o, dict, store);
+  } else {
+    return usage();
+  }
+  if (!save_kb(out, dict, store)) {
+    return 1;
+  }
+  std::cout << "wrote " << out << ": " << stats.instance_triples
+            << " instance + " << stats.schema_triples << " schema triples\n";
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const std::string path = args.positional(0);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  if (path.empty() || !load_kb(path, dict, store)) {
+    return 1;
+  }
+  const rdf::GraphStats gs = rdf::compute_graph_stats(store, dict);
+  ontology::Vocabulary vocab(dict);
+  const ontology::Ontology onto = ontology::extract_ontology(store, vocab);
+
+  std::cout << path << ":\n"
+            << "  triples:          " << gs.triples << "\n"
+            << "  resource nodes:   " << gs.nodes << "\n"
+            << "  predicates:       " << gs.predicates << "\n"
+            << "  literal objects:  " << gs.literal_objects << "\n"
+            << "  avg node degree:  " << util::fmt_double(gs.avg_degree, 2)
+            << " (max " << gs.max_degree << ")\n"
+            << "  schema axioms:    " << onto.axiom_count() << "\n"
+            << "  dictionary terms: " << dict.size() << "\n";
+  return 0;
+}
+
+int cmd_materialize(const Args& args) {
+  const std::string path = args.positional(0);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  if (path.empty() || !load_kb(path, dict, store)) {
+    return 1;
+  }
+  ontology::Vocabulary vocab(dict);
+
+  reason::MaterializeOptions opts;
+  if (args.option("--strategy") == "query") {
+    opts.strategy = reason::Strategy::kQueryDriven;
+  }
+  opts.compile = !args.flag("--no-compile");
+
+  const reason::MaterializeResult r =
+      reason::materialize(store, dict, vocab, opts);
+  std::cout << "base " << r.base_triples << " (+" << r.schema_triples
+            << " schema) -> inferred " << r.inferred << " in "
+            << util::format_seconds(r.reason_seconds) << " ("
+            << r.compiled_rules << " rules, " << r.iterations
+            << " iterations)\n";
+
+  // Optional user rule file applied on top of the OWL-Horst closure.
+  const std::string rules_path = args.option("--rules");
+  if (!rules_path.empty()) {
+    std::ifstream rin(rules_path);
+    if (!rin) {
+      std::cerr << "cannot open rules file " << rules_path << "\n";
+      return 1;
+    }
+    rules::RuleParser parser(dict);
+    parser.add_prefix("ub", gen::kUnivBenchNs);
+    parser.add_prefix("mdc", gen::kMdcNs);
+    std::string error;
+    const auto user_rules = parser.parse(rin, &error);
+    if (!user_rules) {
+      std::cerr << "rule parse error: " << error << "\n";
+      return 1;
+    }
+    reason::ForwardOptions fopts;
+    fopts.dict = &dict;
+    const reason::ForwardStats stats =
+        reason::forward_closure(store, *user_rules, fopts);
+    std::cout << "user rules (" << user_rules->size() << ") derived "
+              << stats.derived << " additional triples\n";
+  }
+
+  const std::string out = args.option("-o");
+  if (!out.empty() && !save_kb(out, dict, store)) {
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  const std::string path = args.positional(0);
+  const std::string text = args.positional(1);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  if (path.empty() || text.empty() || !load_kb(path, dict, store)) {
+    return path.empty() || text.empty() ? usage() : 1;
+  }
+  ontology::Vocabulary vocab(dict);
+  if (args.flag("--reason")) {
+    reason::materialize(store, dict, vocab, {});
+  }
+  query::SparqlParser parser(dict);
+  parser.add_prefix("ub", gen::kUnivBenchNs);
+  parser.add_prefix("mdc", gen::kMdcNs);
+  std::string error;
+  const auto q = parser.parse(text, &error);
+  if (!q) {
+    std::cerr << "query error: " << error << "\n";
+    return 1;
+  }
+  util::Stopwatch watch;
+  const query::ResultSet results = query::evaluate(store, *q);
+  std::cout << query::to_text(results, dict) << results.size()
+            << " result(s) in " << util::format_seconds(watch.elapsed_seconds())
+            << "\n";
+  return 0;
+}
+
+int cmd_explain(const Args& args) {
+  const std::string path = args.positional(0);
+  rdf::Dictionary dict;
+  rdf::TripleStore base;
+  if (path.empty() || !load_kb(path, dict, base)) {
+    return 1;
+  }
+  const rdf::TermId s = dict.find_iri(args.positional(1));
+  const rdf::TermId p = dict.find_iri(args.positional(2));
+  const rdf::TermId o = dict.find_iri(args.positional(3));
+  if (s == rdf::kAnyTerm || p == rdf::kAnyTerm || o == rdf::kAnyTerm) {
+    std::cerr << "one or more terms are not in the knowledge base\n";
+    return 1;
+  }
+
+  ontology::Vocabulary vocab(dict);
+  const rules::CompiledRules compiled =
+      reason::compile_ontology(base, vocab);
+  rdf::TripleStore materialized;
+  materialized.insert_all(base.triples());
+  materialized.insert_all(compiled.ground_facts);
+  base.insert_all(compiled.ground_facts);  // schema closure is asserted
+  reason::ForwardOptions fopts;
+  fopts.dict = &dict;
+  reason::ForwardEngine(materialized, compiled.rules, fopts).run(0);
+
+  const reason::Explainer explainer(materialized, base, compiled.rules);
+  const auto proof = explainer.explain({s, p, o});
+  if (!proof) {
+    std::cout << "triple is not entailed by the knowledge base\n";
+    return 1;
+  }
+  std::cout << explainer.to_text(*proof, dict);
+  return 0;
+}
+
+int cmd_partition(const Args& args) {
+  const std::string path = args.positional(0);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  if (path.empty() || !load_kb(path, dict, store)) {
+    return 1;
+  }
+  const auto k = static_cast<std::uint32_t>(std::stoul(args.option("-k", "4")));
+  const auto policy = make_policy(args.option("--policy", "graph"));
+
+  ontology::Vocabulary vocab(dict);
+  const partition::DataPartitioning dp =
+      partition::partition_data(store, dict, vocab, *policy, k);
+  const partition::PartitionMetrics m =
+      partition::compute_partition_metrics(dp, dict);
+
+  util::Table table({"partition", "triples", "nodes"});
+  for (std::uint32_t p = 0; p < k; ++p) {
+    table.add_row({std::to_string(p), std::to_string(dp.parts[p].size()),
+                   std::to_string(m.nodes_per_partition[p])});
+  }
+  table.print(std::cout);
+  std::cout << "policy " << policy->name() << ": bal="
+            << util::fmt_double(m.bal, 1)
+            << " IR=" << util::fmt_double(m.input_replication, 3)
+            << " part.time=" << util::format_seconds(dp.partition_seconds)
+            << "\n";
+  return 0;
+}
+
+int cmd_cluster(const Args& args) {
+  const std::string path = args.positional(0);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  if (path.empty() || !load_kb(path, dict, store)) {
+    return 1;
+  }
+  ontology::Vocabulary vocab(dict);
+
+  parallel::ParallelOptions opts;
+  opts.partitions =
+      static_cast<std::uint32_t>(std::stoul(args.option("-k", "4")));
+  opts.rule_partitions = static_cast<std::uint32_t>(
+      std::stoul(args.option("--rule-parts", "2")));
+  const std::string approach = args.option("--approach", "data");
+  opts.approach = approach == "rule"     ? parallel::Approach::kRulePartition
+                  : approach == "hybrid" ? parallel::Approach::kHybrid
+                                         : parallel::Approach::kDataPartition;
+  const std::string mode = args.option("--mode", "sync");
+  opts.mode = mode == "async" ? parallel::ExecutionMode::kAsyncSimulated
+              : mode == "threaded"
+                  ? parallel::ExecutionMode::kThreaded
+                  : parallel::ExecutionMode::kSequentialSimulated;
+  if (args.option("--strategy") == "query") {
+    opts.local_strategy = reason::Strategy::kQueryDriven;
+  }
+  const auto policy = make_policy(args.option("--policy", "graph"));
+  opts.policy = policy.get();
+  opts.build_merged = false;
+
+  const parallel::ParallelResult r =
+      parallel::parallel_materialize(store, dict, vocab, opts);
+  std::cout << "inferred " << r.inferred << " triples with "
+            << r.cluster.results_per_partition.size() << " workers\n"
+            << "simulated parallel time: "
+            << util::format_seconds(r.cluster.simulated_seconds) << "\n";
+  if (r.async) {
+    std::cout << "async: " << r.async->deliveries << " deliveries, wait "
+              << util::format_seconds(r.async->wait_seconds) << "\n";
+  } else {
+    std::cout << "rounds: " << r.cluster.rounds
+              << "  (reason " << util::format_seconds(r.cluster.reason_seconds)
+              << ", io " << util::format_seconds(r.cluster.io_seconds)
+              << ", sync " << util::format_seconds(r.cluster.sync_seconds)
+              << ")\n";
+  }
+  if (r.metrics) {
+    std::cout << "IR=" << util::fmt_double(r.metrics->input_replication, 3)
+              << " OR=" << util::fmt_double(r.output_replication, 3) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "gen") {
+    return cmd_gen(args);
+  }
+  if (command == "info") {
+    return cmd_info(args);
+  }
+  if (command == "materialize") {
+    return cmd_materialize(args);
+  }
+  if (command == "query") {
+    return cmd_query(args);
+  }
+  if (command == "explain") {
+    return cmd_explain(args);
+  }
+  if (command == "partition") {
+    return cmd_partition(args);
+  }
+  if (command == "cluster") {
+    return cmd_cluster(args);
+  }
+  return usage();
+}
