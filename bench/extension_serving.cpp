@@ -1,0 +1,178 @@
+// Serving-layer bench: the paper materializes the closure ahead of time
+// precisely so that queries become cheap lookups; this harness measures the
+// layer that actually answers them.  A materialized LUBM store is wrapped in
+// serve::QueryService and driven with the 14-query LUBM mix:
+//
+//   (1) closed-loop throughput/latency sweep over cache {on, off} x
+//       executor threads {1, 2, 4} — the cache's value and the thread
+//       scaling of lock-free snapshot reads;
+//   (2) an open-loop overload point far beyond capacity — admission
+//       control sheds instead of queueing unboundedly, keeping the served
+//       requests' tail latency flat;
+//   (3) the same closed-loop mix with a concurrent updater applying
+//       incremental batches — serving stays live across RCU snapshot
+//       swaps and footprint invalidations.
+
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "parowl/gen/lubm_queries.hpp"
+#include "parowl/serve/service.hpp"
+#include "parowl/serve/workload.hpp"
+#include "parowl/util/timer.hpp"
+
+using namespace parowl;
+using namespace parowl::bench;
+
+namespace {
+
+std::vector<std::string> query_mix() {
+  std::vector<std::string> queries;
+  for (const gen::LubmQuery& q : gen::lubm_queries()) {
+    queries.push_back(q.sparql);
+  }
+  return queries;
+}
+
+std::string pct(double x) { return util::fmt_double(100.0 * x, 1) + "%"; }
+
+struct RunResult {
+  serve::WorkloadReport report;
+  serve::ServiceStats stats;
+};
+
+RunResult run_once(Universe& u, const rdf::TripleStore& materialized,
+                   bool cache_on, std::size_t threads,
+                   const serve::WorkloadOptions& wopts,
+                   std::size_t update_batches = 0) {
+  serve::ServiceOptions opts;
+  opts.threads = threads;
+  opts.queue_capacity = 128;
+  opts.cache_enabled = cache_on;
+  opts.prefixes = {{"ub", gen::kUnivBenchNs}};
+  // The bench universe's dictionary is shared across runs; QueryService
+  // guards it internally, and each run gets its own copy of the store.
+  serve::QueryService service(u.dict, *u.vocab, materialized, opts);
+
+  std::thread updater;
+  if (update_batches > 0) {
+    updater = std::thread([&] {
+      static std::size_t next_id = 0;
+      for (std::size_t b = 0; b < update_batches; ++b) {
+        std::vector<rdf::Triple> batch;
+        service.with_dict_exclusive([&](rdf::Dictionary& d) {
+          const auto type = d.intern_iri(
+              "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+          const auto grad = d.intern_iri(std::string(gen::kUnivBenchNs) +
+                                         "GraduateStudent");
+          for (int i = 0; i < 8; ++i) {
+            const auto stu = d.intern_iri(
+                "http://www.Department0.Univ0.edu/ServeBenchStudent" +
+                std::to_string(next_id++));
+            batch.push_back({stu, type, grad});
+          }
+          return 0;
+        });
+        service.apply_update(batch);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  RunResult r;
+  r.report = serve::run_workload(service, query_mix(), wopts);
+  if (updater.joinable()) {
+    updater.join();
+  }
+  r.stats = service.stats();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned s = scale_factor();
+  print_header("Extension: concurrent query serving (snapshots + cache)");
+
+  Universe u;
+  make_lubm(u, 2 * s);
+  rdf::TripleStore materialized = u.store;
+  util::Stopwatch mat_watch;
+  const auto mat = reason::materialize(materialized, u.dict, *u.vocab, {});
+  std::cout << u.name << ": " << u.store.size() << " base + " << mat.inferred
+            << " inferred triples, materialized in "
+            << util::format_seconds(mat_watch.elapsed_seconds()) << "\n\n";
+
+  // (1) Closed-loop sweep: cache x threads.
+  serve::WorkloadOptions closed;
+  closed.mode = serve::WorkloadMode::kClosedLoop;
+  closed.total_requests = 2000 * s;
+  closed.clients = 8;
+  closed.seed = 42;
+
+  util::Table sweep({"cache", "threads", "throughput(q/s)", "p50", "p95",
+                     "p99", "hit rate", "shed rate"});
+  for (const bool cache_on : {false, true}) {
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      const RunResult r = run_once(u, materialized, cache_on, threads, closed);
+      const auto& lat = r.report.latency;
+      const double shed_rate =
+          r.report.submitted > 0
+              ? static_cast<double>(r.report.shed) / r.report.submitted
+              : 0.0;
+      sweep.add_row(
+          {cache_on ? "on" : "off", std::to_string(threads),
+           util::fmt_double(r.report.throughput_qps(), 0),
+           util::format_seconds(lat.percentile_seconds(0.50)),
+           util::format_seconds(lat.percentile_seconds(0.95)),
+           util::format_seconds(lat.percentile_seconds(0.99)),
+           pct(r.stats.cache.hit_rate()), pct(shed_rate)});
+    }
+  }
+  sweep.print(std::cout);
+
+  // (2) Open-loop overload: offered load far beyond capacity.
+  std::cout << "\nOpen loop at saturating arrival rate (1 thread, queue 128, "
+               "cache off):\n";
+  serve::WorkloadOptions open;
+  open.mode = serve::WorkloadMode::kOpenLoop;
+  open.total_requests = 3000 * s;
+  open.arrival_rate_qps = 1e6;  // effectively back-to-back admission
+  open.seed = 7;
+  const RunResult overload = run_once(u, materialized, false, 1, open);
+  util::Table shed_table({"submitted", "completed", "shed", "shed rate",
+                          "served p50", "served p99"});
+  shed_table.add_row(
+      {std::to_string(overload.report.submitted),
+       std::to_string(overload.report.completed),
+       std::to_string(overload.report.shed),
+       pct(static_cast<double>(overload.report.shed) /
+           static_cast<double>(overload.report.submitted)),
+       util::format_seconds(overload.report.latency.percentile_seconds(0.5)),
+       util::format_seconds(
+           overload.report.latency.percentile_seconds(0.99))});
+  shed_table.print(std::cout);
+
+  // (3) Serving across concurrent incremental updates.
+  std::cout << "\nClosed loop with a concurrent updater (2 threads, cache "
+               "on, 10 update batches):\n";
+  const RunResult live = run_once(u, materialized, true, 2, closed,
+                                  /*update_batches=*/10);
+  util::Table live_table({"throughput(q/s)", "p99", "hit rate",
+                          "invalidations", "updates", "final version"});
+  live_table.add_row(
+      {util::fmt_double(live.report.throughput_qps(), 0),
+       util::format_seconds(live.report.latency.percentile_seconds(0.99)),
+       pct(live.stats.cache.hit_rate()),
+       std::to_string(live.stats.cache.invalidations),
+       std::to_string(live.stats.updates_applied),
+       std::to_string(live.stats.snapshot_version)});
+  live_table.print(std::cout);
+
+  std::cout << "\nReads run lock-free against immutable snapshots, so added "
+               "executor threads\nscale the miss path; the cache turns the "
+               "repetitive LUBM mix into O(1)\nlookups, and overload sheds "
+               "at admission instead of growing the queue.\n";
+  return 0;
+}

@@ -54,6 +54,25 @@ bool set_error(std::string* error, std::string_view message) {
   return false;
 }
 
+/// Read exactly `length` bytes into `out`, growing it chunk by chunk so a
+/// corrupted length field (e.g. 4 GB in a truncated file) fails on the
+/// stream instead of attempting one giant allocation up front.
+bool read_lexical(std::istream& in, std::uint32_t length, std::string& out) {
+  constexpr std::uint32_t kChunk = 1 << 16;
+  out.clear();
+  while (length > 0) {
+    const std::uint32_t take = length < kChunk ? length : kChunk;
+    const std::size_t old_size = out.size();
+    out.resize(old_size + take);
+    if (!in.read(out.data() + old_size,
+                 static_cast<std::streamsize>(take))) {
+      return false;
+    }
+    length -= take;
+  }
+  return true;
+}
+
 }  // namespace
 
 SnapshotStats save_snapshot(std::ostream& out, const Dictionary& dict,
@@ -110,9 +129,7 @@ bool load_snapshot(std::istream& in, Dictionary& dict, TripleStore& store,
     if (kind_byte < 0 || kind_byte > 2) {
       return set_error(error, "invalid term kind");
     }
-    lexical.resize(length);
-    if (length > 0 &&
-        !in.read(lexical.data(), static_cast<std::streamsize>(length))) {
+    if (!read_lexical(in, length, lexical)) {
       return set_error(error, "truncated term lexical");
     }
     const TermId id =

@@ -28,7 +28,9 @@ class TurtleParser {
       if (!statement()) {
         ++stats_.bad_lines;
         if (stats_.first_error.empty()) {
-          stats_.first_error = error_.empty() ? "malformed statement" : error_;
+          stats_.first_error =
+              "line " + std::to_string(line_of(error_pos_)) + ": " +
+              (error_.empty() ? "malformed statement" : error_);
         }
         recover();
       }
@@ -89,7 +91,27 @@ class TurtleParser {
 
   bool fail(std::string message) {
     error_ = std::move(message);
+    // Anchor the diagnostic to the last meaningful character: skip_ws may
+    // have moved past the offending line's newline (e.g. a directive
+    // truncated at end of input would otherwise report the next line).
+    std::size_t pos = pos_ < text_.size() ? pos_ : text_.size();
+    while (pos > 0 &&
+           std::isspace(static_cast<unsigned char>(text_[pos - 1]))) {
+      --pos;
+    }
+    error_pos_ = pos;
     return false;
+  }
+
+  /// 1-based line number of byte offset `pos` (for error messages).
+  [[nodiscard]] std::size_t line_of(std::size_t pos) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+      }
+    }
+    return line;
   }
 
   /// Skip to just past the next '.' (statement recovery).
@@ -356,6 +378,7 @@ class TurtleParser {
 
   std::string text_;
   std::size_t pos_ = 0;
+  std::size_t error_pos_ = 0;
   Dictionary& dict_;
   TripleStore& store_;
   std::unordered_map<std::string, std::string> prefixes_;

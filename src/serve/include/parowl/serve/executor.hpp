@@ -1,0 +1,75 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parowl::serve {
+
+/// Outcome of one served request.
+enum class RequestStatus {
+  kOk,
+  kOverloaded,        // shed at admission: the bounded queue was full
+  kDeadlineExceeded,  // expired in the queue before a worker picked it up
+  kParseError,
+};
+
+[[nodiscard]] const char* to_string(RequestStatus status);
+
+/// Fixed thread pool over a bounded MPMC queue with admission control.
+///
+/// Overload policy is *shed at admission*: try_submit never blocks — when
+/// the queue is at capacity the job is refused and the caller answers the
+/// client with kOverloaded immediately.  A bounded queue plus shedding keeps
+/// tail latency flat under overload (queued work stays small) where an
+/// unbounded queue would let latency grow without bound.
+class Executor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A unit of work plus the deadline the admission layer recorded for it.
+  /// Workers invoke `run(expired)` exactly once; `expired` is true when the
+  /// deadline passed while the job sat in the queue, so the job can answer
+  /// kDeadlineExceeded without doing the work.
+  struct Job {
+    std::function<void(bool expired)> run;
+    Clock::time_point deadline = Clock::time_point::max();
+  };
+
+  Executor(std::size_t threads, std::size_t queue_capacity);
+
+  /// Drains nothing: pending jobs are completed, then workers join.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Admit a job, or refuse it (returns false) when the queue is full.
+  [[nodiscard]] bool try_submit(Job job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  void worker_loop();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<Job> queue_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace parowl::serve

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::serve {
+
+/// An immutable, versioned view of a materialized knowledge base.
+///
+/// The serving layer never lets a query observe a store mid-update: the
+/// updater builds a *new* store (copy + incremental closure), wraps it in a
+/// KbSnapshot, and publishes it atomically.  Readers that already hold a
+/// snapshot keep using it — the shared_ptr keeps the old version alive until
+/// the last in-flight query drops it (RCU-style reclamation).
+struct KbSnapshot {
+  /// Monotonically increasing publication counter; the initial snapshot is
+  /// version 1.
+  std::uint64_t version = 0;
+
+  /// The materialized triple store.  Immutable after publication.
+  rdf::TripleStore store;
+
+  /// Log length of the *previous* version's store — the range
+  /// [delta_begin, store.size()) is what this update added (base + inferred).
+  std::size_t delta_begin = 0;
+};
+
+using SnapshotPtr = std::shared_ptr<const KbSnapshot>;
+
+/// The single publication point readers and the updater share.
+///
+/// Readers call current() — a shared_ptr copy under a briefly-held mutex —
+/// and then run entirely lock-free against the immutable snapshot.  Writers
+/// (one at a time; see Updater) install the next version with publish().
+class SnapshotRegistry {
+ public:
+  explicit SnapshotRegistry(SnapshotPtr initial);
+
+  /// The latest published snapshot.  Never null.
+  [[nodiscard]] SnapshotPtr current() const;
+
+  /// Version number of the latest snapshot.
+  [[nodiscard]] std::uint64_t version() const;
+
+  /// Install `next` as the current snapshot.  `next->version` must exceed
+  /// the current version (single-writer discipline).
+  void publish(SnapshotPtr next);
+
+ private:
+  mutable std::mutex mutex_;
+  SnapshotPtr current_;
+};
+
+/// Build the initial snapshot (version 1) from a materialized store.
+[[nodiscard]] SnapshotPtr make_initial_snapshot(rdf::TripleStore store);
+
+}  // namespace parowl::serve

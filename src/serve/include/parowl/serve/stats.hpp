@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace parowl::serve {
+
+/// Log-bucketed latency histogram.
+///
+/// Bucket i covers [2^i, 2^(i+1)) microseconds (bucket 0 additionally
+/// absorbs sub-microsecond samples), so 48 buckets span ns..days.  Recording
+/// is a single relaxed atomic increment — safe from any number of threads —
+/// and percentiles are read off the bucket boundaries, which bounds their
+/// error to the 2x bucket width (plenty for p50/p95/p99 reporting).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram& other) { merge(other); }
+  LatencyHistogram& operator=(const LatencyHistogram& other);
+
+  /// Record one sample.  Thread-safe.
+  void record_seconds(double seconds);
+
+  /// Add every sample of `other` into this histogram.
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// Sum of recorded durations (bucket-midpoint approximation), seconds.
+  [[nodiscard]] double approximate_total_seconds() const;
+
+  /// The p-quantile (p in [0, 1]) in seconds: upper edge of the bucket
+  /// containing the p-th sample.  Returns 0 when empty.
+  [[nodiscard]] double percentile_seconds(double p) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Cache counters (see ResultCache).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      // LRU capacity evictions
+  std::uint64_t invalidations = 0;  // dropped by update-delta footprints
+  std::uint64_t rejected = 0;       // stale inserts refused after an update
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// One consistent view of everything the service observed, for reporting.
+struct ServiceStats {
+  std::uint64_t completed = 0;          // executed and answered
+  std::uint64_t shed = 0;               // rejected at admission (queue full)
+  std::uint64_t deadline_exceeded = 0;  // expired before a worker got to it
+  std::uint64_t parse_errors = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t snapshot_version = 0;
+  CacheCounters cache;
+  LatencyHistogram latency;  // service-side, enqueue -> completion
+
+  [[nodiscard]] std::uint64_t total_requests() const {
+    return completed + shed + deadline_exceeded + parse_errors;
+  }
+  [[nodiscard]] double shed_rate() const {
+    const std::uint64_t total = total_requests();
+    return total == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(total);
+  }
+
+  /// Render as a two-column util::Table ("metric", "value").
+  void print(std::ostream& os) const;
+};
+
+/// "123.4 us" / "5.67 ms" / "1.23 s" — for latency cells.
+[[nodiscard]] std::string fmt_latency(double seconds);
+
+}  // namespace parowl::serve

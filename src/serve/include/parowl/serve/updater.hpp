@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/reason/materialize.hpp"
+#include "parowl/serve/result_cache.hpp"
+#include "parowl/serve/snapshot.hpp"
+
+namespace parowl::serve {
+
+/// What one update batch did.
+struct UpdateOutcome {
+  /// Version of the snapshot the batch produced (0 when nothing was
+  /// published: rejected schema change or an all-duplicate batch).
+  std::uint64_t version = 0;
+
+  /// The incremental closure's own statistics (added/inferred/rejected).
+  reason::IncrementalResult result;
+
+  /// Distinct predicates of the delta (new base + inferred triples) — the
+  /// footprint handed to the cache.
+  std::vector<rdf::TermId> delta_predicates;
+
+  /// Cache entries dropped by this batch.
+  std::size_t invalidated = 0;
+
+  double copy_seconds = 0.0;   // building the successor store
+  double total_seconds = 0.0;  // copy + closure + invalidate + publish
+};
+
+/// The write side of the serving layer: applies an instance-triple batch to
+/// the current snapshot and publishes the successor version.
+///
+/// Copy-on-update RCU: the updater clones the current store, runs
+/// `reason::materialize_incremental` on the clone (semi-naive from the delta
+/// only), invalidates overlapping cache entries, and atomically swaps the
+/// new snapshot in.  Readers keep their version until they finish; nothing
+/// ever blocks a query.  Invalidation runs *before* publication so no reader
+/// can hit a stale cached answer under the new version, and the cache's
+/// version floor stops in-flight queries from re-inserting answers computed
+/// against the old snapshot.
+///
+/// One Updater serializes its own batches (internal mutex), but the KB
+/// design assumes a single logical writer — concurrent Updaters on one
+/// registry would race on version numbers.
+class Updater {
+ public:
+  /// `dict` must already contain every term the batches will reference; the
+  /// closure itself interns nothing.  `cache` may be null (no caching).
+  Updater(SnapshotRegistry& registry, ResultCache* cache,
+          const rdf::Dictionary& dict, const ontology::Vocabulary& vocab);
+
+  /// Apply one batch of *instance* triples.  Schema triples are rejected
+  /// (outcome.result.schema_changed) without publishing — a schema change
+  /// invalidates the compiled rule-base and needs a full re-materialization.
+  UpdateOutcome apply(std::span<const rdf::Triple> additions);
+
+  /// Number of batches successfully published.
+  [[nodiscard]] std::uint64_t batches_applied() const;
+
+ private:
+  SnapshotRegistry& registry_;
+  ResultCache* cache_;
+  const rdf::Dictionary& dict_;
+  const ontology::Vocabulary& vocab_;
+  mutable std::mutex write_mutex_;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace parowl::serve

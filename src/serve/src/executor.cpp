@@ -1,0 +1,90 @@
+#include "parowl/serve/executor.hpp"
+
+#include <utility>
+
+namespace parowl::serve {
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kOverloaded:
+      return "overloaded";
+    case RequestStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case RequestStatus::kParseError:
+      return "parse_error";
+  }
+  return "unknown";
+}
+
+Executor::Executor(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (threads == 0) {
+    threads = 1;
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    const std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+bool Executor::try_submit(Job job) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (shutdown_ || queue_.size() >= capacity_) {
+      return false;
+    }
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void Executor::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t Executor::queue_depth() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with nothing left to drain
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job.run(Clock::now() > job.deadline);
+    {
+      const std::scoped_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace parowl::serve

@@ -1,0 +1,197 @@
+#include "parowl/serve/service.hpp"
+
+#include <algorithm>
+
+#include "parowl/query/bgp.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace parowl::serve {
+namespace {
+
+/// Constant predicates of the query's BGP; sets `wildcard` when any atom
+/// carries a variable predicate (footprint unbounded).
+std::vector<rdf::TermId> footprint_of(const query::SelectQuery& q,
+                                      bool* wildcard) {
+  std::vector<rdf::TermId> preds;
+  for (const rules::Atom& atom : q.where) {
+    if (atom.p.is_const()) {
+      preds.push_back(atom.p.const_id());
+    } else {
+      *wildcard = true;
+    }
+  }
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
+}  // namespace
+
+QueryService::QueryService(rdf::Dictionary& dict,
+                           const ontology::Vocabulary& vocab,
+                           rdf::TripleStore store, ServiceOptions options)
+    : options_(std::move(options)),
+      dict_(dict),
+      registry_(make_initial_snapshot(std::move(store))),
+      cache_(options_.cache_shards,
+             options_.cache_enabled ? options_.cache_capacity_per_shard : 0),
+      parser_(dict),
+      updater_(registry_, &cache_, dict, vocab),
+      executor_(std::make_unique<Executor>(options_.threads,
+                                           options_.queue_capacity)) {
+  for (const auto& [name, iri] : options_.prefixes) {
+    parser_.add_prefix(name, iri);
+  }
+}
+
+QueryService::~QueryService() {
+  executor_.reset();  // completes pending jobs, joins workers
+}
+
+bool QueryService::submit(std::string query_text,
+                          std::function<void(const Response&)> done) {
+  const auto admitted_at = Executor::Clock::now();
+  // The callback outlives the Job on the shed path (the refused Job is
+  // destroyed inside try_submit), so it is held through a shared_ptr.
+  auto done_ptr = std::make_shared<std::function<void(const Response&)>>(
+      std::move(done));
+
+  Executor::Job job;
+  if (options_.default_deadline_seconds > 0) {
+    job.deadline =
+        admitted_at + std::chrono::duration_cast<Executor::Clock::duration>(
+                          std::chrono::duration<double>(
+                              options_.default_deadline_seconds));
+  }
+  job.run = [this, text = std::move(query_text), done_ptr,
+             admitted_at](bool expired) {
+    Response response;
+    if (expired) {
+      response.status = RequestStatus::kDeadlineExceeded;
+      response.snapshot_version = registry_.version();
+    } else {
+      response = execute_locked(text);
+    }
+    response.latency_seconds =
+        std::chrono::duration<double>(Executor::Clock::now() - admitted_at)
+            .count();
+    count(response);
+    if (*done_ptr) {
+      (*done_ptr)(response);
+    }
+  };
+
+  if (!executor_->try_submit(std::move(job))) {
+    Response response;
+    response.status = RequestStatus::kOverloaded;
+    response.snapshot_version = registry_.version();
+    response.latency_seconds =
+        std::chrono::duration<double>(Executor::Clock::now() - admitted_at)
+            .count();
+    count(response);
+    if (*done_ptr) {
+      (*done_ptr)(response);
+    }
+    return false;
+  }
+  return true;
+}
+
+Response QueryService::execute(const std::string& query_text) {
+  util::Stopwatch watch;
+  Response response = execute_locked(query_text);
+  response.latency_seconds = watch.elapsed_seconds();
+  count(response);
+  return response;
+}
+
+Response QueryService::execute_locked(const std::string& query_text) {
+  Response response;
+  const std::string key = normalize_query(query_text);
+
+  // Pin a snapshot first: the answer (cached or computed) is then valid for
+  // `snap` or newer, and a stale insert after a concurrent update is caught
+  // by the cache's version floor.
+  const SnapshotPtr snap = registry_.current();
+  response.snapshot_version = snap->version;
+
+  if (auto hit = cache_.lookup(key)) {
+    response.cache_hit = true;
+    response.results = std::move(*hit);
+    return response;
+  }
+
+  std::optional<query::SelectQuery> parsed;
+  std::string error;
+  {
+    // Parsing interns query constants and mutates parser prefix state.
+    const std::unique_lock lock(dict_mutex_);
+    parsed = parser_.parse(query_text, &error);
+  }
+  if (!parsed) {
+    response.status = RequestStatus::kParseError;
+    response.error = error;
+    return response;
+  }
+
+  // Evaluation is lock-free: the snapshot is immutable and BGP matching
+  // touches only TermIds.
+  response.results = query::evaluate(snap->store, *parsed);
+
+  CachedResult entry;
+  entry.results = response.results;
+  entry.predicate_footprint =
+      footprint_of(*parsed, &entry.wildcard_predicate);
+  entry.version = snap->version;
+  cache_.insert(key, std::move(entry));
+  return response;
+}
+
+UpdateOutcome QueryService::apply_update(
+    std::span<const rdf::Triple> additions) {
+  // Shared lock: the incremental closure reads term kinds (literal guard)
+  // concurrently with result rendering, but must exclude parser interning.
+  const std::shared_lock lock(dict_mutex_);
+  return updater_.apply(additions);
+}
+
+std::string QueryService::render(const query::ResultSet& results) const {
+  return with_dict_shared([&results](const rdf::Dictionary& dict) {
+    return query::to_text(results, dict);
+  });
+}
+
+void QueryService::drain() { executor_->wait_idle(); }
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.updates_applied = updater_.batches_applied();
+  s.snapshot_version = registry_.version();
+  s.cache = cache_.counters();
+  s.latency = latency_;
+  return s;
+}
+
+void QueryService::count(const Response& response) {
+  switch (response.status) {
+    case RequestStatus::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kOverloaded:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kParseError:
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  latency_.record_seconds(response.latency_seconds);
+}
+
+}  // namespace parowl::serve

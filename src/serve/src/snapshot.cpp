@@ -1,0 +1,38 @@
+#include "parowl/serve/snapshot.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace parowl::serve {
+
+SnapshotRegistry::SnapshotRegistry(SnapshotPtr initial)
+    : current_(std::move(initial)) {
+  assert(current_ != nullptr);
+}
+
+SnapshotPtr SnapshotRegistry::current() const {
+  const std::scoped_lock lock(mutex_);
+  return current_;
+}
+
+std::uint64_t SnapshotRegistry::version() const {
+  const std::scoped_lock lock(mutex_);
+  return current_->version;
+}
+
+void SnapshotRegistry::publish(SnapshotPtr next) {
+  assert(next != nullptr);
+  const std::scoped_lock lock(mutex_);
+  assert(next->version > current_->version);
+  current_ = std::move(next);
+}
+
+SnapshotPtr make_initial_snapshot(rdf::TripleStore store) {
+  auto snap = std::make_shared<KbSnapshot>();
+  snap->version = 1;
+  snap->delta_begin = store.size();  // nothing is "new" in the first version
+  snap->store = std::move(store);
+  return snap;
+}
+
+}  // namespace parowl::serve

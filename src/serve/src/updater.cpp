@@ -1,0 +1,68 @@
+#include "parowl/serve/updater.hpp"
+
+#include <algorithm>
+
+#include "parowl/util/timer.hpp"
+
+namespace parowl::serve {
+
+Updater::Updater(SnapshotRegistry& registry, ResultCache* cache,
+                 const rdf::Dictionary& dict,
+                 const ontology::Vocabulary& vocab)
+    : registry_(registry), cache_(cache), dict_(dict), vocab_(vocab) {}
+
+UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions) {
+  const std::scoped_lock lock(write_mutex_);
+  UpdateOutcome outcome;
+  util::Stopwatch total;
+
+  const SnapshotPtr old_snap = registry_.current();
+
+  auto next = std::make_shared<KbSnapshot>();
+  {
+    util::Stopwatch copy_watch;
+    next->store = old_snap->store;  // copy-on-update: readers keep theirs
+    outcome.copy_seconds = copy_watch.elapsed_seconds();
+  }
+  next->delta_begin = next->store.size();
+  next->version = old_snap->version + 1;
+
+  outcome.result = reason::materialize_incremental(next->store, dict_,
+                                                   vocab_, additions);
+  if (outcome.result.schema_changed ||
+      next->store.size() == next->delta_begin) {
+    // Rejected or a pure-duplicate batch: the fixpoint is unchanged, keep
+    // the current snapshot (and every cache entry) as is.
+    outcome.total_seconds = total.elapsed_seconds();
+    return outcome;
+  }
+
+  // Footprint of the delta: every predicate among the new triples.
+  const auto& log = next->store.triples();
+  for (std::size_t i = next->delta_begin; i < log.size(); ++i) {
+    outcome.delta_predicates.push_back(log[i].p);
+  }
+  std::sort(outcome.delta_predicates.begin(), outcome.delta_predicates.end());
+  outcome.delta_predicates.erase(std::unique(outcome.delta_predicates.begin(),
+                                             outcome.delta_predicates.end()),
+                                 outcome.delta_predicates.end());
+
+  // Invalidate before publishing: after the swap no reader can find a
+  // cached answer the delta made stale.
+  if (cache_ != nullptr) {
+    outcome.invalidated =
+        cache_->on_update(outcome.delta_predicates, next->version);
+  }
+  outcome.version = next->version;
+  registry_.publish(std::move(next));
+  ++batches_;
+  outcome.total_seconds = total.elapsed_seconds();
+  return outcome;
+}
+
+std::uint64_t Updater::batches_applied() const {
+  const std::scoped_lock lock(write_mutex_);
+  return batches_;
+}
+
+}  // namespace parowl::serve

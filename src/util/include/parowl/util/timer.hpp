@@ -45,18 +45,16 @@ class TimeAccumulator {
   void add(double seconds) { total_ += seconds; }
 
   /// Run `fn` and add its wall-clock duration to the total; returns fn's
-  /// result (or void).
+  /// result (or void).  The elapsed time is accumulated even when `fn`
+  /// throws (RAII), so a failing sub-task cannot under-report its round.
   template <typename Fn>
   auto time(Fn&& fn) {
-    Stopwatch sw;
-    if constexpr (std::is_void_v<decltype(fn())>) {
-      fn();
-      total_ += sw.elapsed_seconds();
-    } else {
-      auto result = fn();
-      total_ += sw.elapsed_seconds();
-      return result;
-    }
+    struct Guard {
+      Stopwatch sw;
+      double* total;
+      ~Guard() { *total += sw.elapsed_seconds(); }
+    } guard{Stopwatch{}, &total_};
+    return fn();
   }
 
   [[nodiscard]] double seconds() const { return total_; }

@@ -99,5 +99,142 @@ TEST_P(ParserRobustness, SnapshotLoaderNeverCrashes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u));
 
+// ---------------------------------------------------------------------------
+// Directed diagnostics: parse errors carry 1-based line numbers
+
+TEST(ParserDiagnostics, NtriplesErrorNamesTheOffendingLine) {
+  const std::string text =
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "# a comment line\n"
+      "this is not a triple\n"
+      "<http://x/s> <http://x/p> <http://x/o2> .\n";
+  std::istringstream in(text);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  const rdf::ParseStats stats = rdf::parse_ntriples(in, dict, store);
+  EXPECT_EQ(stats.triples, 2u);
+  EXPECT_EQ(stats.bad_lines, 1u);
+  EXPECT_EQ(stats.first_error.rfind("line 3:", 0), 0u) << stats.first_error;
+}
+
+TEST(ParserDiagnostics, TurtleErrorNamesTheOffendingLine) {
+  const std::string text =
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:a ex:p ex:b .\n"
+      "ex:broken ex:q ( 1 2 3 ) .\n";
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  const rdf::ParseStats stats = rdf::parse_turtle_text(text, dict, store);
+  EXPECT_EQ(stats.triples, 1u);
+  EXPECT_GE(stats.bad_lines, 1u);
+  EXPECT_EQ(stats.first_error.rfind("line 3:", 0), 0u) << stats.first_error;
+}
+
+TEST(ParserDiagnostics, TurtleDirectiveErrorOnFirstLine) {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  const rdf::ParseStats stats =
+      rdf::parse_turtle_text("@prefix broken\n", dict, store);
+  EXPECT_EQ(stats.triples, 0u);
+  EXPECT_EQ(stats.first_error.rfind("line 1:", 0), 0u) << stats.first_error;
+}
+
+// ---------------------------------------------------------------------------
+// Directed snapshot-loader robustness: malformed .snap bytes fail cleanly
+// with a diagnostic instead of crashing, over-allocating, or loading junk.
+
+std::string valid_snapshot_bytes() {
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  const auto s = dict.intern_iri("http://x/s");
+  const auto p = dict.intern_iri("http://x/p");
+  const auto o = dict.intern_iri("http://x/o");
+  store.insert({s, p, o});
+  std::ostringstream out;
+  rdf::save_snapshot(out, dict, store);
+  return out.str();
+}
+
+bool try_load(const std::string& bytes, std::string* error) {
+  std::istringstream in(bytes);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  return rdf::load_snapshot(in, dict, store, error);
+}
+
+TEST(SnapshotRobustness, RoundTripBaseline) {
+  std::string error;
+  EXPECT_TRUE(try_load(valid_snapshot_bytes(), &error)) << error;
+}
+
+TEST(SnapshotRobustness, TruncationAtEveryPrefixFailsCleanly) {
+  const std::string bytes = valid_snapshot_bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::string error;
+    EXPECT_FALSE(try_load(bytes.substr(0, cut), &error))
+        << "prefix of " << cut << " bytes loaded";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(SnapshotRobustness, WrongMagicIsRejected) {
+  std::string bytes = valid_snapshot_bytes();
+  bytes[0] = 'X';
+  std::string error;
+  EXPECT_FALSE(try_load(bytes, &error));
+  EXPECT_EQ(error, "bad magic");
+}
+
+TEST(SnapshotRobustness, WrongFormatVersionIsRejected) {
+  std::string bytes = valid_snapshot_bytes();
+  bytes[4] = static_cast<char>(0x7f);  // version field, little-endian
+  std::string error;
+  EXPECT_FALSE(try_load(bytes, &error));
+  EXPECT_EQ(error, "unsupported snapshot version");
+}
+
+TEST(SnapshotRobustness, HugeLexicalLengthFailsOnStreamNotAllocation) {
+  // Header + term count (1), then a term entry claiming a ~4 GB lexical.
+  // The chunked reader must fail on stream exhaustion, not allocate 4 GB.
+  std::string bytes = valid_snapshot_bytes();
+  // Layout: magic(4) version(4) term_count(8) kind(1) length(4) ...
+  bytes[17] = static_cast<char>(0xff);
+  bytes[18] = static_cast<char>(0xff);
+  bytes[19] = static_cast<char>(0xff);
+  bytes[20] = static_cast<char>(0xfe);
+  std::string error;
+  EXPECT_FALSE(try_load(bytes, &error));
+  EXPECT_EQ(error, "truncated term lexical");
+}
+
+TEST(SnapshotRobustness, InvalidTermKindIsRejected) {
+  std::string bytes = valid_snapshot_bytes();
+  bytes[16] = static_cast<char>(9);  // kind byte of the first term
+  std::string error;
+  EXPECT_FALSE(try_load(bytes, &error));
+  EXPECT_EQ(error, "invalid term kind");
+}
+
+TEST(SnapshotRobustness, TripleReferencingUnknownTermIsRejected) {
+  // Corrupt the subject id of the only triple (the last 12 bytes are
+  // s,p,o as u32 little-endian).
+  std::string bytes = valid_snapshot_bytes();
+  bytes[bytes.size() - 12] = static_cast<char>(0xee);
+  bytes[bytes.size() - 11] = static_cast<char>(0xee);
+  std::string error;
+  EXPECT_FALSE(try_load(bytes, &error));
+  EXPECT_EQ(error, "triple references unknown term");
+}
+
+TEST(SnapshotRobustness, NonEmptyTargetIsRejected) {
+  std::istringstream in(valid_snapshot_bytes());
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  (void)dict.intern_iri("http://already/here");
+  std::string error;
+  EXPECT_FALSE(rdf::load_snapshot(in, dict, store, &error));
+  EXPECT_EQ(error, "dictionary/store must be empty");
+}
+
 }  // namespace
 }  // namespace parowl

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "parowl/util/rng.hpp"
 #include "parowl/util/strings.hpp"
@@ -19,7 +21,7 @@ TEST(Stopwatch, MeasuresNonNegativeTime) {
 
 TEST(Stopwatch, RestartResetsOrigin) {
   Stopwatch sw;
-  volatile int sink = 0;
+  volatile std::int64_t sink = 0;
   for (int i = 0; i < 100000; ++i) {
     sink = sink + i;
   }
@@ -42,6 +44,19 @@ TEST(TimeAccumulator, TimesCallableAndReturnsResult) {
   const int result = acc.time([] { return 42; });
   EXPECT_EQ(result, 42);
   EXPECT_GE(acc.seconds(), 0.0);
+}
+
+TEST(TimeAccumulator, AccumulatesWhenCallableThrows) {
+  TimeAccumulator acc;
+  acc.add(0.125);  // distinguishable prior total
+  EXPECT_THROW(acc.time([]() -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The elapsed time of the failed call is still accounted for: the total
+  // can only have grown.
+  EXPECT_GE(acc.seconds(), 0.125);
+  // And the accumulator stays usable.
+  acc.time([] {});
+  EXPECT_GE(acc.seconds(), 0.125);
 }
 
 TEST(FormatSeconds, PicksUnits) {

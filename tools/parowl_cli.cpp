@@ -6,21 +6,27 @@
 //   parowl query full.snap 'SELECT ...'         run a SPARQL-subset query
 //   parowl partition data.nt -k 8 --policy graph   partition + metrics
 //   parowl cluster data.nt -k 8 [--approach data|rule|hybrid] [--mode sync|async]
+//   parowl serve-bench full.snap --threads 4       drive the serving layer
 //
 // Input format is chosen by extension: .nt (N-Triples), .ttl (Turtle),
 // .snap (binary snapshot); output likewise (.snap or .nt).
 
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "parowl/gen/lubm.hpp"
+#include "parowl/gen/lubm_queries.hpp"
 #include "parowl/gen/mdc.hpp"
 #include "parowl/gen/uobm.hpp"
 #include "parowl/parallel/pipeline.hpp"
 #include "parowl/query/sparql_parser.hpp"
+#include "parowl/serve/service.hpp"
+#include "parowl/serve/workload.hpp"
 #include "parowl/reason/explain.hpp"
 #include "parowl/rules/rule_parser.hpp"
 #include "parowl/rdf/graph_stats.hpp"
@@ -45,10 +51,15 @@ commands:
   materialize <kb> [-o <file>] [--strategy forward|query] [--no-compile]
               [--rules <file>]
   query <kb> <sparql> [--reason]
+  query <kb> --queries-file <file> [--reason]   (one query per line)
   explain <kb> <s> <p> <o>       (terms as full IRIs; reasons, then proves)
   partition <kb> -k N [--policy graph|hash|lubm|mdc]
   cluster <kb> -k N [--policy ...] [--approach data|rule|hybrid]
           [--rule-parts M] [--mode sync|async|threaded] [--strategy ...]
+  serve-bench <kb> [--reason] [--threads N] [--queue N] [--requests N]
+          [--mode open|closed] [--rate QPS] [--clients N] [--think S]
+          [--deadline S] [--no-cache] [--seed S] [--queries-file <file>]
+          [--update-batches N] [--update-size M]
 
 kb files: .nt (N-Triples), .ttl (Turtle), .snap (binary snapshot)
 )";
@@ -150,7 +161,10 @@ class Args {
     // Flags that consume a value.
     for (const char* f : {"-o", "-k", "--scale", "--seed", "--policy",
                           "--approach", "--mode", "--strategy",
-                          "--rule-parts", "--rules"}) {
+                          "--rule-parts", "--rules", "--queries-file",
+                          "--threads", "--queue", "--requests", "--rate",
+                          "--clients", "--think", "--deadline",
+                          "--update-batches", "--update-size"}) {
       if (flag_name == f) {
         return true;
       }
@@ -296,11 +310,14 @@ int cmd_materialize(const Args& args) {
 
 int cmd_query(const Args& args) {
   const std::string path = args.positional(0);
+  const std::string queries_file = args.option("--queries-file");
   const std::string text = args.positional(1);
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || text.empty() || !load_kb(path, dict, store)) {
-    return path.empty() || text.empty() ? usage() : 1;
+  if (path.empty() || (text.empty() && queries_file.empty()) ||
+      !load_kb(path, dict, store)) {
+    return path.empty() || (text.empty() && queries_file.empty()) ? usage()
+                                                                  : 1;
   }
   ontology::Vocabulary vocab(dict);
   if (args.flag("--reason")) {
@@ -309,6 +326,40 @@ int cmd_query(const Args& args) {
   query::SparqlParser parser(dict);
   parser.add_prefix("ub", gen::kUnivBenchNs);
   parser.add_prefix("mdc", gen::kMdcNs);
+
+  // Batch mode: one query per line (the workload driver's file format).
+  if (!queries_file.empty()) {
+    std::ifstream in(queries_file);
+    if (!in) {
+      std::cerr << "cannot open " << queries_file << "\n";
+      return 1;
+    }
+    const std::vector<std::string> queries = serve::load_query_lines(in);
+    if (queries.empty()) {
+      std::cerr << queries_file << ": no queries\n";
+      return 1;
+    }
+    util::Table table({"#", "results", "time", "query"});
+    int failures = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      std::string error;
+      const auto q = parser.parse(queries[i], &error);
+      if (!q) {
+        std::cerr << "query " << i + 1 << ": " << error << "\n";
+        ++failures;
+        continue;
+      }
+      util::Stopwatch watch;
+      const query::ResultSet results = query::evaluate(store, *q);
+      const std::string& full = queries[i];
+      table.add_row({std::to_string(i + 1), std::to_string(results.size()),
+                     util::format_seconds(watch.elapsed_seconds()),
+                     full.size() > 60 ? full.substr(0, 57) + "..." : full});
+    }
+    table.print(std::cout);
+    return failures == 0 ? 0 : 1;
+  }
+
   std::string error;
   const auto q = parser.parse(text, &error);
   if (!q) {
@@ -320,6 +371,114 @@ int cmd_query(const Args& args) {
   std::cout << query::to_text(results, dict) << results.size()
             << " result(s) in " << util::format_seconds(watch.elapsed_seconds())
             << "\n";
+  return 0;
+}
+
+int cmd_serve_bench(const Args& args) {
+  const std::string path = args.positional(0);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  if (path.empty() || !load_kb(path, dict, store)) {
+    return path.empty() ? usage() : 1;
+  }
+  ontology::Vocabulary vocab(dict);
+  if (args.flag("--reason")) {
+    const reason::MaterializeResult r =
+        reason::materialize(store, dict, vocab, {});
+    std::cout << "materialized: +" << r.inferred << " triples\n";
+  }
+
+  // The query mix: a file of one-per-line queries, or the LUBM-14 mix.
+  std::vector<std::string> queries;
+  const std::string queries_file = args.option("--queries-file");
+  if (!queries_file.empty()) {
+    std::ifstream in(queries_file);
+    if (!in) {
+      std::cerr << "cannot open " << queries_file << "\n";
+      return 1;
+    }
+    queries = serve::load_query_lines(in);
+  } else {
+    for (const gen::LubmQuery& q : gen::lubm_queries()) {
+      queries.push_back(q.sparql);
+    }
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries to serve\n";
+    return 1;
+  }
+
+  serve::ServiceOptions sopts;
+  sopts.threads = std::stoul(args.option("--threads", "2"));
+  sopts.queue_capacity = std::stoul(args.option("--queue", "64"));
+  sopts.cache_enabled = !args.flag("--no-cache");
+  sopts.default_deadline_seconds = std::stod(args.option("--deadline", "0"));
+  sopts.prefixes = {{"ub", std::string(gen::kUnivBenchNs)},
+                    {"mdc", std::string(gen::kMdcNs)}};
+  serve::QueryService service(dict, vocab, std::move(store), sopts);
+
+  serve::WorkloadOptions wopts;
+  wopts.mode = args.option("--mode", "closed") == "open"
+                   ? serve::WorkloadMode::kOpenLoop
+                   : serve::WorkloadMode::kClosedLoop;
+  wopts.total_requests = std::stoul(args.option("--requests", "1000"));
+  wopts.seed = std::stoull(args.option("--seed", "42"));
+  wopts.arrival_rate_qps = std::stod(args.option("--rate", "1000"));
+  wopts.clients = std::stoul(args.option("--clients", "4"));
+  wopts.think_seconds = std::stod(args.option("--think", "0"));
+
+  const auto update_batches = std::stoul(args.option("--update-batches", "0"));
+  const auto update_size = std::stoul(args.option("--update-size", "10"));
+
+  // Optional concurrent writer: periodic instance batches (new students
+  // joining Department0), exercising invalidation under live traffic.
+  std::thread updater;
+  std::atomic<bool> stop_updater{false};
+  if (update_batches > 0) {
+    updater = std::thread([&] {
+      const auto type = dict.find_iri(
+          "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+      const auto grad = dict.find_iri(std::string(gen::kUnivBenchNs) +
+                                      "GraduateStudent");
+      std::size_t next_id = 0;
+      for (std::size_t b = 0; b < update_batches && !stop_updater; ++b) {
+        std::vector<rdf::Triple> batch;
+        service.with_dict_exclusive([&](rdf::Dictionary& d) {
+          for (std::size_t i = 0; i < update_size; ++i) {
+            const auto stu = d.intern_iri(
+                "http://www.Department0.Univ0.edu/ServeBenchStudent" +
+                std::to_string(next_id++));
+            batch.push_back({stu, type, grad});
+          }
+          return 0;
+        });
+        const serve::UpdateOutcome outcome = service.apply_update(batch);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        if (outcome.result.schema_changed) {
+          break;
+        }
+      }
+    });
+  }
+
+  const serve::WorkloadReport report =
+      serve::run_workload(service, queries, wopts);
+  stop_updater = true;
+  if (updater.joinable()) {
+    updater.join();
+  }
+  service.drain();
+
+  std::cout << "\n--- client view (" << (wopts.mode == serve::WorkloadMode::kOpenLoop
+                                             ? "open loop"
+                                             : "closed loop")
+            << ", " << sopts.threads << " threads, cache "
+            << (sopts.cache_enabled ? "on" : "off") << ") ---\n";
+  report.print(std::cout);
+  std::cout << "\n--- service stats ---\n";
+  service.stats().print(std::cout);
+  std::cout << "throughput " << util::fmt_double(report.throughput_qps(), 1)
+            << " q/s\n";
   return 0;
 }
 
@@ -470,6 +629,9 @@ int main(int argc, char** argv) {
   }
   if (command == "cluster") {
     return cmd_cluster(args);
+  }
+  if (command == "serve-bench") {
+    return cmd_serve_bench(args);
   }
   return usage();
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the test suite under ASan and UBSan and run it under both.
+# Usage: tools/run_sanitizers.sh [asan|ubsan]   (default: both)
+#
+# Uses the `asan`/`ubsan` presets from CMakePresets.json; build trees land
+# in build-asan/ and build-ubsan/ next to the default build/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+presets=("${@:-asan ubsan}")
+# Word-split the default so `run_sanitizers.sh` runs both.
+read -r -a presets <<<"${presets[*]}"
+
+for preset in "${presets[@]}"; do
+  case "$preset" in
+    asan|ubsan) ;;
+    *) echo "unknown preset '$preset' (want asan or ubsan)" >&2; exit 2 ;;
+  esac
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "=== sanitizers clean: ${presets[*]} ==="
