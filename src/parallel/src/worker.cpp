@@ -29,6 +29,7 @@ std::vector<Outgoing> Worker::compute_local(double* compute_seconds) {
   if (options_.strategy == reason::Strategy::kForward) {
     reason::ForwardOptions fopts;
     fopts.dict = options_.dict;
+    fopts.threads = options_.reason_threads;
     reason::ForwardEngine(store_, rule_base_, fopts).run(frontier_);
   } else {
     // Incremental after round 0: only resources affected by newly received

@@ -1,12 +1,16 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "parowl/rdf/flat_index.hpp"
 #include "parowl/rdf/term.hpp"
 
 namespace parowl::rdf {
@@ -22,17 +26,51 @@ namespace parowl::rdf {
 ///   * by (predicate, subject) -> objects  — objects(p, s)
 ///   * by (predicate, object)  -> subjects — subjects(p, o)
 /// which are exactly the probes a single-join rule body performs.
+///
+/// All indexes are open-addressing IdMaps (flat_index.hpp) pointing into
+/// deque arenas: probes touch one cache line on average and inserts do no
+/// per-key node allocation, while the posting lists themselves stay
+/// pointer-stable — a span returned by objects()/subjects()/with_predicate()
+/// is invalidated only when a triple with the same key is inserted, exactly
+/// as with the node-based containers this replaced.
 class TripleStore {
  public:
   TripleStore();
+  TripleStore(const TripleStore& other);
+  TripleStore& operator=(const TripleStore& other);
+  TripleStore(TripleStore&& other) noexcept;
+  TripleStore& operator=(TripleStore&& other) noexcept;
 
   /// Insert a triple; returns true if it was new, false on duplicate.
-  bool insert(const Triple& t);
+  ///
+  /// Only the predicate-keyed join indexes are updated eagerly; the
+  /// subject/object endpoint postings — needed solely for unbound-predicate
+  /// probes — are rebuilt on demand (ensure_endpoint_index), which keeps
+  /// the materializer's insert path to three index touches.
+  bool insert(const Triple& t) {
+    if (!set_.insert(t)) {
+      return false;
+    }
+    log_.push_back(t);
+    std::uint32_t& pslot = predicate_slot_[t.p];
+    if (pslot == 0) {
+      predicate_arena_.emplace_back();
+      pslot = static_cast<std::uint32_t>(predicate_arena_.size());
+      predicates_.push_back(t.p);
+    }
+    PredicateIndex& idx = predicate_arena_[pslot - 1];
+    idx.triples.push_back(t);
+    list_for(idx.objects_slot, idx.obj_lists, t.s).push_back(t.o);
+    list_for(idx.subjects_slot, idx.subj_lists, t.o).push_back(t.s);
+    return true;
+  }
 
   /// Insert every triple from `ts`; returns the number actually added.
   std::size_t insert_all(std::span<const Triple> ts);
 
-  [[nodiscard]] bool contains(const Triple& t) const;
+  [[nodiscard]] bool contains(const Triple& t) const {
+    return set_.contains(t);
+  }
   [[nodiscard]] std::size_t size() const { return log_.size(); }
   [[nodiscard]] bool empty() const { return log_.empty(); }
 
@@ -41,13 +79,33 @@ class TripleStore {
   [[nodiscard]] const std::vector<Triple>& triples() const { return log_; }
 
   /// All triples with predicate `p` in insertion order.
-  [[nodiscard]] std::span<const Triple> with_predicate(TermId p) const;
+  [[nodiscard]] std::span<const Triple> with_predicate(TermId p) const {
+    const PredicateIndex* idx = find_predicate(p);
+    return idx ? std::span<const Triple>(idx->triples)
+               : std::span<const Triple>();
+  }
 
   /// Objects o such that (s, p, o) is present.
-  [[nodiscard]] std::span<const TermId> objects(TermId p, TermId s) const;
+  [[nodiscard]] std::span<const TermId> objects(TermId p, TermId s) const {
+    const PredicateIndex* idx = find_predicate(p);
+    if (idx == nullptr) {
+      return {};
+    }
+    const std::uint32_t* slot = idx->objects_slot.find(s);
+    return slot != nullptr ? idx->obj_lists[*slot - 1].view()
+                           : std::span<const TermId>();
+  }
 
   /// Subjects s such that (s, p, o) is present.
-  [[nodiscard]] std::span<const TermId> subjects(TermId p, TermId o) const;
+  [[nodiscard]] std::span<const TermId> subjects(TermId p, TermId o) const {
+    const PredicateIndex* idx = find_predicate(p);
+    if (idx == nullptr) {
+      return {};
+    }
+    const std::uint32_t* slot = idx->subjects_slot.find(o);
+    return slot != nullptr ? idx->subj_lists[*slot - 1].view()
+                           : std::span<const TermId>();
+  }
 
   /// Distinct predicates present, in first-seen order.
   [[nodiscard]] const std::vector<TermId>& predicates() const {
@@ -65,6 +123,86 @@ class TripleStore {
   void match(const TriplePattern& pattern,
              const std::function<void(const Triple&)>& fn) const;
 
+  /// Devirtualized equivalents of for_subject / for_object / match: the
+  /// callback is a template parameter, so the per-triple call is inlined
+  /// with no std::function allocation or indirect branch.  These are the
+  /// hot-path entry points for the forward engine's joins; the
+  /// std::function overloads above are thin wrappers kept for callers that
+  /// need type erasure (query layer, tools).
+  template <typename Fn>
+  void for_subject_each(TermId s, Fn&& fn) const {
+    ensure_endpoint_index();
+    const std::uint32_t* slot = subject_slot_.find(s);
+    if (slot == nullptr) {
+      return;
+    }
+    for (std::uint32_t i : subject_postings_[*slot - 1].view()) {
+      fn(log_[i]);
+    }
+  }
+
+  template <typename Fn>
+  void for_object_each(TermId o, Fn&& fn) const {
+    ensure_endpoint_index();
+    const std::uint32_t* slot = object_slot_.find(o);
+    if (slot == nullptr) {
+      return;
+    }
+    for (std::uint32_t i : object_postings_[*slot - 1].view()) {
+      fn(log_[i]);
+    }
+  }
+
+  template <typename Fn>
+  void match_each(const TriplePattern& pattern, Fn&& fn) const {
+    const bool sb = pattern.s != kAnyTerm;
+    const bool pb = pattern.p != kAnyTerm;
+    const bool ob = pattern.o != kAnyTerm;
+
+    if (sb && pb && ob) {
+      const Triple t{pattern.s, pattern.p, pattern.o};
+      if (contains(t)) {
+        fn(t);
+      }
+      return;
+    }
+    if (pb && sb) {
+      for (TermId o : objects(pattern.p, pattern.s)) {
+        fn(Triple{pattern.s, pattern.p, o});
+      }
+      return;
+    }
+    if (pb && ob) {
+      for (TermId s : subjects(pattern.p, pattern.o)) {
+        fn(Triple{s, pattern.p, pattern.o});
+      }
+      return;
+    }
+    if (pb) {
+      for (const Triple& t : with_predicate(pattern.p)) {
+        fn(t);
+      }
+      return;
+    }
+    // Predicate unbound: use the subject/object log indexes when possible.
+    if (sb) {
+      for_subject_each(pattern.s, [&](const Triple& t) {
+        if (!ob || t.o == pattern.o) {
+          fn(t);
+        }
+      });
+      return;
+    }
+    if (ob) {
+      for_object_each(pattern.o, std::forward<Fn>(fn));
+      return;
+    }
+    // Fully unbound: scan the log.
+    for (const Triple& t : log_) {
+      fn(t);
+    }
+  }
+
   /// Count matches without materializing them.
   [[nodiscard]] std::size_t count(const TriplePattern& pattern) const;
 
@@ -74,19 +212,57 @@ class TripleStore {
  private:
   struct PredicateIndex {
     std::vector<Triple> triples;  // insertion order within this predicate
-    std::unordered_map<TermId, std::vector<TermId>> objects_by_subject;
-    std::unordered_map<TermId, std::vector<TermId>> subjects_by_object;
+    // subject -> objects and object -> subjects posting lists.  The IdMap
+    // stores arena_index + 1 (0 = absent); the lists live in deques so they
+    // never move when the slot table rehashes.
+    IdMap<std::uint32_t> objects_slot;
+    IdMap<std::uint32_t> subjects_slot;
+    std::deque<SmallIdList> obj_lists;
+    std::deque<SmallIdList> subj_lists;
   };
 
+  template <typename List>
+  static List& list_for(IdMap<std::uint32_t>& slots, std::deque<List>& arena,
+                        TermId key) {
+    std::uint32_t& slot = slots[key];
+    if (slot == 0) {
+      arena.emplace_back();
+      slot = static_cast<std::uint32_t>(arena.size());
+    }
+    return arena[slot - 1];
+  }
+
+  [[nodiscard]] const PredicateIndex* find_predicate(TermId p) const {
+    const std::uint32_t* slot = predicate_slot_.find(p);
+    return slot != nullptr ? &predicate_arena_[*slot - 1] : nullptr;
+  }
+
+  /// Bring the subject/object endpoint postings up to date with the log.
+  /// Thread-safe against concurrent readers (double-checked under
+  /// endpoint_mu_); writers are exclusive by the store's usual contract.
+  void ensure_endpoint_index() const {
+    if (endpoint_built_.load(std::memory_order_acquire) != log_.size()) {
+      build_endpoint_tail();
+    }
+  }
+  void build_endpoint_tail() const;
+
   std::vector<Triple> log_;
-  std::unordered_set<Triple, TripleHash> set_;
-  std::unordered_map<TermId, PredicateIndex> by_predicate_;
+  TripleSet set_;
+  IdMap<std::uint32_t> predicate_slot_;  // predicate -> arena index + 1
+  std::deque<PredicateIndex> predicate_arena_;
   std::vector<TermId> predicates_;
   // Log indices per subject / per object, for queries with an unbound
   // predicate ((s ? ?), (? ? o)) which the backward engine and the generic
-  // sameAs rules issue.
-  std::unordered_map<TermId, std::vector<std::uint32_t>> by_subject_;
-  std::unordered_map<TermId, std::vector<std::uint32_t>> by_object_;
+  // sameAs rules issue.  Built lazily, on first such probe, so the insert
+  // hot path never pays for them; `mutable` because the rebuild happens
+  // under const accessors.
+  mutable IdMap<std::uint32_t> subject_slot_;
+  mutable IdMap<std::uint32_t> object_slot_;
+  mutable std::deque<SmallIdList> subject_postings_;
+  mutable std::deque<SmallIdList> object_postings_;
+  mutable std::atomic<std::size_t> endpoint_built_{0};
+  mutable std::mutex endpoint_mu_;
 };
 
 }  // namespace parowl::rdf

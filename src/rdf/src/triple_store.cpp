@@ -2,52 +2,76 @@
 
 namespace parowl::rdf {
 
-namespace {
-const std::vector<TermId> kEmptyIds;
-const std::vector<Triple> kEmptyTriples;
-}  // namespace
-
 TripleStore::TripleStore() = default;
 
-bool TripleStore::insert(const Triple& t) {
-  if (!set_.insert(t).second) {
-    return false;
+// Copy/move are user-provided only because the lazy endpoint index carries
+// an atomic watermark and a mutex.  Copying locks the source so a snapshot
+// clone (serve::Updater's copy-on-update) is safe against concurrent
+// readers lazily building the source's endpoint postings.
+TripleStore::TripleStore(const TripleStore& other) { *this = other; }
+
+TripleStore& TripleStore::operator=(const TripleStore& other) {
+  if (this == &other) {
+    return *this;
   }
-  log_.push_back(t);
-  auto [it, fresh] = by_predicate_.try_emplace(t.p);
-  if (fresh) {
-    predicates_.push_back(t.p);
+  std::scoped_lock lock(other.endpoint_mu_);
+  log_ = other.log_;
+  set_ = other.set_;
+  predicate_slot_ = other.predicate_slot_;
+  predicate_arena_ = other.predicate_arena_;
+  predicates_ = other.predicates_;
+  subject_slot_ = other.subject_slot_;
+  object_slot_ = other.object_slot_;
+  subject_postings_ = other.subject_postings_;
+  object_postings_ = other.object_postings_;
+  endpoint_built_.store(other.endpoint_built_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  return *this;
+}
+
+TripleStore::TripleStore(TripleStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
+  if (this == &other) {
+    return *this;
   }
-  PredicateIndex& idx = it->second;
-  idx.triples.push_back(t);
-  idx.objects_by_subject[t.s].push_back(t.o);
-  idx.subjects_by_object[t.o].push_back(t.s);
-  const auto log_index = static_cast<std::uint32_t>(log_.size() - 1);
-  by_subject_[t.s].push_back(log_index);
-  by_object_[t.o].push_back(log_index);
-  return true;
+  log_ = std::move(other.log_);
+  set_ = std::move(other.set_);
+  predicate_slot_ = std::move(other.predicate_slot_);
+  predicate_arena_ = std::move(other.predicate_arena_);
+  predicates_ = std::move(other.predicates_);
+  subject_slot_ = std::move(other.subject_slot_);
+  object_slot_ = std::move(other.object_slot_);
+  subject_postings_ = std::move(other.subject_postings_);
+  object_postings_ = std::move(other.object_postings_);
+  endpoint_built_.store(other.endpoint_built_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  other.clear();
+  return *this;
+}
+
+void TripleStore::build_endpoint_tail() const {
+  std::scoped_lock lock(endpoint_mu_);
+  std::size_t i = endpoint_built_.load(std::memory_order_relaxed);
+  for (; i < log_.size(); ++i) {
+    const Triple& t = log_[i];
+    const auto log_index = static_cast<std::uint32_t>(i);
+    list_for(subject_slot_, subject_postings_, t.s).push_back(log_index);
+    list_for(object_slot_, object_postings_, t.o).push_back(log_index);
+  }
+  endpoint_built_.store(i, std::memory_order_release);
 }
 
 void TripleStore::for_subject(
     TermId s, const std::function<void(const Triple&)>& fn) const {
-  const auto it = by_subject_.find(s);
-  if (it == by_subject_.end()) {
-    return;
-  }
-  for (std::uint32_t i : it->second) {
-    fn(log_[i]);
-  }
+  for_subject_each(s, [&fn](const Triple& t) { fn(t); });
 }
 
 void TripleStore::for_object(
     TermId o, const std::function<void(const Triple&)>& fn) const {
-  const auto it = by_object_.find(o);
-  if (it == by_object_.end()) {
-    return;
-  }
-  for (std::uint32_t i : it->second) {
-    fn(log_[i]);
-  }
+  for_object_each(o, [&fn](const Triple& t) { fn(t); });
 }
 
 std::size_t TripleStore::insert_all(std::span<const Triple> ts) {
@@ -58,99 +82,28 @@ std::size_t TripleStore::insert_all(std::span<const Triple> ts) {
   return added;
 }
 
-bool TripleStore::contains(const Triple& t) const { return set_.contains(t); }
-
-std::span<const Triple> TripleStore::with_predicate(TermId p) const {
-  const auto it = by_predicate_.find(p);
-  return it == by_predicate_.end() ? std::span<const Triple>(kEmptyTriples)
-                                   : std::span<const Triple>(it->second.triples);
-}
-
-std::span<const TermId> TripleStore::objects(TermId p, TermId s) const {
-  const auto it = by_predicate_.find(p);
-  if (it == by_predicate_.end()) {
-    return kEmptyIds;
-  }
-  const auto jt = it->second.objects_by_subject.find(s);
-  return jt == it->second.objects_by_subject.end()
-             ? std::span<const TermId>(kEmptyIds)
-             : std::span<const TermId>(jt->second);
-}
-
-std::span<const TermId> TripleStore::subjects(TermId p, TermId o) const {
-  const auto it = by_predicate_.find(p);
-  if (it == by_predicate_.end()) {
-    return kEmptyIds;
-  }
-  const auto jt = it->second.subjects_by_object.find(o);
-  return jt == it->second.subjects_by_object.end()
-             ? std::span<const TermId>(kEmptyIds)
-             : std::span<const TermId>(jt->second);
-}
-
 void TripleStore::match(const TriplePattern& pattern,
                         const std::function<void(const Triple&)>& fn) const {
-  const bool sb = pattern.s != kAnyTerm;
-  const bool pb = pattern.p != kAnyTerm;
-  const bool ob = pattern.o != kAnyTerm;
-
-  if (sb && pb && ob) {
-    const Triple t{pattern.s, pattern.p, pattern.o};
-    if (contains(t)) {
-      fn(t);
-    }
-    return;
-  }
-  if (pb && sb) {
-    for (TermId o : objects(pattern.p, pattern.s)) {
-      fn(Triple{pattern.s, pattern.p, o});
-    }
-    return;
-  }
-  if (pb && ob) {
-    for (TermId s : subjects(pattern.p, pattern.o)) {
-      fn(Triple{s, pattern.p, pattern.o});
-    }
-    return;
-  }
-  if (pb) {
-    for (const Triple& t : with_predicate(pattern.p)) {
-      fn(t);
-    }
-    return;
-  }
-  // Predicate unbound: use the subject/object log indexes when possible.
-  if (sb) {
-    for_subject(pattern.s, [&](const Triple& t) {
-      if (!ob || t.o == pattern.o) {
-        fn(t);
-      }
-    });
-    return;
-  }
-  if (ob) {
-    for_object(pattern.o, fn);
-    return;
-  }
-  // Fully unbound: scan the log.
-  for (const Triple& t : log_) {
-    fn(t);
-  }
+  match_each(pattern, [&fn](const Triple& t) { fn(t); });
 }
 
 std::size_t TripleStore::count(const TriplePattern& pattern) const {
   std::size_t n = 0;
-  match(pattern, [&n](const Triple&) { ++n; });
+  match_each(pattern, [&n](const Triple&) { ++n; });
   return n;
 }
 
 void TripleStore::clear() {
   log_.clear();
   set_.clear();
-  by_predicate_.clear();
+  predicate_slot_.clear();
+  predicate_arena_.clear();
   predicates_.clear();
-  by_subject_.clear();
-  by_object_.clear();
+  subject_slot_.clear();
+  object_slot_.clear();
+  subject_postings_.clear();
+  object_postings_.clear();
+  endpoint_built_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace parowl::rdf

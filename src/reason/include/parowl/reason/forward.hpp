@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/flat_index.hpp"
 #include "parowl/rdf/triple_store.hpp"
 #include "parowl/rules/rule.hpp"
 
@@ -25,13 +27,32 @@ struct ForwardOptions {
 
   /// Safety valve for tests; the engine normally runs to fixpoint.
   std::size_t max_iterations = static_cast<std::size_t>(-1);
+
+  /// Route each frontier triple only to the (rule, pivot) pairs whose pivot
+  /// pattern can bind it, via the predicate-keyed dispatch index built at
+  /// engine construction.  Off = try every pair (ablation baseline).
+  bool dispatch_index = true;
+
+  /// Use the store's templated match_each joins (fully inlined callbacks).
+  /// Off = the std::function match path (ablation baseline).
+  bool devirtualize = true;
+
+  /// Worker threads for the matching pass of each iteration.  The frontier
+  /// is sharded into contiguous blocks; derivations accumulate in
+  /// per-shard buffers and are merged at the round barrier, so the closure
+  /// — log order and all statistics included — is bit-identical for every
+  /// thread count.  0 = hardware concurrency.
+  unsigned threads = 1;
 };
 
 /// Evaluation statistics.
 struct ForwardStats {
   std::size_t iterations = 0;
-  std::size_t derived = 0;       // triples newly added to the store
-  std::size_t attempts = 0;      // head instantiations (incl. duplicates)
+  std::size_t derived = 0;   // triples newly added to the store
+  std::size_t attempts = 0;  // head instantiations (incl. duplicates)
+  /// Unique derivations credited per rule; duplicates of the same triple
+  /// within one iteration count once (for the first deriving rule in
+  /// frontier order), so the per-rule sum always equals `derived`.
   std::vector<std::size_t> firings_per_rule;
 };
 
@@ -52,20 +73,78 @@ class ForwardEngine {
   ForwardStats run(std::size_t delta_begin = 0);
 
  private:
-  /// Match `delta_triple` against body atom `pivot` of `rule`; on success
-  /// join the remaining atoms against the store and emit head bindings.
+  /// One body atom usable as the entry point of a rule firing.
+  struct PivotRef {
+    std::uint32_t rule = 0;
+    std::uint32_t pivot = 0;
+  };
+
+  /// A deduplicated derivation awaiting the round barrier, tagged with the
+  /// rule that produced it (for firings_per_rule at merge time).
+  struct Pending {
+    rdf::Triple triple;
+    std::uint32_t rule = 0;
+  };
+
+  /// Per-thread accumulation state for one iteration's matching pass.
+  struct Shard {
+    std::vector<Pending> pending;
+    rdf::TripleSet seen;
+    std::size_t attempts = 0;
+
+    void reset() {
+      pending.clear();
+      seen.reset();  // keeps capacity across iterations
+      attempts = 0;
+    }
+  };
+
+  /// Candidate pivots for one predicate, discriminated a second time on
+  /// the pivot atom's object position (Rete-style alpha discrimination):
+  /// a pivot like (?x rdf:type Student) only ever binds triples whose
+  /// object is Student, so type triples skip every other class's rules.
+  /// `generic` holds the pivots with a variable object (merged with the
+  /// wildcard-predicate pivots); `by_object` holds the constant-object
+  /// pivots keyed by that constant.  Both are in (rule, pivot) order, so
+  /// an ordered merge visits surviving pairs exactly as a full scan would
+  /// — dispatch on/off stays bit-identical.
+  struct Bucket {
+    std::vector<PivotRef> generic;
+    rdf::IdMap<std::uint32_t> object_slot;  // object const -> index + 1
+    std::vector<std::vector<PivotRef>> by_object;
+  };
+
+  /// Route one frontier triple to its candidate (rule, pivot) pairs.
+  template <bool Devirt>
+  void dispatch_triple(const rdf::Triple& t, Shard& shard);
+
+  /// Match frontier triples [lo, hi) against their candidate pivots,
+  /// accumulating into `shard`.  Devirt selects the store matching path.
+  template <bool Devirt>
+  void process_range(std::size_t lo, std::size_t hi, Shard& shard);
+
+  /// Match one frontier triple against body atom `pivot` of `rule`; on
+  /// success join the remaining atoms against the store.
+  template <bool Devirt>
   void fire_rule(std::size_t rule_index, std::size_t pivot,
-                 const rdf::Triple& delta_triple,
-                 std::vector<rdf::Triple>& out, ForwardStats& stats);
+                 const rdf::Triple& delta_triple, Shard& shard);
 
   /// Recursive join over unprocessed body atoms.
+  template <bool Devirt>
   void join(std::size_t rule_index, unsigned done_mask,
-            rules::Binding& binding, std::vector<rdf::Triple>& out,
-            ForwardStats& stats);
+            rules::Binding& binding, Shard& shard);
 
   rdf::TripleStore& store_;
   const rules::RuleSet& rules_;
   ForwardOptions options_;
+
+  // Dispatch index: predicate -> Bucket, stored as a flat IdMap of bucket
+  // indexes + 1 (0 = absent); wildcard_pivots_ alone serves predicates
+  // unseen at construction; all_pivots_ is the dispatch-off fallback.
+  rdf::IdMap<std::uint32_t> pivot_bucket_slot_;
+  std::vector<Bucket> pivot_buckets_;
+  std::vector<PivotRef> wildcard_pivots_;
+  std::vector<PivotRef> all_pivots_;
 };
 
 /// Convenience: run `rules` on `store` to fixpoint and return stats.

@@ -32,6 +32,14 @@ struct MaterializeOptions {
   /// Forward engine evaluation mode (ablation: naive vs semi-naive).
   bool semi_naive = true;
 
+  /// Forward engine hot-path toggles (see ForwardOptions): predicate
+  /// dispatch index, devirtualized joins, and the matching-pass thread
+  /// count (0 = hardware concurrency).  The closure is identical for every
+  /// combination; only speed changes.
+  bool dispatch_index = true;
+  bool devirtualize = true;
+  unsigned threads = 1;
+
   /// One backward-engine table per query (mimics independent queries, the
   /// Jena behaviour); when true, tables are shared across all queries of a
   /// sweep (faster, used for the ablation bench).
@@ -117,10 +125,12 @@ struct IncrementalResult {
   bool schema_changed = false;  // rejected: contains schema triples
   double reason_seconds = 0.0;
 };
+/// `threads` is the forward engine's matching-pass thread count (0 =
+/// hardware concurrency); the result is identical for every value.
 IncrementalResult materialize_incremental(
     rdf::TripleStore& store, const rdf::Dictionary& dict,
     const ontology::Vocabulary& vocab,
     std::span<const rdf::Triple> additions,
-    const rules::HorstOptions& horst = {});
+    const rules::HorstOptions& horst = {}, unsigned threads = 1);
 
 }  // namespace parowl::reason

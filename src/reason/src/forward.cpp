@@ -1,7 +1,10 @@
 #include "parowl/reason/forward.hpp"
 
+#include <algorithm>
+#include <barrier>
 #include <bit>
 #include <cassert>
+#include <thread>
 
 namespace parowl::reason {
 namespace {
@@ -20,11 +23,105 @@ int bound_count(const rdf::TriplePattern& p) {
 ForwardEngine::ForwardEngine(rdf::TripleStore& store,
                              const rules::RuleSet& rules,
                              ForwardOptions options)
-    : store_(store), rules_(rules), options_(options) {}
+    : store_(store), rules_(rules), options_(options) {
+  // Compile the rule set into the dispatch index: every (rule, pivot) pair,
+  // bucketed by the pivot atom's predicate.  A pivot with a constant
+  // predicate c can only bind triples with predicate c; a pivot whose
+  // predicate position is a variable (the sameAs family) can bind anything
+  // and lands in the wildcard bucket.  Within a predicate bucket, pivots
+  // with a constant object are discriminated a second time on that
+  // constant.  Every list is built in (rule, pivot) order and
+  // dispatch_triple merges them in that order, so dispatching a triple
+  // visits candidates in exactly the order a full scan would visit its
+  // surviving pairs — dispatch on/off yields bit-identical closures.
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const rules::Rule& rule = rules_[r];
+    for (std::size_t b = 0; b < rule.body.size(); ++b) {
+      const PivotRef pr{static_cast<std::uint32_t>(r),
+                        static_cast<std::uint32_t>(b)};
+      all_pivots_.push_back(pr);
+      const rules::Atom& atom = rule.body[b];
+      if (atom.p.is_var()) {
+        wildcard_pivots_.push_back(pr);
+        continue;
+      }
+      std::uint32_t& slot = pivot_bucket_slot_[atom.p.const_id()];
+      if (slot == 0) {
+        pivot_buckets_.emplace_back();
+        slot = static_cast<std::uint32_t>(pivot_buckets_.size());
+      }
+      Bucket& bucket = pivot_buckets_[slot - 1];
+      if (atom.o.is_var()) {
+        bucket.generic.push_back(pr);
+      } else {
+        std::uint32_t& oslot = bucket.object_slot[atom.o.const_id()];
+        if (oslot == 0) {
+          bucket.by_object.emplace_back();
+          oslot = static_cast<std::uint32_t>(bucket.by_object.size());
+        }
+        bucket.by_object[oslot - 1].push_back(pr);
+      }
+    }
+  }
+  // Wildcard-predicate pivots can bind any triple: merge them into every
+  // bucket's generic list, restoring (rule, pivot) order.
+  if (!wildcard_pivots_.empty()) {
+    for (Bucket& bucket : pivot_buckets_) {
+      bucket.generic.insert(bucket.generic.end(), wildcard_pivots_.begin(),
+                            wildcard_pivots_.end());
+      std::sort(bucket.generic.begin(), bucket.generic.end(),
+                [](const PivotRef a, const PivotRef b) {
+                  return a.rule != b.rule ? a.rule < b.rule
+                                          : a.pivot < b.pivot;
+                });
+    }
+  }
+}
 
+template <bool Devirt>
+void ForwardEngine::dispatch_triple(const rdf::Triple& t, Shard& shard) {
+  if (!options_.dispatch_index) {
+    for (const PivotRef pr : all_pivots_) {
+      fire_rule<Devirt>(pr.rule, pr.pivot, t, shard);
+    }
+    return;
+  }
+  const std::uint32_t* slot = pivot_bucket_slot_.find(t.p);
+  if (slot == nullptr) {
+    // Predicate unseen at construction: only wildcard pivots can bind.
+    for (const PivotRef pr : wildcard_pivots_) {
+      fire_rule<Devirt>(pr.rule, pr.pivot, t, shard);
+    }
+    return;
+  }
+  const Bucket& bucket = pivot_buckets_[*slot - 1];
+  const std::uint32_t* oslot = bucket.object_slot.find(t.o);
+  if (oslot == nullptr) {
+    for (const PivotRef pr : bucket.generic) {
+      fire_rule<Devirt>(pr.rule, pr.pivot, t, shard);
+    }
+    return;
+  }
+  // Ordered merge of the generic pivots and this object's pivots keeps the
+  // global (rule, pivot) visit order of a full scan.
+  const std::vector<PivotRef>& exact = bucket.by_object[*oslot - 1];
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < bucket.generic.size() || j < exact.size()) {
+    const bool take_generic =
+        j == exact.size() ||
+        (i < bucket.generic.size() &&
+         (bucket.generic[i].rule != exact[j].rule
+              ? bucket.generic[i].rule < exact[j].rule
+              : bucket.generic[i].pivot < exact[j].pivot));
+    const PivotRef pr = take_generic ? bucket.generic[i++] : exact[j++];
+    fire_rule<Devirt>(pr.rule, pr.pivot, t, shard);
+  }
+}
+
+template <bool Devirt>
 void ForwardEngine::join(std::size_t rule_index, unsigned done_mask,
-                         rules::Binding& binding,
-                         std::vector<rdf::Triple>& out, ForwardStats& stats) {
+                         rules::Binding& binding, Shard& shard) {
   const rules::Rule& rule = rules_[rule_index];
   const auto body_size = rule.body.size();
 
@@ -33,54 +130,78 @@ void ForwardEngine::join(std::size_t rule_index, unsigned done_mask,
     const auto pattern = to_pattern(rule.head, binding);
     assert(pattern.s != rdf::kAnyTerm && pattern.p != rdf::kAnyTerm &&
            pattern.o != rdf::kAnyTerm);
-    ++stats.attempts;
+    ++shard.attempts;
     if (options_.dict != nullptr &&
         options_.dict->kind(pattern.s) == rdf::TermKind::kLiteral) {
       return;  // literal guard: no statements about literals
     }
     const rdf::Triple derived{pattern.s, pattern.p, pattern.o};
-    if (!store_.contains(derived)) {
-      out.push_back(derived);
-      ++stats.firings_per_rule[rule_index];
+    if (!store_.contains(derived) && shard.seen.insert(derived)) {
+      shard.pending.push_back(
+          Pending{derived, static_cast<std::uint32_t>(rule_index)});
     }
     return;
   }
 
-  // Pick the unprocessed atom with the most bound positions.
-  std::size_t best = body_size;
-  int best_bound = -1;
-  for (std::size_t j = 0; j < body_size; ++j) {
-    if (done_mask & (1u << j)) {
-      continue;
-    }
-    const int b = bound_count(to_pattern(rule.body[j], binding));
-    if (b > best_bound) {
-      best_bound = b;
-      best = j;
+  // Pick the unprocessed atom with the most bound positions.  With exactly
+  // one atom left (every two-atom rule lands here after its pivot bound)
+  // the choice is forced — skip the selection scan.
+  const unsigned remaining_mask = ((1u << body_size) - 1) & ~done_mask;
+  std::size_t best;
+  if ((remaining_mask & (remaining_mask - 1)) == 0) {
+    best = static_cast<std::size_t>(std::countr_zero(remaining_mask));
+  } else {
+    best = body_size;
+    int best_bound = -1;
+    for (std::size_t j = 0; j < body_size; ++j) {
+      if (done_mask & (1u << j)) {
+        continue;
+      }
+      const int b = bound_count(to_pattern(rule.body[j], binding));
+      if (b > best_bound) {
+        best_bound = b;
+        best = j;
+      }
     }
   }
   assert(best < body_size);
 
   const auto pattern = to_pattern(rule.body[best], binding);
-  store_.match(pattern, [&](const rdf::Triple& t) {
+  const auto on_match = [&](const rdf::Triple& t) {
     rules::Binding saved = binding;
     if (bind_atom(rule.body[best], t, binding)) {
-      join(rule_index, done_mask | (1u << best), binding, out, stats);
+      join<Devirt>(rule_index, done_mask | (1u << best), binding, shard);
     }
     binding = saved;
-  });
+  };
+  if constexpr (Devirt) {
+    store_.match_each(pattern, on_match);
+  } else {
+    store_.match(pattern, on_match);  // type-erased path, ablation only
+  }
 }
 
+template <bool Devirt>
 void ForwardEngine::fire_rule(std::size_t rule_index, std::size_t pivot,
-                              const rdf::Triple& delta_triple,
-                              std::vector<rdf::Triple>& out,
-                              ForwardStats& stats) {
+                              const rdf::Triple& delta_triple, Shard& shard) {
   const rules::Rule& rule = rules_[rule_index];
   rules::Binding binding{};
   if (!bind_atom(rule.body[pivot], delta_triple, binding)) {
     return;
   }
-  join(rule_index, 1u << pivot, binding, out, stats);
+  join<Devirt>(rule_index, 1u << pivot, binding, shard);
+}
+
+template <bool Devirt>
+void ForwardEngine::process_range(std::size_t lo, std::size_t hi,
+                                  Shard& shard) {
+  // The store log is append-only and never resized during the matching
+  // pass (derivations go to `shard.pending`; inserts happen at the round
+  // barrier), so indexing it directly is safe — also from worker threads.
+  const std::vector<rdf::Triple>& log = store_.triples();
+  for (std::size_t i = lo; i < hi; ++i) {
+    dispatch_triple<Devirt>(log[i], shard);
+  }
 }
 
 ForwardStats ForwardEngine::run(std::size_t delta_begin) {
@@ -88,7 +209,67 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
   stats.firings_per_rule.assign(rules_.size(), 0);
 
   std::size_t frontier_begin = options_.semi_naive ? delta_begin : 0;
-  std::vector<rdf::Triple> pending;
+
+  unsigned threads = options_.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+
+  std::vector<Shard> shards(threads);
+  // Cross-shard dedup at the merge barrier; within a shard, Shard::seen
+  // already deduplicated, so this set is only consulted with > 1 shard.
+  rdf::TripleSet merged_seen;
+
+  // Per-iteration work descriptor, published to the pool by the start
+  // barrier and consumed before the finish barrier.
+  std::size_t work_begin = 0;
+  std::size_t work_end = 0;
+  bool done = false;
+
+  const auto shard_bounds = [&](unsigned shard_index) {
+    // Contiguous blocks in frontier order: concatenating shard buffers in
+    // index order reproduces the exact single-threaded emission sequence.
+    const std::size_t n = work_end - work_begin;
+    const std::size_t base = n / threads;
+    const std::size_t rem = n % threads;
+    const std::size_t lo = work_begin + base * shard_index +
+                           std::min<std::size_t>(shard_index, rem);
+    return std::pair<std::size_t, std::size_t>(
+        lo, lo + base + (shard_index < rem ? 1 : 0));
+  };
+  const auto run_shard = [&](unsigned shard_index) {
+    const auto [lo, hi] = shard_bounds(shard_index);
+    if (options_.devirtualize) {
+      process_range<true>(lo, hi, shards[shard_index]);
+    } else {
+      process_range<false>(lo, hi, shards[shard_index]);
+    }
+  };
+
+  // Round-barrier pool: workers sleep on `start` while the main thread
+  // merges and inserts; the main thread participates as shard 0.
+  std::barrier<> start(threads);
+  std::barrier<> finish(threads);
+  std::vector<std::jthread> pool;
+  for (unsigned t = 1; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (true) {
+        start.arrive_and_wait();
+        if (done) {
+          return;
+        }
+        run_shard(t);
+        finish.arrive_and_wait();
+      }
+    });
+  }
+  const auto release_pool = [&] {
+    if (!pool.empty()) {
+      done = true;
+      start.arrive_and_wait();
+    }
+  };
 
   while (stats.iterations < options_.max_iterations) {
     const std::size_t frontier_end = store_.size();
@@ -96,23 +277,35 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
       break;
     }
     ++stats.iterations;
-    pending.clear();
 
-    for (std::size_t rule_index = 0; rule_index < rules_.size();
-         ++rule_index) {
-      const rules::Rule& rule = rules_[rule_index];
-      for (std::size_t pivot = 0; pivot < rule.body.size(); ++pivot) {
-        // The store log is append-only and not resized during this loop
-        // (derivations go to `pending`), so indexing it directly is safe.
-        for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
-          fire_rule(rule_index, pivot, store_.triples()[i], pending, stats);
-        }
-      }
+    for (Shard& shard : shards) {
+      shard.reset();
+    }
+    work_begin = frontier_begin;
+    work_end = frontier_end;
+    if (!pool.empty()) {
+      start.arrive_and_wait();
+    }
+    run_shard(0);
+    if (!pool.empty()) {
+      finish.arrive_and_wait();
     }
 
+    // Merge at the barrier: concatenated shard buffers replay the
+    // single-threaded emission order, so first-occurrence wins both the
+    // cross-shard dedup and the per-rule firing credit — statistics and
+    // log order are identical for every thread count.
     std::size_t added = 0;
-    for (const rdf::Triple& t : pending) {
-      added += store_.insert(t) ? 1 : 0;
+    merged_seen.reset();
+    for (Shard& shard : shards) {
+      stats.attempts += shard.attempts;
+      for (const Pending& pd : shard.pending) {
+        if (shards.size() > 1 && !merged_seen.insert(pd.triple)) {
+          continue;
+        }
+        added += store_.insert(pd.triple) ? 1 : 0;
+        ++stats.firings_per_rule[pd.rule];
+      }
     }
     stats.derived += added;
     if (added == 0) {
@@ -122,6 +315,7 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
     // whole store again under naive evaluation).
     frontier_begin = options_.semi_naive ? frontier_end : 0;
   }
+  release_pool();
   return stats;
 }
 

@@ -183,6 +183,9 @@ MaterializeResult materialize(rdf::TripleStore& store,
     ForwardOptions fopts;
     fopts.semi_naive = options.semi_naive;
     fopts.dict = &dict;
+    fopts.dispatch_index = options.dispatch_index;
+    fopts.devirtualize = options.devirtualize;
+    fopts.threads = options.threads;
     const ForwardStats stats = ForwardEngine(store, active, fopts).run(0);
     result.iterations = stats.iterations;
   } else {
@@ -199,7 +202,7 @@ IncrementalResult materialize_incremental(
     rdf::TripleStore& store, const rdf::Dictionary& dict,
     const ontology::Vocabulary& vocab,
     std::span<const rdf::Triple> additions,
-    const rules::HorstOptions& horst) {
+    const rules::HorstOptions& horst, unsigned threads) {
   IncrementalResult result;
   for (const rdf::Triple& t : additions) {
     if (vocab.is_schema_triple(t)) {
@@ -220,6 +223,7 @@ IncrementalResult materialize_incremental(
   util::Stopwatch watch;
   ForwardOptions fopts;
   fopts.dict = &dict;
+  fopts.threads = threads;
   const ForwardStats stats =
       ForwardEngine(store, compiled.rules, fopts).run(delta_begin);
   result.iterations = stats.iterations;

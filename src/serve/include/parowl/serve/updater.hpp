@@ -51,8 +51,12 @@ class Updater {
  public:
   /// `dict` must already contain every term the batches will reference; the
   /// closure itself interns nothing.  `cache` may be null (no caching).
+  /// `reason_threads` fans out the incremental closure's matching pass
+  /// (0 = hardware concurrency); the published snapshot is bit-identical
+  /// for every value.
   Updater(SnapshotRegistry& registry, ResultCache* cache,
-          const rdf::Dictionary& dict, const ontology::Vocabulary& vocab);
+          const rdf::Dictionary& dict, const ontology::Vocabulary& vocab,
+          unsigned reason_threads = 1);
 
   /// Apply one batch of *instance* triples.  Schema triples are rejected
   /// (outcome.result.schema_changed) without publishing — a schema change
@@ -67,6 +71,7 @@ class Updater {
   ResultCache* cache_;
   const rdf::Dictionary& dict_;
   const ontology::Vocabulary& vocab_;
+  unsigned reason_threads_;
   mutable std::mutex write_mutex_;
   std::uint64_t batches_ = 0;
 };

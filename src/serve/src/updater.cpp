@@ -8,8 +8,12 @@ namespace parowl::serve {
 
 Updater::Updater(SnapshotRegistry& registry, ResultCache* cache,
                  const rdf::Dictionary& dict,
-                 const ontology::Vocabulary& vocab)
-    : registry_(registry), cache_(cache), dict_(dict), vocab_(vocab) {}
+                 const ontology::Vocabulary& vocab, unsigned reason_threads)
+    : registry_(registry),
+      cache_(cache),
+      dict_(dict),
+      vocab_(vocab),
+      reason_threads_(reason_threads) {}
 
 UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions) {
   const std::scoped_lock lock(write_mutex_);
@@ -27,8 +31,8 @@ UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions) {
   next->delta_begin = next->store.size();
   next->version = old_snap->version + 1;
 
-  outcome.result = reason::materialize_incremental(next->store, dict_,
-                                                   vocab_, additions);
+  outcome.result = reason::materialize_incremental(
+      next->store, dict_, vocab_, additions, {}, reason_threads_);
   if (outcome.result.schema_changed ||
       next->store.size() == next->delta_begin) {
     // Rejected or a pure-duplicate batch: the fixpoint is unchanged, keep

@@ -1,0 +1,211 @@
+// Equivalence of every forward-engine mode: naive vs semi-naive, dispatch
+// index on/off, devirtualized joins on/off, and 1/2/4/8 matching threads
+// must all compute the same closure — and everything except the naive
+// ablation must be *bit-identical*: same insertion-log order and the same
+// ForwardStats, which is what lets parowl::parallel workers and the
+// serving-layer updater switch thread counts without changing any result.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "parowl/gen/lubm.hpp"
+#include "parowl/gen/mdc.hpp"
+#include "parowl/reason/materialize.hpp"
+
+namespace parowl::reason {
+namespace {
+
+// The vocabulary interns into (and references) the fixture's dictionary,
+// so the fixture is built in place and never copied or moved.
+struct Fixture {
+  rdf::Dictionary dict;
+  ontology::Vocabulary vocab{dict};
+  rdf::TripleStore base;  // generated triples + compiled ground facts
+  rules::RuleSet rules;
+
+  Fixture(const Fixture&) = delete;
+
+  explicit Fixture(const char* dataset) {
+    if (std::string_view(dataset) == "lubm") {
+      gen::LubmOptions o;
+      o.universities = 1;
+      gen::generate_lubm(o, dict, base);
+    } else {
+      gen::MdcOptions o;
+      o.fields = 2;
+      gen::generate_mdc(o, dict, base);
+    }
+    rules::CompiledRules compiled = compile_ontology(base, vocab);
+    base.insert_all(compiled.ground_facts);
+    rules = std::move(compiled.rules);
+  }
+};
+
+struct RunResult {
+  std::vector<rdf::Triple> log;  // full insertion log after closure
+  ForwardStats stats;
+};
+
+RunResult run_engine(const Fixture& f, ForwardOptions opts) {
+  RunResult r;
+  rdf::TripleStore store;
+  store.insert_all(f.base.triples());
+  r.stats = ForwardEngine(store, f.rules, opts).run(0);
+  r.log = store.triples();
+  return r;
+}
+
+std::vector<rdf::Triple> sorted(std::vector<rdf::Triple> log) {
+  std::sort(log.begin(), log.end());
+  return log;
+}
+
+void expect_same_closure(const RunResult& a, const RunResult& b,
+                         const char* label) {
+  EXPECT_EQ(a.log.size(), b.log.size()) << label;
+  EXPECT_EQ(sorted(a.log), sorted(b.log)) << label;
+  EXPECT_EQ(a.stats.derived, b.stats.derived) << label;
+}
+
+void expect_bit_identical(const RunResult& a, const RunResult& b,
+                          const char* label) {
+  EXPECT_EQ(a.log, b.log) << label << " (insertion-log order)";
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations) << label;
+  EXPECT_EQ(a.stats.derived, b.stats.derived) << label;
+  EXPECT_EQ(a.stats.attempts, b.stats.attempts) << label;
+  EXPECT_EQ(a.stats.firings_per_rule, b.stats.firings_per_rule) << label;
+}
+
+void expect_firings_sum_to_derived(const RunResult& r, const char* label) {
+  std::size_t sum = 0;
+  for (const std::size_t n : r.stats.firings_per_rule) {
+    sum += n;
+  }
+  EXPECT_EQ(sum, r.stats.derived) << label;
+}
+
+ForwardOptions with(bool dispatch, bool devirt, unsigned threads,
+                    const rdf::Dictionary* dict = nullptr) {
+  ForwardOptions o;
+  o.dispatch_index = dispatch;
+  o.devirtualize = devirt;
+  o.threads = threads;
+  o.dict = dict;
+  return o;
+}
+
+void check_all_modes(const Fixture& f, const rdf::Dictionary* dict) {
+  // Reference: the fully optimized single-threaded engine.
+  const RunResult ref = run_engine(f, with(true, true, 1, dict));
+  ASSERT_GT(ref.stats.derived, 0u);
+  expect_firings_sum_to_derived(ref, "reference");
+
+  // Ablation toggles must be bit-identical, not just set-equal: the
+  // dispatch index only skips pivots that could never bind, and
+  // devirtualization only changes how the match callback is invoked.
+  for (const auto& [dispatch, devirt, label] :
+       {std::tuple{false, false, "dispatch off, devirt off"},
+        std::tuple{true, false, "devirt off"},
+        std::tuple{false, true, "dispatch off"}}) {
+    const RunResult r = run_engine(f, with(dispatch, devirt, 1, dict));
+    expect_bit_identical(ref, r, label);
+  }
+
+  // Thread counts: contiguous frontier shards merged at the round barrier
+  // in shard order replay the single-threaded emission sequence exactly.
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const RunResult r = run_engine(f, with(true, true, threads, dict));
+    expect_bit_identical(ref, r, "threaded");
+    expect_firings_sum_to_derived(r, "threaded");
+  }
+
+  // Naive evaluation visits derivations in a different order, so only the
+  // closure (set and count) is comparable.
+  ForwardOptions naive = with(true, true, 1, dict);
+  naive.semi_naive = false;
+  expect_same_closure(ref, run_engine(f, naive), "naive");
+  ForwardOptions naive_threaded = with(true, true, 4, dict);
+  naive_threaded.semi_naive = false;
+  expect_same_closure(ref, run_engine(f, naive_threaded), "naive threaded");
+}
+
+TEST(EngineEquivalenceTest, LubmClosureIdenticalAcrossAllModes) {
+  const Fixture f("lubm");
+  check_all_modes(f, nullptr);
+}
+
+TEST(EngineEquivalenceTest, LubmClosureIdenticalWithLiteralGuard) {
+  // The ForwardOptions::dict literal-guard path must dedup and merge the
+  // same way: guarded heads still count as attempts in every mode.
+  const Fixture f("lubm");
+  check_all_modes(f, &f.dict);
+}
+
+TEST(EngineEquivalenceTest, MdcClosureIdenticalAcrossAllModes) {
+  const Fixture f("mdc");
+  check_all_modes(f, nullptr);
+}
+
+TEST(EngineEquivalenceTest, MdcClosureIdenticalWithLiteralGuard) {
+  const Fixture f("mdc");
+  check_all_modes(f, &f.dict);
+}
+
+TEST(EngineEquivalenceTest, DeltaRunsAgreeAcrossThreadCounts) {
+  // The incremental entry point (run(delta_begin)) used by the parallel
+  // workers and serve::Updater must also be thread-count invariant.
+  const Fixture f("lubm");
+
+  auto run_delta = [&](unsigned threads) {
+    rdf::TripleStore store;
+    // Split the base: load and close half, then absorb the rest as a delta.
+    const auto& all = f.base.triples();
+    const std::size_t half = all.size() / 2;
+    store.insert_all(std::span(all.data(), half));
+    ForwardEngine engine(store, f.rules, with(true, true, threads, &f.dict));
+    engine.run(0);
+    const std::size_t mark = store.size();
+    store.insert_all(std::span(all.data() + half, all.size() - half));
+    const ForwardStats stats = engine.run(mark);
+    return std::pair(store.triples(), stats);
+  };
+
+  const auto [ref_log, ref_stats] = run_delta(1);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const auto [log, stats] = run_delta(threads);
+    EXPECT_EQ(ref_log, log) << threads << " threads";
+    EXPECT_EQ(ref_stats.derived, stats.derived) << threads << " threads";
+    EXPECT_EQ(ref_stats.attempts, stats.attempts) << threads << " threads";
+    EXPECT_EQ(ref_stats.firings_per_rule, stats.firings_per_rule)
+        << threads << " threads";
+  }
+}
+
+TEST(EngineEquivalenceTest, MaterializeThreadsOptionIsTransparent) {
+  const Fixture f("lubm");
+
+  auto materialize_with = [&](unsigned threads) {
+    rdf::TripleStore store;
+    store.insert_all(f.base.triples());
+    MaterializeOptions opts;
+    opts.threads = threads;
+    const MaterializeResult r = materialize(store, f.dict, f.vocab, opts);
+    return std::pair(store.triples(), r.inferred);
+  };
+
+  const auto [ref_log, ref_inferred] = materialize_with(1);
+  EXPECT_GT(ref_inferred, 0u);
+  for (const unsigned threads : {2u, 4u}) {
+    const auto [log, inferred] = materialize_with(threads);
+    EXPECT_EQ(ref_log, log);
+    EXPECT_EQ(ref_inferred, inferred);
+  }
+}
+
+}  // namespace
+}  // namespace parowl::reason

@@ -190,6 +190,39 @@ TEST_F(ForwardTest, FiringsPerRuleTracked) {
   EXPECT_EQ(stats.derived, 2u);
 }
 
+TEST_F(ForwardTest, DuplicateDerivationsInOneRoundCountOnce) {
+  // Both frontier triples derive the same head in the same iteration; the
+  // pending-buffer seen-set must credit the rule once, so firings stay in
+  // parity with `derived` instead of being inflated by duplicates.
+  store.insert({iri("a"), iri("p"), iri("b")});
+  store.insert({iri("a"), iri("p"), iri("c")});
+  const auto rs = rules({"r: (?x <p> ?y) -> (?x <t> ?x)"});
+  const ForwardStats stats = forward_closure(store, rs);
+  EXPECT_TRUE(store.contains({iri("a"), iri("t"), iri("a")}));
+  EXPECT_EQ(stats.derived, 1u);
+  // Both head instantiations are still attempted — only the duplicate
+  // pending entry (and its store insert probe) is elided.
+  EXPECT_EQ(stats.attempts, 2u);
+  ASSERT_EQ(stats.firings_per_rule.size(), 1u);
+  EXPECT_EQ(stats.firings_per_rule[0], 1u);
+}
+
+TEST_F(ForwardTest, DuplicateAcrossRulesCreditsFirstInFiringOrder) {
+  // Two rules derive the same triple from the same frontier triple; the
+  // first (rule-order) firing gets the credit and the per-rule sum equals
+  // `derived` — the parity invariant the merge barrier preserves for any
+  // thread count.
+  store.insert({iri("a"), iri("p"), iri("b")});
+  const auto rs = rules({"r1: (?x <p> ?y) -> (?x <q> ?y)",
+                         "r2: (?x <p> ?y) -> (?x <q> ?y)"});
+  const ForwardStats stats = forward_closure(store, rs);
+  EXPECT_EQ(stats.derived, 1u);
+  EXPECT_EQ(stats.attempts, 2u);
+  ASSERT_EQ(stats.firings_per_rule.size(), 2u);
+  EXPECT_EQ(stats.firings_per_rule[0], 1u);
+  EXPECT_EQ(stats.firings_per_rule[1], 0u);
+}
+
 TEST_F(ForwardTest, RepeatedVariableInBodyAtom) {
   // Only reflexive edges should fire.
   store.insert({iri("a"), iri("p"), iri("a")});

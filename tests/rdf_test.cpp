@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/flat_index.hpp"
 #include "parowl/rdf/graph_stats.hpp"
 #include "parowl/rdf/ntriples.hpp"
 #include "parowl/rdf/triple_store.hpp"
@@ -262,6 +263,98 @@ TEST(GraphStats, CountsNodesAndDegrees) {
   EXPECT_EQ(nodes.size(), 3u);
   EXPECT_TRUE(nodes.contains(a));
   EXPECT_FALSE(nodes.contains(lit));
+}
+
+TEST(IdMap, FindAndInsertAcrossGrowth) {
+  IdMap<std::uint32_t> m;
+  EXPECT_EQ(m.find(1), nullptr);
+  // Enough keys to force several rehashes past the initial 16 slots.
+  for (TermId k = 1; k <= 1000; ++k) {
+    m[k] = k * 7;
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  for (TermId k = 1; k <= 1000; ++k) {
+    const std::uint32_t* v = m.find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k * 7);
+  }
+  EXPECT_EQ(m.find(1001), nullptr);
+  m[5] = 99;  // overwrite does not grow
+  EXPECT_EQ(m.size(), 1000u);
+  EXPECT_EQ(*m.find(5), 99u);
+}
+
+TEST(TripleSet, InsertContainsReset) {
+  TripleSet set;
+  EXPECT_FALSE(set.contains({1, 2, 3}));
+  EXPECT_TRUE(set.insert({1, 2, 3}));
+  EXPECT_FALSE(set.insert({1, 2, 3}));  // duplicate
+  for (TermId i = 1; i <= 500; ++i) {
+    set.insert({i, i + 1, i + 2});
+  }
+  EXPECT_EQ(set.size(), 500u);  // {1,2,3} was part of the loop's range
+  for (TermId i = 1; i <= 500; ++i) {
+    EXPECT_TRUE(set.contains({i, i + 1, i + 2}));
+  }
+  EXPECT_FALSE(set.contains({500, 500, 500}));
+  set.reset();  // keeps capacity, drops content
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains({1, 2, 3}));
+  EXPECT_TRUE(set.insert({1, 2, 3}));
+}
+
+TEST(SmallIdList, SpillsPastInlineCapacity) {
+  SmallIdList list;
+  EXPECT_TRUE(list.view().empty());
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    list.push_back(i * 3);
+    // The view stays contiguous and in insertion order through the
+    // inline-to-spill migration at kInline entries.
+    const auto v = list.view();
+    ASSERT_EQ(v.size(), i + 1);
+    for (std::uint32_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(v[j], j * 3);
+    }
+  }
+  EXPECT_EQ(list.size(), 10u);
+}
+
+TEST(TripleStore, EndpointIndexIsLazyButCoherent) {
+  // for_subject / for_object are served by a lazily built index; probing,
+  // inserting more, and probing again must reflect every insert.
+  TripleStore s;
+  s.insert({1, 2, 3});
+  s.insert({1, 4, 5});
+  std::size_t n = 0;
+  s.for_subject(1, [&n](const Triple&) { ++n; });
+  EXPECT_EQ(n, 2u);
+
+  s.insert({1, 6, 7});
+  s.insert({8, 9, 1});
+  n = 0;
+  s.for_subject(1, [&n](const Triple&) { ++n; });
+  EXPECT_EQ(n, 3u);
+  n = 0;
+  s.for_object(1, [&n](const Triple&) { ++n; });
+  EXPECT_EQ(n, 1u);
+
+  // Unbound-predicate patterns route through the same lazy index.
+  EXPECT_EQ(s.count({1, kAnyTerm, kAnyTerm}), 3u);
+  EXPECT_EQ(s.count({kAnyTerm, kAnyTerm, 1}), 1u);
+}
+
+TEST(TripleStore, CopyPreservesIndexesIndependently) {
+  TripleStore a;
+  a.insert({1, 2, 3});
+  a.insert({4, 2, 3});
+  TripleStore b = a;
+  b.insert({5, 2, 3});
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(a.subjects(2, 3).size(), 2u);
+  EXPECT_EQ(b.subjects(2, 3).size(), 3u);
+  EXPECT_FALSE(a.contains({5, 2, 3}));
+  EXPECT_TRUE(b.contains({5, 2, 3}));
 }
 
 }  // namespace

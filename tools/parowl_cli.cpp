@@ -49,7 +49,7 @@ commands:
   gen <lubm|uobm|mdc> [--scale N] [--seed S] -o <file>
   info <kb>
   materialize <kb> [-o <file>] [--strategy forward|query] [--no-compile]
-              [--rules <file>]
+              [--rules <file>] [--threads N] [--no-dispatch] [--no-devirt]
   query <kb> <sparql> [--reason]
   query <kb> --queries-file <file> [--reason]   (one query per line)
   explain <kb> <s> <p> <o>       (terms as full IRIs; reasons, then proves)
@@ -267,6 +267,9 @@ int cmd_materialize(const Args& args) {
     opts.strategy = reason::Strategy::kQueryDriven;
   }
   opts.compile = !args.flag("--no-compile");
+  opts.threads = static_cast<unsigned>(std::stoul(args.option("--threads", "1")));
+  opts.dispatch_index = !args.flag("--no-dispatch");
+  opts.devirtualize = !args.flag("--no-devirt");
 
   const reason::MaterializeResult r =
       reason::materialize(store, dict, vocab, opts);
@@ -295,6 +298,9 @@ int cmd_materialize(const Args& args) {
     }
     reason::ForwardOptions fopts;
     fopts.dict = &dict;
+    fopts.threads = opts.threads;
+    fopts.dispatch_index = opts.dispatch_index;
+    fopts.devirtualize = opts.devirtualize;
     const reason::ForwardStats stats =
         reason::forward_closure(store, *user_rules, fopts);
     std::cout << "user rules (" << user_rules->size() << ") derived "

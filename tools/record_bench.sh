@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate bench/BENCH_reason.json — the checked-in google-benchmark
+# baseline for the forward-engine ablation sweep (dispatch index on/off ×
+# devirtualized joins on/off × 1/2/4/8 matching threads, LUBM-1 and MDC-2).
+# Usage: tools/record_bench.sh [extra micro_reason args...]
+#
+# The baseline answers "did this PR make the materializer hot path slower?"
+# — compare a fresh run against the checked-in file with
+# benchmark/tools/compare.py or by eye.  Absolute times are machine-bound;
+# the meaningful columns are the ratios between sweep points.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+cmake --preset default
+cmake --build --preset default -j "$jobs" --target micro_reason
+
+build/bench/micro_reason \
+  --benchmark_filter='BM_Closure' \
+  --benchmark_out=bench/BENCH_reason.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote bench/BENCH_reason.json"
