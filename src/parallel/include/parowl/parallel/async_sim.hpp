@@ -32,6 +32,13 @@ struct AsyncResult {
 
   std::vector<std::size_t> results_per_partition;
   std::size_t union_results = 0;
+
+  /// Fault accounting when a FaultSpec was attached (all zero otherwise):
+  /// what was injected, how many retransmissions the model charged, and the
+  /// extra virtual time those cost.
+  FaultLog injected;
+  std::uint64_t retries = 0;
+  double retry_seconds = 0.0;
 };
 
 /// Asynchronous executor for Algorithm 3, implementing the improvement the
@@ -46,9 +53,20 @@ struct AsyncResult {
 /// after the network model's delay.  A worker activates as soon as input is
 /// available and its clock allows — no barriers.  The fixpoint reached is
 /// identical to the round-synchronous executor's (same monotone closure).
+/// Fault handling is folded into the event queue itself: a dropped or
+/// corrupt batch is re-enqueued with its attempt counter bumped and a
+/// timeout-plus-retransmission delay added to its arrival (corruption is
+/// detected on arrival by the checksum, so it costs a full extra round
+/// trip); duplicates enqueue a second copy (absorption is idempotent) and
+/// delays stretch the arrival.  Decisions hash (seed, batch id, attempt)
+/// exactly like FaultyTransport, so schedules are replayable, and
+/// `FaultSpec::max_faulty_attempts` bounds every retry chain.  The fixpoint
+/// is unaffected — only the virtual clock and the fault counters move.
 class AsyncSimulator {
  public:
-  AsyncSimulator(std::uint32_t num_partitions, NetworkModel network);
+  /// `faults`, when non-null, must outlive the simulator.
+  AsyncSimulator(std::uint32_t num_partitions, NetworkModel network,
+                 const FaultSpec* faults = nullptr);
 
   /// Add a worker (same construction as Cluster::add_worker; the worker
   /// never touches a transport here).
@@ -68,6 +86,7 @@ class AsyncSimulator {
 
  private:
   NetworkModel network_;
+  const FaultSpec* faults_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "parowl/parallel/worker.hpp"
@@ -41,10 +44,61 @@ struct NetworkModel {
   double bytes_per_tuple = 64.0;            // serialized triple estimate
 };
 
+/// Round-granular checkpointing.  A checkpoint is taken at a round
+/// boundary — after full acknowledged delivery and aggregation — which is a
+/// consistent cut: nothing is in flight, so the per-worker files of one
+/// round together capture the whole cluster state.
+struct CheckpointOptions {
+  std::string dir;             // empty = checkpointing disabled
+  std::uint32_t interval = 1;  // checkpoint every N rounds
+  /// Keep the last N checkpointed rounds per worker (0 = keep all).
+  std::uint32_t retain = 0;
+};
+
+/// Ack/retry delivery and crash-injection knobs.
+struct FaultToleranceOptions {
+  /// Delivery sub-iterations per round before giving up.  With the default
+  /// FaultSpec (max_faulty_attempts = 3) every schedule completes well
+  /// within this bound.
+  std::uint32_t max_retries = 10;
+
+  /// Virtual exponential backoff charged per retry sub-iteration (no real
+  /// sleeping — the cost is added to the simulated makespan and reported).
+  double backoff_base_seconds = 100e-6;
+  double backoff_multiplier = 2.0;
+
+  /// Crash injection for recovery tests (sequential mode only): when
+  /// `crash_at_round` >= 0, worker `crash_worker` dies — throws
+  /// SimulatedCrash — as the round reaches its compute phase.  `run()`
+  /// then restores the whole cluster from the last complete checkpoint set
+  /// (the single-process equivalent of restarting the killed node: at a
+  /// round boundary the survivors' checkpoints equal their live state) and
+  /// resumes.
+  std::int64_t crash_at_round = -1;
+  std::uint32_t crash_worker = 0;
+};
+
 struct ClusterOptions {
   ExecutionMode mode = ExecutionMode::kSequentialSimulated;
   NetworkModel network;
   std::size_t max_rounds = 10000;
+  CheckpointOptions checkpoint;
+  FaultToleranceOptions fault_tolerance;
+};
+
+/// Thrown by the injected crash (caught internally by `run()` when
+/// recovery is possible) and by recovery itself when no usable checkpoint
+/// exists.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a round cannot be fully delivered within
+/// FaultToleranceOptions::max_retries sub-iterations.
+class DeliveryFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Per-round maxima across workers (the series Fig. 2 plots).
@@ -54,6 +108,20 @@ struct RoundBreakdown {
   double sync_max = 0.0;
   double aggregate_max = 0.0;
   std::size_t tuples_exchanged = 0;
+};
+
+/// Fault-tolerance accounting for one run: what was injected, what the
+/// protocol did about it, and whether recovery happened.
+struct RunReport {
+  std::uint64_t batches_sent = 0;       // first transmissions
+  std::uint64_t retransmissions = 0;    // batches resent after missing acks
+  std::uint64_t redeliveries = 0;       // duplicates discarded by batch id
+  std::uint64_t checksum_failures = 0;  // corrupt envelopes detected
+  std::uint64_t checkpoints_written = 0;
+  double backoff_seconds = 0.0;         // virtual retry backoff charged
+  bool recovered = false;               // a crash was recovered from
+  std::int64_t recovered_from_round = -1;
+  FaultLog injected;                    // from the FaultyTransport, if any
 };
 
 /// Outcome of a cluster run.
@@ -77,11 +145,20 @@ struct ClusterResult {
   /// Total reasoning time per worker (all rounds) — the measured-cost
   /// input to predictive rebalancing (partition/rebalance.hpp).
   std::vector<double> reason_seconds_per_worker;
+
+  RunReport report;
 };
 
 /// The parallel reasoner of Algorithm 3: a set of workers, a transport, and
 /// the round-synchronous driver with quiescence termination (a round in
 /// which no worker ships any tuple ends the run — nothing is in transit).
+///
+/// Delivery within each round is an ack/retry loop: workers collect and
+/// acknowledge validated envelopes, senders retransmit whatever the shared
+/// AckBoard is still missing, bounded by max_retries with (virtual)
+/// exponential backoff.  Because receivers deduplicate by batch id and
+/// aggregate in canonical order, the closure — store logs, per-rule
+/// firings, round stats — is bit-identical whether or not faults occurred.
 class Cluster {
  public:
   Cluster(Transport& transport, ClusterOptions options);
@@ -95,7 +172,15 @@ class Cluster {
   void load(std::uint32_t id, std::span<const rdf::Triple> base);
 
   /// Run to global quiescence; computes stats and the simulated makespan.
+  /// Recovers internally from an injected crash when checkpoints allow.
   ClusterResult run();
+
+  /// Restore every worker from the newest round whose complete per-worker
+  /// checkpoint set loads cleanly (torn or damaged files disqualify their
+  /// round); a subsequent `run()` resumes at the following round.  Returns
+  /// the restored round; throws SimulatedCrash when no usable round
+  /// exists.  Requires checkpoint.dir to be set and workers added.
+  std::int64_t restore_from_checkpoints();
 
   [[nodiscard]] const Worker& worker(std::uint32_t id) const {
     return *workers_[id];
@@ -105,11 +190,23 @@ class Cluster {
  private:
   ClusterResult run_sequential();
   ClusterResult run_threaded();
+  /// Bounded ack/retry delivery of one round, sequential flavour.
+  void deliver_round_sequential(std::uint32_t round);
+  void checkpoint_worker(Worker& worker, std::uint32_t round);
+  [[nodiscard]] bool checkpoint_due(std::uint32_t round) const;
   void finalize(ClusterResult& result);
 
   Transport& transport_;
   ClusterOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  AckBoard ack_board_;
+
+  std::uint32_t start_round_ = 0;   // set by restore_from_checkpoints
+  bool crash_armed_ = false;
+  bool recovered_ = false;
+  std::int64_t recovered_from_round_ = -1;
+  std::uint64_t checkpoints_written_ = 0;
+  double backoff_seconds_ = 0.0;
 };
 
 }  // namespace parowl::parallel

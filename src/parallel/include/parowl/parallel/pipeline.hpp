@@ -58,6 +58,18 @@ struct ParallelOptions {
   /// null, an in-memory transport is created internally.
   Transport* transport = nullptr;
 
+  /// Fault injection: when non-null (must outlive the call), the transport
+  /// is wrapped in a deterministic FaultyTransport driven by this spec —
+  /// or, under kAsyncSimulated, the spec drives the event-queue fault
+  /// hooks.  The closure is provably unaffected; only the overhead
+  /// accounting changes.
+  const FaultSpec* faults = nullptr;
+
+  /// Round-granular checkpointing directory ("" = disabled) and the
+  /// ack/retry + crash-injection knobs, forwarded to ClusterOptions.
+  CheckpointOptions checkpoint;
+  FaultToleranceOptions fault_tolerance;
+
   /// Build the merged output store (base + schema + every derivation).
   /// Disable for large benchmark sweeps where only counts matter.
   bool build_merged = true;

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <span>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "parowl/parallel/router.hpp"
@@ -13,7 +16,8 @@
 namespace parowl::parallel {
 
 /// Per-round timing/volume record for one worker — the raw data behind the
-/// paper's Fig. 2 overhead breakdown.
+/// paper's Fig. 2 overhead breakdown, extended with the ack/retry
+/// protocol's delivery accounting.
 struct RoundStats {
   double reason_seconds = 0.0;     // local closure computation
   double io_seconds = 0.0;         // transport send + receive
@@ -22,8 +26,11 @@ struct RoundStats {
   std::size_t derived = 0;         // new local derivations this round
   std::size_t sent_tuples = 0;
   std::size_t sent_messages = 0;
-  std::size_t received_tuples = 0;
+  std::size_t received_tuples = 0; // everything that arrived (wire volume)
   std::size_t received_new = 0;    // received tuples that were actually new
+  std::size_t retransmitted = 0;   // batches resent after a missing ack
+  std::size_t redelivered = 0;     // duplicate batches discarded by id
+  std::size_t corrupt_batches = 0; // checksum failures detected
 };
 
 /// Options shared by all workers of a cluster.
@@ -53,6 +60,13 @@ struct Outgoing {
 /// (c) merges received tuples.  Workers never share mutable state — all
 /// exchange goes through the Transport (round mode) or the caller (the
 /// asynchronous simulator owns delivery itself).
+///
+/// Delivery is exactly-once *effective*: envelopes carry a checksum and a
+/// unique batch id; `collect` discards corrupt envelopes (forcing a
+/// retransmission) and deduplicates redeliveries, and `aggregate_round`
+/// merges the surviving payloads in a canonical order — so any fault
+/// schedule the retry machinery survives yields a store log bit-identical
+/// to the fault-free run's.
 class Worker {
  public:
   Worker(std::uint32_t id, rules::RuleSet rule_base,
@@ -64,8 +78,9 @@ class Worker {
 
   /// Close the store under this worker's rules starting from the current
   /// frontier and route the fresh derivations.  Returns the outgoing
-  /// batches; `compute_seconds`, when non-null, receives the measured
-  /// reasoning time.  Transport-independent (used by the async simulator).
+  /// batches (sorted by destination); `compute_seconds`, when non-null,
+  /// receives the measured reasoning time.  Transport-independent (used by
+  /// the async simulator).
   std::vector<Outgoing> compute_local(double* compute_seconds = nullptr);
 
   /// Merge a delta of foreign tuples into the store (no transport involved;
@@ -73,12 +88,51 @@ class Worker {
   std::size_t absorb(std::span<const rdf::Triple> tuples);
 
   /// Round phase A: local closure from the current frontier, then route and
-  /// ship fresh derivations.  Returns the number of tuples sent.
+  /// ship fresh derivations as checksummed envelopes (kept for
+  /// retransmission until acknowledged).  Returns the number of tuples
+  /// sent.
   std::size_t compute_and_send(std::uint32_t round);
 
-  /// Round phase B (after the barrier): drain the inbox for `round` and add
-  /// tuples to the store.  Returns the number of genuinely new tuples.
+  /// Delivery loop step 1 (repeatable): drain the transport inbox for
+  /// `round`, discard corrupt envelopes (counting a checksum failure),
+  /// deduplicate redeliveries by batch id, acknowledge and stage the rest.
+  /// Returns the number of envelopes newly staged.
+  std::size_t collect(std::uint32_t round, AckBoard* board);
+
+  /// Delivery loop step 2: resend every pending envelope the board has not
+  /// acknowledged, with a bumped attempt counter; acknowledged envelopes
+  /// are released.  Returns the number of retransmissions issued.
+  std::size_t retransmit_unacked(std::uint32_t round, const AckBoard& board);
+
+  /// Delivery loop finale: merge the staged payloads into the store in a
+  /// canonical order — batches by (sender, seq), tuples sorted within each
+  /// batch — so the store log is independent of arrival order.  Returns
+  /// the number of genuinely new tuples.
+  std::size_t aggregate_round(std::uint32_t round);
+
+  /// Single-shot receive for callers outside the retry loop: collect
+  /// (without acking) and aggregate.  Returns the number of new tuples.
   std::size_t receive_and_aggregate(std::uint32_t round);
+
+  /// Envelopes sent this round and not yet acknowledged.
+  [[nodiscard]] std::size_t pending_batches() const {
+    return pending_.size();
+  }
+
+  // -- Checkpointing --------------------------------------------------
+
+  /// Serialize the worker's complete reasoning state (store log, frontier
+  /// marks, per-round stats, per-rule firings, delivery dedup set) as of
+  /// the end of `round`.  The stream is binary and versioned; a trailing
+  /// digest detects torn or damaged checkpoints on load.
+  void save_checkpoint(std::ostream& out, std::uint32_t round) const;
+
+  /// Restore state from a checkpoint, replacing everything.  On success
+  /// sets `*round` to the round the checkpoint was taken at and returns
+  /// true; on failure returns false with `*error` describing why (the
+  /// worker is left cleared).
+  bool load_checkpoint(std::istream& in, std::uint32_t* round,
+                       std::string* error = nullptr);
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
   [[nodiscard]] const rdf::TripleStore& store() const { return store_; }
@@ -90,6 +144,12 @@ class Worker {
     return store_.size() - base_size_;
   }
 
+  /// Unique derivations credited per rule, accumulated across rounds
+  /// (forward strategy only; empty under query-driven workers).
+  [[nodiscard]] const std::vector<std::size_t>& rule_firings() const {
+    return rule_firings_;
+  }
+
   [[nodiscard]] const std::vector<RoundStats>& rounds() const {
     return rounds_;
   }
@@ -97,6 +157,8 @@ class Worker {
   [[nodiscard]] std::vector<RoundStats>& mutable_rounds() { return rounds_; }
 
  private:
+  [[nodiscard]] RoundStats& round_stats(std::uint32_t round);
+
   std::uint32_t id_;
   rules::RuleSet rule_base_;
   std::shared_ptr<const Router> router_;
@@ -108,6 +170,11 @@ class Worker {
   std::size_t frontier_ = 0;    // store index where the next closure starts
   std::size_t route_mark_ = 0;  // store index of the first unrouted triple
   std::vector<RoundStats> rounds_;
+  std::vector<std::size_t> rule_firings_;
+
+  std::vector<Batch> pending_;  // sent this round, awaiting acknowledgement
+  std::vector<Batch> stash_;    // validated arrivals awaiting aggregation
+  std::unordered_set<std::uint64_t> seen_batches_;  // redelivery dedup
 };
 
 }  // namespace parowl::parallel

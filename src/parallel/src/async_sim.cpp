@@ -23,8 +23,8 @@ struct LaterArrival {
 }  // namespace
 
 AsyncSimulator::AsyncSimulator(std::uint32_t num_partitions,
-                               NetworkModel network)
-    : network_(network) {
+                               NetworkModel network, const FaultSpec* faults)
+    : network_(network), faults_(faults) {
   workers_.reserve(num_partitions);
 }
 
@@ -58,6 +58,68 @@ AsyncResult AsyncSimulator::run() {
                network_.bandwidth_bytes_per_sec;
   };
 
+  // Ship one batch through the (possibly faulty) virtual network.  Drops
+  // and corruptions are paid for in virtual time — a retransmission
+  // timeout, plus for corruption the wasted delivery that the checksum
+  // rejects on arrival — and retried with a bumped attempt, exactly
+  // mirroring the round-based ack/retry protocol.
+  std::uint64_t next_batch_id = 0;  // event order is deterministic
+  auto ship = [&](std::uint32_t dest, const std::vector<rdf::Triple>& tuples,
+                  double ready) {
+    const double one_way = comm_delay(tuples.size());
+    const std::uint64_t id = next_batch_id++;
+    double t = ready;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      if (faults_ == nullptr || attempt >= faults_->max_faulty_attempts) {
+        in_flight.push(Delivery{t + one_way, dest, tuples});
+        return;
+      }
+      result.injected.attempts += 1;
+      const std::uint64_t h = mix64(
+          faults_->seed ^ mix64(id * 0x9e3779b97f4a7c15ULL + attempt));
+      const double u = hash_unit(h);
+      double edge = faults_->drop;
+      if (u < edge) {
+        // Vanished: sender times out (retransmission timeout modeled as
+        // two one-way delays) and tries again.
+        result.injected.drops += 1;
+        result.retries += 1;
+        result.retry_seconds += 2.0 * one_way;
+        t += 2.0 * one_way;
+        continue;
+      }
+      edge += faults_->duplicate;
+      if (u < edge) {
+        result.injected.duplicates += 1;
+        in_flight.push(Delivery{t + one_way, dest, tuples});
+        in_flight.push(Delivery{t + 2.0 * one_way, dest, tuples});
+        return;
+      }
+      edge += faults_->corrupt;
+      if (u < edge) {
+        // Damaged in flight: the receiver's checksum rejects it on
+        // arrival, so a full round trip is wasted before the retry.
+        result.injected.corruptions += 1;
+        result.retries += 1;
+        result.retry_seconds += 3.0 * one_way;
+        t += 3.0 * one_way;
+        continue;
+      }
+      edge += faults_->delay;
+      if (u < edge) {
+        const std::uint32_t extra =
+            1 + static_cast<std::uint32_t>(
+                    mix64(h ^ 0xabcdef12345ULL) %
+                    std::max(1u, faults_->max_delay_rounds));
+        result.injected.delays += 1;
+        in_flight.push(Delivery{t + (1.0 + extra) * one_way, dest, tuples});
+        return;
+      }
+      in_flight.push(Delivery{t + one_way, dest, tuples});
+      return;
+    }
+  };
+
   // Activation: run worker w's local closure at virtual time `start`,
   // advancing its clock and enqueueing the outgoing batches.
   auto activate = [&](std::uint32_t w, double start) {
@@ -74,8 +136,7 @@ AsyncResult AsyncSimulator::run() {
     ws.finish_time = clock[w];
     for (const Outgoing& batch : batches) {
       ws.sent_tuples += batch.tuples.size();
-      in_flight.push(Delivery{clock[w] + comm_delay(batch.tuples.size()),
-                              batch.dest, batch.tuples});
+      ship(batch.dest, batch.tuples, clock[w]);
     }
   };
 

@@ -4,6 +4,10 @@
 #include <atomic>
 #include <barrier>
 #include <cassert>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <unordered_set>
 
@@ -12,12 +16,27 @@
 
 namespace parowl::parallel {
 
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path checkpoint_path(const std::string& dir, std::uint32_t worker,
+                         std::uint32_t round) {
+  return fs::path(dir) / ("w" + std::to_string(worker) + "_r" +
+                          std::to_string(round) + ".ckpt");
+}
+
+}  // namespace
+
 Cluster::Cluster(Transport& transport, ClusterOptions options)
-    : transport_(transport), options_(options) {
-  if (transport_.name() == "file") {
+    : transport_(transport), options_(std::move(options)) {
+  if (transport_.name().find("file") != std::string::npos) {
     // File IPC: the measured read/write/parse time *is* the communication
     // cost, as in the paper's shared-filesystem implementation.
     options_.network.use_measured_io = true;
+  }
+  if (!options_.checkpoint.dir.empty()) {
+    fs::create_directories(options_.checkpoint.dir);
   }
 }
 
@@ -35,29 +54,178 @@ void Cluster::load(std::uint32_t id, std::span<const rdf::Triple> base) {
   workers_[id]->load(base);
 }
 
+bool Cluster::checkpoint_due(std::uint32_t round) const {
+  return !options_.checkpoint.dir.empty() &&
+         round % std::max<std::uint32_t>(1, options_.checkpoint.interval) == 0;
+}
+
+void Cluster::checkpoint_worker(Worker& worker, std::uint32_t round) {
+  const std::string& dir = options_.checkpoint.dir;
+  const fs::path final_path = checkpoint_path(dir, worker.id(), round);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      worker.save_checkpoint(out, round);
+      if (!out) {
+        throw std::runtime_error("write failed");
+      }
+    }
+    fs::rename(tmp_path, final_path);  // atomic: never a torn final file
+  } catch (const std::exception& e) {
+    util::log_warn("checkpoint for worker ", worker.id(), " round ", round,
+                   " failed: ", e.what());
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    return;
+  }
+
+  const std::uint32_t retain = options_.checkpoint.retain;
+  if (retain > 0) {
+    const std::uint64_t horizon =
+        static_cast<std::uint64_t>(retain) *
+        std::max<std::uint32_t>(1, options_.checkpoint.interval);
+    if (round >= horizon) {
+      std::error_code ec;
+      fs::remove(checkpoint_path(dir, worker.id(),
+                                 static_cast<std::uint32_t>(round - horizon)),
+                 ec);
+    }
+  }
+}
+
+std::int64_t Cluster::restore_from_checkpoints() {
+  const std::string& dir = options_.checkpoint.dir;
+  if (dir.empty() || workers_.empty()) {
+    throw SimulatedCrash("no checkpoint directory configured");
+  }
+
+  // Candidate rounds: any round worker 0 has a file for, newest first.
+  std::vector<std::uint32_t> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("w0_r", 0) != 0 || !name.ends_with(".ckpt")) {
+      continue;
+    }
+    try {
+      candidates.push_back(static_cast<std::uint32_t>(
+          std::stoul(name.substr(4, name.size() - 4 - 5))));
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());
+
+  for (const std::uint32_t round : candidates) {
+    bool all_ok = true;
+    for (auto& worker : workers_) {
+      std::ifstream in(checkpoint_path(dir, worker->id(), round),
+                       std::ios::binary);
+      std::uint32_t loaded_round = 0;
+      std::string error;
+      if (!in || !worker->load_checkpoint(in, &loaded_round, &error) ||
+          loaded_round != round) {
+        util::log_warn("checkpoint round ", round, " unusable (worker ",
+                       worker->id(), "): ",
+                       error.empty() ? "missing file" : error,
+                       " — trying an older round");
+        all_ok = false;
+        break;
+      }
+    }
+    if (all_ok) {
+      start_round_ = round + 1;
+      return round;
+    }
+  }
+  throw SimulatedCrash("no complete checkpoint round available");
+}
+
 ClusterResult Cluster::run() {
   assert(options_.mode != ExecutionMode::kAsyncSimulated &&
          "async mode is handled by AsyncSimulator, not Cluster");
-  return options_.mode == ExecutionMode::kSequentialSimulated
-             ? run_sequential()
-             : run_threaded();
+  crash_armed_ = options_.fault_tolerance.crash_at_round >= 0 &&
+                 options_.mode == ExecutionMode::kSequentialSimulated;
+  try {
+    return options_.mode == ExecutionMode::kSequentialSimulated
+               ? run_sequential()
+               : run_threaded();
+  } catch (const SimulatedCrash&) {
+    // The killed worker restarts from its last checkpoint; restoring every
+    // worker to the same consistent cut is equivalent, since at a round
+    // boundary the survivors' checkpoints equal their live state.
+    const std::int64_t round = restore_from_checkpoints();
+    recovered_ = true;
+    recovered_from_round_ = round;
+    util::log_warn("recovered from crash: resuming at round ", round + 1);
+    return options_.mode == ExecutionMode::kSequentialSimulated
+               ? run_sequential()
+               : run_threaded();
+  }
+}
+
+void Cluster::deliver_round_sequential(std::uint32_t round) {
+  const FaultToleranceOptions& ft = options_.fault_tolerance;
+  ack_board_.clear();
+
+  for (auto& worker : workers_) {
+    worker->collect(round, &ack_board_);
+  }
+  double backoff = ft.backoff_base_seconds;
+  for (std::uint32_t retry = 0;; ++retry) {
+    std::size_t resent = 0;
+    for (auto& worker : workers_) {
+      resent += worker->retransmit_unacked(round, ack_board_);
+    }
+    if (resent == 0) {
+      break;  // every envelope of the round is acknowledged
+    }
+    if (retry >= ft.max_retries) {
+      std::ostringstream msg;
+      msg << "round " << round << ": " << resent
+          << " batches undelivered after " << ft.max_retries << " retries";
+      throw DeliveryFailure(msg.str());
+    }
+    backoff_seconds_ += backoff;  // virtual: charged, not slept
+    backoff *= ft.backoff_multiplier;
+    for (auto& worker : workers_) {
+      worker->collect(round, &ack_board_);
+    }
+  }
+  for (auto& worker : workers_) {
+    worker->aggregate_round(round);
+  }
 }
 
 ClusterResult Cluster::run_sequential() {
   util::Stopwatch wall;
   ClusterResult result;
+  const FaultToleranceOptions& ft = options_.fault_tolerance;
 
-  for (std::uint32_t round = 0; round < options_.max_rounds; ++round) {
+  for (std::uint32_t round = start_round_; round < options_.max_rounds;
+       ++round) {
     std::size_t total_sent = 0;
     for (auto& worker : workers_) {
+      if (crash_armed_ &&
+          static_cast<std::int64_t>(round) == ft.crash_at_round &&
+          worker->id() == ft.crash_worker) {
+        crash_armed_ = false;  // the restarted worker does not die again
+        throw SimulatedCrash("worker " + std::to_string(worker->id()) +
+                             " killed at round " + std::to_string(round));
+      }
       total_sent += worker->compute_and_send(round);
     }
     result.rounds = round + 1;
     if (total_sent == 0) {
       break;  // quiescent: nothing in transit anywhere
     }
-    for (auto& worker : workers_) {
-      worker->receive_and_aggregate(round);
+    deliver_round_sequential(round);
+    if (checkpoint_due(round)) {
+      for (auto& worker : workers_) {
+        checkpoint_worker(*worker, round);
+        ++checkpoints_written_;
+      }
     }
   }
 
@@ -69,29 +237,56 @@ ClusterResult Cluster::run_sequential() {
 ClusterResult Cluster::run_threaded() {
   util::Stopwatch wall;
   ClusterResult result;
+  const FaultToleranceOptions& ft = options_.fault_tolerance;
 
   const auto n = static_cast<std::ptrdiff_t>(workers_.size());
   std::atomic<std::size_t> round_sent{0};
+  std::atomic<std::size_t> resent_total{0};
   std::atomic<bool> done{false};
-  std::atomic<std::uint32_t> rounds_executed{0};
+  std::atomic<bool> delivery_done{false};
+  std::atomic<bool> delivery_failed{false};
+  std::atomic<std::uint32_t> rounds_executed{start_round_};
+  std::atomic<std::uint32_t> delivery_retries{0};
 
   // Completion step of the post-compute barrier: decide termination for
-  // the round everyone just finished.
+  // the round everyone just finished, and reset the delivery loop.
   auto on_compute_done = [&]() noexcept {
     rounds_executed.fetch_add(1);
     if (round_sent.exchange(0) == 0) {
       done.store(true);
     }
+    ack_board_.clear();
+    delivery_retries.store(0);
+    delivery_done.store(false);
+  };
+  // Completion step after each retransmission sweep: the round's delivery
+  // is complete when nobody had anything left to resend.
+  auto on_resend_done = [&]() noexcept {
+    if (resent_total.exchange(0) == 0) {
+      delivery_done.store(true);
+      return;
+    }
+    const std::uint32_t retry = delivery_retries.fetch_add(1);
+    if (retry >= ft.max_retries) {
+      delivery_failed.store(true);
+    } else {
+      backoff_seconds_ += ft.backoff_base_seconds *
+                          std::pow(ft.backoff_multiplier, retry);
+    }
   };
   std::barrier compute_barrier(n, on_compute_done);
+  std::barrier collect_barrier(n);
+  std::barrier resend_barrier(n, on_resend_done);
   std::barrier receive_barrier(n);
+  std::atomic<std::uint64_t> ckpts{0};
 
   {
     std::vector<std::jthread> threads;
     threads.reserve(workers_.size());
     for (auto& worker_ptr : workers_) {
       threads.emplace_back([&, worker = worker_ptr.get()]() {
-        for (std::uint32_t round = 0; round < options_.max_rounds; ++round) {
+        for (std::uint32_t round = start_round_; round < options_.max_rounds;
+             ++round) {
           const std::size_t sent = worker->compute_and_send(round);
           round_sent.fetch_add(sent);
 
@@ -103,12 +298,39 @@ ClusterResult Cluster::run_threaded() {
           if (done.load()) {
             return;
           }
-          worker->receive_and_aggregate(round);
+
+          // Ack/retry delivery loop, in lockstep across threads: collect &
+          // ack, barrier, retransmit what the board is missing, barrier —
+          // until a sweep resends nothing.
+          worker->collect(round, &ack_board_);
+          while (true) {
+            collect_barrier.arrive_and_wait();
+            resent_total.fetch_add(
+                worker->retransmit_unacked(round, ack_board_));
+            resend_barrier.arrive_and_wait();
+            if (delivery_done.load() || delivery_failed.load()) {
+              break;
+            }
+            worker->collect(round, &ack_board_);
+          }
+          if (delivery_failed.load()) {
+            return;
+          }
+          worker->aggregate_round(round);
+          if (checkpoint_due(round)) {
+            checkpoint_worker(*worker, round);
+            ckpts.fetch_add(1);
+          }
           receive_barrier.arrive_and_wait();
         }
       });
     }
   }  // jthreads join
+
+  checkpoints_written_ += ckpts.load();
+  if (delivery_failed.load()) {
+    throw DeliveryFailure("round delivery exceeded max_retries");
+  }
 
   result.rounds = rounds_executed.load();
   result.wall_seconds = wall.elapsed_seconds();
@@ -197,6 +419,23 @@ void Cluster::finalize(ClusterResult& result) {
     }
   }
   result.union_results = union_results.size();
+
+  // Fault-tolerance accounting.
+  RunReport& rep = result.report;
+  for (const auto& worker : workers_) {
+    for (const RoundStats& rs : worker->rounds()) {
+      rep.batches_sent += rs.sent_messages;
+      rep.retransmissions += rs.retransmitted;
+      rep.redeliveries += rs.redelivered;
+      rep.checksum_failures += rs.corrupt_batches;
+    }
+  }
+  rep.injected = transport_.injected_faults();
+  rep.checkpoints_written = checkpoints_written_;
+  rep.backoff_seconds = backoff_seconds_;
+  rep.recovered = recovered_;
+  rep.recovered_from_round = recovered_from_round_;
+  result.simulated_seconds += backoff_seconds_;
 }
 
 }  // namespace parowl::parallel

@@ -149,11 +149,12 @@ ParallelResult parallel_materialize(const rdf::TripleStore& store,
   std::vector<const Worker*> workers;
 
   std::unique_ptr<Transport> owned_transport;
+  std::unique_ptr<FaultyTransport> faulty;
   std::optional<Cluster> cluster;
   std::optional<AsyncSimulator> async;
 
   if (options.mode == ExecutionMode::kAsyncSimulated) {
-    async.emplace(num_workers, options.network);
+    async.emplace(num_workers, options.network, options.faults);
     for (std::uint32_t w = 0; w < num_workers; ++w) {
       async->add_worker(std::move(plan.workers[w].rule_base),
                         plan.workers[w].router, wopts);
@@ -174,9 +175,15 @@ ParallelResult parallel_materialize(const rdf::TripleStore& store,
       owned_transport = std::make_unique<MemoryTransport>(num_workers);
       transport = owned_transport.get();
     }
+    if (options.faults != nullptr) {
+      faulty = std::make_unique<FaultyTransport>(*transport, *options.faults);
+      transport = faulty.get();
+    }
     ClusterOptions copts;
     copts.mode = options.mode;
     copts.network = options.network;
+    copts.checkpoint = options.checkpoint;
+    copts.fault_tolerance = options.fault_tolerance;
     cluster.emplace(*transport, copts);
     for (std::uint32_t w = 0; w < num_workers; ++w) {
       cluster->add_worker(std::move(plan.workers[w].rule_base),

@@ -1,5 +1,6 @@
 #include "parowl/parallel/transport.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -10,44 +11,133 @@
 
 namespace parowl::parallel {
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hash_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t triple_digest(const rdf::Triple& t) {
+  return mix64((static_cast<std::uint64_t>(t.s) << 32) ^
+               (static_cast<std::uint64_t>(t.p) << 16) ^ t.o);
+}
+
+std::uint64_t batch_checksum(std::span<const rdf::Triple> tuples) {
+  std::uint64_t sum = 0;
+  for (const rdf::Triple& t : tuples) {
+    sum += triple_digest(t);  // wrapping sum: order-insensitive
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Transport base: shared stats and the tuple-level wrappers.
+
+Transport::Transport(std::uint32_t num_partitions) : stats_(num_partitions) {}
+
+CommStats Transport::stats(std::uint32_t partition) const {
+  const std::scoped_lock lock(stats_mutex_);
+  return stats_[partition];
+}
+
+void Transport::note_redelivery(std::uint32_t to) {
+  const std::scoped_lock lock(stats_mutex_);
+  stats_[to].redeliveries += 1;
+}
+
+void Transport::note_checksum_failure(std::uint32_t to) {
+  const std::scoped_lock lock(stats_mutex_);
+  stats_[to].checksum_failures += 1;
+}
+
+void Transport::send(std::uint32_t from, std::uint32_t to, std::uint32_t round,
+                     std::span<const rdf::Triple> tuples) {
+  Batch batch;
+  batch.from = from;
+  batch.to = to;
+  batch.round = round;
+  {
+    const std::scoped_lock lock(stats_mutex_);
+    batch.seq = wrapper_seq_[{from, to, round}]++;
+  }
+  batch.checksum = batch_checksum(tuples);
+  batch.tuples.assign(tuples.begin(), tuples.end());
+  send_batch(std::move(batch));
+}
+
+std::vector<rdf::Triple> Transport::receive(std::uint32_t to,
+                                            std::uint32_t round) {
+  std::vector<rdf::Triple> out;
+  for (Batch& batch : receive_batches(to, round)) {
+    if (!batch.intact || batch_checksum(batch.tuples) != batch.checksum) {
+      note_checksum_failure(to);
+      util::log_warn("transport: dropped corrupt batch from ", batch.from,
+                     " to ", batch.to, " round ", batch.round);
+      continue;
+    }
+    out.insert(out.end(), batch.tuples.begin(), batch.tuples.end());
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // MemoryTransport
 
 MemoryTransport::MemoryTransport(std::uint32_t num_partitions)
-    : stats_(num_partitions) {}
+    : Transport(num_partitions) {}
 
-void MemoryTransport::send(std::uint32_t from, std::uint32_t to,
-                           std::uint32_t round,
-                           std::span<const rdf::Triple> tuples) {
+void MemoryTransport::send_batch(Batch batch) {
   util::Stopwatch watch;
-  const std::scoped_lock lock(mutex_);
-  auto& box = mailboxes_[{to, round}];
-  box.insert(box.end(), tuples.begin(), tuples.end());
-  CommStats& s = stats_[from];
+  const std::uint64_t bytes = batch.tuples.size() * sizeof(rdf::Triple);
+  const std::uint32_t from = batch.from;
+  const bool retry = batch.attempt > 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    mailboxes_[{batch.to, batch.round}].push_back(std::move(batch));
+  }
+  const std::scoped_lock lock(stats_mutex_);
+  CommStats& s = stats_for(from);
   s.send_seconds += watch.elapsed_seconds();
-  s.bytes_sent += tuples.size() * sizeof(rdf::Triple);
+  s.bytes_sent += bytes;
   s.messages_sent += 1;
+  s.retries += retry ? 1 : 0;
 }
 
-std::vector<rdf::Triple> MemoryTransport::receive(std::uint32_t to,
-                                                  std::uint32_t round) {
+std::vector<Batch> MemoryTransport::receive_batches(std::uint32_t to,
+                                                    std::uint32_t round) {
   util::Stopwatch watch;
-  std::vector<rdf::Triple> out;
-  const std::scoped_lock lock(mutex_);
-  const auto it = mailboxes_.find({to, round});
-  if (it != mailboxes_.end()) {
-    out = std::move(it->second);
-    mailboxes_.erase(it);
+  std::vector<Batch> out;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = mailboxes_.find({to, round});
+    if (it != mailboxes_.end()) {
+      out = std::move(it->second);
+      mailboxes_.erase(it);
+    }
   }
-  CommStats& s = stats_[to];
+  std::uint64_t bytes = 0;
+  for (const Batch& b : out) {
+    bytes += b.tuples.size() * sizeof(rdf::Triple);
+  }
+  const std::scoped_lock lock(stats_mutex_);
+  CommStats& s = stats_for(to);
   s.recv_seconds += watch.elapsed_seconds();
-  s.bytes_received += out.size() * sizeof(rdf::Triple);
+  s.bytes_received += bytes;
   return out;
 }
 
-CommStats MemoryTransport::stats(std::uint32_t partition) const {
+std::size_t MemoryTransport::pending_batches() const {
   const std::scoped_lock lock(mutex_);
-  return stats_[partition];
+  std::size_t n = 0;
+  for (const auto& [key, box] : mailboxes_) {
+    n += box.size();
+  }
+  return n;
 }
 
 // ---------------------------------------------------------------------------
@@ -57,8 +147,9 @@ namespace {
 
 /// Find-only N-Triples term scan: parses one decorated term off `text` and
 /// resolves it against the (read-only) dictionary.  Returns kAnyTerm when
-/// the term is unknown — which indicates a bug upstream, since workers can
-/// only derive triples over already-interned terms.
+/// the term is unknown — which, for an intact batch, indicates a bug
+/// upstream, since workers can only derive triples over already-interned
+/// terms; for a damaged file it simply feeds the checksum mismatch.
 rdf::TermId scan_term(std::string_view& text, const rdf::Dictionary& dict) {
   text = util::trim(text);
   if (text.empty()) {
@@ -108,12 +199,14 @@ rdf::TermId scan_term(std::string_view& text, const rdf::Dictionary& dict) {
   return rdf::kAnyTerm;
 }
 
+constexpr char kBatchMagic[] = "#parowl-batch";
+
 }  // namespace
 
 FileTransport::FileTransport(std::filesystem::path spool_dir,
                              const rdf::Dictionary& dict,
                              std::uint32_t num_partitions)
-    : dir_(std::move(spool_dir)), dict_(dict), stats_(num_partitions) {
+    : Transport(num_partitions), dir_(std::move(spool_dir)), dict_(dict) {
   std::filesystem::create_directories(dir_);
 }
 
@@ -122,49 +215,117 @@ FileTransport::~FileTransport() {
   std::filesystem::remove_all(dir_, ec);  // best-effort spool cleanup
 }
 
-std::filesystem::path FileTransport::batch_path(std::uint32_t from,
-                                                std::uint32_t to,
-                                                std::uint32_t round) const {
+std::filesystem::path FileTransport::batch_path(const Batch& batch) const {
   std::ostringstream name;
-  name << "round" << round << "_from" << from << "_to" << to << ".nt";
+  name << "r" << batch.round << "_to" << batch.to << "_from" << batch.from
+       << "_s" << batch.seq << "_a" << batch.attempt << ".batch";
   return dir_ / name.str();
 }
 
-void FileTransport::send(std::uint32_t from, std::uint32_t to,
-                         std::uint32_t round,
-                         std::span<const rdf::Triple> tuples) {
+void FileTransport::send_batch(Batch batch) {
   util::Stopwatch watch;
-  const auto path = batch_path(from, to, round);
+  const auto path = batch_path(batch);
+  const auto tmp = std::filesystem::path(path.string() + ".tmp");
   std::uint64_t bytes = 0;
   {
-    std::ofstream out(path, std::ios::app);  // append: several sends allowed
-    for (const rdf::Triple& t : tuples) {
+    std::ofstream out(tmp, std::ios::trunc);
+    std::ostringstream header;
+    header << kBatchMagic << " from=" << batch.from << " to=" << batch.to
+           << " round=" << batch.round << " seq=" << batch.seq
+           << " attempt=" << batch.attempt << " count=" << batch.tuples.size()
+           << " checksum=" << batch.checksum;
+    out << header.str() << '\n';
+    bytes += header.str().size() + 1;
+    for (const rdf::Triple& t : batch.tuples) {
       const std::string line = rdf::to_ntriples(t, dict_);
       out << line << '\n';
       bytes += line.size() + 1;
     }
+    out.flush();
   }
-  const std::scoped_lock lock(mutex_);
-  CommStats& s = stats_[from];
+  // Atomic publish: a crash or a concurrent reader can never observe a
+  // partially written batch file.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    util::log_warn("file transport: rename failed for ", path.string(), ": ",
+                   ec.message());
+  }
+
+  const std::scoped_lock lock(stats_mutex_);
+  CommStats& s = stats_for(batch.from);
   s.send_seconds += watch.elapsed_seconds();
   s.bytes_sent += bytes;
   s.messages_sent += 1;
+  s.retries += batch.attempt > 0 ? 1 : 0;
 }
 
-std::vector<rdf::Triple> FileTransport::receive(std::uint32_t to,
-                                                std::uint32_t round) {
+std::vector<Batch> FileTransport::receive_batches(std::uint32_t to,
+                                                  std::uint32_t round) {
   util::Stopwatch watch;
-  std::vector<rdf::Triple> out;
+  std::vector<Batch> out;
   std::uint64_t bytes = 0;
 
-  for (std::uint32_t from = 0; from < stats_.size(); ++from) {
-    const auto path = batch_path(from, to, round);
+  const std::string prefix =
+      "r" + std::to_string(round) + "_to" + std::to_string(to) + "_";
+  std::vector<std::filesystem::path> paths;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with(prefix) && name.ends_with(".batch")) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // scan order is fs-dependent
+
+  for (const auto& path : paths) {
     std::ifstream in(path);
     if (!in) {
       continue;
     }
+    Batch batch;
+    batch.to = to;
+    batch.round = round;
+
     std::string line;
-    while (std::getline(in, line)) {
+    std::size_t expected = 0;
+    if (!std::getline(in, line) || !line.starts_with(kBatchMagic)) {
+      batch.intact = false;  // torn before the header finished
+    } else {
+      bytes += line.size() + 1;
+      std::istringstream hdr(line.substr(sizeof(kBatchMagic)));
+      std::string field;
+      bool header_ok = true;
+      while (hdr >> field) {
+        const auto eq = field.find('=');
+        if (eq == std::string::npos) {
+          header_ok = false;
+          break;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        try {
+          if (key == "from") {
+            batch.from = static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "seq") {
+            batch.seq = static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "attempt") {
+            batch.attempt = static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "count") {
+            expected = std::stoul(value);
+          } else if (key == "checksum") {
+            batch.checksum = std::stoull(value);
+          }
+        } catch (const std::exception&) {
+          header_ok = false;
+          break;
+        }
+      }
+      batch.intact = header_ok;
+    }
+
+    while (batch.intact && std::getline(in, line)) {
       bytes += line.size() + 1;
       std::string_view rest = line;
       rdf::Triple t;
@@ -173,26 +334,156 @@ std::vector<rdf::Triple> FileTransport::receive(std::uint32_t to,
       t.o = scan_term(rest, dict_);
       if (t.s == rdf::kAnyTerm || t.p == rdf::kAnyTerm ||
           t.o == rdf::kAnyTerm) {
-        util::log_warn("file transport: dropped unparsable line: ", line);
-        continue;
+        batch.intact = false;  // unparsable payload line
+        break;
       }
-      out.push_back(t);
+      batch.tuples.push_back(t);
+    }
+    if (batch.intact && batch.tuples.size() != expected) {
+      batch.intact = false;  // truncated: fewer lines than the header claims
     }
     in.close();
-    std::error_code ec;
     std::filesystem::remove(path, ec);  // consumed
+    out.push_back(std::move(batch));
   }
 
-  const std::scoped_lock lock(mutex_);
-  CommStats& s = stats_[to];
+  const std::scoped_lock lock(stats_mutex_);
+  CommStats& s = stats_for(to);
   s.recv_seconds += watch.elapsed_seconds();
   s.bytes_received += bytes;
   return out;
 }
 
-CommStats FileTransport::stats(std::uint32_t partition) const {
+// ---------------------------------------------------------------------------
+// FaultyTransport
+
+FaultyTransport::FaultyTransport(Transport& inner, FaultSpec spec)
+    : Transport(inner.num_partitions()), inner_(inner), spec_(spec) {}
+
+void FaultyTransport::send_batch(Batch batch) {
+  // One hash per transmission drives every decision: replayable regardless
+  // of thread interleaving, distinct across attempts.
+  const std::uint64_t h =
+      mix64(spec_.seed ^ mix64(batch.id() * 0x9e3779b97f4a7c15ULL +
+                               batch.attempt));
+  const double u = hash_unit(h);
+  const bool may_fault = batch.attempt < spec_.max_faulty_attempts;
+
+  {
+    const std::scoped_lock lock(mutex_);
+    log_.attempts += 1;
+  }
+
+  if (may_fault && hash_unit(mix64(h ^ 0x5bd1e995)) < spec_.reorder &&
+      batch.tuples.size() > 1) {
+    // Deterministic Fisher-Yates over the payload; harmless under set
+    // semantics, and the order-insensitive checksum stays valid.
+    std::uint64_t state = mix64(h ^ 0xda3e39cb94b95bdbULL);
+    for (std::size_t i = batch.tuples.size() - 1; i > 0; --i) {
+      state = mix64(state);
+      std::swap(batch.tuples[i], batch.tuples[state % (i + 1)]);
+    }
+    const std::scoped_lock lock(mutex_);
+    log_.reorders += 1;
+  }
+
+  double edge = spec_.drop;
+  if (may_fault && u < edge) {
+    const std::scoped_lock lock(mutex_);
+    log_.drops += 1;
+    return;  // the envelope vanishes; the sender will retry
+  }
+  edge += spec_.duplicate;
+  if (may_fault && u < edge) {
+    {
+      const std::scoped_lock lock(mutex_);
+      log_.duplicates += 1;
+    }
+    Batch copy = batch;
+    inner_.send_batch(std::move(copy));
+    inner_.send_batch(std::move(batch));
+    return;
+  }
+  edge += spec_.corrupt;
+  if (may_fault && u < edge && !batch.tuples.empty()) {
+    {
+      const std::scoped_lock lock(mutex_);
+      log_.corruptions += 1;
+    }
+    // Torn-write style damage: lose the payload tail, keep the stale
+    // checksum.  Always detectable (the digest sum changes).
+    batch.tuples.pop_back();
+    inner_.send_batch(std::move(batch));
+    return;
+  }
+  edge += spec_.delay;
+  if (may_fault && u < edge) {
+    const std::uint32_t extra =
+        1 + static_cast<std::uint32_t>(mix64(h ^ 0xabcdef12345ULL) %
+                                       std::max(1u, spec_.max_delay_rounds));
+    const std::scoped_lock lock(mutex_);
+    log_.delays += 1;
+    limbo_.push_back(Delayed{batch.round + extra, std::move(batch)});
+    return;
+  }
+
+  inner_.send_batch(std::move(batch));
+}
+
+std::vector<Batch> FaultyTransport::receive_batches(std::uint32_t to,
+                                                    std::uint32_t round) {
+  std::vector<Batch> out;
+  {
+    // Release delayed envelopes whose due round has come.
+    const std::scoped_lock lock(mutex_);
+    for (auto it = limbo_.begin(); it != limbo_.end();) {
+      if (it->batch.to == to && it->due_round <= round) {
+        out.push_back(std::move(it->batch));
+        it = limbo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::vector<Batch> inner = inner_.receive_batches(to, round);
+  out.insert(out.end(), std::make_move_iterator(inner.begin()),
+             std::make_move_iterator(inner.end()));
+
+  if (out.size() > 1) {
+    const std::uint64_t h = mix64(spec_.seed ^
+                                  mix64((static_cast<std::uint64_t>(to) << 32) ^
+                                        round) ^
+                                  out.size());
+    if (hash_unit(h) < spec_.reorder) {
+      std::uint64_t state = mix64(h ^ 0x2545f4914f6cdd1dULL);
+      for (std::size_t i = out.size() - 1; i > 0; --i) {
+        state = mix64(state);
+        std::swap(out[i], out[state % (i + 1)]);
+      }
+      const std::scoped_lock lock(mutex_);
+      log_.reorders += 1;
+    }
+  }
+  return out;
+}
+
+CommStats FaultyTransport::stats(std::uint32_t partition) const {
+  // Traffic counters live on the inner transport; protocol verdicts
+  // (redeliveries, checksum failures) are noted against the decorator the
+  // workers talk to.  Merge both views.
+  CommStats merged = inner_.stats(partition);
+  merged.merge(Transport::stats(partition));
+  return merged;
+}
+
+FaultLog FaultyTransport::injected_faults() const {
   const std::scoped_lock lock(mutex_);
-  return stats_[partition];
+  return log_;
+}
+
+std::size_t FaultyTransport::limbo_remaining() const {
+  const std::scoped_lock lock(mutex_);
+  return limbo_.size();
 }
 
 }  // namespace parowl::parallel

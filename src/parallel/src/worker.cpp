@@ -1,5 +1,9 @@
 #include "parowl/parallel/worker.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <istream>
+#include <ostream>
 #include <unordered_map>
 
 #include "parowl/reason/forward.hpp"
@@ -23,6 +27,13 @@ void Worker::load(std::span<const rdf::Triple> base) {
   route_mark_ = store_.size();  // base tuples are never shipped
 }
 
+RoundStats& Worker::round_stats(std::uint32_t round) {
+  if (rounds_.size() <= round) {
+    rounds_.resize(round + 1);
+  }
+  return rounds_[round];
+}
+
 std::vector<Outgoing> Worker::compute_local(double* compute_seconds) {
   // (a) Local closure from the frontier.
   util::Stopwatch reason_watch;
@@ -30,7 +41,14 @@ std::vector<Outgoing> Worker::compute_local(double* compute_seconds) {
     reason::ForwardOptions fopts;
     fopts.dict = options_.dict;
     fopts.threads = options_.reason_threads;
-    reason::ForwardEngine(store_, rule_base_, fopts).run(frontier_);
+    const reason::ForwardStats fstats =
+        reason::ForwardEngine(store_, rule_base_, fopts).run(frontier_);
+    if (rule_firings_.size() < fstats.firings_per_rule.size()) {
+      rule_firings_.resize(fstats.firings_per_rule.size(), 0);
+    }
+    for (std::size_t r = 0; r < fstats.firings_per_rule.size(); ++r) {
+      rule_firings_[r] += fstats.firings_per_rule[r];
+    }
   } else {
     // Incremental after round 0: only resources affected by newly received
     // tuples are re-queried (frontier_ == 0 falls back to a full run).
@@ -60,6 +78,9 @@ std::vector<Outgoing> Worker::compute_local(double* compute_seconds) {
   for (auto& [dest, tuples] : outgoing) {
     batches.push_back(Outgoing{dest, std::move(tuples)});
   }
+  // Deterministic ship order regardless of hash-map iteration.
+  std::sort(batches.begin(), batches.end(),
+            [](const Outgoing& a, const Outgoing& b) { return a.dest < b.dest; });
   return batches;
 }
 
@@ -77,10 +98,9 @@ std::size_t Worker::absorb(std::span<const rdf::Triple> tuples) {
 }
 
 std::size_t Worker::compute_and_send(std::uint32_t round) {
-  if (rounds_.size() <= round) {
-    rounds_.resize(round + 1);
-  }
-  RoundStats& rs = rounds_[round];
+  RoundStats& rs = round_stats(round);
+  pending_.clear();
+  stash_.clear();
 
   const std::size_t before = store_.size();
   double compute_seconds = 0.0;
@@ -90,9 +110,18 @@ std::size_t Worker::compute_and_send(std::uint32_t round) {
 
   std::size_t sent = 0;
   util::Stopwatch io_watch;
-  for (const Outgoing& batch : batches) {
-    transport_->send(id_, batch.dest, round, batch.tuples);
-    sent += batch.tuples.size();
+  for (const Outgoing& out : batches) {
+    Batch batch;
+    batch.from = id_;
+    batch.to = out.dest;
+    batch.round = round;
+    batch.seq = 0;  // one envelope per destination per round
+    batch.attempt = 0;
+    batch.tuples = out.tuples;
+    batch.checksum = batch_checksum(batch.tuples);
+    pending_.push_back(batch);  // kept for retransmission until acked
+    transport_->send_batch(std::move(batch));
+    sent += out.tuples.size();
     rs.sent_messages += 1;
   }
   rs.io_seconds += io_watch.elapsed_seconds();
@@ -100,22 +129,354 @@ std::size_t Worker::compute_and_send(std::uint32_t round) {
   return sent;
 }
 
-std::size_t Worker::receive_and_aggregate(std::uint32_t round) {
-  if (rounds_.size() <= round) {
-    rounds_.resize(round + 1);
-  }
-  RoundStats& rs = rounds_[round];
+std::size_t Worker::collect(std::uint32_t round, AckBoard* board) {
+  RoundStats& rs = round_stats(round);
 
   util::Stopwatch io_watch;
-  const std::vector<rdf::Triple> incoming = transport_->receive(id_, round);
+  std::vector<Batch> arrived = transport_->receive_batches(id_, round);
   rs.io_seconds += io_watch.elapsed_seconds();
-  rs.received_tuples += incoming.size();
+
+  std::size_t staged = 0;
+  for (Batch& batch : arrived) {
+    rs.received_tuples += batch.tuples.size();
+    if (!batch.intact || batch_checksum(batch.tuples) != batch.checksum) {
+      rs.corrupt_batches += 1;
+      transport_->note_checksum_failure(id_);
+      continue;  // no ack: the sender will retransmit
+    }
+    const std::uint64_t id = batch.id();
+    if (board != nullptr) {
+      board->ack(id);  // ack even redeliveries: the sender may have missed it
+    }
+    if (!seen_batches_.insert(id).second) {
+      rs.redelivered += 1;
+      transport_->note_redelivery(id_);
+      continue;
+    }
+    stash_.push_back(std::move(batch));
+    staged += 1;
+  }
+  return staged;
+}
+
+std::size_t Worker::retransmit_unacked(std::uint32_t round,
+                                       const AckBoard& board) {
+  RoundStats& rs = round_stats(round);
+  std::erase_if(pending_,
+                [&](const Batch& b) { return board.acked(b.id()); });
+
+  std::size_t resent = 0;
+  util::Stopwatch io_watch;
+  for (Batch& batch : pending_) {
+    batch.attempt += 1;
+    transport_->send_batch(batch);
+    rs.retransmitted += 1;
+    resent += 1;
+  }
+  rs.io_seconds += io_watch.elapsed_seconds();
+  return resent;
+}
+
+std::size_t Worker::aggregate_round(std::uint32_t round) {
+  RoundStats& rs = round_stats(round);
 
   util::Stopwatch agg_watch;
-  const std::size_t fresh = absorb(incoming);
+  // Canonical merge order: the store log (and hence the next closure's
+  // frontier order and per-rule firing credit) must not depend on arrival
+  // order, which faults perturb.
+  std::sort(stash_.begin(), stash_.end(), [](const Batch& a, const Batch& b) {
+    return std::tie(a.from, a.seq) < std::tie(b.from, b.seq);
+  });
+  std::size_t fresh = 0;
+  for (Batch& batch : stash_) {
+    std::sort(batch.tuples.begin(), batch.tuples.end());
+    fresh += absorb(batch.tuples);
+  }
+  stash_.clear();
   rs.aggregate_seconds += agg_watch.elapsed_seconds();
   rs.received_new += fresh;
   return fresh;
+}
+
+std::size_t Worker::receive_and_aggregate(std::uint32_t round) {
+  collect(round, nullptr);
+  return aggregate_round(round);
+}
+
+// -- Checkpointing ----------------------------------------------------
+//
+// Format (binary, little-endian on every supported target):
+//   magic "POWC" | u32 version | u32 worker id | u32 round
+//   u64 base_size | u64 frontier | u64 route_mark
+//   u64 ntriples | ntriples * (3 x u32)
+//   u64 nseen    | nseen * u64
+//   u64 nrounds  | nrounds * RoundStats (4 x f64, 8 x u64)
+//   u64 nrules   | nrules * u64
+//   u64 digest   (mix64 chain over every field above)
+// A torn or bit-flipped file fails the magic/size/digest check on load.
+
+namespace {
+
+constexpr std::uint32_t kCkptMagic = 0x43574F50;  // "POWC"
+constexpr std::uint32_t kCkptVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void put_stats(std::ostream& out, const RoundStats& rs) {
+  put(out, rs.reason_seconds);
+  put(out, rs.io_seconds);
+  put(out, rs.sync_seconds);
+  put(out, rs.aggregate_seconds);
+  put(out, static_cast<std::uint64_t>(rs.derived));
+  put(out, static_cast<std::uint64_t>(rs.sent_tuples));
+  put(out, static_cast<std::uint64_t>(rs.sent_messages));
+  put(out, static_cast<std::uint64_t>(rs.received_tuples));
+  put(out, static_cast<std::uint64_t>(rs.received_new));
+  put(out, static_cast<std::uint64_t>(rs.retransmitted));
+  put(out, static_cast<std::uint64_t>(rs.redelivered));
+  put(out, static_cast<std::uint64_t>(rs.corrupt_batches));
+}
+
+bool get_stats(std::istream& in, RoundStats& rs) {
+  std::uint64_t u = 0;
+  bool ok = get(in, rs.reason_seconds) && get(in, rs.io_seconds) &&
+            get(in, rs.sync_seconds) && get(in, rs.aggregate_seconds);
+  auto load_size = [&](std::size_t& field) {
+    ok = ok && get(in, u);
+    field = static_cast<std::size_t>(u);
+  };
+  load_size(rs.derived);
+  load_size(rs.sent_tuples);
+  load_size(rs.sent_messages);
+  load_size(rs.received_tuples);
+  load_size(rs.received_new);
+  load_size(rs.retransmitted);
+  load_size(rs.redelivered);
+  load_size(rs.corrupt_batches);
+  return ok;
+}
+
+/// Chained digest over every serialized field, so a bit flip anywhere in
+/// the file — header, log, seen ids, stats, firings — fails validation.
+class CkptDigest {
+ public:
+  void add(std::uint64_t v) { d_ = mix64(d_ ^ v); }
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const { return d_; }
+
+ private:
+  std::uint64_t d_ = 0x243f6a8885a308d3ULL;
+};
+
+std::uint64_t state_digest(std::uint32_t id, std::uint32_t round,
+                           std::uint64_t base_size, std::uint64_t frontier,
+                           std::uint64_t route_mark,
+                           std::span<const rdf::Triple> log,
+                           std::span<const std::uint64_t> seen_in_order,
+                           std::span<const RoundStats> stats,
+                           std::span<const std::size_t> firings) {
+  CkptDigest acc;
+  acc.add((static_cast<std::uint64_t>(id) << 32) | round);
+  acc.add(base_size);
+  acc.add(frontier);
+  acc.add(route_mark);
+  acc.add(static_cast<std::uint64_t>(log.size()));
+  for (const rdf::Triple& t : log) {
+    acc.add(triple_digest(t));
+  }
+  acc.add(static_cast<std::uint64_t>(seen_in_order.size()));
+  for (const std::uint64_t b : seen_in_order) {
+    acc.add(b);
+  }
+  acc.add(static_cast<std::uint64_t>(stats.size()));
+  for (const RoundStats& rs : stats) {
+    acc.add(rs.reason_seconds);
+    acc.add(rs.io_seconds);
+    acc.add(rs.sync_seconds);
+    acc.add(rs.aggregate_seconds);
+    acc.add(static_cast<std::uint64_t>(rs.derived));
+    acc.add(static_cast<std::uint64_t>(rs.sent_tuples));
+    acc.add(static_cast<std::uint64_t>(rs.sent_messages));
+    acc.add(static_cast<std::uint64_t>(rs.received_tuples));
+    acc.add(static_cast<std::uint64_t>(rs.received_new));
+    acc.add(static_cast<std::uint64_t>(rs.retransmitted));
+    acc.add(static_cast<std::uint64_t>(rs.redelivered));
+    acc.add(static_cast<std::uint64_t>(rs.corrupt_batches));
+  }
+  acc.add(static_cast<std::uint64_t>(firings.size()));
+  for (const std::size_t f : firings) {
+    acc.add(static_cast<std::uint64_t>(f));
+  }
+  return acc.value();
+}
+
+}  // namespace
+
+void Worker::save_checkpoint(std::ostream& out, std::uint32_t round) const {
+  put(out, kCkptMagic);
+  put(out, kCkptVersion);
+  put(out, id_);
+  put(out, round);
+  put(out, static_cast<std::uint64_t>(base_size_));
+  put(out, static_cast<std::uint64_t>(frontier_));
+  put(out, static_cast<std::uint64_t>(route_mark_));
+
+  const auto& log = store_.triples();
+  put(out, static_cast<std::uint64_t>(log.size()));
+  for (const rdf::Triple& t : log) {
+    put(out, t.s);
+    put(out, t.p);
+    put(out, t.o);
+  }
+
+  // Sorted so identical state produces byte-identical checkpoints.
+  std::vector<std::uint64_t> seen(seen_batches_.begin(), seen_batches_.end());
+  std::sort(seen.begin(), seen.end());
+  put(out, static_cast<std::uint64_t>(seen.size()));
+  for (const std::uint64_t b : seen) {
+    put(out, b);
+  }
+
+  put(out, static_cast<std::uint64_t>(rounds_.size()));
+  for (const RoundStats& rs : rounds_) {
+    put_stats(out, rs);
+  }
+
+  put(out, static_cast<std::uint64_t>(rule_firings_.size()));
+  for (const std::size_t f : rule_firings_) {
+    put(out, static_cast<std::uint64_t>(f));
+  }
+
+  put(out, state_digest(id_, round, base_size_, frontier_, route_mark_, log,
+                        seen, rounds_, rule_firings_));
+}
+
+bool Worker::load_checkpoint(std::istream& in, std::uint32_t* round,
+                             std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    store_.clear();
+    base_size_ = frontier_ = route_mark_ = 0;
+    rounds_.clear();
+    rule_firings_.clear();
+    seen_batches_.clear();
+    return false;
+  };
+
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t saved_id = 0;
+  std::uint32_t saved_round = 0;
+  if (!get(in, magic) || magic != kCkptMagic) {
+    return fail("bad checkpoint magic");
+  }
+  if (!get(in, version) || version != kCkptVersion) {
+    return fail("unsupported checkpoint version");
+  }
+  if (!get(in, saved_id) || saved_id != id_) {
+    return fail("checkpoint belongs to a different worker");
+  }
+  if (!get(in, saved_round)) {
+    return fail("truncated checkpoint header");
+  }
+
+  std::uint64_t base = 0;
+  std::uint64_t frontier = 0;
+  std::uint64_t route_mark = 0;
+  if (!get(in, base) || !get(in, frontier) || !get(in, route_mark)) {
+    return fail("truncated checkpoint header");
+  }
+
+  std::uint64_t ntriples = 0;
+  if (!get(in, ntriples)) {
+    return fail("truncated checkpoint (triple count)");
+  }
+  std::vector<rdf::Triple> log;
+  log.reserve(static_cast<std::size_t>(ntriples));
+  for (std::uint64_t i = 0; i < ntriples; ++i) {
+    rdf::Triple t;
+    if (!get(in, t.s) || !get(in, t.p) || !get(in, t.o)) {
+      return fail("truncated checkpoint (triples)");
+    }
+    log.push_back(t);
+  }
+
+  std::uint64_t nseen = 0;
+  if (!get(in, nseen)) {
+    return fail("truncated checkpoint (seen count)");
+  }
+  std::vector<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nseen));
+  for (std::uint64_t i = 0; i < nseen; ++i) {
+    std::uint64_t b = 0;
+    if (!get(in, b)) {
+      return fail("truncated checkpoint (seen ids)");
+    }
+    seen.push_back(b);
+  }
+
+  std::uint64_t nrounds = 0;
+  if (!get(in, nrounds)) {
+    return fail("truncated checkpoint (round count)");
+  }
+  std::vector<RoundStats> stats(static_cast<std::size_t>(nrounds));
+  for (RoundStats& rs : stats) {
+    if (!get_stats(in, rs)) {
+      return fail("truncated checkpoint (round stats)");
+    }
+  }
+
+  std::uint64_t nrules = 0;
+  if (!get(in, nrules)) {
+    return fail("truncated checkpoint (rule count)");
+  }
+  std::vector<std::size_t> firings(static_cast<std::size_t>(nrules));
+  for (std::size_t& f : firings) {
+    std::uint64_t u = 0;
+    if (!get(in, u)) {
+      return fail("truncated checkpoint (rule firings)");
+    }
+    f = static_cast<std::size_t>(u);
+  }
+
+  std::uint64_t digest = 0;
+  if (!get(in, digest)) {
+    return fail("truncated checkpoint (digest)");
+  }
+  if (digest != state_digest(id_, saved_round, base, frontier, route_mark,
+                             log, seen, stats, firings)) {
+    return fail("checkpoint digest mismatch (torn or damaged file)");
+  }
+
+  store_.clear();
+  store_.insert_all(log);
+  if (store_.size() != log.size()) {
+    return fail("checkpoint log contained duplicate triples");
+  }
+  base_size_ = static_cast<std::size_t>(base);
+  frontier_ = static_cast<std::size_t>(frontier);
+  route_mark_ = static_cast<std::size_t>(route_mark);
+  rounds_ = std::move(stats);
+  rule_firings_ = std::move(firings);
+  seen_batches_.clear();
+  seen_batches_.insert(seen.begin(), seen.end());
+  pending_.clear();
+  stash_.clear();
+  if (round != nullptr) {
+    *round = saved_round;
+  }
+  return true;
 }
 
 }  // namespace parowl::parallel

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "parowl/gen/lubm.hpp"
@@ -208,6 +210,154 @@ TEST_F(ClusterTest, PerWorkerReasonTotalsExposed) {
     total += t;
   }
   EXPECT_GT(total, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: faulty runs, checkpointing, crash recovery
+
+TEST_F(ClusterTest, FaultyRunMatchesSerialAndReportReconciles) {
+  const partition::HashOwnerPolicy policy;
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.drop = 0.3;
+  spec.duplicate = 0.2;
+  spec.corrupt = 0.15;
+  spec.reorder = 0.25;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.faults = &spec;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+
+  const RunReport& rep = result.cluster.report;
+  EXPECT_GT(rep.injected.total(), 0u);
+  // With no delay faults, each destructive fault costs one retransmission,
+  // each duplicate one id-level discard, each corruption one checksum trip.
+  EXPECT_EQ(rep.retransmissions, rep.injected.drops + rep.injected.corruptions);
+  EXPECT_EQ(rep.redeliveries, rep.injected.duplicates);
+  EXPECT_EQ(rep.checksum_failures, rep.injected.corruptions);
+  EXPECT_FALSE(rep.recovered);
+}
+
+TEST_F(ClusterTest, DelayFaultsChargeBackoffAndStillMatchSerial) {
+  const partition::HashOwnerPolicy policy;
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.drop = 0.1;
+  spec.delay = 0.3;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.faults = &spec;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  const RunReport& rep = result.cluster.report;
+  if (rep.retransmissions > 0) {
+    EXPECT_GT(rep.backoff_seconds, 0.0);
+  }
+}
+
+TEST_F(ClusterTest, ThreadedFaultyRunMatchesSerial) {
+  const partition::HashOwnerPolicy policy;
+  FaultSpec spec;
+  spec.seed = 13;
+  spec.drop = 0.25;
+  spec.duplicate = 0.15;
+  spec.corrupt = 0.1;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.faults = &spec;
+  opts.mode = ExecutionMode::kThreaded;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  EXPECT_GT(result.cluster.report.injected.total(), 0u);
+}
+
+TEST_F(ClusterTest, CheckpointsAreWrittenAtRoundGranularity) {
+  const partition::HashOwnerPolicy policy;
+  const auto ckpt_dir = std::filesystem::temp_directory_path() /
+                        ("parowl_ckpt_write_" + std::to_string(::getpid()));
+  ParallelOptions opts;
+  opts.partitions = 3;
+  opts.policy = &policy;
+  opts.checkpoint.dir = ckpt_dir.string();
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  EXPECT_GT(result.cluster.report.checkpoints_written, 0u);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(ckpt_dir)) {
+    files += entry.path().extension() == ".ckpt";
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+  EXPECT_EQ(files, result.cluster.report.checkpoints_written);
+  std::filesystem::remove_all(ckpt_dir);
+}
+
+TEST_F(ClusterTest, KilledWorkerRecoversFromCheckpointAndMatchesSerial) {
+  const partition::HashOwnerPolicy policy;
+  const auto ckpt_dir = std::filesystem::temp_directory_path() /
+                        ("parowl_ckpt_crash_" + std::to_string(::getpid()));
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.checkpoint.dir = ckpt_dir.string();
+  opts.fault_tolerance.crash_at_round = 1;
+  opts.fault_tolerance.crash_worker = 1;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  EXPECT_TRUE(result.cluster.report.recovered);
+  EXPECT_EQ(result.cluster.report.recovered_from_round, 0);
+  EXPECT_GT(result.cluster.report.checkpoints_written, 0u);
+  std::filesystem::remove_all(ckpt_dir);
+}
+
+TEST_F(ClusterTest, CrashWithoutCheckpointDirIsFatal) {
+  const partition::HashOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 2;
+  opts.policy = &policy;
+  opts.fault_tolerance.crash_at_round = 1;
+  opts.fault_tolerance.crash_worker = 0;
+  EXPECT_THROW(parallel_materialize(store, dict, vocab, opts),
+               SimulatedCrash);
+}
+
+TEST_F(ClusterTest, AsyncFaultHooksPreserveFixpoint) {
+  const partition::HashOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.mode = ExecutionMode::kAsyncSimulated;
+  const ParallelResult clean =
+      parallel_materialize(store, dict, vocab, opts);
+
+  FaultSpec spec;
+  spec.seed = 3;
+  spec.drop = 0.2;
+  spec.duplicate = 0.1;
+  spec.corrupt = 0.1;
+  spec.delay = 0.1;
+  opts.faults = &spec;
+  const ParallelResult faulty =
+      parallel_materialize(store, dict, vocab, opts);
+
+  // Async delivery order differs under faults, but the fixpoint is a set:
+  // the merged closures must be identical (and equal to serial).
+  expect_equivalent(clean);
+  expect_equivalent(faulty);
+  ASSERT_TRUE(faulty.async.has_value());
+  EXPECT_GT(faulty.async->injected.total(), 0u);
+  EXPECT_GT(faulty.async->retries, 0u);
+  EXPECT_GT(faulty.async->retry_seconds, 0.0);
+  ASSERT_TRUE(clean.async.has_value());
+  EXPECT_EQ(clean.async->injected.total(), 0u);
 }
 
 TEST_F(ClusterTest, MdcParallelMatchesSerial) {

@@ -2,8 +2,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <thread>
+#include <unordered_set>
 
 #include "parowl/parallel/router.hpp"
 #include "parowl/parallel/transport.hpp"
@@ -123,6 +127,304 @@ TEST_F(FileTransportTest, StatsMeasureBytes) {
 TEST_F(FileTransportTest, EmptyRoundYieldsNothing) {
   FileTransport ft(dir, dict, 2);
   EXPECT_TRUE(ft.receive(0, 7).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Torn files, write atomicity, checksums
+
+/// The only .batch file in the spool, or an empty path.
+std::filesystem::path sole_batch_file(const std::filesystem::path& spool) {
+  std::filesystem::path found;
+  for (const auto& entry : std::filesystem::directory_iterator(spool)) {
+    if (entry.path().extension() == ".batch") {
+      EXPECT_TRUE(found.empty()) << "more than one batch file";
+      found = entry.path();
+    }
+  }
+  return found;
+}
+
+Batch make_file_batch(std::vector<rdf::Triple> tuples) {
+  Batch b;
+  b.from = 0;
+  b.to = 1;
+  b.round = 0;
+  b.seq = 0;
+  b.attempt = 0;
+  b.tuples = std::move(tuples);
+  b.checksum = batch_checksum(b.tuples);
+  return b;
+}
+
+TEST_F(FileTransportTest, SendLeavesNoTempFiles) {
+  FileTransport ft(dir, dict, 2);
+  ft.send_batch(make_file_batch({triple("http://ex/a", "http://ex/p",
+                                        "http://ex/b")}));
+  // The batch is staged as <name>.tmp and atomically renamed: a reader
+  // scanning the spool can never observe a half-written .batch file.
+  std::size_t batches = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+    batches += entry.path().extension() == ".batch";
+  }
+  EXPECT_EQ(batches, 1u);
+}
+
+TEST_F(FileTransportTest, TruncatedBatchFileIsDetectedNotSilentlyWrong) {
+  FileTransport ft(dir, dict, 2);
+  ft.send_batch(make_file_batch({
+      triple("http://ex/a", "http://ex/p", "http://ex/b"),
+      triple("http://ex/c", "http://ex/p", "http://ex/d"),
+      triple("http://ex/e", "http://ex/p", "http://ex/f"),
+  }));
+
+  // Tear the file: chop off the tail, as a crashed writer without the
+  // tmp+rename discipline (or a truncated copy) would.
+  const std::filesystem::path path = sole_batch_file(ft.spool_dir());
+  ASSERT_FALSE(path.empty());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 10);
+
+  const std::vector<Batch> got = ft.receive_batches(1, 0);
+  ASSERT_EQ(got.size(), 1u);
+  // The tear must surface as a failed integrity check — never as a
+  // silently smaller batch that passes validation.
+  EXPECT_TRUE(!got[0].intact ||
+              batch_checksum(got[0].tuples) != got[0].checksum);
+}
+
+TEST_F(FileTransportTest, TamperedChecksumHeaderIsDetected) {
+  FileTransport ft(dir, dict, 2);
+  ft.send_batch(make_file_batch({triple("http://ex/a", "http://ex/p",
+                                        "http://ex/b")}));
+
+  const std::filesystem::path path = sole_batch_file(ft.spool_dir());
+  ASSERT_FALSE(path.empty());
+  std::string text;
+  {
+    std::ifstream in(path);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::size_t pos = text.find("checksum=");
+  ASSERT_NE(pos, std::string::npos);
+  char& digit = text[pos + std::string("checksum=").size()];
+  digit = static_cast<char>('0' + (digit - '0' + 1) % 10);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+
+  const std::vector<Batch> got = ft.receive_batches(1, 0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(!got[0].intact ||
+              batch_checksum(got[0].tuples) != got[0].checksum);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport properties: effective exactly-once delivery, and the
+// decorator's injected-fault log reconciling with the protocol counters.
+
+struct ProtocolResult {
+  std::size_t resends = 0;
+  bool converged = false;
+  /// Validated payload per batch id — exactly-once effective delivery.
+  std::map<std::uint64_t, std::vector<rdf::Triple>> delivered;
+};
+
+/// A hand-rolled single-round ack/retry loop: the same protocol the
+/// cluster executor runs, reduced to its essence for property testing.
+ProtocolResult run_ack_retry(FaultyTransport& ft, std::vector<Batch> pending,
+                             std::uint32_t partitions, std::uint32_t round) {
+  ProtocolResult result;
+  AckBoard board;
+  std::unordered_set<std::uint64_t> seen;
+  const auto collect = [&] {
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      for (Batch& b : ft.receive_batches(p, round)) {
+        if (!b.intact || batch_checksum(b.tuples) != b.checksum) {
+          ft.note_checksum_failure(p);
+          continue;  // no ack: the sender will retransmit
+        }
+        board.ack(b.id());
+        if (!seen.insert(b.id()).second) {
+          ft.note_redelivery(p);
+          continue;
+        }
+        result.delivered[b.id()] = std::move(b.tuples);
+      }
+    }
+  };
+
+  for (const Batch& b : pending) {
+    ft.send_batch(b);
+  }
+  collect();
+  for (int sweep = 0; sweep < 32; ++sweep) {
+    std::erase_if(pending,
+                  [&](const Batch& b) { return board.acked(b.id()); });
+    if (pending.empty()) {
+      result.converged = true;
+      break;
+    }
+    for (Batch& b : pending) {
+      b.attempt += 1;
+      ft.send_batch(b);
+      ++result.resends;
+    }
+    collect();
+  }
+  return result;
+}
+
+/// One batch per ordered partition pair, with distinct synthetic payloads.
+std::vector<Batch> make_pair_batches(std::uint32_t partitions,
+                                     std::size_t tuples_per_batch) {
+  std::vector<Batch> batches;
+  for (std::uint32_t from = 0; from < partitions; ++from) {
+    for (std::uint32_t to = 0; to < partitions; ++to) {
+      if (to == from) {
+        continue;
+      }
+      Batch b;
+      b.from = from;
+      b.to = to;
+      b.round = 0;
+      b.seq = 0;
+      for (std::size_t i = 0; i < tuples_per_batch; ++i) {
+        b.tuples.push_back({from * 100 + static_cast<rdf::TermId>(i) + 1,
+                            to + 1, static_cast<rdf::TermId>(i) + 7});
+      }
+      b.checksum = batch_checksum(b.tuples);
+      batches.push_back(std::move(b));
+    }
+  }
+  return batches;
+}
+
+std::vector<rdf::Triple> sorted(std::vector<rdf::Triple> tuples) {
+  std::sort(tuples.begin(), tuples.end());
+  return tuples;
+}
+
+TEST(FaultyTransportProperty, ExactlyOnceUnderDropCorruptReorder) {
+  std::uint64_t total_faults = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    MemoryTransport inner(4);
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.drop = 0.3;
+    spec.corrupt = 0.2;
+    spec.reorder = 0.3;
+    FaultyTransport ft(inner, spec);
+
+    std::vector<Batch> batches = make_pair_batches(4, 3);
+    std::map<std::uint64_t, std::vector<rdf::Triple>> sent;
+    for (const Batch& b : batches) {
+      sent[b.id()] = sorted(b.tuples);
+    }
+
+    const ProtocolResult res = run_ack_retry(ft, batches, 4, 0);
+    ASSERT_TRUE(res.converged) << "seed " << seed;
+
+    // Every batch delivered effectively exactly once, payload intact
+    // (reorder shuffles tuples within a batch; content is a set).
+    ASSERT_EQ(res.delivered.size(), sent.size()) << "seed " << seed;
+    for (const auto& [id, tuples] : res.delivered) {
+      EXPECT_EQ(sorted(tuples), sent.at(id)) << "seed " << seed;
+    }
+
+    // Reconciliation: every destructive fault costs exactly one resend.
+    const FaultLog log = ft.injected_faults();
+    EXPECT_EQ(res.resends, log.drops + log.corruptions) << "seed " << seed;
+
+    CommStats total;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      total.merge(ft.stats(p));
+    }
+    // Each injected corruption is detected exactly once; nothing else
+    // trips the checksum.  No duplicates injected => no redeliveries.
+    EXPECT_EQ(total.checksum_failures, log.corruptions) << "seed " << seed;
+    EXPECT_EQ(total.redeliveries, 0u) << "seed " << seed;
+    // The inner transport counts a retry per retransmission it actually
+    // sees: resends minus the retransmissions the decorator dropped.
+    EXPECT_LE(total.retries, res.resends) << "seed " << seed;
+    EXPECT_GE(total.retries + log.drops, res.resends) << "seed " << seed;
+
+    total_faults += log.total();
+  }
+  // The sweep must actually have exercised the fault paths.
+  EXPECT_GT(total_faults, 100u);
+}
+
+TEST(FaultyTransportProperty, DuplicatesAreRedeliveredNotReapplied) {
+  std::uint64_t total_duplicates = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    MemoryTransport inner(4);
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.duplicate = 0.5;
+    FaultyTransport ft(inner, spec);
+
+    std::vector<Batch> batches = make_pair_batches(4, 2);
+    const std::size_t expected = batches.size();
+    const ProtocolResult res = run_ack_retry(ft, batches, 4, 0);
+
+    // Duplication is not destructive: everything lands first try.
+    ASSERT_TRUE(res.converged) << "seed " << seed;
+    EXPECT_EQ(res.resends, 0u) << "seed " << seed;
+    EXPECT_EQ(res.delivered.size(), expected) << "seed " << seed;
+
+    const FaultLog log = ft.injected_faults();
+    CommStats total;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      total.merge(ft.stats(p));
+    }
+    // Every injected duplicate is discarded by id — exactly once each.
+    EXPECT_EQ(total.redeliveries, log.duplicates) << "seed " << seed;
+    EXPECT_EQ(total.retries, 0u) << "seed " << seed;
+    EXPECT_EQ(total.checksum_failures, 0u) << "seed " << seed;
+    total_duplicates += log.duplicates;
+  }
+  EXPECT_GT(total_duplicates, 50u);
+}
+
+TEST(FaultyTransportProperty, DelayedBatchesRetransmitAndLateCopiesDrain) {
+  MemoryTransport inner(2);
+  FaultSpec spec;
+  spec.seed = 5;
+  spec.delay = 1.0;  // every faultable attempt is delayed
+  FaultyTransport ft(inner, spec);
+
+  Batch b;
+  b.from = 0;
+  b.to = 1;
+  b.round = 0;
+  b.seq = 0;
+  b.tuples = {{1, 2, 3}};
+  b.checksum = batch_checksum(b.tuples);
+
+  const ProtocolResult res = run_ack_retry(ft, {b}, 2, 0);
+  ASSERT_TRUE(res.converged);
+  // Attempts 0..2 go to limbo (max_faulty_attempts = 3); attempt 3 is
+  // exempt from faults and delivers.  Three resends, three limbo copies.
+  EXPECT_EQ(res.resends, 3u);
+  EXPECT_EQ(ft.injected_faults().delays, 3u);
+  EXPECT_EQ(ft.limbo_remaining(), 3u);
+
+  // The limbo copies surface in later rounds (due_round <= round) where
+  // the receiver's id-dedup discards them; they never corrupt the run.
+  std::size_t late = 0;
+  for (std::uint32_t round = 1; round <= 1 + spec.max_delay_rounds; ++round) {
+    for (const Batch& copy : ft.receive_batches(1, round)) {
+      EXPECT_EQ(copy.id(), b.id());
+      EXPECT_TRUE(copy.intact);
+      EXPECT_EQ(batch_checksum(copy.tuples), copy.checksum);
+      ++late;
+    }
+  }
+  EXPECT_EQ(late, 3u);
+  EXPECT_EQ(ft.limbo_remaining(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "parowl/parallel/worker.hpp"
 #include "parowl/rules/rule_parser.hpp"
 
@@ -129,6 +131,115 @@ TEST_F(WorkerTest, RoundStatsAccumulate) {
   const RoundStats& rs1 = w1.rounds()[0];
   EXPECT_EQ(rs1.received_tuples, 1u);
   EXPECT_EQ(rs1.received_new, 1u);
+}
+
+TEST_F(WorkerTest, RuleFiringsAccumulateAcrossRounds) {
+  Worker w(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  w.load(std::vector<rdf::Triple>{{iri("a"), iri("p"), iri("b")},
+                                  {iri("b"), iri("p"), iri("c")}});
+  w.compute_and_send(0);  // derives (a p c)
+  ASSERT_EQ(w.rule_firings().size(), 1u);
+  EXPECT_EQ(w.rule_firings()[0], 1u);
+
+  // A foreign tuple extends the chain; the next round's firings add up.
+  w.absorb(std::vector<rdf::Triple>{{iri("c"), iri("p"), iri("d")}});
+  w.compute_and_send(1);  // derives (b p d), (a p d), (c? ...)
+  EXPECT_GE(w.rule_firings()[0], 3u);
+}
+
+// -- Checkpointing ----------------------------------------------------
+
+TEST_F(WorkerTest, CheckpointRoundTripRestoresEverything) {
+  Worker w(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  w.load(std::vector<rdf::Triple>{{iri("a"), iri("p"), iri("b")},
+                                  {iri("b"), iri("p"), iri("c")}});
+  w.compute_and_send(0);
+  w.absorb(std::vector<rdf::Triple>{{iri("c"), iri("p"), iri("d")}});
+
+  std::stringstream buf;
+  w.save_checkpoint(buf, 0);
+
+  Worker fresh(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+               &transport, options());
+  std::uint32_t round = 99;
+  std::string error;
+  ASSERT_TRUE(fresh.load_checkpoint(buf, &round, &error)) << error;
+  EXPECT_EQ(round, 0u);
+
+  // Identical store log (order included), marks, stats, and firings.
+  EXPECT_EQ(fresh.store().triples(), w.store().triples());
+  EXPECT_EQ(fresh.base_size(), w.base_size());
+  EXPECT_EQ(fresh.result_size(), w.result_size());
+  EXPECT_EQ(fresh.rule_firings(), w.rule_firings());
+  ASSERT_EQ(fresh.rounds().size(), w.rounds().size());
+  EXPECT_EQ(fresh.rounds()[0].derived, w.rounds()[0].derived);
+  EXPECT_EQ(fresh.rounds()[0].sent_tuples, w.rounds()[0].sent_tuples);
+
+  // The restored worker continues identically: same next-round closure.
+  const std::size_t sent_orig = w.compute_and_send(1);
+  const std::size_t sent_fresh = fresh.compute_and_send(1);
+  EXPECT_EQ(sent_fresh, sent_orig);
+  EXPECT_EQ(fresh.store().triples(), w.store().triples());
+  EXPECT_EQ(fresh.rule_firings(), w.rule_firings());
+}
+
+TEST_F(WorkerTest, CheckpointDetectsTamperedBytes) {
+  Worker w(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  w.load(std::vector<rdf::Triple>{{iri("a"), iri("p"), iri("b")},
+                                  {iri("b"), iri("p"), iri("c")}});
+  w.compute_and_send(0);
+
+  std::stringstream buf;
+  w.save_checkpoint(buf, 0);
+  std::string bytes = buf.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // one bit flip mid-file
+
+  std::stringstream damaged(bytes);
+  Worker fresh(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+               &transport, options());
+  std::uint32_t round = 0;
+  std::string error;
+  EXPECT_FALSE(fresh.load_checkpoint(damaged, &round, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(WorkerTest, CheckpointDetectsTruncation) {
+  Worker w(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  w.load(std::vector<rdf::Triple>{{iri("a"), iri("p"), iri("b")}});
+  w.compute_and_send(0);
+
+  std::stringstream buf;
+  w.save_checkpoint(buf, 0);
+  const std::string bytes = buf.str();
+
+  // A torn file (every possible prefix) must be rejected, never half-loaded.
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                                std::size_t{7}, std::size_t{0}}) {
+    std::stringstream torn(bytes.substr(0, cut));
+    Worker fresh(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+                 &transport, options());
+    EXPECT_FALSE(fresh.load_checkpoint(torn, nullptr, nullptr))
+        << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST_F(WorkerTest, CheckpointRejectsWrongWorker) {
+  Worker w(0, trans_rules(), std::make_shared<EverythingToRouter>(1),
+           &transport, options());
+  w.load(std::vector<rdf::Triple>{{iri("a"), iri("p"), iri("b")}});
+
+  std::stringstream buf;
+  w.save_checkpoint(buf, 3);
+
+  Worker other(1, trans_rules(), std::make_shared<EverythingToRouter>(0),
+               &transport, options());
+  std::string error;
+  EXPECT_FALSE(other.load_checkpoint(buf, nullptr, &error));
+  EXPECT_NE(error.find("different worker"), std::string::npos) << error;
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The commit gate: configure, build, run the tier1 test label (fast,
+# deterministic), then an ASan pass over the fault-tolerance surface.
+#
+#   tools/ci.sh           # tier1 + asan subset
+#   tools/ci.sh --full    # adds tier2 (stress/property/fault sweeps)
+#
+# Tier labels are assigned in tests/CMakeLists.txt via parowl_add_test:
+# tier1 is every fast deterministic suite, tier2 the slower sweeps.  The
+# ASan subset covers the transport/worker/cluster/fault layers where
+# serialization and concurrency bugs would live.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+full=0
+[ "${1:-}" = "--full" ] && full=1
+
+echo "=== configure ==="
+cmake --preset default
+
+echo "=== build ==="
+cmake --build --preset default -j "$jobs"
+
+echo "=== tier1 tests ==="
+ctest --preset default -j "$jobs" -L tier1
+
+if [ "$full" = 1 ]; then
+  echo "=== tier2 tests ==="
+  ctest --preset default -j "$jobs" -L tier2
+fi
+
+echo "=== asan subset (transport/worker/cluster/fault) ==="
+cmake --preset asan
+cmake --build --preset asan -j "$jobs" \
+  --target transport_test worker_test cluster_test fault_injection_test
+ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault'
+
+echo "=== ci green ==="

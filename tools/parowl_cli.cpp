@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <sstream>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -56,6 +57,8 @@ commands:
   partition <kb> -k N [--policy graph|hash|lubm|mdc]
   cluster <kb> -k N [--policy ...] [--approach data|rule|hybrid]
           [--rule-parts M] [--mode sync|async|threaded] [--strategy ...]
+          [--faults seed=S,drop=P,dup=P,corrupt=P,delay=P,reorder=P]
+          [--checkpoint-dir <dir>]
   serve-bench <kb> [--reason] [--threads N] [--queue N] [--requests N]
           [--mode open|closed] [--rate QPS] [--clients N] [--think S]
           [--deadline S] [--no-cache] [--seed S] [--queries-file <file>]
@@ -164,7 +167,8 @@ class Args {
                           "--rule-parts", "--rules", "--queries-file",
                           "--threads", "--queue", "--requests", "--rate",
                           "--clients", "--think", "--deadline",
-                          "--update-batches", "--update-size"}) {
+                          "--update-batches", "--update-size",
+                          "--faults", "--checkpoint-dir"}) {
       if (flag_name == f) {
         return true;
       }
@@ -554,6 +558,51 @@ int cmd_partition(const Args& args) {
   return 0;
 }
 
+/// Parse "--faults seed=7,drop=0.05,dup=0.02,corrupt=0.01,delay=0.02,
+/// reorder=0.1" into a FaultSpec.  Unknown or malformed entries are
+/// reported and skipped rather than crashing the run.
+parallel::FaultSpec parse_fault_spec(const std::string& text) {
+  parallel::FaultSpec spec;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "--faults: ignoring malformed entry '" << item << "'\n";
+      continue;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "drop") {
+        spec.drop = std::stod(value);
+      } else if (key == "dup" || key == "duplicate") {
+        spec.duplicate = std::stod(value);
+      } else if (key == "corrupt") {
+        spec.corrupt = std::stod(value);
+      } else if (key == "delay") {
+        spec.delay = std::stod(value);
+      } else if (key == "reorder") {
+        spec.reorder = std::stod(value);
+      } else if (key == "max-delay-rounds") {
+        spec.max_delay_rounds =
+            static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "max-faulty-attempts") {
+        spec.max_faulty_attempts =
+            static_cast<std::uint32_t>(std::stoul(value));
+      } else {
+        std::cerr << "--faults: unknown key '" << key << "'\n";
+      }
+    } catch (const std::exception&) {
+      std::cerr << "--faults: bad value for '" << key << "': " << value
+                << "\n";
+    }
+  }
+  return spec;
+}
+
 int cmd_cluster(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
@@ -584,6 +633,14 @@ int cmd_cluster(const Args& args) {
   opts.policy = policy.get();
   opts.build_merged = false;
 
+  parallel::FaultSpec faults;
+  const std::string faults_arg = args.option("--faults");
+  if (!faults_arg.empty()) {
+    faults = parse_fault_spec(faults_arg);
+    opts.faults = &faults;
+  }
+  opts.checkpoint.dir = args.option("--checkpoint-dir");
+
   const parallel::ParallelResult r =
       parallel::parallel_materialize(store, dict, vocab, opts);
   std::cout << "inferred " << r.inferred << " triples with "
@@ -603,6 +660,35 @@ int cmd_cluster(const Args& args) {
   if (r.metrics) {
     std::cout << "IR=" << util::fmt_double(r.metrics->input_replication, 3)
               << " OR=" << util::fmt_double(r.output_replication, 3) << "\n";
+  }
+  if (!faults_arg.empty() || !opts.checkpoint.dir.empty()) {
+    if (r.async) {
+      std::cout << "faults: injected " << r.async->injected.total()
+                << " (drop " << r.async->injected.drops << ", dup "
+                << r.async->injected.duplicates << ", corrupt "
+                << r.async->injected.corruptions << ", delay "
+                << r.async->injected.delays << ", reorder "
+                << r.async->injected.reorders << "), retries "
+                << r.async->retries << ", retry time "
+                << util::format_seconds(r.async->retry_seconds) << "\n";
+    } else {
+      const parallel::RunReport& rep = r.cluster.report;
+      std::cout << "faults: injected " << rep.injected.total() << " (drop "
+                << rep.injected.drops << ", dup " << rep.injected.duplicates
+                << ", corrupt " << rep.injected.corruptions << ", delay "
+                << rep.injected.delays << ", reorder "
+                << rep.injected.reorders << ")\n"
+                << "delivery: " << rep.batches_sent << " batches, "
+                << rep.retransmissions << " retransmissions, "
+                << rep.redeliveries << " redeliveries, "
+                << rep.checksum_failures << " checksum failures, backoff "
+                << util::format_seconds(rep.backoff_seconds) << "\n"
+                << "checkpoints: " << rep.checkpoints_written << " written";
+      if (rep.recovered) {
+        std::cout << ", recovered from round " << rep.recovered_from_round;
+      }
+      std::cout << "\n";
+    }
   }
   return 0;
 }
