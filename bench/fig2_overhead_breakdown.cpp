@@ -3,7 +3,7 @@
 // aggregation time, under the paper's shared-filesystem IPC.
 //
 // The reproduction runs the data-partitioning pipeline over a real
-// FileTransport (N-Triples spool files on disk, as in §V) and reports the
+// FileTransport (codec-encoded spool files on disk, as in §V) and reports the
 // same four components summed over rounds.  Expected shape: reasoning time
 // falls as partitions grow while the IO + synchronization share rises —
 // the scaling concern §VI-B discusses.
@@ -30,7 +30,7 @@ int main() {
   for (const unsigned k : {2u, 4u, 8u, 16u}) {
     const auto spool = std::filesystem::temp_directory_path() /
                        ("parowl_fig2_spool_k" + std::to_string(k));
-    parallel::FileTransport transport(spool, u.dict, k);
+    parallel::FileTransport transport(spool, k);
 
     parallel::ParallelOptions opts;
     opts.partitions = k;

@@ -16,10 +16,13 @@ namespace parowl::parallel {
 
 /// Per-partition communication counters, separated by direction.  The
 /// cluster uses `seconds` for the Fig. 2 "IO" component and `bytes` for the
-/// simulated-network model.  The protocol counters (retries, redeliveries,
-/// checksum failures) are filled by the ack/retry layer: retries by the
-/// transport itself (it sees attempt > 0 on send), the receiver-side pair
-/// by the worker via note_redelivery / note_checksum_failure.
+/// simulated-network model.  For FileTransport the byte counters are true
+/// bytes-on-wire (the codec-encoded envelope size as written/read);
+/// MemoryTransport counts raw in-process tuple bytes, since nothing is
+/// encoded.  The protocol counters (retries, redeliveries, checksum
+/// failures) are filled by the ack/retry layer: retries by the transport
+/// itself (it sees attempt > 0 on send), the receiver-side pair by the
+/// worker via note_redelivery / note_checksum_failure.
 struct CommStats {
   double send_seconds = 0.0;
   double recv_seconds = 0.0;
@@ -212,21 +215,20 @@ class MemoryTransport final : public Transport {
 /// Shared-filesystem transport, as in the paper's implementation (§V): each
 /// envelope becomes a file "r<round>_to<t>_from<f>_s<seq>_a<attempt>.batch"
 /// in a spool directory; receive scans its round's files.  Tuples are
-/// serialized as N-Triples text via the shared dictionary, so the measured
-/// IO cost includes real serialization, disk writes, reads, and parsing —
-/// the quantities behind Fig. 2's IO component.
+/// serialized with the compact binary codec (rdf/codec.hpp — varint header
+/// plus a delta-encoded checksummed triple block), the same format
+/// snapshots and checkpoints use, so the measured IO cost includes real
+/// serialization, disk writes, reads, and decoding — the quantities behind
+/// Fig. 2's IO component — and `CommStats` bytes are true bytes-on-wire.
 ///
 /// Writes are torn-file safe: the envelope is written to a ".tmp" sibling
 /// and atomically renamed into place, so a reader never observes a partial
 /// batch under normal operation — and if a file *is* damaged on disk, the
-/// header's tuple count + checksum turn the damage into a detected
+/// block checksum and header validation turn the damage into a detected
 /// checksum failure instead of a silently wrong closure.
 class FileTransport final : public Transport {
  public:
-  /// `dict` must outlive the transport and already contain every term the
-  /// workers can derive (receive only looks terms up, never interns, so it
-  /// is safe under the threaded executor).
-  FileTransport(std::filesystem::path spool_dir, const rdf::Dictionary& dict,
+  FileTransport(std::filesystem::path spool_dir,
                 std::uint32_t num_partitions);
   ~FileTransport() override;
 
@@ -242,7 +244,6 @@ class FileTransport final : public Transport {
 
  private:
   std::filesystem::path dir_;
-  const rdf::Dictionary& dict_;
 };
 
 /// Seeded fault model for FaultyTransport.  Every decision derives from a

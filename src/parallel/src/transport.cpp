@@ -4,9 +4,8 @@
 #include <fstream>
 #include <sstream>
 
-#include "parowl/rdf/ntriples.hpp"
+#include "parowl/rdf/codec.hpp"
 #include "parowl/util/log.hpp"
-#include "parowl/util/strings.hpp"
 #include "parowl/util/timer.hpp"
 
 namespace parowl::parallel {
@@ -145,68 +144,61 @@ std::size_t MemoryTransport::pending_batches() const {
 
 namespace {
 
-/// Find-only N-Triples term scan: parses one decorated term off `text` and
-/// resolves it against the (read-only) dictionary.  Returns kAnyTerm when
-/// the term is unknown — which, for an intact batch, indicates a bug
-/// upstream, since workers can only derive triples over already-interned
-/// terms; for a damaged file it simply feeds the checksum mismatch.
-rdf::TermId scan_term(std::string_view& text, const rdf::Dictionary& dict) {
-  text = util::trim(text);
-  if (text.empty()) {
-    return rdf::kAnyTerm;
-  }
-  if (text.front() == '<') {
-    const auto end = text.find('>');
-    if (end == std::string_view::npos) {
-      return rdf::kAnyTerm;
-    }
-    const auto iri = text.substr(1, end - 1);
-    text.remove_prefix(end + 1);
-    return dict.find(iri, rdf::TermKind::kIri);
-  }
-  if (text.front() == '_' && text.size() > 2 && text[1] == ':') {
-    std::size_t end = 2;
-    while (end < text.size() && text[end] != ' ' && text[end] != '\t') {
-      ++end;
-    }
-    const auto label = text.substr(2, end - 2);
-    text.remove_prefix(end);
-    return dict.find(label, rdf::TermKind::kBlank);
-  }
-  if (text.front() == '"') {
-    std::size_t end = 1;
-    while (end < text.size()) {
-      if (text[end] == '\\') {
-        end += 2;
-        continue;
-      }
-      if (text[end] == '"') {
-        break;
-      }
-      ++end;
-    }
-    if (end >= text.size()) {
-      return rdf::kAnyTerm;
-    }
-    std::size_t tail = end + 1;
-    while (tail < text.size() && text[tail] != ' ' && text[tail] != '\t') {
-      ++tail;
-    }
-    const auto lit = text.substr(0, tail);
-    text.remove_prefix(tail);
-    return dict.find(lit, rdf::TermKind::kLiteral);
-  }
-  return rdf::kAnyTerm;
+// Binary batch envelope: magic, varint identity fields, the sender's
+// order-insensitive checksum, then one codec triple block (which carries
+// its own count and order-sensitive checksum).
+constexpr char kBatchMagic[4] = {'P', 'W', 'B', '2'};
+
+std::string encode_envelope(const Batch& batch) {
+  std::string out;
+  out.append(kBatchMagic, sizeof(kBatchMagic));
+  rdf::codec::put_varint(out, batch.from);
+  rdf::codec::put_varint(out, batch.to);
+  rdf::codec::put_varint(out, batch.round);
+  rdf::codec::put_varint(out, batch.seq);
+  rdf::codec::put_varint(out, batch.attempt);
+  rdf::codec::put_u64le(out, batch.checksum);
+  rdf::codec::encode_block(batch.tuples, out);
+  return out;
 }
 
-constexpr char kBatchMagic[] = "#parowl-batch";
+/// Decode a spool file into `batch` (to/round pre-set by the caller from
+/// the scan context).  Any mismatch or damage clears `intact` — the
+/// ack/retry layer then treats the envelope as a checksum failure.
+void decode_envelope(std::string_view in, Batch& batch) {
+  if (in.size() < sizeof(kBatchMagic) ||
+      in.compare(0, sizeof(kBatchMagic),
+                 std::string_view(kBatchMagic, sizeof(kBatchMagic))) != 0) {
+    batch.intact = false;
+    return;
+  }
+  in.remove_prefix(sizeof(kBatchMagic));
+  std::uint64_t from = 0, to = 0, round = 0, seq = 0, attempt = 0;
+  if (!rdf::codec::get_varint(in, from) || !rdf::codec::get_varint(in, to) ||
+      !rdf::codec::get_varint(in, round) ||
+      !rdf::codec::get_varint(in, seq) ||
+      !rdf::codec::get_varint(in, attempt) ||
+      !rdf::codec::get_u64le(in, batch.checksum)) {
+    batch.intact = false;
+    return;
+  }
+  if (to != batch.to || round != batch.round) {
+    batch.intact = false;  // header disagrees with the spool file name
+    return;
+  }
+  batch.from = static_cast<std::uint32_t>(from);
+  batch.seq = static_cast<std::uint32_t>(seq);
+  batch.attempt = static_cast<std::uint32_t>(attempt);
+  if (!rdf::codec::decode_block(in, batch.tuples) || !in.empty()) {
+    batch.intact = false;
+  }
+}
 
 }  // namespace
 
 FileTransport::FileTransport(std::filesystem::path spool_dir,
-                             const rdf::Dictionary& dict,
                              std::uint32_t num_partitions)
-    : Transport(num_partitions), dir_(std::move(spool_dir)), dict_(dict) {
+    : Transport(num_partitions), dir_(std::move(spool_dir)) {
   std::filesystem::create_directories(dir_);
 }
 
@@ -226,21 +218,11 @@ void FileTransport::send_batch(Batch batch) {
   util::Stopwatch watch;
   const auto path = batch_path(batch);
   const auto tmp = std::filesystem::path(path.string() + ".tmp");
-  std::uint64_t bytes = 0;
+  const std::string encoded = encode_envelope(batch);
+  const std::uint64_t bytes = encoded.size();  // true bytes-on-wire
   {
-    std::ofstream out(tmp, std::ios::trunc);
-    std::ostringstream header;
-    header << kBatchMagic << " from=" << batch.from << " to=" << batch.to
-           << " round=" << batch.round << " seq=" << batch.seq
-           << " attempt=" << batch.attempt << " count=" << batch.tuples.size()
-           << " checksum=" << batch.checksum;
-    out << header.str() << '\n';
-    bytes += header.str().size() + 1;
-    for (const rdf::Triple& t : batch.tuples) {
-      const std::string line = rdf::to_ntriples(t, dict_);
-      out << line << '\n';
-      bytes += line.size() + 1;
-    }
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
     out.flush();
   }
   // Atomic publish: a crash or a concurrent reader can never observe a
@@ -280,7 +262,7 @@ std::vector<Batch> FileTransport::receive_batches(std::uint32_t to,
   std::sort(paths.begin(), paths.end());  // scan order is fs-dependent
 
   for (const auto& path : paths) {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
       continue;
     }
@@ -288,60 +270,11 @@ std::vector<Batch> FileTransport::receive_batches(std::uint32_t to,
     batch.to = to;
     batch.round = round;
 
-    std::string line;
-    std::size_t expected = 0;
-    if (!std::getline(in, line) || !line.starts_with(kBatchMagic)) {
-      batch.intact = false;  // torn before the header finished
-    } else {
-      bytes += line.size() + 1;
-      std::istringstream hdr(line.substr(sizeof(kBatchMagic)));
-      std::string field;
-      bool header_ok = true;
-      while (hdr >> field) {
-        const auto eq = field.find('=');
-        if (eq == std::string::npos) {
-          header_ok = false;
-          break;
-        }
-        const std::string key = field.substr(0, eq);
-        const std::string value = field.substr(eq + 1);
-        try {
-          if (key == "from") {
-            batch.from = static_cast<std::uint32_t>(std::stoul(value));
-          } else if (key == "seq") {
-            batch.seq = static_cast<std::uint32_t>(std::stoul(value));
-          } else if (key == "attempt") {
-            batch.attempt = static_cast<std::uint32_t>(std::stoul(value));
-          } else if (key == "count") {
-            expected = std::stoul(value);
-          } else if (key == "checksum") {
-            batch.checksum = std::stoull(value);
-          }
-        } catch (const std::exception&) {
-          header_ok = false;
-          break;
-        }
-      }
-      batch.intact = header_ok;
-    }
-
-    while (batch.intact && std::getline(in, line)) {
-      bytes += line.size() + 1;
-      std::string_view rest = line;
-      rdf::Triple t;
-      t.s = scan_term(rest, dict_);
-      t.p = scan_term(rest, dict_);
-      t.o = scan_term(rest, dict_);
-      if (t.s == rdf::kAnyTerm || t.p == rdf::kAnyTerm ||
-          t.o == rdf::kAnyTerm) {
-        batch.intact = false;  // unparsable payload line
-        break;
-      }
-      batch.tuples.push_back(t);
-    }
-    if (batch.intact && batch.tuples.size() != expected) {
-      batch.intact = false;  // truncated: fewer lines than the header claims
-    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string encoded = buffer.str();
+    bytes += encoded.size();
+    decode_envelope(encoded, batch);
     in.close();
     std::filesystem::remove(path, ec);  // consumed
     out.push_back(std::move(batch));

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "parowl/rdf/codec.hpp"
 #include "parowl/reason/forward.hpp"
 #include "parowl/util/timer.hpp"
 
@@ -208,17 +209,20 @@ std::size_t Worker::receive_and_aggregate(std::uint32_t round) {
 // Format (binary, little-endian on every supported target):
 //   magic "POWC" | u32 version | u32 worker id | u32 round
 //   u64 base_size | u64 frontier | u64 route_mark
-//   u64 ntriples | ntriples * (3 x u32)
+//   u64 ntriples | codec triple blocks (delta varints + block checksums)
 //   u64 nseen    | nseen * u64
 //   u64 nrounds  | nrounds * RoundStats (4 x f64, 8 x u64)
 //   u64 nrules   | nrules * u64
 //   u64 digest   (mix64 chain over every field above)
-// A torn or bit-flipped file fails the magic/size/digest check on load.
+// Version 2 replaced the fixed 3 x u32 triple records with the shared
+// compact codec (rdf/codec.hpp).  The digest is computed over *decoded*
+// values, so it survived the format change unchanged: a torn or
+// bit-flipped file fails the magic/block-checksum/digest check on load.
 
 namespace {
 
 constexpr std::uint32_t kCkptMagic = 0x43574F50;  // "POWC"
-constexpr std::uint32_t kCkptVersion = 1;
+constexpr std::uint32_t kCkptVersion = 2;
 
 template <typename T>
 void put(std::ostream& out, T value) {
@@ -332,11 +336,7 @@ void Worker::save_checkpoint(std::ostream& out, std::uint32_t round) const {
 
   const auto& log = store_.triples();
   put(out, static_cast<std::uint64_t>(log.size()));
-  for (const rdf::Triple& t : log) {
-    put(out, t.s);
-    put(out, t.p);
-    put(out, t.o);
-  }
+  rdf::codec::write_blocks(out, log);
 
   // Sorted so identical state produces byte-identical checkpoints.
   std::vector<std::uint64_t> seen(seen_batches_.begin(), seen_batches_.end());
@@ -404,12 +404,9 @@ bool Worker::load_checkpoint(std::istream& in, std::uint32_t* round,
   }
   std::vector<rdf::Triple> log;
   log.reserve(static_cast<std::size_t>(ntriples));
-  for (std::uint64_t i = 0; i < ntriples; ++i) {
-    rdf::Triple t;
-    if (!get(in, t.s) || !get(in, t.p) || !get(in, t.o)) {
-      return fail("truncated checkpoint (triples)");
-    }
-    log.push_back(t);
+  if (!rdf::codec::read_blocks(
+          in, ntriples, [&log](const rdf::Triple& t) { log.push_back(t); })) {
+    return fail("truncated checkpoint (triples)");
   }
 
   std::uint64_t nseen = 0;

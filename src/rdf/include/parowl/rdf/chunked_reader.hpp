@@ -1,0 +1,74 @@
+#pragma once
+
+// Parallel ingest pipeline: split the input into chunks at safe statement
+// boundaries, parse each chunk on its own thread into thread-local intern
+// tables, then merge the thread-local dictionaries in chunk order so global
+// TermIds are assigned in canonical first-occurrence-by-byte-offset order.
+// The resulting Dictionary and TripleStore are bit-identical to the serial
+// parser for any thread count (the same invariant the materializer and the
+// cluster runtime keep for closure).
+//
+// Stages:
+//   1. scan   — find split points: newline boundaries (N-Triples) or the
+//               conservative top-level statement scanner (Turtle), plus the
+//               prefix/base environment at each chunk start.
+//   2. parse  — each thread parses its chunk into a local Dictionary and
+//               TripleStore with the shared serial line parser, recording
+//               local ParseStats and error positions.
+//   3. merge  — walk chunks in order: Dictionary::intern_batch assigns
+//               global ids (chunk-order concatenation of local first-intern
+//               orders == serial first-occurrence order), triples are
+//               remapped and inserted in chunk order (reproducing the
+//               serial insertion log and duplicate counts), and diagnostics
+//               are rebased to document-global line/byte positions.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/ntriples.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::rdf {
+
+struct IngestOptions {
+  /// Worker threads for the parse stage; 0 = hardware concurrency.
+  unsigned threads = 1;
+};
+
+struct IngestStats {
+  ParseStats parse;            // identical to the serial parser's stats
+  std::size_t bytes = 0;       // input size
+  unsigned threads_used = 1;   // parse-stage threads actually spawned
+  double read_seconds = 0.0;   // file -> memory (ingest_file only)
+  double scan_seconds = 0.0;   // boundary scan + env pre-pass
+  double parse_seconds = 0.0;  // parallel chunk parsing (wall clock)
+  double merge_seconds = 0.0;  // dictionary merge + remap + store insert
+};
+
+/// Newline-aligned chunk boundaries for `text` (for N-Triples input):
+/// `chunks + 1` offsets, first 0, last text.size(), each interior boundary
+/// just past a '\n'.  Degenerate inputs may yield fewer chunks.
+std::vector<std::size_t> chunk_newline_boundaries(std::string_view text,
+                                                  unsigned chunks);
+
+/// Parse N-Triples / Turtle text into `dict` + `store` with
+/// `options.threads` workers.  Dictionary, store, and ParseStats are
+/// bit-identical to parse_ntriples / parse_turtle_text on the same text.
+IngestStats ingest_ntriples(std::string_view text, Dictionary& dict,
+                            TripleStore& store,
+                            const IngestOptions& options = {});
+IngestStats ingest_turtle(std::string_view text, Dictionary& dict,
+                          TripleStore& store,
+                          const IngestOptions& options = {});
+
+/// Read `path` into memory and ingest it (".ttl" parses as Turtle,
+/// anything else as N-Triples).  Returns false on I/O failure with *error.
+bool ingest_file(const std::string& path, Dictionary& dict,
+                 TripleStore& store, IngestStats& stats,
+                 const IngestOptions& options = {},
+                 std::string* error = nullptr);
+
+}  // namespace parowl::rdf

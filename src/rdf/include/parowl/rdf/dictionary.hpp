@@ -34,6 +34,25 @@ class Dictionary {
     return intern(lit, TermKind::kLiteral);
   }
 
+  /// Pre-size the intern index for roughly `expected_terms` additional
+  /// terms, cutting rehash churn during bulk loads.  Never shrinks and has
+  /// no observable effect on ids or iteration order.
+  void reserve(std::size_t expected_terms);
+
+  /// Estimate of term count for a serialization of `input_bytes` bytes
+  /// (N-Triples/Turtle).  Deliberately generous: over-reserving buckets is
+  /// cheap, rehashing mid-load is not.
+  [[nodiscard]] static std::size_t estimate_terms(std::size_t input_bytes) {
+    return input_bytes / 96 + 16;
+  }
+
+  /// Bulk-merge every term of `other` (in its id order) into this
+  /// dictionary.  `remap` maps the other dictionary's ids to this one's:
+  /// remap[id_in_other] == id_here, with remap[0] == kAnyTerm.  Used by the
+  /// parallel ingest merge phase: merging thread-local dictionaries in
+  /// chunk order reproduces the serial first-occurrence id assignment.
+  void intern_batch(const Dictionary& other, std::vector<TermId>& remap);
+
   /// Look up an existing term; returns kAnyTerm (0) if absent.
   [[nodiscard]] TermId find(std::string_view lexical, TermKind kind) const;
   [[nodiscard]] TermId find_iri(std::string_view iri) const {

@@ -15,8 +15,16 @@ struct ParseStats {
   std::size_t triples = 0;
   std::size_t duplicates = 0;
   std::size_t bad_lines = 0;
-  std::string first_error;  // diagnostic for the first malformed line
+  std::string first_error;  // diagnostic: "line N (byte B): message"
+  std::size_t first_error_line = 0;    // 1-based line of first error (0: none)
+  std::size_t first_error_offset = 0;  // byte offset where that line starts
 };
+
+/// Render the canonical malformed-input diagnostic "line N (byte B): msg".
+/// Shared by the serial parsers and the parallel ingest pipeline so both
+/// paths produce byte-identical ParseStats.
+std::string format_parse_error(std::size_t line, std::size_t offset,
+                               std::string_view message);
 
 /// Parse one N-Triples line ("<s> <p> <o> ." with literal/blank-node
 /// objects allowed) into the dictionary.  Returns std::nullopt for blank

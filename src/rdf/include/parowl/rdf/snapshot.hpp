@@ -9,17 +9,24 @@
 namespace parowl::rdf {
 
 /// Binary knowledge-base snapshot: the dictionary (kinds + lexical forms)
-/// followed by the triple log as id-encoded records.  The point of a
-/// materialized KB is to compute the closure once and reuse it; a snapshot
-/// reloads in O(data) with no re-parsing and no re-inference.
+/// followed by the triple log.  The point of a materialized KB is to
+/// compute the closure once and reuse it; a snapshot reloads in O(data)
+/// with no re-parsing and no re-inference.
 ///
-/// The format is little-endian and versioned:
-///   "PARO" magic, u32 version,
-///   u64 term count, then per term: u8 kind, u32 length, bytes,
-///   u64 triple count, then per triple: 3 x u32 ids.
+/// Version 2 is built on the compact codec (codec.hpp) and is the same
+/// format file transports and worker checkpoints use:
+///   "PARO" magic, u32 version = 2,
+///   varint term count, front-coded term table
+///     (per term: u8 kind, varint shared-prefix, varint suffix len, bytes),
+///   u64 term-table digest,
+///   varint triple count, delta-encoded checksummed triple blocks.
+/// Every byte after the magic is covered by a checksum (term digest or
+/// block checksum), so corruption anywhere fails the load.  Version 1
+/// (fixed-width records) is no longer readable.
 struct SnapshotStats {
   std::size_t terms = 0;
   std::size_t triples = 0;
+  std::size_t bytes = 0;  // encoded size of what save_snapshot wrote
 };
 
 /// Write `dict` + `store` to `out`.  Returns stats; stream state signals
@@ -28,7 +35,7 @@ SnapshotStats save_snapshot(std::ostream& out, const Dictionary& dict,
                             const TripleStore& store);
 
 /// Read a snapshot into `dict`/`store` (both must be empty).  Returns
-/// std::nullopt-like empty stats and sets *error on malformed input.
+/// false and sets *error on malformed input.
 bool load_snapshot(std::istream& in, Dictionary& dict, TripleStore& store,
                    std::string* error = nullptr);
 

@@ -1,0 +1,297 @@
+#include "parowl/rdf/chunked_reader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "parowl/rdf/turtle.hpp"
+#include "parowl/util/strings.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace parowl::rdf {
+namespace {
+
+/// Everything one parse worker produces.  Thread-local tables use local
+/// TermIds; stats/diagnostics are local to the chunk until the merge rebases
+/// them (N-Triples) — the Turtle fragment parser formats globally itself.
+struct ChunkResult {
+  Dictionary dict;
+  TripleStore store;
+  ParseStats stats;
+  std::size_t lines = 0;  // lines scanned (N-Triples; for error rebasing)
+};
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested == 0) {
+    requested = std::thread::hardware_concurrency();
+  }
+  return std::max(1u, requested);
+}
+
+/// Parse one newline-delimited region with exactly the semantics of the
+/// getline loop in parse_ntriples.  Diagnostics record chunk-local
+/// line/offset in first_error_line/first_error_offset; the message text is
+/// kept raw in first_error for the merge to format.
+void parse_ntriples_chunk(std::string_view chunk, ChunkResult& out) {
+  out.dict.reserve(Dictionary::estimate_terms(chunk.size()));
+  std::string error;
+  std::size_t pos = 0;
+  while (pos < chunk.size()) {
+    const std::size_t nl = chunk.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? chunk.size() : nl;
+    const std::string_view line = chunk.substr(pos, end - pos);
+    const std::size_t line_start = pos;
+    pos = nl == std::string_view::npos ? chunk.size() : nl + 1;
+    ++out.lines;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    error.clear();
+    if (const auto t = parse_ntriples_line(line, out.dict, &error)) {
+      ++out.stats.triples;
+      if (!out.store.insert(*t)) {
+        ++out.stats.duplicates;
+      }
+    } else {
+      ++out.stats.bad_lines;
+      if (out.stats.first_error_line == 0) {
+        out.stats.first_error = error;  // raw message; formatted at merge
+        out.stats.first_error_line = out.lines;
+        out.stats.first_error_offset = line_start;
+      }
+    }
+  }
+}
+
+/// Run `fn(i)` for i in [0, n) on `threads` workers (inline when 1).
+template <typename Fn>
+void run_parallel(std::size_t n, unsigned threads, Fn&& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.emplace_back([&fn, i] { fn(i); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+/// Merge thread-local tables into the global ones, chunk order first —
+/// this is what makes global ids equal the serial first-occurrence order.
+/// Returns extra duplicates discovered across chunk boundaries.
+std::size_t merge_chunks(std::vector<ChunkResult>& chunks, Dictionary& dict,
+                         TripleStore& store) {
+  std::size_t total_terms = 0;
+  for (const ChunkResult& c : chunks) total_terms += c.dict.size();
+  dict.reserve(total_terms);
+  std::size_t cross_duplicates = 0;
+  std::vector<TermId> remap;
+  for (ChunkResult& c : chunks) {
+    dict.intern_batch(c.dict, remap);
+    for (const Triple& t : c.store.triples()) {
+      if (!store.insert({remap[t.s], remap[t.p], remap[t.o]})) {
+        ++cross_duplicates;
+      }
+    }
+  }
+  return cross_duplicates;
+}
+
+void sum_stats(const std::vector<ChunkResult>& chunks, ParseStats& out) {
+  for (const ChunkResult& c : chunks) {
+    out.triples += c.stats.triples;
+    out.duplicates += c.stats.duplicates;
+    out.bad_lines += c.stats.bad_lines;
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> chunk_newline_boundaries(std::string_view text,
+                                                  unsigned chunks) {
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  if (chunks > 1 && !text.empty()) {
+    const std::size_t target = text.size() / chunks;
+    for (unsigned i = 1; i < chunks; ++i) {
+      std::size_t want = std::max(bounds.back(), i * target);
+      const std::size_t nl = text.find('\n', want);
+      if (nl == std::string_view::npos) break;
+      const std::size_t boundary = nl + 1;
+      if (boundary > bounds.back() && boundary < text.size()) {
+        bounds.push_back(boundary);
+      }
+    }
+  }
+  bounds.push_back(text.size());
+  return bounds;
+}
+
+IngestStats ingest_ntriples(std::string_view text, Dictionary& dict,
+                            TripleStore& store,
+                            const IngestOptions& options) {
+  IngestStats stats;
+  stats.bytes = text.size();
+  const unsigned threads = resolve_threads(options.threads);
+  util::Stopwatch sw;
+  if (threads == 1) {
+    // Serial fast path: no thread-local tables, no merge — identical to
+    // parse_ntriples by construction (same per-line loop).
+    std::istringstream in{std::string(text)};
+    stats.parse = parse_ntriples(in, dict, store);
+    stats.parse_seconds = sw.elapsed_seconds();
+    return stats;
+  }
+
+  const std::vector<std::size_t> bounds =
+      chunk_newline_boundaries(text, threads);
+  stats.scan_seconds = sw.elapsed_seconds();
+  const std::size_t n = bounds.size() - 1;
+  std::vector<ChunkResult> chunks(n);
+  sw.restart();
+  run_parallel(n, threads, [&](std::size_t i) {
+    parse_ntriples_chunk(text.substr(bounds[i], bounds[i + 1] - bounds[i]),
+                         chunks[i]);
+  });
+  stats.parse_seconds = sw.elapsed_seconds();
+  stats.threads_used = static_cast<unsigned>(std::min<std::size_t>(threads, n));
+
+  sw.restart();
+  sum_stats(chunks, stats.parse);
+  stats.parse.duplicates += merge_chunks(chunks, dict, store);
+  // First malformed line, rebased to document-global line/byte numbers.
+  std::size_t lines_before = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (chunks[i].stats.first_error_line != 0) {
+      const std::size_t line = lines_before + chunks[i].stats.first_error_line;
+      const std::size_t byte = bounds[i] + chunks[i].stats.first_error_offset;
+      stats.parse.first_error =
+          format_parse_error(line, byte, chunks[i].stats.first_error);
+      stats.parse.first_error_line = line;
+      stats.parse.first_error_offset = byte;
+      break;
+    }
+    lines_before += chunks[i].lines;
+  }
+  stats.merge_seconds = sw.elapsed_seconds();
+  return stats;
+}
+
+IngestStats ingest_turtle(std::string_view text, Dictionary& dict,
+                          TripleStore& store, const IngestOptions& options) {
+  IngestStats stats;
+  stats.bytes = text.size();
+  const unsigned threads = resolve_threads(options.threads);
+  util::Stopwatch sw;
+  if (threads == 1) {
+    stats.parse = parse_turtle_text(text, dict, store);
+    stats.parse_seconds = sw.elapsed_seconds();
+    return stats;
+  }
+
+  // Stage 1: conservative statement scan, chunk assembly, and the serial
+  // environment pre-pass that gives every chunk the prefix/base state a
+  // serial parse would have at its start.
+  const TurtleSpans spans = scan_turtle_spans(text);
+  std::vector<std::size_t> bounds{0};
+  std::vector<std::size_t> newline_base{0};
+  if (!spans.ends.empty()) {
+    const std::size_t target = std::max<std::size_t>(1, text.size() / threads);
+    for (std::size_t j = 0; j + 1 < spans.ends.size(); ++j) {
+      // Cut after span j when the current chunk is big enough.
+      if (spans.ends[j] - bounds.back() >= target &&
+          bounds.size() < static_cast<std::size_t>(threads)) {
+        bounds.push_back(spans.ends[j]);
+        newline_base.push_back(spans.newlines[j]);
+      }
+    }
+  }
+  bounds.push_back(text.size());
+
+  const std::size_t n = bounds.size() - 1;
+  std::vector<TurtleEnv> envs(n);
+  {
+    TurtleEnv env;
+    std::size_t span_idx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      envs[i] = env;
+      if (i + 1 == n) break;  // no successor needs the final environment
+      // Advance the environment over every span inside chunk i.
+      while (span_idx < spans.ends.size() &&
+             spans.ends[span_idx] <= bounds[i + 1]) {
+        const std::size_t begin =
+            span_idx == 0 ? 0 : spans.ends[span_idx - 1];
+        const std::string_view span =
+            text.substr(begin, spans.ends[span_idx] - begin);
+        if (turtle_span_declares(span)) {
+          env = scan_turtle_env(span, env);
+        }
+        ++span_idx;
+      }
+    }
+  }
+  stats.scan_seconds = sw.elapsed_seconds();
+
+  // Stage 2: parallel fragment parsing into thread-local tables.
+  std::vector<ChunkResult> chunks(n);
+  sw.restart();
+  run_parallel(n, threads, [&](std::size_t i) {
+    chunks[i].dict.reserve(
+        Dictionary::estimate_terms(bounds[i + 1] - bounds[i]));
+    chunks[i].stats = parse_turtle_fragment(
+        text.substr(bounds[i], bounds[i + 1] - bounds[i]), chunks[i].dict,
+        chunks[i].store, envs[i], newline_base[i], bounds[i]);
+  });
+  stats.parse_seconds = sw.elapsed_seconds();
+  stats.threads_used = static_cast<unsigned>(std::min<std::size_t>(threads, n));
+
+  // Stage 3: ordered merge.  Fragment diagnostics are already global.
+  sw.restart();
+  sum_stats(chunks, stats.parse);
+  stats.parse.duplicates += merge_chunks(chunks, dict, store);
+  for (const ChunkResult& c : chunks) {
+    if (!c.stats.first_error.empty()) {
+      stats.parse.first_error = c.stats.first_error;
+      stats.parse.first_error_line = c.stats.first_error_line;
+      stats.parse.first_error_offset = c.stats.first_error_offset;
+      break;
+    }
+  }
+  stats.merge_seconds = sw.elapsed_seconds();
+  return stats;
+}
+
+bool ingest_file(const std::string& path, Dictionary& dict,
+                 TripleStore& store, IngestStats& stats,
+                 const IngestOptions& options, std::string* error) {
+  util::Stopwatch sw;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size > 0) {
+    text.resize(static_cast<std::size_t>(size));
+    in.seekg(0);
+    if (!in.read(text.data(), size)) {
+      if (error != nullptr) *error = "cannot read " + path;
+      return false;
+    }
+  }
+  const double read_seconds = sw.elapsed_seconds();
+  const bool turtle = path.size() >= 4 && path.ends_with(".ttl");
+  stats = turtle ? ingest_turtle(text, dict, store, options)
+                 : ingest_ntriples(text, dict, store, options);
+  stats.read_seconds = read_seconds;
+  return true;
+}
+
+}  // namespace parowl::rdf

@@ -23,6 +23,19 @@ TermId Dictionary::intern(std::string_view lexical, TermKind kind) {
   return id;
 }
 
+void Dictionary::reserve(std::size_t expected_terms) {
+  index_.reserve(entries_.size() + expected_terms);
+}
+
+void Dictionary::intern_batch(const Dictionary& other,
+                              std::vector<TermId>& remap) {
+  remap.assign(other.size() + 1, kAnyTerm);
+  reserve(other.size());
+  for (TermId id = 1; id <= other.size(); ++id) {
+    remap[id] = intern(other.lexical(id), other.kind(id));
+  }
+}
+
 TermId Dictionary::find(std::string_view lexical, TermKind kind) const {
   const auto it = index_.find(Key{lexical, kind});
   return it == index_.end() ? kAnyTerm : it->second;

@@ -8,11 +8,15 @@
 namespace parowl::rdf {
 namespace {
 
+// '\r' counts as inline whitespace so CRLF input (and stray carriage
+// returns mid-line) parses identically to LF input.
+bool is_inline_ws(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
 struct Cursor {
   std::string_view rest;
 
   void skip_ws() {
-    while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+    while (!rest.empty() && is_inline_ws(rest.front())) {
       rest.remove_prefix(1);
     }
   }
@@ -43,8 +47,7 @@ TermId parse_term(Cursor& cur, Dictionary& dict, bool object_position,
       return kAnyTerm;
     }
     std::size_t end = 2;
-    while (end < cur.rest.size() && cur.rest[end] != ' ' &&
-           cur.rest[end] != '\t') {
+    while (end < cur.rest.size() && !is_inline_ws(cur.rest[end])) {
       ++end;
     }
     const auto label = cur.rest.substr(2, end - 2);
@@ -75,8 +78,7 @@ TermId parse_term(Cursor& cur, Dictionary& dict, bool object_position,
     // Keep the full decorated literal (value + optional ^^type / @lang) as
     // the lexical form: OWL-Horst treats literals opaquely.
     std::size_t tail = end + 1;
-    while (tail < cur.rest.size() && cur.rest[tail] != ' ' &&
-           cur.rest[tail] != '\t') {
+    while (tail < cur.rest.size() && !is_inline_ws(cur.rest[tail])) {
       ++tail;
     }
     const auto lit = cur.rest.substr(0, tail);
@@ -112,14 +114,35 @@ std::optional<Triple> parse_ntriples_line(std::string_view line,
   return t;
 }
 
+std::string format_parse_error(std::size_t line, std::size_t offset,
+                               std::string_view message) {
+  return "line " + std::to_string(line) + " (byte " + std::to_string(offset) +
+         "): " + std::string(message);
+}
+
 ParseStats parse_ntriples(std::istream& in, Dictionary& dict,
                           TripleStore& store) {
   ParseStats stats;
+  // Pre-size the intern index from the stream length when it is knowable
+  // (files, string streams) — one big reservation instead of rehash churn.
+  const auto start_pos = in.tellg();
+  if (start_pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end_pos = in.tellg();
+    in.seekg(start_pos);
+    if (end_pos != std::istream::pos_type(-1) && end_pos > start_pos) {
+      dict.reserve(Dictionary::estimate_terms(
+          static_cast<std::size_t>(end_pos - start_pos)));
+    }
+  }
   std::string line;
   std::string error;
   std::size_t line_no = 0;
+  std::size_t offset = 0;  // byte offset of the current line's first byte
   while (std::getline(in, line)) {
     ++line_no;
+    const std::size_t line_start = offset;
+    offset += line.size() + 1;  // +1 for the consumed '\n'
     const auto trimmed = util::trim(line);
     if (trimmed.empty() || trimmed.front() == '#') {
       continue;
@@ -133,8 +156,9 @@ ParseStats parse_ntriples(std::istream& in, Dictionary& dict,
     } else {
       ++stats.bad_lines;
       if (stats.first_error.empty()) {
-        stats.first_error =
-            "line " + std::to_string(line_no) + ": " + error;
+        stats.first_error = format_parse_error(line_no, line_start, error);
+        stats.first_error_line = line_no;
+        stats.first_error_offset = line_start;
       }
     }
   }

@@ -5,11 +5,13 @@
 #include <istream>
 #include <ostream>
 
+#include "parowl/rdf/codec.hpp"
+
 namespace parowl::rdf {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'A', 'R', 'O'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
 void put_u32(std::ostream& out, std::uint32_t v) {
   const std::array<char, 4> bytes{
@@ -17,11 +19,6 @@ void put_u32(std::ostream& out, std::uint32_t v) {
       static_cast<char>((v >> 16) & 0xff),
       static_cast<char>((v >> 24) & 0xff)};
   out.write(bytes.data(), 4);
-}
-
-void put_u64(std::ostream& out, std::uint64_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffULL));
-  put_u32(out, static_cast<std::uint32_t>(v >> 32));
 }
 
 bool get_u32(std::istream& in, std::uint32_t& v) {
@@ -38,15 +35,6 @@ bool get_u32(std::istream& in, std::uint32_t& v) {
   return true;
 }
 
-bool get_u64(std::istream& in, std::uint64_t& v) {
-  std::uint32_t lo = 0, hi = 0;
-  if (!get_u32(in, lo) || !get_u32(in, hi)) {
-    return false;
-  }
-  v = lo | (static_cast<std::uint64_t>(hi) << 32);
-  return true;
-}
-
 bool set_error(std::string* error, std::string_view message) {
   if (error) {
     *error = std::string(message);
@@ -54,23 +42,10 @@ bool set_error(std::string* error, std::string_view message) {
   return false;
 }
 
-/// Read exactly `length` bytes into `out`, growing it chunk by chunk so a
-/// corrupted length field (e.g. 4 GB in a truncated file) fails on the
-/// stream instead of attempting one giant allocation up front.
-bool read_lexical(std::istream& in, std::uint32_t length, std::string& out) {
-  constexpr std::uint32_t kChunk = 1 << 16;
-  out.clear();
-  while (length > 0) {
-    const std::uint32_t take = length < kChunk ? length : kChunk;
-    const std::size_t old_size = out.size();
-    out.resize(old_size + take);
-    if (!in.read(out.data() + old_size,
-                 static_cast<std::streamsize>(take))) {
-      return false;
-    }
-    length -= take;
-  }
-  return true;
+void put_varint(std::ostream& out, std::uint64_t v) {
+  std::string buf;
+  codec::put_varint(buf, v);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 }  // namespace
@@ -80,24 +55,21 @@ SnapshotStats save_snapshot(std::ostream& out, const Dictionary& dict,
   SnapshotStats stats;
   out.write(kMagic, 4);
   put_u32(out, kVersion);
+  stats.bytes = 8;
 
-  put_u64(out, dict.size());
-  for (TermId id = 1; id <= dict.size(); ++id) {
-    const std::string& lexical = dict.lexical(id);
-    const char kind = static_cast<char>(dict.kind(id));
-    out.write(&kind, 1);
-    put_u32(out, static_cast<std::uint32_t>(lexical.size()));
-    out.write(lexical.data(), static_cast<std::streamsize>(lexical.size()));
-    ++stats.terms;
-  }
+  std::string head;
+  codec::put_varint(head, dict.size());
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  stats.bytes += head.size();
+  stats.bytes += codec::write_terms(out, dict);
+  stats.terms = dict.size();
 
-  put_u64(out, store.size());
-  for (const Triple& t : store.triples()) {
-    put_u32(out, t.s);
-    put_u32(out, t.p);
-    put_u32(out, t.o);
-    ++stats.triples;
-  }
+  put_varint(out, store.size());
+  head.clear();
+  codec::put_varint(head, store.size());
+  stats.bytes += head.size();
+  stats.bytes += codec::write_blocks(out, store.triples());
+  stats.triples = store.size();
   return stats;
 }
 
@@ -116,43 +88,36 @@ bool load_snapshot(std::istream& in, Dictionary& dict, TripleStore& store,
   }
 
   std::uint64_t terms = 0;
-  if (!get_u64(in, terms)) {
+  if (!codec::get_varint(in, terms)) {
     return set_error(error, "truncated term table");
   }
-  std::string lexical;
-  for (std::uint64_t i = 0; i < terms; ++i) {
-    char kind_byte = 0;
-    std::uint32_t length = 0;
-    if (!in.read(&kind_byte, 1) || !get_u32(in, length)) {
-      return set_error(error, "truncated term entry");
-    }
-    if (kind_byte < 0 || kind_byte > 2) {
-      return set_error(error, "invalid term kind");
-    }
-    if (!read_lexical(in, length, lexical)) {
-      return set_error(error, "truncated term lexical");
-    }
-    const TermId id =
-        dict.intern(lexical, static_cast<TermKind>(kind_byte));
-    if (id != i + 1) {
-      return set_error(error, "duplicate term in snapshot");
-    }
+  std::string codec_error;
+  if (!codec::read_terms(in, terms, dict, &codec_error)) {
+    return set_error(error, codec_error);
   }
 
   std::uint64_t triples = 0;
-  if (!get_u64(in, triples)) {
+  if (!codec::get_varint(in, triples)) {
     return set_error(error, "truncated triple count");
   }
-  for (std::uint64_t i = 0; i < triples; ++i) {
-    Triple t;
-    if (!get_u32(in, t.s) || !get_u32(in, t.p) || !get_u32(in, t.o)) {
-      return set_error(error, "truncated triple record");
-    }
+  bool in_range = true;
+  const auto sink = [&store, &in_range, terms](const Triple& t) {
     if (t.s == kAnyTerm || t.s > terms || t.p == kAnyTerm || t.p > terms ||
         t.o == kAnyTerm || t.o > terms) {
-      return set_error(error, "triple references unknown term");
+      in_range = false;
+      return;
     }
     store.insert(t);
+  };
+  if (!codec::read_blocks(in, triples, sink, &codec_error)) {
+    return set_error(error, codec_error);
+  }
+  if (!in_range) {
+    return set_error(error, "triple references unknown term");
+  }
+  // A shrunken triple count would otherwise silently drop trailing blocks.
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return set_error(error, "trailing bytes after snapshot");
   }
   return true;
 }

@@ -17,25 +17,43 @@ constexpr std::string_view kXsdDecimal =
 constexpr std::string_view kXsdBoolean =
     "http://www.w3.org/2001/XMLSchema#boolean";
 
-/// Character-level parser over the whole document.
+/// Character-level parser over a document (or a fragment of one, when
+/// seeded with the environment and global position of the fragment start).
 class TurtleParser {
  public:
-  TurtleParser(std::string text, Dictionary& dict, TripleStore& store)
-      : text_(std::move(text)), dict_(dict), store_(store) {}
+  TurtleParser(std::string_view text, Dictionary& dict, TripleStore& store,
+               TurtleEnv env = {}, std::size_t line_base = 0,
+               std::size_t byte_base = 0)
+      : text_(text),
+        line_base_(line_base),
+        byte_base_(byte_base),
+        dict_(dict),
+        store_(store),
+        prefixes_(std::move(env.prefixes)),
+        base_(std::move(env.base)) {}
 
   ParseStats run() {
     while (skip_ws(), !eof()) {
       if (!statement()) {
         ++stats_.bad_lines;
         if (stats_.first_error.empty()) {
-          stats_.first_error =
-              "line " + std::to_string(line_of(error_pos_)) + ": " +
-              (error_.empty() ? "malformed statement" : error_);
+          const std::size_t line = line_base_ + line_of(error_pos_);
+          const std::size_t byte = byte_base_ + error_pos_;
+          stats_.first_error = format_parse_error(
+              line, byte, error_.empty() ? "malformed statement" : error_);
+          stats_.first_error_line = line;
+          stats_.first_error_offset = byte;
         }
         recover();
       }
     }
     return stats_;
+  }
+
+  /// Prefix/base state after run() — the environment a fragment starting
+  /// right after this text would inherit in a serial parse.
+  [[nodiscard]] TurtleEnv env() && {
+    return TurtleEnv{std::move(prefixes_), std::move(base_)};
   }
 
  private:
@@ -376,9 +394,11 @@ class TurtleParser {
     return true;
   }
 
-  std::string text_;
+  std::string_view text_;
   std::size_t pos_ = 0;
   std::size_t error_pos_ = 0;
+  std::size_t line_base_ = 0;
+  std::size_t byte_base_ = 0;
   Dictionary& dict_;
   TripleStore& store_;
   std::unordered_map<std::string, std::string> prefixes_;
@@ -396,9 +416,114 @@ ParseStats parse_turtle(std::istream& in, Dictionary& dict,
   return parse_turtle_text(buffer.str(), dict, store);
 }
 
-ParseStats parse_turtle_text(const std::string& text, Dictionary& dict,
+ParseStats parse_turtle_text(std::string_view text, Dictionary& dict,
                              TripleStore& store) {
+  dict.reserve(Dictionary::estimate_terms(text.size()));
   return TurtleParser(text, dict, store).run();
+}
+
+ParseStats parse_turtle_fragment(std::string_view fragment, Dictionary& dict,
+                                 TripleStore& store, const TurtleEnv& env,
+                                 std::size_t line_base,
+                                 std::size_t byte_base) {
+  return TurtleParser(fragment, dict, store, env, line_base, byte_base).run();
+}
+
+TurtleSpans scan_turtle_spans(std::string_view text) {
+  TurtleSpans spans;
+  enum class State { kNormal, kComment, kLiteral, kIri };
+  State state = State::kNormal;
+  std::size_t newlines = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') ++newlines;
+    switch (state) {
+      case State::kComment:
+        if (c == '\n') state = State::kNormal;
+        break;
+      case State::kLiteral:
+        if (c == '\\') {
+          // Escaped character: skip it (it may be an escaped quote).
+          ++i;
+          if (i < text.size() && text[i] == '\n') ++newlines;
+        } else if (c == '"') {
+          state = State::kNormal;
+        }
+        break;
+      case State::kIri:
+        if (c == '>') state = State::kNormal;
+        break;
+      case State::kNormal:
+        if (c == '#') {
+          state = State::kComment;
+        } else if (c == '"') {
+          state = State::kLiteral;
+        } else if (c == '<') {
+          state = State::kIri;
+        } else if (c == '.') {
+          // A '.' followed by a digit may be the fraction point of a
+          // decimal literal, which the parser consumes mid-statement.
+          // Skipping it only merges two spans — always safe.
+          const bool digit_next =
+              i + 1 < text.size() &&
+              std::isdigit(static_cast<unsigned char>(text[i + 1]));
+          if (!digit_next) {
+            spans.ends.push_back(i + 1);
+            spans.newlines.push_back(newlines);
+          }
+        }
+        break;
+    }
+  }
+  return spans;
+}
+
+bool turtle_span_declares(std::string_view span) {
+  // Find the first token start (the parser's skip_ws also eats comments).
+  std::size_t i = 0;
+  while (i < span.size()) {
+    const char c = span[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '#') {
+      while (i < span.size() && span[i] != '\n') ++i;
+    } else {
+      break;
+    }
+  }
+  const std::string_view rest = span.substr(i);
+  const auto starts_keyword = [&rest](std::string_view word) {
+    if (rest.size() < word.size()) return false;
+    for (std::size_t k = 0; k < word.size(); ++k) {
+      if (std::tolower(static_cast<unsigned char>(rest[k])) !=
+          std::tolower(static_cast<unsigned char>(word[k]))) {
+        return false;
+      }
+    }
+    // Same word-boundary rule as the parser's match_keyword: a longer
+    // identifier or prefixed name is not the keyword.
+    if (rest.size() > word.size()) {
+      const char after = rest[word.size()];
+      if (std::isalnum(static_cast<unsigned char>(after)) || after == '_' ||
+          after == ':') {
+        return false;
+      }
+    }
+    return true;
+  };
+  return starts_keyword("@prefix") || starts_keyword("PREFIX") ||
+         starts_keyword("@base") || starts_keyword("BASE");
+}
+
+TurtleEnv scan_turtle_env(std::string_view span, const TurtleEnv& env) {
+  // Run the real parser against scratch tables: directive keyword matching,
+  // relative-IRI resolution, and failure/recovery semantics are then exactly
+  // those of a serial pass over the same bytes.
+  Dictionary scratch_dict;
+  TripleStore scratch_store;
+  TurtleParser parser(span, scratch_dict, scratch_store, env);
+  parser.run();
+  return std::move(parser).env();
 }
 
 }  // namespace parowl::rdf

@@ -12,6 +12,7 @@
 
 #include "parowl/ontology/ontology.hpp"
 #include "parowl/query/sparql_parser.hpp"
+#include "parowl/rdf/snapshot.hpp"
 #include "parowl/serve/executor.hpp"
 #include "parowl/serve/result_cache.hpp"
 #include "parowl/serve/snapshot.hpp"
@@ -106,6 +107,13 @@ class QueryService {
 
   /// Block until the request queue is drained.
   void drain();
+
+  /// Persist the currently served KB (dictionary + the latest snapshot's
+  /// store) in the codec-based snapshot format (rdf/snapshot.hpp), so a
+  /// warmed or incrementally updated service can be reloaded later without
+  /// re-materializing.  Takes the shared dictionary lock; safe while
+  /// queries run.  Returns the write stats (terms/triples/bytes).
+  rdf::SnapshotStats save_snapshot(std::ostream& out) const;
 
   [[nodiscard]] SnapshotPtr snapshot() const { return registry_.current(); }
   [[nodiscard]] ServiceStats stats() const;

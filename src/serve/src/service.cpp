@@ -1,8 +1,10 @@
 #include "parowl/serve/service.hpp"
 
 #include <algorithm>
+#include <ostream>
 
 #include "parowl/query/bgp.hpp"
+#include "parowl/rdf/snapshot.hpp"
 #include "parowl/util/timer.hpp"
 
 namespace parowl::serve {
@@ -162,6 +164,15 @@ std::string QueryService::render(const query::ResultSet& results) const {
 }
 
 void QueryService::drain() { executor_->wait_idle(); }
+
+rdf::SnapshotStats QueryService::save_snapshot(std::ostream& out) const {
+  // Pin the snapshot first: RCU keeps the store alive and immutable while
+  // we stream it out, and the shared lock only guards dictionary reads.
+  const SnapshotPtr snap = registry_.current();
+  return with_dict_shared([&out, &snap](const rdf::Dictionary& dict) {
+    return rdf::save_snapshot(out, dict, snap->store);
+  });
+}
 
 ServiceStats QueryService::stats() const {
   ServiceStats s;

@@ -104,7 +104,7 @@ TEST_F(ClusterTest, FileTransportMatchesSerial) {
   const partition::GraphOwnerPolicy policy;
   const auto spool = std::filesystem::temp_directory_path() /
                      "parowl_cluster_test_spool";
-  FileTransport transport(spool, dict, 3);
+  FileTransport transport(spool, 3);
   ParallelOptions opts;
   opts.partitions = 3;
   opts.policy = &policy;

@@ -184,12 +184,12 @@ TEST_F(FaultInjectionTest, FileTransportScheduleSweepIsBitIdentical) {
 
   for (const std::uint32_t parts : partition_counts) {
     {
-      FileTransport golden_transport(scratch_dir("golden"), dict, parts);
+      FileTransport golden_transport(scratch_dir("golden"), parts);
       const Fingerprint golden = run(parts, golden_transport, {});
 
       for (const Mix& mix : file_mixes) {
         for (const std::uint64_t seed : seeds) {
-          FileTransport inner(scratch_dir("faulty"), dict, parts);
+          FileTransport inner(scratch_dir("faulty"), parts);
           const FaultSpec spec = make_spec(mix, seed);
           FaultyTransport faulty(inner, spec);
           ClusterResult result;

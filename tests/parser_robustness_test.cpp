@@ -114,7 +114,11 @@ TEST(ParserDiagnostics, NtriplesErrorNamesTheOffendingLine) {
   const rdf::ParseStats stats = rdf::parse_ntriples(in, dict, store);
   EXPECT_EQ(stats.triples, 2u);
   EXPECT_EQ(stats.bad_lines, 1u);
-  EXPECT_EQ(stats.first_error.rfind("line 3:", 0), 0u) << stats.first_error;
+  EXPECT_EQ(stats.first_error.rfind("line 3 (byte ", 0), 0u)
+      << stats.first_error;
+  EXPECT_EQ(stats.first_error_line, 3u);
+  // Offset of the bad line's first byte: the two lines before it.
+  EXPECT_EQ(stats.first_error_offset, 41u + 17u);
 }
 
 TEST(ParserDiagnostics, TurtleErrorNamesTheOffendingLine) {
@@ -127,7 +131,11 @@ TEST(ParserDiagnostics, TurtleErrorNamesTheOffendingLine) {
   const rdf::ParseStats stats = rdf::parse_turtle_text(text, dict, store);
   EXPECT_EQ(stats.triples, 1u);
   EXPECT_GE(stats.bad_lines, 1u);
-  EXPECT_EQ(stats.first_error.rfind("line 3:", 0), 0u) << stats.first_error;
+  EXPECT_EQ(stats.first_error.rfind("line 3 (byte ", 0), 0u)
+      << stats.first_error;
+  EXPECT_EQ(stats.first_error_line, 3u);
+  // The error position sits inside line 3, past the two lines before it.
+  EXPECT_GE(stats.first_error_offset, 36u + 17u);
 }
 
 TEST(ParserDiagnostics, TurtleDirectiveErrorOnFirstLine) {
@@ -136,7 +144,9 @@ TEST(ParserDiagnostics, TurtleDirectiveErrorOnFirstLine) {
   const rdf::ParseStats stats =
       rdf::parse_turtle_text("@prefix broken\n", dict, store);
   EXPECT_EQ(stats.triples, 0u);
-  EXPECT_EQ(stats.first_error.rfind("line 1:", 0), 0u) << stats.first_error;
+  EXPECT_EQ(stats.first_error.rfind("line 1 (byte ", 0), 0u)
+      << stats.first_error;
+  EXPECT_EQ(stats.first_error_line, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -194,36 +204,58 @@ TEST(SnapshotRobustness, WrongFormatVersionIsRejected) {
 }
 
 TEST(SnapshotRobustness, HugeLexicalLengthFailsOnStreamNotAllocation) {
-  // Header + term count (1), then a term entry claiming a ~4 GB lexical.
-  // The chunked reader must fail on stream exhaustion, not allocate 4 GB.
-  std::string bytes = valid_snapshot_bytes();
-  // Layout: magic(4) version(4) term_count(8) kind(1) length(4) ...
-  bytes[17] = static_cast<char>(0xff);
-  bytes[18] = static_cast<char>(0xff);
-  bytes[19] = static_cast<char>(0xff);
-  bytes[20] = static_cast<char>(0xfe);
+  // Rewrite the first term entry's suffix length as a ~4 GB varint.  The
+  // chunked reader must fail on stream exhaustion, not allocate 4 GB.
+  // Layout: magic(4) version(4) term_count varint(1) then the first term
+  // entry: kind(1) shared varint(1) suffix_len varint(1) suffix...
+  const std::string bytes = valid_snapshot_bytes();
+  std::string hacked = bytes.substr(0, 11);
+  hacked += static_cast<char>(0xfe);  // varint 0xFFFFFFFE
+  hacked += static_cast<char>(0xff);
+  hacked += static_cast<char>(0xff);
+  hacked += static_cast<char>(0xff);
+  hacked += static_cast<char>(0x0f);
+  hacked += bytes.substr(12);
   std::string error;
-  EXPECT_FALSE(try_load(bytes, &error));
+  EXPECT_FALSE(try_load(hacked, &error));
   EXPECT_EQ(error, "truncated term lexical");
 }
 
 TEST(SnapshotRobustness, InvalidTermKindIsRejected) {
   std::string bytes = valid_snapshot_bytes();
-  bytes[16] = static_cast<char>(9);  // kind byte of the first term
+  bytes[9] = static_cast<char>(9);  // kind byte of the first term
   std::string error;
   EXPECT_FALSE(try_load(bytes, &error));
   EXPECT_EQ(error, "invalid term kind");
 }
 
 TEST(SnapshotRobustness, TripleReferencingUnknownTermIsRejected) {
-  // Corrupt the subject id of the only triple (the last 12 bytes are
-  // s,p,o as u32 little-endian).
-  std::string bytes = valid_snapshot_bytes();
-  bytes[bytes.size() - 12] = static_cast<char>(0xee);
-  bytes[bytes.size() - 11] = static_cast<char>(0xee);
+  // A snapshot whose store mentions an id the dictionary never assigned:
+  // every block checksum is valid, so only the id-range check can object.
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  const auto s = dict.intern_iri("http://x/s");
+  const auto p = dict.intern_iri("http://x/p");
+  store.insert({s, p, 7});  // id 7: beyond the 2 interned terms
+  std::ostringstream out;
+  rdf::save_snapshot(out, dict, store);
   std::string error;
-  EXPECT_FALSE(try_load(bytes, &error));
+  EXPECT_FALSE(try_load(out.str(), &error));
   EXPECT_EQ(error, "triple references unknown term");
+}
+
+TEST(SnapshotRobustness, EverySingleByteFlipIsDetected) {
+  const std::string bytes = valid_snapshot_bytes();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ mask);
+      std::string error;
+      EXPECT_FALSE(try_load(mutated, &error))
+          << "flip of bit mask " << int(mask) << " at byte " << i
+          << " loaded successfully";
+    }
+  }
 }
 
 TEST(SnapshotRobustness, NonEmptyTargetIsRejected) {

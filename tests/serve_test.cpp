@@ -493,5 +493,40 @@ TEST(QueryService, ConcurrentUpdatesNeverServeTornResults) {
   EXPECT_EQ(service.snapshot()->version, 1u + kBatches);
 }
 
+TEST(QueryService, SaveSnapshotPersistsTheLatestPublishedVersion) {
+  ServeFixtureData fx;
+  serve::QueryService service(fx.dict, *fx.vocab, std::move(fx.store),
+                              small_options());
+
+  // Advance past the initial version so the saved bytes provably come from
+  // the *current* snapshot, not the construction-time store.
+  std::vector<rdf::Triple> batch;
+  service.with_dict_exclusive([&](rdf::Dictionary& dict) {
+    const auto stu = dict.intern_iri(
+        "http://www.Department0.Univ0.edu/SnapshotStudent0");
+    const auto type = dict.intern_iri(
+        "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    const auto grad = dict.intern_iri(std::string(gen::kUnivBenchNs) +
+                                      "GraduateStudent");
+    batch.push_back({stu, type, grad});
+    return 0;
+  });
+  service.apply_update(batch);
+
+  std::ostringstream out;
+  const rdf::SnapshotStats ss = service.save_snapshot(out);
+  EXPECT_EQ(ss.bytes, out.str().size());
+  EXPECT_EQ(ss.triples, service.snapshot()->store.size());
+
+  // The snapshot reloads into a KB identical to what the service serves.
+  std::istringstream in(out.str());
+  rdf::Dictionary dict2;
+  rdf::TripleStore store2;
+  std::string error;
+  ASSERT_TRUE(rdf::load_snapshot(in, dict2, store2, &error)) << error;
+  EXPECT_EQ(store2.size(), service.snapshot()->store.size());
+  EXPECT_EQ(store2.triples(), service.snapshot()->store.triples());
+}
+
 }  // namespace
 }  // namespace parowl

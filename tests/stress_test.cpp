@@ -119,7 +119,7 @@ TEST(Stress, ThreadedRulePartitionOnFileTransport) {
 
   const auto spool =
       std::filesystem::temp_directory_path() / "parowl_stress_spool";
-  parallel::FileTransport transport(spool, dict, 3);
+  parallel::FileTransport transport(spool, 3);
   parallel::ParallelOptions popts;
   popts.approach = parallel::Approach::kRulePartition;
   popts.partitions = 3;

@@ -213,18 +213,16 @@ TEST_F(SnapshotTest, RejectsNonEmptyTargets) {
 }
 
 TEST_F(SnapshotTest, RejectsOutOfRangeTermIds) {
+  // The store mentions an id the dictionary never assigned, so the bytes
+  // are internally consistent (checksums pass) but the reference dangles.
   const TermId a = dict.intern_iri("a");
-  store.insert({a, a, a});
+  store.insert({a, a, a + 5});
   std::stringstream buffer;
   save_snapshot(buffer, dict, store);
-  std::string data = buffer.str();
-  // Corrupt the last triple id to a large value.
-  data[data.size() - 1] = '\x7f';
-  std::stringstream corrupt(data);
   Dictionary d2;
   TripleStore s2;
   std::string error;
-  EXPECT_FALSE(load_snapshot(corrupt, d2, s2, &error));
+  EXPECT_FALSE(load_snapshot(buffer, d2, s2, &error));
   EXPECT_EQ(error, "triple references unknown term");
 }
 

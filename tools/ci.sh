@@ -7,8 +7,9 @@
 #
 # Tier labels are assigned in tests/CMakeLists.txt via parowl_add_test:
 # tier1 is every fast deterministic suite, tier2 the slower sweeps.  The
-# ASan subset covers the transport/worker/cluster/fault layers where
-# serialization and concurrency bugs would live.
+# ASan subset covers the transport/worker/cluster/fault layers plus the
+# ingest pipeline and triple codec — the places where serialization and
+# concurrency bugs would live.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,10 +32,11 @@ if [ "$full" = 1 ]; then
   ctest --preset default -j "$jobs" -L tier2
 fi
 
-echo "=== asan subset (transport/worker/cluster/fault) ==="
+echo "=== asan subset (transport/worker/cluster/fault/ingest/codec) ==="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
-  --target transport_test worker_test cluster_test fault_injection_test
-ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault'
+  --target transport_test worker_test cluster_test fault_injection_test \
+  codec_test ingest_equivalence_test
+ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable'
 
 echo "=== ci green ==="

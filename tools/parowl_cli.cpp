@@ -30,6 +30,7 @@
 #include "parowl/serve/workload.hpp"
 #include "parowl/reason/explain.hpp"
 #include "parowl/rules/rule_parser.hpp"
+#include "parowl/rdf/chunked_reader.hpp"
 #include "parowl/rdf/graph_stats.hpp"
 #include "parowl/rdf/ntriples.hpp"
 #include "parowl/rdf/snapshot.hpp"
@@ -49,6 +50,7 @@ int usage() {
 commands:
   gen <lubm|uobm|mdc> [--scale N] [--seed S] -o <file>
   info <kb>
+  load-bench <kb.nt|kb.ttl> [--max-threads N]   (parallel-ingest sweep)
   materialize <kb> [-o <file>] [--strategy forward|query] [--no-compile]
               [--rules <file>] [--threads N] [--no-dispatch] [--no-devirt]
   query <kb> <sparql> [--reason]
@@ -65,6 +67,8 @@ commands:
           [--update-batches N] [--update-size M]
 
 kb files: .nt (N-Triples), .ttl (Turtle), .snap (binary snapshot)
+every command that loads a .nt/.ttl KB accepts --load-threads N
+(parallel ingest; the loaded KB is bit-identical for any N)
 )";
   return 2;
 }
@@ -75,13 +79,13 @@ bool ends_with(const std::string& s, const char* suffix) {
 }
 
 bool load_kb(const std::string& path, rdf::Dictionary& dict,
-             rdf::TripleStore& store) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::cerr << "cannot open " << path << "\n";
-    return false;
-  }
+             rdf::TripleStore& store, unsigned load_threads = 1) {
   if (ends_with(path, ".snap")) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return false;
+    }
     std::string error;
     if (!rdf::load_snapshot(in, dict, store, &error)) {
       std::cerr << "bad snapshot " << path << ": " << error << "\n";
@@ -89,12 +93,18 @@ bool load_kb(const std::string& path, rdf::Dictionary& dict,
     }
     return true;
   }
-  const rdf::ParseStats stats = ends_with(path, ".ttl")
-                                    ? rdf::parse_turtle(in, dict, store)
-                                    : rdf::parse_ntriples(in, dict, store);
-  if (stats.bad_lines > 0) {
-    std::cerr << "warning: " << stats.bad_lines << " malformed statements ("
-              << stats.first_error << ")\n";
+  rdf::IngestOptions opts;
+  opts.threads = load_threads;
+  rdf::IngestStats stats;
+  std::string error;
+  if (!rdf::ingest_file(path, dict, store, stats, opts, &error)) {
+    std::cerr << "cannot load " << path << ": " << error << "\n";
+    return false;
+  }
+  if (stats.parse.bad_lines > 0) {
+    std::cerr << "warning: " << stats.parse.bad_lines
+              << " malformed statements (" << stats.parse.first_error
+              << ")\n";
   }
   return true;
 }
@@ -168,7 +178,8 @@ class Args {
                           "--threads", "--queue", "--requests", "--rate",
                           "--clients", "--think", "--deadline",
                           "--update-batches", "--update-size",
-                          "--faults", "--checkpoint-dir"}) {
+                          "--faults", "--checkpoint-dir", "--load-threads",
+                          "--max-threads"}) {
       if (flag_name == f) {
         return true;
       }
@@ -177,6 +188,11 @@ class Args {
   }
   std::vector<std::string> args_;
 };
+
+unsigned load_threads_of(const Args& args) {
+  return static_cast<unsigned>(
+      std::stoul(args.option("--load-threads", "1")));
+}
 
 std::unique_ptr<partition::OwnerPolicy> make_policy(const std::string& name) {
   if (name == "hash") {
@@ -238,7 +254,7 @@ int cmd_info(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || !load_kb(path, dict, store)) {
+  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
     return 1;
   }
   const rdf::GraphStats gs = rdf::compute_graph_stats(store, dict);
@@ -257,11 +273,81 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+/// Parallel-ingest sweep: parse the same file with 1..max threads, report
+/// the per-stage breakdown, verify bit-identity against the serial load,
+/// and compare the codec footprint with the source text.
+int cmd_load_bench(const Args& args) {
+  const std::string path = args.positional(0);
+  if (path.empty() || ends_with(path, ".snap")) {
+    return usage();
+  }
+  const auto max_threads = static_cast<unsigned>(
+      std::stoul(args.option("--max-threads", "8")));
+
+  util::Table table({"threads", "read(s)", "scan(s)", "parse(s)", "merge(s)",
+                     "total(s)", "MB/s", "speedup", "identical"});
+  std::string golden;       // serial snapshot bytes
+  double serial_total = 0;  // serial wall-clock
+  std::size_t input_bytes = 0;
+  std::size_t codec_bytes = 0;
+  std::size_t triples = 0;
+  for (unsigned t = 1; t <= max_threads; t *= 2) {
+    rdf::Dictionary dict;
+    rdf::TripleStore store;
+    rdf::IngestOptions opts;
+    opts.threads = t;
+    rdf::IngestStats stats;
+    std::string error;
+    util::Stopwatch watch;
+    if (!rdf::ingest_file(path, dict, store, stats, opts, &error)) {
+      std::cerr << "cannot load " << path << ": " << error << "\n";
+      return 1;
+    }
+    const double total = watch.elapsed_seconds();
+
+    std::ostringstream snap;
+    const rdf::SnapshotStats ss = rdf::save_snapshot(snap, dict, store);
+    if (t == 1) {
+      golden = snap.str();
+      serial_total = total;
+      input_bytes = stats.bytes;
+      codec_bytes = ss.bytes;
+      triples = store.size();
+    }
+    const bool identical = snap.str() == golden;
+    table.add_row(
+        {std::to_string(stats.threads_used),
+         util::fmt_double(stats.read_seconds, 3),
+         util::fmt_double(stats.scan_seconds, 3),
+         util::fmt_double(stats.parse_seconds, 3),
+         util::fmt_double(stats.merge_seconds, 3),
+         util::fmt_double(total, 3),
+         util::fmt_double(static_cast<double>(stats.bytes) / 1e6 /
+                              std::max(total, 1e-9),
+                          1),
+         util::fmt_double(serial_total / std::max(total, 1e-9), 2),
+         identical ? "yes" : "NO"});
+    if (!identical) {
+      std::cerr << "BUG: " << t
+                << "-thread load differs from the serial load\n";
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  std::cout << triples << " triples; codec snapshot " << codec_bytes
+            << " bytes vs " << input_bytes << " text bytes ("
+            << util::fmt_double(100.0 * static_cast<double>(codec_bytes) /
+                                    std::max<std::size_t>(input_bytes, 1),
+                                1)
+            << "% of input)\n";
+  return 0;
+}
+
 int cmd_materialize(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || !load_kb(path, dict, store)) {
+  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
     return 1;
   }
   ontology::Vocabulary vocab(dict);
@@ -325,7 +411,7 @@ int cmd_query(const Args& args) {
   rdf::Dictionary dict;
   rdf::TripleStore store;
   if (path.empty() || (text.empty() && queries_file.empty()) ||
-      !load_kb(path, dict, store)) {
+      !load_kb(path, dict, store, load_threads_of(args))) {
     return path.empty() || (text.empty() && queries_file.empty()) ? usage()
                                                                   : 1;
   }
@@ -388,7 +474,7 @@ int cmd_serve_bench(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || !load_kb(path, dict, store)) {
+  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
     return path.empty() ? usage() : 1;
   }
   ontology::Vocabulary vocab(dict);
@@ -496,7 +582,7 @@ int cmd_explain(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
   rdf::TripleStore base;
-  if (path.empty() || !load_kb(path, dict, base)) {
+  if (path.empty() || !load_kb(path, dict, base, load_threads_of(args))) {
     return 1;
   }
   const rdf::TermId s = dict.find_iri(args.positional(1));
@@ -532,7 +618,7 @@ int cmd_partition(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || !load_kb(path, dict, store)) {
+  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
     return 1;
   }
   const auto k = static_cast<std::uint32_t>(std::stoul(args.option("-k", "4")));
@@ -607,7 +693,7 @@ int cmd_cluster(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || !load_kb(path, dict, store)) {
+  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
     return 1;
   }
   ontology::Vocabulary vocab(dict);
@@ -706,6 +792,9 @@ int main(int argc, char** argv) {
   }
   if (command == "info") {
     return cmd_info(args);
+  }
+  if (command == "load-bench") {
+    return cmd_load_bench(args);
   }
   if (command == "materialize") {
     return cmd_materialize(args);

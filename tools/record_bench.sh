@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
-# Regenerate bench/BENCH_reason.json — the checked-in google-benchmark
-# baseline for the forward-engine ablation sweep (dispatch index on/off ×
-# devirtualized joins on/off × 1/2/4/8 matching threads, LUBM-1 and MDC-2).
-# Usage: tools/record_bench.sh [extra micro_reason args...]
+# Regenerate the checked-in google-benchmark baselines:
+#   bench/BENCH_reason.json — forward-engine ablation sweep (dispatch index
+#     on/off × devirtualized joins on/off × 1/2/4/8 matching threads,
+#     LUBM-1 and MDC-2).
+#   bench/BENCH_ingest.json — parallel-ingest thread sweep (N-Triples and
+#     Turtle), serial-parse baseline, codec encode/decode throughput and
+#     bytes-per-triple, snapshot save/load.
+# Usage: tools/record_bench.sh [extra benchmark args...]
 #
-# The baseline answers "did this PR make the materializer hot path slower?"
-# — compare a fresh run against the checked-in file with
-# benchmark/tools/compare.py or by eye.  Absolute times are machine-bound;
-# the meaningful columns are the ratios between sweep points.
+# The baselines answer "did this PR make a hot path slower?" — compare a
+# fresh run against the checked-in files with benchmark/tools/compare.py
+# or by eye.  Absolute times are machine-bound; the meaningful columns are
+# the ratios between sweep points.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
 cmake --preset default
-cmake --build --preset default -j "$jobs" --target micro_reason
+cmake --build --preset default -j "$jobs" --target micro_reason \
+  extension_ingest
 
 build/bench/micro_reason \
   --benchmark_filter='BM_Closure' \
@@ -23,3 +28,10 @@ build/bench/micro_reason \
   "$@"
 
 echo "wrote bench/BENCH_reason.json"
+
+build/bench/extension_ingest \
+  --benchmark_out=bench/BENCH_ingest.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote bench/BENCH_ingest.json"
