@@ -1,0 +1,128 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "parowl::parowl_util" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_util )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_util "${_IMPORT_PREFIX}/lib/libparowl_util.a" )
+
+# Import target "parowl::parowl_rdf" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_rdf APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_rdf PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_rdf.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_rdf )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_rdf "${_IMPORT_PREFIX}/lib/libparowl_rdf.a" )
+
+# Import target "parowl::parowl_ontology" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_ontology APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_ontology PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_ontology.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_ontology )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_ontology "${_IMPORT_PREFIX}/lib/libparowl_ontology.a" )
+
+# Import target "parowl::parowl_rules" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_rules APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_rules PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_rules.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_rules )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_rules "${_IMPORT_PREFIX}/lib/libparowl_rules.a" )
+
+# Import target "parowl::parowl_reason" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_reason APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_reason PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_reason.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_reason )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_reason "${_IMPORT_PREFIX}/lib/libparowl_reason.a" )
+
+# Import target "parowl::parowl_query" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_query APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_query PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_query.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_query )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_query "${_IMPORT_PREFIX}/lib/libparowl_query.a" )
+
+# Import target "parowl::parowl_serve" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_serve APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_serve PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_serve.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_serve )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_serve "${_IMPORT_PREFIX}/lib/libparowl_serve.a" )
+
+# Import target "parowl::parowl_partition" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_partition APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_partition PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_partition.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_partition )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_partition "${_IMPORT_PREFIX}/lib/libparowl_partition.a" )
+
+# Import target "parowl::parowl_parallel" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_parallel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_parallel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_parallel.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_parallel )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_parallel "${_IMPORT_PREFIX}/lib/libparowl_parallel.a" )
+
+# Import target "parowl::parowl_gen" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_gen APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_gen PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_gen.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_gen )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_gen "${_IMPORT_PREFIX}/lib/libparowl_gen.a" )
+
+# Import target "parowl::parowl_perfmodel" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl_perfmodel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl_perfmodel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libparowl_perfmodel.a"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl_perfmodel )
+list(APPEND _cmake_import_check_files_for_parowl::parowl_perfmodel "${_IMPORT_PREFIX}/lib/libparowl_perfmodel.a" )
+
+# Import target "parowl::parowl" for configuration "RelWithDebInfo"
+set_property(TARGET parowl::parowl APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(parowl::parowl PROPERTIES
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/bin/parowl"
+  )
+
+list(APPEND _cmake_import_check_targets parowl::parowl )
+list(APPEND _cmake_import_check_files_for_parowl::parowl "${_IMPORT_PREFIX}/bin/parowl" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fault_overhead.dir/extension_fault_overhead.cpp.o"
+  "CMakeFiles/extension_fault_overhead.dir/extension_fault_overhead.cpp.o.d"
+  "extension_fault_overhead"
+  "extension_fault_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fault_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_hybrid.dir/extension_hybrid.cpp.o"
+  "CMakeFiles/extension_hybrid.dir/extension_hybrid.cpp.o.d"
+  "extension_hybrid"
+  "extension_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

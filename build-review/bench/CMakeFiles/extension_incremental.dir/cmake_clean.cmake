@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_incremental.dir/extension_incremental.cpp.o"
+  "CMakeFiles/extension_incremental.dir/extension_incremental.cpp.o.d"
+  "extension_incremental"
+  "extension_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_ingest.dir/extension_ingest.cpp.o"
+  "CMakeFiles/extension_ingest.dir/extension_ingest.cpp.o.d"
+  "extension_ingest"
+  "extension_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_rebalance.dir/extension_rebalance.cpp.o"
+  "CMakeFiles/extension_rebalance.dir/extension_rebalance.cpp.o.d"
+  "extension_rebalance"
+  "extension_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

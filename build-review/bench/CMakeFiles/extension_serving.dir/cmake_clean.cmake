@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_serving.dir/extension_serving.cpp.o"
+  "CMakeFiles/extension_serving.dir/extension_serving.cpp.o.d"
+  "extension_serving"
+  "extension_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

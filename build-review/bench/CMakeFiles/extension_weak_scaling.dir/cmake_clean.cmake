@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_weak_scaling.dir/extension_weak_scaling.cpp.o"
+  "CMakeFiles/extension_weak_scaling.dir/extension_weak_scaling.cpp.o.d"
+  "extension_weak_scaling"
+  "extension_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

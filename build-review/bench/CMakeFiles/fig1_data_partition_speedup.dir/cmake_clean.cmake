@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_data_partition_speedup.dir/fig1_data_partition_speedup.cpp.o"
+  "CMakeFiles/fig1_data_partition_speedup.dir/fig1_data_partition_speedup.cpp.o.d"
+  "fig1_data_partition_speedup"
+  "fig1_data_partition_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_data_partition_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_perf_model.dir/fig4_perf_model.cpp.o"
+  "CMakeFiles/fig4_perf_model.dir/fig4_perf_model.cpp.o.d"
+  "fig4_perf_model"
+  "fig4_perf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_perf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_partitioner_comparison.dir/fig5_partitioner_comparison.cpp.o"
+  "CMakeFiles/fig5_partitioner_comparison.dir/fig5_partitioner_comparison.cpp.o.d"
+  "fig5_partitioner_comparison"
+  "fig5_partitioner_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_partitioner_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_rule_partition_speedup.
+# This may be replaced when dependencies are built.

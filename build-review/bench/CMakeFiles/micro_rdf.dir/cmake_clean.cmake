@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rdf.dir/micro_rdf.cpp.o"
+  "CMakeFiles/micro_rdf.dir/micro_rdf.cpp.o.d"
+  "micro_rdf"
+  "micro_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reason.dir/micro_reason.cpp.o"
+  "CMakeFiles/micro_reason.dir/micro_reason.cpp.o.d"
+  "micro_reason"
+  "micro_reason.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reason.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

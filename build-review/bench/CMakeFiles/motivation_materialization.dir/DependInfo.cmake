@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/motivation_materialization.cpp" "bench/CMakeFiles/motivation_materialization.dir/motivation_materialization.cpp.o" "gcc" "bench/CMakeFiles/motivation_materialization.dir/motivation_materialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/parowl_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ontology/CMakeFiles/parowl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rules/CMakeFiles/parowl_rules.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reason/CMakeFiles/parowl_reason.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/query/CMakeFiles/parowl_query.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/serve/CMakeFiles/parowl_serve.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/parowl_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parallel/CMakeFiles/parowl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gen/CMakeFiles/parowl_gen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/perfmodel/CMakeFiles/parowl_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

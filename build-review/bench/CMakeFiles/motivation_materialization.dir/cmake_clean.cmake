@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_materialization.dir/motivation_materialization.cpp.o"
+  "CMakeFiles/motivation_materialization.dir/motivation_materialization.cpp.o.d"
+  "motivation_materialization"
+  "motivation_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

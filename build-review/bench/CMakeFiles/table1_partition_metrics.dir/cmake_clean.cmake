@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_partition_metrics.dir/table1_partition_metrics.cpp.o"
+  "CMakeFiles/table1_partition_metrics.dir/table1_partition_metrics.cpp.o.d"
+  "table1_partition_metrics"
+  "table1_partition_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_partition_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

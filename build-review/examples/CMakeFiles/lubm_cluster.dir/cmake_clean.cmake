@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lubm_cluster.dir/lubm_cluster.cpp.o"
+  "CMakeFiles/lubm_cluster.dir/lubm_cluster.cpp.o.d"
+  "lubm_cluster"
+  "lubm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lubm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oilfield.dir/oilfield.cpp.o"
+  "CMakeFiles/oilfield.dir/oilfield.cpp.o.d"
+  "oilfield"
+  "oilfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oilfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance.dir/provenance.cpp.o"
+  "CMakeFiles/provenance.dir/provenance.cpp.o.d"
+  "provenance"
+  "provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

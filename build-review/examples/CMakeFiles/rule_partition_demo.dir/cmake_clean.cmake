@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_partition_demo.dir/rule_partition_demo.cpp.o"
+  "CMakeFiles/rule_partition_demo.dir/rule_partition_demo.cpp.o.d"
+  "rule_partition_demo"
+  "rule_partition_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_partition_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_feed.dir/sensor_feed.cpp.o"
+  "CMakeFiles/sensor_feed.dir/sensor_feed.cpp.o.d"
+  "sensor_feed"
+  "sensor_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build-review/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  PASS_REGULAR_EXPRESSION "ancestorOf" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_lubm_cluster]=] "/root/repo/build-review/examples/lubm_cluster" "2" "2")
+set_tests_properties([=[example_lubm_cluster]=] PROPERTIES  PASS_REGULAR_EXPRESSION "same closure" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_oilfield]=] "/root/repo/build-review/examples/oilfield" "2" "2")
+set_tests_properties([=[example_oilfield]=] PROPERTIES  PASS_REGULAR_EXPRESSION "monitored assets" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_rule_partition_demo]=] "/root/repo/build-review/examples/rule_partition_demo" "2")
+set_tests_properties([=[example_rule_partition_demo]=] PROPERTIES  PASS_REGULAR_EXPRESSION "results identical" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_provenance]=] "/root/repo/build-review/examples/provenance" "1")
+set_tests_properties([=[example_provenance]=] PROPERTIES  PASS_REGULAR_EXPRESSION "asserted" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_sensor_feed]=] "/root/repo/build-review/examples/sensor_feed" "1" "2")
+set_tests_properties([=[example_sensor_feed]=] PROPERTIES  PASS_REGULAR_EXPRESSION "no re-reasoning" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")

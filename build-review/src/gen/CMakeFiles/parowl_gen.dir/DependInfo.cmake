@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/src/lubm.cpp" "src/gen/CMakeFiles/parowl_gen.dir/src/lubm.cpp.o" "gcc" "src/gen/CMakeFiles/parowl_gen.dir/src/lubm.cpp.o.d"
+  "/root/repo/src/gen/src/lubm_queries.cpp" "src/gen/CMakeFiles/parowl_gen.dir/src/lubm_queries.cpp.o" "gcc" "src/gen/CMakeFiles/parowl_gen.dir/src/lubm_queries.cpp.o.d"
+  "/root/repo/src/gen/src/mdc.cpp" "src/gen/CMakeFiles/parowl_gen.dir/src/mdc.cpp.o" "gcc" "src/gen/CMakeFiles/parowl_gen.dir/src/mdc.cpp.o.d"
+  "/root/repo/src/gen/src/uobm.cpp" "src/gen/CMakeFiles/parowl_gen.dir/src/uobm.cpp.o" "gcc" "src/gen/CMakeFiles/parowl_gen.dir/src/uobm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ontology/CMakeFiles/parowl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/parowl_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_gen.dir/src/lubm.cpp.o"
+  "CMakeFiles/parowl_gen.dir/src/lubm.cpp.o.d"
+  "CMakeFiles/parowl_gen.dir/src/lubm_queries.cpp.o"
+  "CMakeFiles/parowl_gen.dir/src/lubm_queries.cpp.o.d"
+  "CMakeFiles/parowl_gen.dir/src/mdc.cpp.o"
+  "CMakeFiles/parowl_gen.dir/src/mdc.cpp.o.d"
+  "CMakeFiles/parowl_gen.dir/src/uobm.cpp.o"
+  "CMakeFiles/parowl_gen.dir/src/uobm.cpp.o.d"
+  "libparowl_gen.a"
+  "libparowl_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

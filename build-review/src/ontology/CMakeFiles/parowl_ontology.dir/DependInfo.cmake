@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/src/ontology.cpp" "src/ontology/CMakeFiles/parowl_ontology.dir/src/ontology.cpp.o" "gcc" "src/ontology/CMakeFiles/parowl_ontology.dir/src/ontology.cpp.o.d"
+  "/root/repo/src/ontology/src/vocabulary.cpp" "src/ontology/CMakeFiles/parowl_ontology.dir/src/vocabulary.cpp.o" "gcc" "src/ontology/CMakeFiles/parowl_ontology.dir/src/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/rdf/CMakeFiles/parowl_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_ontology.dir/src/ontology.cpp.o"
+  "CMakeFiles/parowl_ontology.dir/src/ontology.cpp.o.d"
+  "CMakeFiles/parowl_ontology.dir/src/vocabulary.cpp.o"
+  "CMakeFiles/parowl_ontology.dir/src/vocabulary.cpp.o.d"
+  "libparowl_ontology.a"
+  "libparowl_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

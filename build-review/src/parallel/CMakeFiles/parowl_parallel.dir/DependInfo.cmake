@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/src/async_sim.cpp" "src/parallel/CMakeFiles/parowl_parallel.dir/src/async_sim.cpp.o" "gcc" "src/parallel/CMakeFiles/parowl_parallel.dir/src/async_sim.cpp.o.d"
+  "/root/repo/src/parallel/src/cluster.cpp" "src/parallel/CMakeFiles/parowl_parallel.dir/src/cluster.cpp.o" "gcc" "src/parallel/CMakeFiles/parowl_parallel.dir/src/cluster.cpp.o.d"
+  "/root/repo/src/parallel/src/pipeline.cpp" "src/parallel/CMakeFiles/parowl_parallel.dir/src/pipeline.cpp.o" "gcc" "src/parallel/CMakeFiles/parowl_parallel.dir/src/pipeline.cpp.o.d"
+  "/root/repo/src/parallel/src/router.cpp" "src/parallel/CMakeFiles/parowl_parallel.dir/src/router.cpp.o" "gcc" "src/parallel/CMakeFiles/parowl_parallel.dir/src/router.cpp.o.d"
+  "/root/repo/src/parallel/src/transport.cpp" "src/parallel/CMakeFiles/parowl_parallel.dir/src/transport.cpp.o" "gcc" "src/parallel/CMakeFiles/parowl_parallel.dir/src/transport.cpp.o.d"
+  "/root/repo/src/parallel/src/worker.cpp" "src/parallel/CMakeFiles/parowl_parallel.dir/src/worker.cpp.o" "gcc" "src/parallel/CMakeFiles/parowl_parallel.dir/src/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/partition/CMakeFiles/parowl_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reason/CMakeFiles/parowl_reason.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rules/CMakeFiles/parowl_rules.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ontology/CMakeFiles/parowl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/parowl_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

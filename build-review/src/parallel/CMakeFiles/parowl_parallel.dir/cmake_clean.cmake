@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_parallel.dir/src/async_sim.cpp.o"
+  "CMakeFiles/parowl_parallel.dir/src/async_sim.cpp.o.d"
+  "CMakeFiles/parowl_parallel.dir/src/cluster.cpp.o"
+  "CMakeFiles/parowl_parallel.dir/src/cluster.cpp.o.d"
+  "CMakeFiles/parowl_parallel.dir/src/pipeline.cpp.o"
+  "CMakeFiles/parowl_parallel.dir/src/pipeline.cpp.o.d"
+  "CMakeFiles/parowl_parallel.dir/src/router.cpp.o"
+  "CMakeFiles/parowl_parallel.dir/src/router.cpp.o.d"
+  "CMakeFiles/parowl_parallel.dir/src/transport.cpp.o"
+  "CMakeFiles/parowl_parallel.dir/src/transport.cpp.o.d"
+  "CMakeFiles/parowl_parallel.dir/src/worker.cpp.o"
+  "CMakeFiles/parowl_parallel.dir/src/worker.cpp.o.d"
+  "libparowl_parallel.a"
+  "libparowl_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

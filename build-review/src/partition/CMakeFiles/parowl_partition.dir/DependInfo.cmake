@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/src/data_partition.cpp" "src/partition/CMakeFiles/parowl_partition.dir/src/data_partition.cpp.o" "gcc" "src/partition/CMakeFiles/parowl_partition.dir/src/data_partition.cpp.o.d"
+  "/root/repo/src/partition/src/graph.cpp" "src/partition/CMakeFiles/parowl_partition.dir/src/graph.cpp.o" "gcc" "src/partition/CMakeFiles/parowl_partition.dir/src/graph.cpp.o.d"
+  "/root/repo/src/partition/src/metrics.cpp" "src/partition/CMakeFiles/parowl_partition.dir/src/metrics.cpp.o" "gcc" "src/partition/CMakeFiles/parowl_partition.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/partition/src/multilevel.cpp" "src/partition/CMakeFiles/parowl_partition.dir/src/multilevel.cpp.o" "gcc" "src/partition/CMakeFiles/parowl_partition.dir/src/multilevel.cpp.o.d"
+  "/root/repo/src/partition/src/owner_policy.cpp" "src/partition/CMakeFiles/parowl_partition.dir/src/owner_policy.cpp.o" "gcc" "src/partition/CMakeFiles/parowl_partition.dir/src/owner_policy.cpp.o.d"
+  "/root/repo/src/partition/src/rebalance.cpp" "src/partition/CMakeFiles/parowl_partition.dir/src/rebalance.cpp.o" "gcc" "src/partition/CMakeFiles/parowl_partition.dir/src/rebalance.cpp.o.d"
+  "/root/repo/src/partition/src/rule_partition.cpp" "src/partition/CMakeFiles/parowl_partition.dir/src/rule_partition.cpp.o" "gcc" "src/partition/CMakeFiles/parowl_partition.dir/src/rule_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/rules/CMakeFiles/parowl_rules.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reason/CMakeFiles/parowl_reason.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ontology/CMakeFiles/parowl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/parowl_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_partition.dir/src/data_partition.cpp.o"
+  "CMakeFiles/parowl_partition.dir/src/data_partition.cpp.o.d"
+  "CMakeFiles/parowl_partition.dir/src/graph.cpp.o"
+  "CMakeFiles/parowl_partition.dir/src/graph.cpp.o.d"
+  "CMakeFiles/parowl_partition.dir/src/metrics.cpp.o"
+  "CMakeFiles/parowl_partition.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/parowl_partition.dir/src/multilevel.cpp.o"
+  "CMakeFiles/parowl_partition.dir/src/multilevel.cpp.o.d"
+  "CMakeFiles/parowl_partition.dir/src/owner_policy.cpp.o"
+  "CMakeFiles/parowl_partition.dir/src/owner_policy.cpp.o.d"
+  "CMakeFiles/parowl_partition.dir/src/rebalance.cpp.o"
+  "CMakeFiles/parowl_partition.dir/src/rebalance.cpp.o.d"
+  "CMakeFiles/parowl_partition.dir/src/rule_partition.cpp.o"
+  "CMakeFiles/parowl_partition.dir/src/rule_partition.cpp.o.d"
+  "libparowl_partition.a"
+  "libparowl_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

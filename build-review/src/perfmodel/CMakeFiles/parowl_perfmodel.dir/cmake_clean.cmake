@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_perfmodel.dir/src/polyfit.cpp.o"
+  "CMakeFiles/parowl_perfmodel.dir/src/polyfit.cpp.o.d"
+  "libparowl_perfmodel.a"
+  "libparowl_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

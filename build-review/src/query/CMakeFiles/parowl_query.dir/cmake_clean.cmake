@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_query.dir/src/bgp.cpp.o"
+  "CMakeFiles/parowl_query.dir/src/bgp.cpp.o.d"
+  "CMakeFiles/parowl_query.dir/src/sparql_parser.cpp.o"
+  "CMakeFiles/parowl_query.dir/src/sparql_parser.cpp.o.d"
+  "libparowl_query.a"
+  "libparowl_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

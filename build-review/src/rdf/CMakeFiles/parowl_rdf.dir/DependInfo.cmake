@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/src/chunked_reader.cpp" "src/rdf/CMakeFiles/parowl_rdf.dir/src/chunked_reader.cpp.o" "gcc" "src/rdf/CMakeFiles/parowl_rdf.dir/src/chunked_reader.cpp.o.d"
+  "/root/repo/src/rdf/src/codec.cpp" "src/rdf/CMakeFiles/parowl_rdf.dir/src/codec.cpp.o" "gcc" "src/rdf/CMakeFiles/parowl_rdf.dir/src/codec.cpp.o.d"
+  "/root/repo/src/rdf/src/dictionary.cpp" "src/rdf/CMakeFiles/parowl_rdf.dir/src/dictionary.cpp.o" "gcc" "src/rdf/CMakeFiles/parowl_rdf.dir/src/dictionary.cpp.o.d"
+  "/root/repo/src/rdf/src/graph_stats.cpp" "src/rdf/CMakeFiles/parowl_rdf.dir/src/graph_stats.cpp.o" "gcc" "src/rdf/CMakeFiles/parowl_rdf.dir/src/graph_stats.cpp.o.d"
+  "/root/repo/src/rdf/src/ntriples.cpp" "src/rdf/CMakeFiles/parowl_rdf.dir/src/ntriples.cpp.o" "gcc" "src/rdf/CMakeFiles/parowl_rdf.dir/src/ntriples.cpp.o.d"
+  "/root/repo/src/rdf/src/snapshot.cpp" "src/rdf/CMakeFiles/parowl_rdf.dir/src/snapshot.cpp.o" "gcc" "src/rdf/CMakeFiles/parowl_rdf.dir/src/snapshot.cpp.o.d"
+  "/root/repo/src/rdf/src/triple_store.cpp" "src/rdf/CMakeFiles/parowl_rdf.dir/src/triple_store.cpp.o" "gcc" "src/rdf/CMakeFiles/parowl_rdf.dir/src/triple_store.cpp.o.d"
+  "/root/repo/src/rdf/src/turtle.cpp" "src/rdf/CMakeFiles/parowl_rdf.dir/src/turtle.cpp.o" "gcc" "src/rdf/CMakeFiles/parowl_rdf.dir/src/turtle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

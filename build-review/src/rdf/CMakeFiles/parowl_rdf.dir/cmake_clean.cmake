@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_rdf.dir/src/chunked_reader.cpp.o"
+  "CMakeFiles/parowl_rdf.dir/src/chunked_reader.cpp.o.d"
+  "CMakeFiles/parowl_rdf.dir/src/codec.cpp.o"
+  "CMakeFiles/parowl_rdf.dir/src/codec.cpp.o.d"
+  "CMakeFiles/parowl_rdf.dir/src/dictionary.cpp.o"
+  "CMakeFiles/parowl_rdf.dir/src/dictionary.cpp.o.d"
+  "CMakeFiles/parowl_rdf.dir/src/graph_stats.cpp.o"
+  "CMakeFiles/parowl_rdf.dir/src/graph_stats.cpp.o.d"
+  "CMakeFiles/parowl_rdf.dir/src/ntriples.cpp.o"
+  "CMakeFiles/parowl_rdf.dir/src/ntriples.cpp.o.d"
+  "CMakeFiles/parowl_rdf.dir/src/snapshot.cpp.o"
+  "CMakeFiles/parowl_rdf.dir/src/snapshot.cpp.o.d"
+  "CMakeFiles/parowl_rdf.dir/src/triple_store.cpp.o"
+  "CMakeFiles/parowl_rdf.dir/src/triple_store.cpp.o.d"
+  "CMakeFiles/parowl_rdf.dir/src/turtle.cpp.o"
+  "CMakeFiles/parowl_rdf.dir/src/turtle.cpp.o.d"
+  "libparowl_rdf.a"
+  "libparowl_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparowl_rdf.a"
+)

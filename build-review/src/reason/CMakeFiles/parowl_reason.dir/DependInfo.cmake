@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reason/src/backward.cpp" "src/reason/CMakeFiles/parowl_reason.dir/src/backward.cpp.o" "gcc" "src/reason/CMakeFiles/parowl_reason.dir/src/backward.cpp.o.d"
+  "/root/repo/src/reason/src/explain.cpp" "src/reason/CMakeFiles/parowl_reason.dir/src/explain.cpp.o" "gcc" "src/reason/CMakeFiles/parowl_reason.dir/src/explain.cpp.o.d"
+  "/root/repo/src/reason/src/forward.cpp" "src/reason/CMakeFiles/parowl_reason.dir/src/forward.cpp.o" "gcc" "src/reason/CMakeFiles/parowl_reason.dir/src/forward.cpp.o.d"
+  "/root/repo/src/reason/src/materialize.cpp" "src/reason/CMakeFiles/parowl_reason.dir/src/materialize.cpp.o" "gcc" "src/reason/CMakeFiles/parowl_reason.dir/src/materialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/rules/CMakeFiles/parowl_rules.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ontology/CMakeFiles/parowl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/parowl_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

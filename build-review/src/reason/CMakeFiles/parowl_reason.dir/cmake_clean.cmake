@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_reason.dir/src/backward.cpp.o"
+  "CMakeFiles/parowl_reason.dir/src/backward.cpp.o.d"
+  "CMakeFiles/parowl_reason.dir/src/explain.cpp.o"
+  "CMakeFiles/parowl_reason.dir/src/explain.cpp.o.d"
+  "CMakeFiles/parowl_reason.dir/src/forward.cpp.o"
+  "CMakeFiles/parowl_reason.dir/src/forward.cpp.o.d"
+  "CMakeFiles/parowl_reason.dir/src/materialize.cpp.o"
+  "CMakeFiles/parowl_reason.dir/src/materialize.cpp.o.d"
+  "libparowl_reason.a"
+  "libparowl_reason.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_reason.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parowl_reason.
+# This may be replaced when dependencies are built.

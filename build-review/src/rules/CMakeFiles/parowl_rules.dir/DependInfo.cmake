@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/src/compiler.cpp" "src/rules/CMakeFiles/parowl_rules.dir/src/compiler.cpp.o" "gcc" "src/rules/CMakeFiles/parowl_rules.dir/src/compiler.cpp.o.d"
+  "/root/repo/src/rules/src/dependency_graph.cpp" "src/rules/CMakeFiles/parowl_rules.dir/src/dependency_graph.cpp.o" "gcc" "src/rules/CMakeFiles/parowl_rules.dir/src/dependency_graph.cpp.o.d"
+  "/root/repo/src/rules/src/horst_rules.cpp" "src/rules/CMakeFiles/parowl_rules.dir/src/horst_rules.cpp.o" "gcc" "src/rules/CMakeFiles/parowl_rules.dir/src/horst_rules.cpp.o.d"
+  "/root/repo/src/rules/src/rule.cpp" "src/rules/CMakeFiles/parowl_rules.dir/src/rule.cpp.o" "gcc" "src/rules/CMakeFiles/parowl_rules.dir/src/rule.cpp.o.d"
+  "/root/repo/src/rules/src/rule_parser.cpp" "src/rules/CMakeFiles/parowl_rules.dir/src/rule_parser.cpp.o" "gcc" "src/rules/CMakeFiles/parowl_rules.dir/src/rule_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ontology/CMakeFiles/parowl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/parowl_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_rules.dir/src/compiler.cpp.o"
+  "CMakeFiles/parowl_rules.dir/src/compiler.cpp.o.d"
+  "CMakeFiles/parowl_rules.dir/src/dependency_graph.cpp.o"
+  "CMakeFiles/parowl_rules.dir/src/dependency_graph.cpp.o.d"
+  "CMakeFiles/parowl_rules.dir/src/horst_rules.cpp.o"
+  "CMakeFiles/parowl_rules.dir/src/horst_rules.cpp.o.d"
+  "CMakeFiles/parowl_rules.dir/src/rule.cpp.o"
+  "CMakeFiles/parowl_rules.dir/src/rule.cpp.o.d"
+  "CMakeFiles/parowl_rules.dir/src/rule_parser.cpp.o"
+  "CMakeFiles/parowl_rules.dir/src/rule_parser.cpp.o.d"
+  "libparowl_rules.a"
+  "libparowl_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

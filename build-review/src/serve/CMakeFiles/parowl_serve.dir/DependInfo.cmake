@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/src/executor.cpp" "src/serve/CMakeFiles/parowl_serve.dir/src/executor.cpp.o" "gcc" "src/serve/CMakeFiles/parowl_serve.dir/src/executor.cpp.o.d"
+  "/root/repo/src/serve/src/result_cache.cpp" "src/serve/CMakeFiles/parowl_serve.dir/src/result_cache.cpp.o" "gcc" "src/serve/CMakeFiles/parowl_serve.dir/src/result_cache.cpp.o.d"
+  "/root/repo/src/serve/src/service.cpp" "src/serve/CMakeFiles/parowl_serve.dir/src/service.cpp.o" "gcc" "src/serve/CMakeFiles/parowl_serve.dir/src/service.cpp.o.d"
+  "/root/repo/src/serve/src/snapshot.cpp" "src/serve/CMakeFiles/parowl_serve.dir/src/snapshot.cpp.o" "gcc" "src/serve/CMakeFiles/parowl_serve.dir/src/snapshot.cpp.o.d"
+  "/root/repo/src/serve/src/stats.cpp" "src/serve/CMakeFiles/parowl_serve.dir/src/stats.cpp.o" "gcc" "src/serve/CMakeFiles/parowl_serve.dir/src/stats.cpp.o.d"
+  "/root/repo/src/serve/src/updater.cpp" "src/serve/CMakeFiles/parowl_serve.dir/src/updater.cpp.o" "gcc" "src/serve/CMakeFiles/parowl_serve.dir/src/updater.cpp.o.d"
+  "/root/repo/src/serve/src/workload.cpp" "src/serve/CMakeFiles/parowl_serve.dir/src/workload.cpp.o" "gcc" "src/serve/CMakeFiles/parowl_serve.dir/src/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/query/CMakeFiles/parowl_query.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reason/CMakeFiles/parowl_reason.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rules/CMakeFiles/parowl_rules.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ontology/CMakeFiles/parowl_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rdf/CMakeFiles/parowl_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/parowl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_serve.dir/src/executor.cpp.o"
+  "CMakeFiles/parowl_serve.dir/src/executor.cpp.o.d"
+  "CMakeFiles/parowl_serve.dir/src/result_cache.cpp.o"
+  "CMakeFiles/parowl_serve.dir/src/result_cache.cpp.o.d"
+  "CMakeFiles/parowl_serve.dir/src/service.cpp.o"
+  "CMakeFiles/parowl_serve.dir/src/service.cpp.o.d"
+  "CMakeFiles/parowl_serve.dir/src/snapshot.cpp.o"
+  "CMakeFiles/parowl_serve.dir/src/snapshot.cpp.o.d"
+  "CMakeFiles/parowl_serve.dir/src/stats.cpp.o"
+  "CMakeFiles/parowl_serve.dir/src/stats.cpp.o.d"
+  "CMakeFiles/parowl_serve.dir/src/updater.cpp.o"
+  "CMakeFiles/parowl_serve.dir/src/updater.cpp.o.d"
+  "CMakeFiles/parowl_serve.dir/src/workload.cpp.o"
+  "CMakeFiles/parowl_serve.dir/src/workload.cpp.o.d"
+  "libparowl_serve.a"
+  "libparowl_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

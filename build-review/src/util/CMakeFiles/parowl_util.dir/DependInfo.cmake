@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/log.cpp" "src/util/CMakeFiles/parowl_util.dir/src/log.cpp.o" "gcc" "src/util/CMakeFiles/parowl_util.dir/src/log.cpp.o.d"
+  "/root/repo/src/util/src/rng.cpp" "src/util/CMakeFiles/parowl_util.dir/src/rng.cpp.o" "gcc" "src/util/CMakeFiles/parowl_util.dir/src/rng.cpp.o.d"
+  "/root/repo/src/util/src/strings.cpp" "src/util/CMakeFiles/parowl_util.dir/src/strings.cpp.o" "gcc" "src/util/CMakeFiles/parowl_util.dir/src/strings.cpp.o.d"
+  "/root/repo/src/util/src/table.cpp" "src/util/CMakeFiles/parowl_util.dir/src/table.cpp.o" "gcc" "src/util/CMakeFiles/parowl_util.dir/src/table.cpp.o.d"
+  "/root/repo/src/util/src/timer.cpp" "src/util/CMakeFiles/parowl_util.dir/src/timer.cpp.o" "gcc" "src/util/CMakeFiles/parowl_util.dir/src/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl_util.dir/src/log.cpp.o"
+  "CMakeFiles/parowl_util.dir/src/log.cpp.o.d"
+  "CMakeFiles/parowl_util.dir/src/rng.cpp.o"
+  "CMakeFiles/parowl_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/parowl_util.dir/src/strings.cpp.o"
+  "CMakeFiles/parowl_util.dir/src/strings.cpp.o.d"
+  "CMakeFiles/parowl_util.dir/src/table.cpp.o"
+  "CMakeFiles/parowl_util.dir/src/table.cpp.o.d"
+  "CMakeFiles/parowl_util.dir/src/timer.cpp.o"
+  "CMakeFiles/parowl_util.dir/src/timer.cpp.o.d"
+  "libparowl_util.a"
+  "libparowl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

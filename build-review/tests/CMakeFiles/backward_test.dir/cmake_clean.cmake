@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backward_test.dir/backward_test.cpp.o"
+  "CMakeFiles/backward_test.dir/backward_test.cpp.o.d"
+  "backward_test"
+  "backward_test.pdb"
+  "backward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forward_test.dir/forward_test.cpp.o"
+  "CMakeFiles/forward_test.dir/forward_test.cpp.o.d"
+  "forward_test"
+  "forward_test.pdb"
+  "forward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_partition_test.dir/graph_partition_test.cpp.o"
+  "CMakeFiles/graph_partition_test.dir/graph_partition_test.cpp.o.d"
+  "graph_partition_test"
+  "graph_partition_test.pdb"
+  "graph_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horst_sweep_test.dir/horst_sweep_test.cpp.o"
+  "CMakeFiles/horst_sweep_test.dir/horst_sweep_test.cpp.o.d"
+  "horst_sweep_test"
+  "horst_sweep_test.pdb"
+  "horst_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horst_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_equivalence_test.dir/ingest_equivalence_test.cpp.o"
+  "CMakeFiles/ingest_equivalence_test.dir/ingest_equivalence_test.cpp.o.d"
+  "ingest_equivalence_test"
+  "ingest_equivalence_test.pdb"
+  "ingest_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

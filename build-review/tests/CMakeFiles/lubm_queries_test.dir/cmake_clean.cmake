@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lubm_queries_test.dir/lubm_queries_test.cpp.o"
+  "CMakeFiles/lubm_queries_test.dir/lubm_queries_test.cpp.o.d"
+  "lubm_queries_test"
+  "lubm_queries_test.pdb"
+  "lubm_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lubm_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_validation_test.dir/pipeline_validation_test.cpp.o"
+  "CMakeFiles/pipeline_validation_test.dir/pipeline_validation_test.cpp.o.d"
+  "pipeline_validation_test"
+  "pipeline_validation_test.pdb"
+  "pipeline_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_test.dir/rdf_test.cpp.o"
+  "CMakeFiles/rdf_test.dir/rdf_test.cpp.o.d"
+  "rdf_test"
+  "rdf_test.pdb"
+  "rdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

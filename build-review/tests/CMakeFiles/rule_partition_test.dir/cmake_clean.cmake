@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_partition_test.dir/rule_partition_test.cpp.o"
+  "CMakeFiles/rule_partition_test.dir/rule_partition_test.cpp.o.d"
+  "rule_partition_test"
+  "rule_partition_test.pdb"
+  "rule_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

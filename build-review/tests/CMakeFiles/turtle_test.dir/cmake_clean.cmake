@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turtle_test.dir/turtle_test.cpp.o"
+  "CMakeFiles/turtle_test.dir/turtle_test.cpp.o.d"
+  "turtle_test"
+  "turtle_test.pdb"
+  "turtle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turtle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parowl.dir/parowl_cli.cpp.o"
+  "CMakeFiles/parowl.dir/parowl_cli.cpp.o.d"
+  "parowl"
+  "parowl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parowl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

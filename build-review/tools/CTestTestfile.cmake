@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_gen]=] "/root/repo/build-review/tools/parowl" "gen" "lubm" "--scale" "1" "-o" "/root/repo/build-review/cli_test_kb.nt")
+set_tests_properties([=[cli_gen]=] PROPERTIES  FIXTURES_SETUP "cli_kb" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_info]=] "/root/repo/build-review/tools/parowl" "info" "/root/repo/build-review/cli_test_kb.nt")
+set_tests_properties([=[cli_info]=] PROPERTIES  FIXTURES_REQUIRED "cli_kb" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_materialize]=] "/root/repo/build-review/tools/parowl" "materialize" "/root/repo/build-review/cli_test_kb.nt" "-o" "/root/repo/build-review/cli_test_kb.snap")
+set_tests_properties([=[cli_materialize]=] PROPERTIES  FIXTURES_REQUIRED "cli_kb" FIXTURES_SETUP "cli_snap" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_query]=] "/root/repo/build-review/tools/parowl" "query" "/root/repo/build-review/cli_test_kb.snap" "SELECT DISTINCT ?x WHERE { ?x a ub:University }")
+set_tests_properties([=[cli_query]=] PROPERTIES  FIXTURES_REQUIRED "cli_snap" PASS_REGULAR_EXPRESSION "result" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_partition]=] "/root/repo/build-review/tools/parowl" "partition" "/root/repo/build-review/cli_test_kb.nt" "-k" "4" "--policy" "lubm")
+set_tests_properties([=[cli_partition]=] PROPERTIES  FIXTURES_REQUIRED "cli_kb" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_cluster]=] "/root/repo/build-review/tools/parowl" "cluster" "/root/repo/build-review/cli_test_kb.nt" "-k" "4" "--mode" "async")
+set_tests_properties([=[cli_cluster]=] PROPERTIES  FIXTURES_REQUIRED "cli_kb" PASS_REGULAR_EXPRESSION "inferred" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_query_batch]=] "/root/repo/build-review/tools/parowl" "query" "/root/repo/build-review/cli_test_kb.snap" "--queries-file" "/root/repo/build-review/cli_test_queries.rq")
+set_tests_properties([=[cli_query_batch]=] PROPERTIES  FIXTURES_REQUIRED "cli_snap" PASS_REGULAR_EXPRESSION "results" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;50;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_serve_bench]=] "/root/repo/build-review/tools/parowl" "serve-bench" "/root/repo/build-review/cli_test_kb.snap" "--threads" "2" "--clients" "2" "--requests" "64" "--queue" "16" "--update-batches" "2")
+set_tests_properties([=[cli_serve_bench]=] PROPERTIES  FIXTURES_REQUIRED "cli_snap" PASS_REGULAR_EXPRESSION "throughput" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;56;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_usage]=] "/root/repo/build-review/tools/parowl")
+set_tests_properties([=[cli_usage]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;63;add_test;/root/repo/tools/CMakeLists.txt;0;")
