@@ -1,0 +1,186 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parowl::obs {
+
+/// Monotonic counter with cheap thread-local sharding: `add` is one relaxed
+/// fetch_add on a cache-line-padded cell picked by the calling thread, so
+/// any number of threads can hammer the same counter without bouncing a
+/// single line.  `value()` sums the cells (exact — increments never race
+/// away, they only land in different cells).
+class Counter {
+ public:
+  static constexpr unsigned kShards = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& cell : cells_) {
+      cell.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Stable per-thread cell index: threads are striped over the shards in
+  /// registration order, so a thread always hits the same cell.
+  static unsigned shard_index() noexcept;
+
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Last-value instrument (queue depth, snapshot version, seconds spent).
+/// `set` overwrites; `add` accumulates (relaxed CAS loop).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram: bucket i covers [2^i, 2^(i+1))
+/// microseconds (bucket 0 also absorbs sub-microsecond samples), so 48
+/// buckets span nanoseconds to days.  Recording is a single relaxed atomic
+/// increment — safe from any number of threads — and percentiles read off
+/// the bucket upper edges, bounding their error to the 2x bucket width.
+///
+/// This is the histogram the serving layer shipped first
+/// (serve::LatencyHistogram is now an alias); it lives here so every layer
+/// records latency into the same shape and the registry can export it.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  Histogram() = default;
+  /// Copying merges (atomics are not copyable); used to snapshot stats.
+  Histogram(const Histogram& other) { merge(other); }
+  Histogram& operator=(const Histogram& other);
+
+  /// Record one sample.  Thread-safe.
+  void record_seconds(double seconds);
+
+  /// Add every sample of `other` into this histogram.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// Sum of recorded durations (bucket-midpoint approximation), seconds.
+  [[nodiscard]] double approximate_total_seconds() const;
+
+  /// The p-quantile (p in [0, 1]) in seconds: upper edge of the bucket
+  /// containing the p-th sample.  Returns 0 when empty.
+  [[nodiscard]] double percentile_seconds(double p) const;
+
+  [[nodiscard]] std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Upper edge of bucket i, in seconds.
+  [[nodiscard]] static double bucket_upper_seconds(int i);
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// One exported histogram, percentiles pre-computed.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double total_seconds = 0.0;  // bucket-midpoint approximation
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+};
+
+/// Point-in-time copy of every instrument, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  void to_json(std::ostream& os) const;
+};
+
+/// Process-wide registry of named instruments.  Lookup takes a shared lock
+/// and returns a stable reference (instruments live in node-based maps and
+/// are never removed), so hot paths resolve a name once — e.g. via
+/// PAROWL_COUNT's function-local static — and then touch only the
+/// instrument's atomics.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem publishes into.
+  static MetricsRegistry& global();
+
+  /// Find or create.  The returned reference is valid for the registry's
+  /// lifetime.  Thread-safe.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  void to_json(std::ostream& os) const;
+
+  /// Zero every instrument (names stay registered).  Test support.
+  void reset();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace parowl::obs
+
+// Count into the global registry; the name is resolved once per call site.
+// Compiles to nothing under PAROWL_OBS_DISABLED.
+#ifndef PAROWL_OBS_DISABLED
+#define PAROWL_COUNT(name, n)                                        \
+  do {                                                               \
+    static ::parowl::obs::Counter& parowl_count_cached_ =            \
+        ::parowl::obs::MetricsRegistry::global().counter(name);      \
+    parowl_count_cached_.add(static_cast<std::uint64_t>(n));         \
+  } while (0)
+#else
+#define PAROWL_COUNT(name, n) static_cast<void>(0)
+#endif

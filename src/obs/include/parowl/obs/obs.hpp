@@ -1,0 +1,38 @@
+#pragma once
+
+#include "parowl/obs/metrics.hpp"
+#include "parowl/obs/options.hpp"
+#include "parowl/obs/report.hpp"
+#include "parowl/obs/trace.hpp"
+
+namespace parowl::obs {
+
+/// Apply `options` to the global tracer/registry: enables span collection
+/// when a trace file is requested and remembers the output paths for
+/// `flush()`.  Idempotent and cheap — every library driver calls it at
+/// entry with its embedded ObsOptions, so observability works whether the
+/// caller is the CLI, a bench, or a test.  Later calls with non-empty paths
+/// win; empty paths never clobber an earlier request, and the default
+/// sample_every (1) never lowers a previously requested stride.
+void configure(const ObsOptions& options);
+
+/// Effective sampling stride from the last `configure` (>= 1).
+[[nodiscard]] std::uint32_t sample_stride();
+
+/// Write the trace/metrics files requested by earlier `configure` calls.
+/// Returns false if any requested write failed.  Safe to call with nothing
+/// configured (no-op).
+bool flush();
+
+/// RAII wrapper for one CLI command / bench run: applies `options` on
+/// construction, flushes on destruction.
+class Session {
+ public:
+  explicit Session(const ObsOptions& options) { configure(options); }
+  ~Session() { flush(); }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+};
+
+}  // namespace parowl::obs

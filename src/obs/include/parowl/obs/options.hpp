@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parowl::obs {
+
+/// Observability knobs shared by every layer's Options struct (embedded by
+/// value in ForwardOptions, ClusterOptions, IngestOptions, ServiceOptions,
+/// ...).  The CLI parses these once (`--trace-out`, `--metrics-out`,
+/// `--sample-every`) and copies the result into whichever Options the
+/// command builds; library code calls `obs::configure(options.obs)` at
+/// entry, and only `obs::flush()` / `obs::Session` writes the files.
+struct ObsOptions {
+  /// Write a Chrome-trace-event JSON timeline here; empty disables tracing.
+  std::string trace_out;
+  /// Write a MetricsRegistry JSON snapshot here; empty skips the dump
+  /// (metrics are still collected — counting is always on).
+  std::string metrics_out;
+  /// Record every Nth high-frequency span (e.g. per-request in serve).
+  /// Structural spans (rounds, chunks) are always recorded.
+  std::uint32_t sample_every = 1;
+
+  [[nodiscard]] bool tracing_requested() const { return !trace_out.empty(); }
+};
+
+}  // namespace parowl::obs

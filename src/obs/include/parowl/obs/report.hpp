@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <type_traits>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parowl/obs/metrics.hpp"
+
+namespace parowl::util {
+class Table;
+}  // namespace parowl::util
+
+namespace parowl::obs {
+
+/// One named value of a stats struct.  The stats protocol reduces every
+/// per-module stats type (ForwardStats, CommStats, IngestStats, ...) to a
+/// flat list of these, so formatting, JSON export, and registry publishing
+/// are written once instead of per struct.
+struct Field {
+  enum class Kind : std::uint8_t { kUInt, kDouble, kBool, kString };
+
+  template <class I>
+    requires(std::is_integral_v<I> && !std::is_same_v<I, bool>)
+  Field(std::string_view n, I v)
+      : name(n),
+        kind(Kind::kUInt),
+        uint_value(static_cast<std::uint64_t>(v)) {}
+  Field(std::string_view n, double v)
+      : name(n), kind(Kind::kDouble), double_value(v) {}
+  Field(std::string_view n, bool v) : name(n), kind(Kind::kBool), bool_value(v) {}
+  Field(std::string_view n, std::string v)
+      : name(n), kind(Kind::kString), string_value(std::move(v)) {}
+  Field(std::string_view n, const char* v)
+      : name(n), kind(Kind::kString), string_value(v) {}
+
+  /// Numeric view regardless of kind (strings read as 0); what publishing
+  /// into the registry uses.
+  [[nodiscard]] double as_double() const;
+
+  std::string name;
+  Kind kind;
+  std::uint64_t uint_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+  std::string string_value;
+};
+
+using FieldList = std::vector<Field>;
+
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// `{"a":1,"b":2.5,...}` in field order.
+void fields_to_json(const FieldList& fields, std::ostream& os);
+
+/// Append one `metric | value` row per field to `table` (the repo-wide
+/// stats-table shape).
+void fields_to_table(const FieldList& fields, util::Table& table);
+
+/// Set one gauge per numeric field, named `<prefix>.<field>`.  Gauges (set
+/// semantics) rather than counters so republishing the same stats object is
+/// idempotent.
+void publish_fields(const FieldList& fields, std::string_view prefix,
+                    MetricsRegistry& registry = MetricsRegistry::global());
+
+/// A stats type opts into the protocol by providing an ADL-visible free
+/// function `FieldList fields(const X&)` next to its definition.
+template <class T>
+concept Reportable = requires(const T& t) {
+  { fields(t) } -> std::convertible_to<FieldList>;
+};
+
+template <Reportable T>
+void to_json(const T& stats, std::ostream& os) {
+  fields_to_json(fields(stats), os);
+}
+
+template <Reportable T>
+[[nodiscard]] std::string to_json(const T& stats) {
+  std::ostringstream os;
+  fields_to_json(fields(stats), os);
+  return os.str();
+}
+
+template <Reportable T>
+void print(const T& stats, util::Table& table) {
+  fields_to_table(fields(stats), table);
+}
+
+template <Reportable T>
+void publish(const T& stats, std::string_view prefix,
+             MetricsRegistry& registry = MetricsRegistry::global()) {
+  publish_fields(fields(stats), prefix, registry);
+}
+
+}  // namespace parowl::obs

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parowl::obs {
+
+/// One span argument.  Implicit constructors let call sites write
+/// `{{"round", r}, {"worker", w}}` for the common value kinds without
+/// touching a JSON library.
+struct TraceArg {
+  enum class Kind : std::uint8_t { kInt, kDouble, kString };
+
+  TraceArg(std::string_view k, int v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string_view k, long v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string_view k, long long v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string_view k, unsigned v)
+      : key(k), kind(Kind::kInt), int_value(static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string_view k, unsigned long v)
+      : key(k), kind(Kind::kInt), int_value(static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string_view k, unsigned long long v)
+      : key(k), kind(Kind::kInt), int_value(static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), double_value(v) {}
+  TraceArg(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+  TraceArg(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+
+  std::string key;
+  Kind kind;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+};
+
+/// One complete ("ph":"X") trace event.
+struct TraceEvent {
+  std::string name;
+  std::string category;       // derived from the name's "layer." prefix
+  std::int64_t start_us = 0;  // relative to tracer epoch
+  std::int64_t duration_us = 0;
+  std::uint32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Process-wide span collector.  Threads append completed spans to a
+/// per-thread buffer (own mutex, contended only at write_json time); the
+/// tracer owns the buffers so they survive thread exit.  Disabled by
+/// default — `Span` construction is a single relaxed atomic load until
+/// `set_enabled(true)`.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Cap on retained events; further spans are counted but dropped.
+  void set_max_events(std::size_t cap);
+
+  /// Attach a human-readable name to a track (a tid as rendered by
+  /// Perfetto).  Instrumentation uses virtual tids (e.g. 100 + worker id)
+  /// so per-worker rows exist even when workers are simulated on one
+  /// thread.
+  void name_track(std::uint32_t tid, std::string_view name);
+
+  /// The calling thread's default track id (small dense ints, assigned on
+  /// first use).
+  static std::uint32_t this_thread_track();
+
+  /// Microseconds since the tracer epoch (process-global steady origin).
+  std::int64_t now_us() const;
+
+  void record(TraceEvent event);
+
+  /// Number of retained (not dropped) events.
+  std::size_t event_count() const;
+  std::size_t dropped_count() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Emit everything recorded so far as a Chrome trace-event JSON object
+  /// ({"traceEvents":[...]}), Perfetto/chrome://tracing loadable.
+  void write_json(std::ostream& os) const;
+
+  /// write_json to `path`; returns false (and keeps the events) on I/O
+  /// failure.
+  bool write_file(const std::string& path) const;
+
+  /// Drop all recorded events and track names.  Test support.
+  void clear();
+
+ private:
+  struct ThreadBuf {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer();
+  ThreadBuf& buf_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuf>> buffers_;
+  std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+  std::size_t max_events_ = kDefaultMaxEvents;
+  std::size_t approx_events_ = 0;
+
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+};
+
+/// RAII span: captures the start time on construction (if tracing is
+/// enabled) and records a complete event on destruction.  `tid_override`
+/// pins the span to a virtual track — used by the cluster runtime to give
+/// every worker its own Perfetto row regardless of the executing thread.
+class Span {
+ public:
+  Span(std::string_view name, std::initializer_list<TraceArg> args = {},
+       std::uint32_t tid_override = 0);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach an argument after construction (e.g. a result count known only
+  /// at scope exit).  No-op when the span is not live.
+  void arg(TraceArg a);
+
+  /// End the span now instead of at scope exit: records the event and makes
+  /// the destructor a no-op.  Safe to call on a non-live span.
+  void close();
+
+  [[nodiscard]] bool live() const noexcept { return live_; }
+
+ private:
+  bool live_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace parowl::obs
+
+#define PAROWL_OBS_CAT2(a, b) a##b
+#define PAROWL_OBS_CAT(a, b) PAROWL_OBS_CAT2(a, b)
+
+// Open a span covering the rest of the enclosing scope:
+//   PAROWL_SPAN("reason.round", {{"round", r}});
+// Optional third argument pins a virtual track id.  Compiles to nothing
+// under PAROWL_OBS_DISABLED.
+#ifndef PAROWL_OBS_DISABLED
+#define PAROWL_SPAN(...) \
+  ::parowl::obs::Span PAROWL_OBS_CAT(parowl_span_, __LINE__) { __VA_ARGS__ }
+#else
+#define PAROWL_SPAN(...) static_cast<void>(0)
+#endif

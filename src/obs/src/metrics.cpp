@@ -1,0 +1,236 @@
+#include "parowl/obs/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace parowl::obs {
+namespace {
+
+/// Bucket index for a duration in microseconds: floor(log2(us)), clamped.
+int bucket_for(double micros) {
+  if (micros < 1.0) {
+    return 0;
+  }
+  const int b = static_cast<int>(std::floor(std::log2(micros)));
+  return b >= Histogram::kBuckets ? Histogram::kBuckets - 1 : b;
+}
+
+/// JSON-safe double: finite values only (NaN/inf have no JSON spelling).
+void put_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os.precision(15);
+  os << v;
+  os.precision(precision);
+  os.flags(flags);
+}
+
+}  // namespace
+
+unsigned Counter::shard_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this != &other) {
+    reset();
+    merge(other);
+  }
+  return *this;
+}
+
+void Histogram::record_seconds(double seconds) {
+  const int b = bucket_for(seconds * 1e6);
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    buckets_[idx].fetch_add(
+        other.buckets_[idx].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::approximate_total_seconds() const {
+  double total = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto n =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    // Geometric midpoint of [2^i, 2^(i+1)) us.
+    total += static_cast<double>(n) * std::ldexp(1.0, i) * 1.5 * 1e-6;
+  }
+  return total;
+}
+
+double Histogram::bucket_upper_seconds(int i) {
+  return std::ldexp(1.0, i + 1) * 1e-6;
+}
+
+double Histogram::percentile_seconds(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = p * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (static_cast<double>(seen) >= target) {
+      return bucket_upper_seconds(i);
+    }
+  }
+  return bucket_upper_seconds(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+void MetricsSnapshot::to_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "" : ",") << '"' << name << "\":" << value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "" : ",") << '"' << name << "\":";
+    put_double(os, value);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "" : ",") << '"' << name << "\":{\"count\":" << h.count
+       << ",\"p50_seconds\":";
+    put_double(os, h.p50_seconds);
+    os << ",\"p95_seconds\":";
+    put_double(os, h.p95_seconds);
+    os << ",\"p99_seconds\":";
+    put_double(os, h.p99_seconds);
+    os << ",\"total_seconds\":";
+    put_double(os, h.total_seconds);
+    // Buckets are emitted sparsely as [index, count] pairs: most of the 48
+    // log2 buckets are empty for any one workload.
+    os << ",\"buckets\":[";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (h.buckets[idx] == 0) {
+        continue;
+      }
+      os << (bfirst ? "" : ",") << '[' << i << ',' << h.buckets[idx] << ']';
+      bfirst = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  {
+    const std::shared_lock lock(mutex_);
+    if (const auto it = counters_.find(name); it != counters_.end()) {
+      return it->second;
+    }
+  }
+  const std::unique_lock lock(mutex_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  {
+    const std::shared_lock lock(mutex_);
+    if (const auto it = gauges_.find(name); it != gauges_.end()) {
+      return it->second;
+    }
+  }
+  const std::unique_lock lock(mutex_);
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  {
+    const std::shared_lock lock(mutex_);
+    if (const auto it = histograms_.find(name); it != histograms_.end()) {
+      return it->second;
+    }
+  }
+  const std::unique_lock lock(mutex_);
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::shared_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c.value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g.value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h.count();
+    hs.p50_seconds = h.percentile_seconds(0.50);
+    hs.p95_seconds = h.percentile_seconds(0.95);
+    hs.p99_seconds = h.percentile_seconds(0.99);
+    hs.total_seconds = h.approximate_total_seconds();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      hs.buckets[static_cast<std::size_t>(i)] = h.bucket(i);
+    }
+    snap.histograms.emplace_back(name, hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::to_json(std::ostream& os) const {
+  snapshot().to_json(os);
+}
+
+void MetricsRegistry::reset() {
+  const std::unique_lock lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c.reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g.reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h.reset();
+  }
+}
+
+}  // namespace parowl::obs

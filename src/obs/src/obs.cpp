@@ -1,0 +1,74 @@
+#include "parowl/obs/obs.hpp"
+
+#include <fstream>
+#include <mutex>
+
+namespace parowl::obs {
+namespace {
+
+struct SinkState {
+  std::mutex mutex;
+  std::string trace_out;
+  std::string metrics_out;
+  std::uint32_t sample_every = 1;
+};
+
+SinkState& sinks() {
+  static SinkState state;
+  return state;
+}
+
+}  // namespace
+
+void configure(const ObsOptions& options) {
+  SinkState& state = sinks();
+  const std::lock_guard lock(state.mutex);
+  if (!options.trace_out.empty()) {
+    state.trace_out = options.trace_out;
+    Tracer::global().set_enabled(true);
+  }
+  if (!options.metrics_out.empty()) {
+    state.metrics_out = options.metrics_out;
+  }
+  // Like the paths, the stride is monotonic: the default (1) never lowers
+  // an earlier request — otherwise any nested driver configuring with
+  // default-constructed ObsOptions would clobber the CLI's --sample-every.
+  if (options.sample_every > 1) {
+    state.sample_every = options.sample_every;
+  }
+}
+
+std::uint32_t sample_stride() {
+  SinkState& state = sinks();
+  const std::lock_guard lock(state.mutex);
+  return state.sample_every == 0 ? 1 : state.sample_every;
+}
+
+bool flush() {
+  std::string trace_out;
+  std::string metrics_out;
+  {
+    SinkState& state = sinks();
+    const std::lock_guard lock(state.mutex);
+    trace_out = state.trace_out;
+    metrics_out = state.metrics_out;
+  }
+  bool ok = true;
+  if (!trace_out.empty()) {
+    ok = Tracer::global().write_file(trace_out) && ok;
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary | std::ios::trunc);
+    if (out) {
+      MetricsRegistry::global().to_json(out);
+      out << '\n';
+      out.flush();
+      ok = static_cast<bool>(out) && ok;
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace parowl::obs

@@ -1,0 +1,132 @@
+#include "parowl/obs/report.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "parowl/util/table.hpp"
+
+namespace parowl::obs {
+namespace {
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) {
+    return "0";
+  }
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+double Field::as_double() const {
+  switch (kind) {
+    case Kind::kUInt:
+      return static_cast<double>(uint_value);
+    case Kind::kDouble:
+      return double_value;
+    case Kind::kBool:
+      return bool_value ? 1.0 : 0.0;
+    case Kind::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void fields_to_json(const FieldList& fields, std::ostream& os) {
+  os << '{';
+  bool first = true;
+  for (const Field& f : fields) {
+    os << (first ? "" : ",") << '"' << json_escape(f.name) << "\":";
+    switch (f.kind) {
+      case Field::Kind::kUInt:
+        os << f.uint_value;
+        break;
+      case Field::Kind::kDouble:
+        os << format_double(f.double_value);
+        break;
+      case Field::Kind::kBool:
+        os << (f.bool_value ? "true" : "false");
+        break;
+      case Field::Kind::kString:
+        os << '"' << json_escape(f.string_value) << '"';
+        break;
+    }
+    first = false;
+  }
+  os << '}';
+}
+
+void fields_to_table(const FieldList& fields, util::Table& table) {
+  for (const Field& f : fields) {
+    std::string value;
+    switch (f.kind) {
+      case Field::Kind::kUInt:
+        value = std::to_string(f.uint_value);
+        break;
+      case Field::Kind::kDouble:
+        value = format_double(f.double_value);
+        break;
+      case Field::Kind::kBool:
+        value = f.bool_value ? "true" : "false";
+        break;
+      case Field::Kind::kString:
+        value = f.string_value;
+        break;
+    }
+    table.add_row({f.name, std::move(value)});
+  }
+}
+
+void publish_fields(const FieldList& fields, std::string_view prefix,
+                    MetricsRegistry& registry) {
+  for (const Field& f : fields) {
+    if (f.kind == Field::Kind::kString) {
+      continue;
+    }
+    std::string name;
+    name.reserve(prefix.size() + 1 + f.name.size());
+    name.append(prefix);
+    name.push_back('.');
+    name.append(f.name);
+    registry.gauge(name).set(f.as_double());
+  }
+}
+
+}  // namespace parowl::obs

@@ -1,0 +1,265 @@
+#include "parowl/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace parowl::obs {
+namespace {
+
+void json_escape_to(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void put_arg(std::ostream& os, const TraceArg& a) {
+  os << '"';
+  json_escape_to(os, a.key);
+  os << "\":";
+  switch (a.kind) {
+    case TraceArg::Kind::kInt:
+      os << a.int_value;
+      break;
+    case TraceArg::Kind::kDouble: {
+      if (!std::isfinite(a.double_value)) {
+        os << 0;
+      } else {
+        const auto precision = os.precision();
+        os.precision(15);
+        os << a.double_value;
+        os.precision(precision);
+      }
+      break;
+    }
+    case TraceArg::Kind::kString:
+      os << '"';
+      json_escape_to(os, a.string_value);
+      os << '"';
+      break;
+  }
+}
+
+void put_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":\"";
+  json_escape_to(os, e.name);
+  os << "\",\"cat\":\"";
+  json_escape_to(os, e.category);
+  os << "\",\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":" << e.duration_us
+     << ",\"pid\":1,\"tid\":" << e.tid;
+  if (!e.args.empty()) {
+    os << ",\"args\":{";
+    bool first = true;
+    for (const TraceArg& a : e.args) {
+      if (!first) {
+        os << ',';
+      }
+      put_arg(os, a);
+      first = false;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+std::string category_of(std::string_view name) {
+  const auto dot = name.find('.');
+  return std::string(dot == std::string_view::npos ? name
+                                                   : name.substr(0, dot));
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_max_events(std::size_t cap) {
+  const std::lock_guard lock(registry_mutex_);
+  max_events_ = cap;
+}
+
+void Tracer::name_track(std::uint32_t tid, std::string_view name) {
+  const std::lock_guard lock(registry_mutex_);
+  for (auto& [id, existing] : track_names_) {
+    if (id == tid) {
+      existing = std::string(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(tid, std::string(name));
+}
+
+std::uint32_t Tracer::this_thread_track() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t track =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return track;
+}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuf& Tracer::buf_for_this_thread() {
+  // One buffer per (tracer, thread); owned by the tracer so events outlive
+  // the thread.  A raw pointer cache makes the steady-state path lock-free.
+  thread_local ThreadBuf* cached = nullptr;
+  thread_local const Tracer* cached_owner = nullptr;
+  if (cached != nullptr && cached_owner == this) {
+    return *cached;
+  }
+  const std::lock_guard lock(registry_mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuf>());
+  cached = buffers_.back().get();
+  cached_owner = this;
+  return *cached;
+}
+
+void Tracer::record(TraceEvent event) {
+  {
+    // Cheap soft cap: approx_events_ is maintained under the registry lock
+    // but read unlocked; exactness is not needed for a drop threshold.
+    const std::lock_guard lock(registry_mutex_);
+    if (approx_events_ >= max_events_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++approx_events_;
+  }
+  ThreadBuf& buf = buf_for_this_thread();
+  const std::lock_guard lock(buf.mutex);
+  buf.events.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard lock(registry_mutex_);
+  std::size_t total = 0;
+  for (const auto& buf : buffers_) {
+    const std::lock_guard buf_lock(buf->mutex);
+    total += buf->events.size();
+  }
+  return total;
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  {
+    const std::lock_guard lock(registry_mutex_);
+    names = track_names_;
+    for (const auto& buf : buffers_) {
+      const std::lock_guard buf_lock(buf->mutex);
+      events.insert(events.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    os << (first ? "" : ",")
+       << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"";
+    json_escape_to(os, name);
+    os << "\"}}";
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) {
+      os << ',';
+    }
+    put_event(os, e);
+    first = false;
+  }
+  os << "]}";
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  write_json(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  const std::lock_guard lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    const std::lock_guard buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+  track_names_.clear();
+  approx_events_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+Span::Span(std::string_view name, std::initializer_list<TraceArg> args,
+           std::uint32_t tid_override) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) {
+    return;
+  }
+  live_ = true;
+  event_.name = std::string(name);
+  event_.category = category_of(name);
+  event_.tid =
+      tid_override != 0 ? tid_override : Tracer::this_thread_track();
+  event_.args.assign(args.begin(), args.end());
+  event_.start_us = tracer.now_us();
+}
+
+Span::~Span() { close(); }
+
+void Span::arg(TraceArg a) {
+  if (live_) {
+    event_.args.push_back(std::move(a));
+  }
+}
+
+void Span::close() {
+  if (!live_) {
+    return;
+  }
+  live_ = false;
+  Tracer& tracer = Tracer::global();
+  event_.duration_us = tracer.now_us() - event_.start_us;
+  tracer.record(std::move(event_));
+}
+
+}  // namespace parowl::obs

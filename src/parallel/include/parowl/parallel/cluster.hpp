@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "parowl/obs/options.hpp"
+#include "parowl/obs/report.hpp"
 #include "parowl/parallel/worker.hpp"
 
 namespace parowl::parallel {
@@ -84,6 +86,9 @@ struct ClusterOptions {
   std::size_t max_rounds = 10000;
   CheckpointOptions checkpoint;
   FaultToleranceOptions fault_tolerance;
+
+  /// Observability sinks/sampling (docs/architecture.md "Observability").
+  obs::ObsOptions obs;
 };
 
 /// Thrown by the injected crash (caught internally by `run()` when
@@ -123,6 +128,9 @@ struct RunReport {
   std::int64_t recovered_from_round = -1;
   FaultLog injected;                    // from the FaultyTransport, if any
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const RunReport& r);
 
 /// Outcome of a cluster run.
 struct ClusterResult {

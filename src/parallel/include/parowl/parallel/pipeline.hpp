@@ -73,6 +73,9 @@ struct ParallelOptions {
   /// Build the merged output store (base + schema + every derivation).
   /// Disable for large benchmark sweeps where only counts matter.
   bool build_merged = true;
+
+  /// Observability sinks/sampling, forwarded to ClusterOptions.
+  obs::ObsOptions obs;
 };
 
 /// Outcome of a parallel run.

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "parowl/obs/report.hpp"
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/term.hpp"
 
@@ -44,6 +45,9 @@ struct CommStats {
     checksum_failures += other.checksum_failures;
   }
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const CommStats& s);
 
 /// SplitMix64 finalizer — the avalanche behind every checksum and every
 /// deterministic fault decision in this layer.
@@ -129,6 +133,8 @@ struct FaultLog {
     return drops + duplicates + corruptions + delays + reorders;
   }
 };
+
+[[nodiscard]] obs::FieldList fields(const FaultLog& log);
 
 /// Inter-partition tuple exchange.  Usage is round-synchronous: every
 /// worker `send_batch`es all its round-r envelopes, the executor barriers,

@@ -11,6 +11,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "parowl/obs/obs.hpp"
 #include "parowl/util/log.hpp"
 #include "parowl/util/timer.hpp"
 
@@ -30,6 +31,7 @@ fs::path checkpoint_path(const std::string& dir, std::uint32_t worker,
 
 Cluster::Cluster(Transport& transport, ClusterOptions options)
     : transport_(transport), options_(std::move(options)) {
+  obs::configure(options_.obs);
   if (transport_.name().find("file") != std::string::npos) {
     // File IPC: the measured read/write/parse time *is* the communication
     // cost, as in the paper's shared-filesystem implementation.
@@ -60,6 +62,9 @@ bool Cluster::checkpoint_due(std::uint32_t round) const {
 }
 
 void Cluster::checkpoint_worker(Worker& worker, std::uint32_t round) {
+  obs::Span span("parallel.checkpoint",
+                 {{"round", round}, {"worker", worker.id()}},
+                 100 + worker.id());
   const std::string& dir = options_.checkpoint.dir;
   const fs::path final_path = checkpoint_path(dir, worker.id(), round);
   const fs::path tmp_path = final_path.string() + ".tmp";
@@ -145,6 +150,14 @@ std::int64_t Cluster::restore_from_checkpoints() {
 ClusterResult Cluster::run() {
   assert(options_.mode != ExecutionMode::kAsyncSimulated &&
          "async mode is handled by AsyncSimulator, not Cluster");
+  if (obs::Tracer::global().enabled()) {
+    // Per-worker virtual tracks (100 + id, matching worker.cpp) so the
+    // trace has one row per worker even in sequential-simulated mode.
+    for (const auto& worker : workers_) {
+      obs::Tracer::global().name_track(
+          100 + worker->id(), "worker " + std::to_string(worker->id()));
+    }
+  }
   crash_armed_ = options_.fault_tolerance.crash_at_round >= 0 &&
                  options_.mode == ExecutionMode::kSequentialSimulated;
   try {
@@ -166,6 +179,7 @@ ClusterResult Cluster::run() {
 }
 
 void Cluster::deliver_round_sequential(std::uint32_t round) {
+  PAROWL_SPAN("parallel.deliver", {{"round", round}});
   const FaultToleranceOptions& ft = options_.fault_tolerance;
   ack_board_.clear();
 
@@ -436,6 +450,35 @@ void Cluster::finalize(ClusterResult& result) {
   rep.recovered = recovered_;
   rep.recovered_from_round = recovered_from_round_;
   result.simulated_seconds += backoff_seconds_;
+
+  // Export the run's headline numbers into the global registry.
+  obs::publish(rep, "parallel.run");
+  auto& registry = obs::MetricsRegistry::global();
+  registry.gauge("parallel.rounds").set(static_cast<double>(result.rounds));
+  registry.gauge("parallel.reason_seconds").set(result.reason_seconds);
+  registry.gauge("parallel.io_seconds").set(result.io_seconds);
+  registry.gauge("parallel.sync_seconds").set(result.sync_seconds);
+  registry.gauge("parallel.aggregate_seconds").set(result.aggregate_seconds);
+  registry.gauge("parallel.simulated_seconds").set(result.simulated_seconds);
+}
+
+obs::FieldList fields(const RunReport& r) {
+  obs::FieldList out = {
+      {"batches_sent", r.batches_sent},
+      {"retransmissions", r.retransmissions},
+      {"redeliveries", r.redeliveries},
+      {"checksum_failures", r.checksum_failures},
+      {"checkpoints_written", r.checkpoints_written},
+      {"backoff_seconds", r.backoff_seconds},
+      {"recovered", r.recovered},
+      {"recovered_from_round", static_cast<std::uint64_t>(
+          r.recovered_from_round < 0 ? 0 : r.recovered_from_round)},
+  };
+  for (obs::Field& f : fields(r.injected)) {
+    f.name.insert(0, "injected_");
+    out.push_back(std::move(f));
+  }
+  return out;
 }
 
 }  // namespace parowl::parallel

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "parowl/obs/obs.hpp"
 #include "parowl/ontology/ontology.hpp"
 #include "parowl/rules/dependency_graph.hpp"
 #include "parowl/util/timer.hpp"
@@ -128,6 +129,8 @@ ParallelResult parallel_materialize(const rdf::TripleStore& store,
                                     const ontology::Vocabulary& vocab,
                                     const ParallelOptions& options) {
   validate(options);
+  obs::configure(options.obs);
+  PAROWL_SPAN("parallel.materialize", {{"partitions", options.partitions}});
   ParallelResult result;
 
   // Master: compile the ontology once; the same rule-base (or its
@@ -184,6 +187,7 @@ ParallelResult parallel_materialize(const rdf::TripleStore& store,
     copts.network = options.network;
     copts.checkpoint = options.checkpoint;
     copts.fault_tolerance = options.fault_tolerance;
+    copts.obs = options.obs;
     cluster.emplace(*transport, copts);
     for (std::uint32_t w = 0; w < num_workers; ++w) {
       cluster->add_worker(std::move(plan.workers[w].rule_base),

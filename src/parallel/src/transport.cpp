@@ -419,4 +419,28 @@ std::size_t FaultyTransport::limbo_remaining() const {
   return limbo_.size();
 }
 
+obs::FieldList fields(const CommStats& s) {
+  return {
+      {"send_seconds", s.send_seconds},
+      {"recv_seconds", s.recv_seconds},
+      {"bytes_sent", s.bytes_sent},
+      {"bytes_received", s.bytes_received},
+      {"messages_sent", s.messages_sent},
+      {"retries", s.retries},
+      {"redeliveries", s.redeliveries},
+      {"checksum_failures", s.checksum_failures},
+  };
+}
+
+obs::FieldList fields(const FaultLog& log) {
+  return {
+      {"attempts", log.attempts},
+      {"drops", log.drops},
+      {"duplicates", log.duplicates},
+      {"corruptions", log.corruptions},
+      {"delays", log.delays},
+      {"reorders", log.reorders},
+  };
+}
+
 }  // namespace parowl::parallel

@@ -6,11 +6,21 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "parowl/obs/obs.hpp"
 #include "parowl/rdf/codec.hpp"
 #include "parowl/reason/forward.hpp"
 #include "parowl/util/timer.hpp"
 
 namespace parowl::parallel {
+
+namespace {
+
+/// Virtual Perfetto track for a worker: every worker gets its own row in
+/// the trace even when all of them run on one thread (sequential-simulated
+/// mode).  The cluster names these tracks at run start.
+std::uint32_t worker_track(std::uint32_t id) { return 100 + id; }
+
+}  // namespace
 
 Worker::Worker(std::uint32_t id, rules::RuleSet rule_base,
                std::shared_ptr<const Router> router, Transport* transport,
@@ -99,17 +109,28 @@ std::size_t Worker::absorb(std::span<const rdf::Triple> tuples) {
 }
 
 std::size_t Worker::compute_and_send(std::uint32_t round) {
+  obs::Span round_span("parallel.round", {{"round", round}, {"worker", id_}},
+                       worker_track(id_));
   RoundStats& rs = round_stats(round);
   pending_.clear();
   stash_.clear();
 
   const std::size_t before = store_.size();
   double compute_seconds = 0.0;
-  const std::vector<Outgoing> batches = compute_local(&compute_seconds);
+  std::vector<Outgoing> batches;
+  {
+    obs::Span compute_span("parallel.compute",
+                           {{"round", round}, {"worker", id_}},
+                           worker_track(id_));
+    batches = compute_local(&compute_seconds);
+    compute_span.arg({"derived", store_.size() - before});
+  }
   rs.reason_seconds += compute_seconds;
   rs.derived += store_.size() - before;
 
   std::size_t sent = 0;
+  obs::Span send_span("parallel.send", {{"round", round}, {"worker", id_}},
+                      worker_track(id_));
   util::Stopwatch io_watch;
   for (const Outgoing& out : batches) {
     Batch batch;
@@ -127,10 +148,14 @@ std::size_t Worker::compute_and_send(std::uint32_t round) {
   }
   rs.io_seconds += io_watch.elapsed_seconds();
   rs.sent_tuples += sent;
+  send_span.arg({"tuples", sent});
+  PAROWL_COUNT("parallel.tuples_sent", sent);
   return sent;
 }
 
 std::size_t Worker::collect(std::uint32_t round, AckBoard* board) {
+  obs::Span span("parallel.recv", {{"round", round}, {"worker", id_}},
+                 worker_track(id_));
   RoundStats& rs = round_stats(round);
 
   util::Stopwatch io_watch;
@@ -157,11 +182,14 @@ std::size_t Worker::collect(std::uint32_t round, AckBoard* board) {
     stash_.push_back(std::move(batch));
     staged += 1;
   }
+  span.arg({"batches", staged});
   return staged;
 }
 
 std::size_t Worker::retransmit_unacked(std::uint32_t round,
                                        const AckBoard& board) {
+  obs::Span span("parallel.retransmit", {{"round", round}, {"worker", id_}},
+                 worker_track(id_));
   RoundStats& rs = round_stats(round);
   std::erase_if(pending_,
                 [&](const Batch& b) { return board.acked(b.id()); });
@@ -175,10 +203,14 @@ std::size_t Worker::retransmit_unacked(std::uint32_t round,
     resent += 1;
   }
   rs.io_seconds += io_watch.elapsed_seconds();
+  span.arg({"resent", resent});
+  PAROWL_COUNT("parallel.retransmissions", resent);
   return resent;
 }
 
 std::size_t Worker::aggregate_round(std::uint32_t round) {
+  obs::Span span("parallel.aggregate", {{"round", round}, {"worker", id_}},
+                 worker_track(id_));
   RoundStats& rs = round_stats(round);
 
   util::Stopwatch agg_watch;
@@ -196,6 +228,7 @@ std::size_t Worker::aggregate_round(std::uint32_t round) {
   stash_.clear();
   rs.aggregate_seconds += agg_watch.elapsed_seconds();
   rs.received_new += fresh;
+  span.arg({"fresh", fresh});
   return fresh;
 }
 

@@ -27,6 +27,8 @@
 #include <string_view>
 #include <vector>
 
+#include "parowl/obs/options.hpp"
+#include "parowl/obs/report.hpp"
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/ntriples.hpp"
 #include "parowl/rdf/triple_store.hpp"
@@ -36,6 +38,9 @@ namespace parowl::rdf {
 struct IngestOptions {
   /// Worker threads for the parse stage; 0 = hardware concurrency.
   unsigned threads = 1;
+
+  /// Observability sinks/sampling (docs/architecture.md "Observability").
+  obs::ObsOptions obs;
 };
 
 struct IngestStats {
@@ -47,6 +52,9 @@ struct IngestStats {
   double parse_seconds = 0.0;  // parallel chunk parsing (wall clock)
   double merge_seconds = 0.0;  // dictionary merge + remap + store insert
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const IngestStats& s);
 
 /// Newline-aligned chunk boundaries for `text` (for N-Triples input):
 /// `chunks + 1` offsets, first 0, last text.size(), each interior boundary

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "parowl/obs/report.hpp"
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/triple_store.hpp"
 
@@ -19,6 +20,9 @@ struct ParseStats {
   std::size_t first_error_line = 0;    // 1-based line of first error (0: none)
   std::size_t first_error_offset = 0;  // byte offset where that line starts
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const ParseStats& s);
 
 /// Render the canonical malformed-input diagnostic "line N (byte B): msg".
 /// Shared by the serial parsers and the parallel ingest pipeline so both

@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "parowl/obs/report.hpp"
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/triple_store.hpp"
 
@@ -28,6 +29,9 @@ struct SnapshotStats {
   std::size_t triples = 0;
   std::size_t bytes = 0;  // encoded size of what save_snapshot wrote
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const SnapshotStats& s);
 
 /// Write `dict` + `store` to `out`.  Returns stats; stream state signals
 /// errors (check out.good()).

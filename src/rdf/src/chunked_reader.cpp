@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "parowl/obs/obs.hpp"
 #include "parowl/rdf/turtle.hpp"
 #include "parowl/util/strings.hpp"
 #include "parowl/util/timer.hpp"
@@ -137,31 +138,45 @@ IngestStats ingest_ntriples(std::string_view text, Dictionary& dict,
                             const IngestOptions& options) {
   IngestStats stats;
   stats.bytes = text.size();
+  obs::configure(options.obs);
+  obs::Span ingest_span("rdf.ingest",
+                        {{"format", "ntriples"}, {"bytes", text.size()}});
   const unsigned threads = resolve_threads(options.threads);
   util::Stopwatch sw;
   if (threads == 1) {
     // Serial fast path: no thread-local tables, no merge — identical to
     // parse_ntriples by construction (same per-line loop).
+    PAROWL_SPAN("rdf.parse", {{"chunks", 1}});
     std::istringstream in{std::string(text)};
     stats.parse = parse_ntriples(in, dict, store);
     stats.parse_seconds = sw.elapsed_seconds();
     return stats;
   }
 
-  const std::vector<std::size_t> bounds =
-      chunk_newline_boundaries(text, threads);
+  std::vector<std::size_t> bounds;
+  {
+    PAROWL_SPAN("rdf.scan", {});
+    bounds = chunk_newline_boundaries(text, threads);
+  }
   stats.scan_seconds = sw.elapsed_seconds();
   const std::size_t n = bounds.size() - 1;
   std::vector<ChunkResult> chunks(n);
   sw.restart();
-  run_parallel(n, threads, [&](std::size_t i) {
-    parse_ntriples_chunk(text.substr(bounds[i], bounds[i + 1] - bounds[i]),
-                         chunks[i]);
-  });
+  {
+    PAROWL_SPAN("rdf.parse", {{"chunks", n}});
+    run_parallel(n, threads, [&](std::size_t i) {
+      obs::Span chunk_span("rdf.parse.chunk",
+                           {{"chunk", i},
+                            {"bytes", bounds[i + 1] - bounds[i]}});
+      parse_ntriples_chunk(text.substr(bounds[i], bounds[i + 1] - bounds[i]),
+                           chunks[i]);
+    });
+  }
   stats.parse_seconds = sw.elapsed_seconds();
   stats.threads_used = static_cast<unsigned>(std::min<std::size_t>(threads, n));
 
   sw.restart();
+  PAROWL_SPAN("rdf.merge", {{"chunks", n}});
   sum_stats(chunks, stats.parse);
   stats.parse.duplicates += merge_chunks(chunks, dict, store);
   // First malformed line, rebased to document-global line/byte numbers.
@@ -186,9 +201,13 @@ IngestStats ingest_turtle(std::string_view text, Dictionary& dict,
                           TripleStore& store, const IngestOptions& options) {
   IngestStats stats;
   stats.bytes = text.size();
+  obs::configure(options.obs);
+  obs::Span ingest_span("rdf.ingest",
+                        {{"format", "turtle"}, {"bytes", text.size()}});
   const unsigned threads = resolve_threads(options.threads);
   util::Stopwatch sw;
   if (threads == 1) {
+    PAROWL_SPAN("rdf.parse", {{"chunks", 1}});
     stats.parse = parse_turtle_text(text, dict, store);
     stats.parse_seconds = sw.elapsed_seconds();
     return stats;
@@ -197,6 +216,7 @@ IngestStats ingest_turtle(std::string_view text, Dictionary& dict,
   // Stage 1: conservative statement scan, chunk assembly, and the serial
   // environment pre-pass that gives every chunk the prefix/base state a
   // serial parse would have at its start.
+  obs::Span scan_span("rdf.scan", {});
   const TurtleSpans spans = scan_turtle_spans(text);
   std::vector<std::size_t> bounds{0};
   std::vector<std::size_t> newline_base{0};
@@ -235,23 +255,31 @@ IngestStats ingest_turtle(std::string_view text, Dictionary& dict,
       }
     }
   }
+  scan_span.close();
   stats.scan_seconds = sw.elapsed_seconds();
 
   // Stage 2: parallel fragment parsing into thread-local tables.
   std::vector<ChunkResult> chunks(n);
   sw.restart();
-  run_parallel(n, threads, [&](std::size_t i) {
-    chunks[i].dict.reserve(
-        Dictionary::estimate_terms(bounds[i + 1] - bounds[i]));
-    chunks[i].stats = parse_turtle_fragment(
-        text.substr(bounds[i], bounds[i + 1] - bounds[i]), chunks[i].dict,
-        chunks[i].store, envs[i], newline_base[i], bounds[i]);
-  });
+  {
+    PAROWL_SPAN("rdf.parse", {{"chunks", n}});
+    run_parallel(n, threads, [&](std::size_t i) {
+      obs::Span chunk_span("rdf.parse.chunk",
+                           {{"chunk", i},
+                            {"bytes", bounds[i + 1] - bounds[i]}});
+      chunks[i].dict.reserve(
+          Dictionary::estimate_terms(bounds[i + 1] - bounds[i]));
+      chunks[i].stats = parse_turtle_fragment(
+          text.substr(bounds[i], bounds[i + 1] - bounds[i]), chunks[i].dict,
+          chunks[i].store, envs[i], newline_base[i], bounds[i]);
+    });
+  }
   stats.parse_seconds = sw.elapsed_seconds();
   stats.threads_used = static_cast<unsigned>(std::min<std::size_t>(threads, n));
 
   // Stage 3: ordered merge.  Fragment diagnostics are already global.
   sw.restart();
+  PAROWL_SPAN("rdf.merge", {{"chunks", n}});
   sum_stats(chunks, stats.parse);
   stats.parse.duplicates += merge_chunks(chunks, dict, store);
   for (const ChunkResult& c : chunks) {
@@ -269,6 +297,8 @@ IngestStats ingest_turtle(std::string_view text, Dictionary& dict,
 bool ingest_file(const std::string& path, Dictionary& dict,
                  TripleStore& store, IngestStats& stats,
                  const IngestOptions& options, std::string* error) {
+  obs::configure(options.obs);
+  obs::Span read_span("rdf.read", {{"path", path}});
   util::Stopwatch sw;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -287,11 +317,25 @@ bool ingest_file(const std::string& path, Dictionary& dict,
     }
   }
   const double read_seconds = sw.elapsed_seconds();
+  read_span.close();
   const bool turtle = path.size() >= 4 && path.ends_with(".ttl");
   stats = turtle ? ingest_turtle(text, dict, store, options)
                  : ingest_ntriples(text, dict, store, options);
   stats.read_seconds = read_seconds;
+  obs::publish(stats, "rdf.ingest");
+  PAROWL_COUNT("rdf.triples_ingested", stats.parse.triples);
   return true;
+}
+
+obs::FieldList fields(const IngestStats& s) {
+  obs::FieldList out = fields(s.parse);
+  out.emplace_back("bytes", s.bytes);
+  out.emplace_back("threads_used", s.threads_used);
+  out.emplace_back("read_seconds", s.read_seconds);
+  out.emplace_back("scan_seconds", s.scan_seconds);
+  out.emplace_back("parse_seconds", s.parse_seconds);
+  out.emplace_back("merge_seconds", s.merge_seconds);
+  return out;
 }
 
 }  // namespace parowl::rdf

@@ -188,4 +188,13 @@ void write_ntriples(std::ostream& out, const TripleStore& store,
   }
 }
 
+obs::FieldList fields(const ParseStats& s) {
+  return {
+      {"triples", s.triples},
+      {"duplicates", s.duplicates},
+      {"bad_lines", s.bad_lines},
+      {"first_error", s.first_error},
+  };
+}
+
 }  // namespace parowl::rdf

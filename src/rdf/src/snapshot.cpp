@@ -122,4 +122,12 @@ bool load_snapshot(std::istream& in, Dictionary& dict, TripleStore& store,
   return true;
 }
 
+obs::FieldList fields(const SnapshotStats& s) {
+  return {
+      {"terms", s.terms},
+      {"triples", s.triples},
+      {"bytes", s.bytes},
+  };
+}
+
 }  // namespace parowl::rdf

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "parowl/obs/report.hpp"
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/triple_store.hpp"
 #include "parowl/rules/rule.hpp"
@@ -22,6 +23,9 @@ struct BackwardStats {
   std::size_t resolutions = 0;    // rule-head unifications attempted
   std::size_t store_probes = 0;   // base-store pattern matches issued
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const BackwardStats& s);
 
 /// Goal-directed (top-down) evaluation: SLD resolution with tabling,
 /// modeled on the backward half of Jena's hybrid engine, which the paper's

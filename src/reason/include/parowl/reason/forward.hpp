@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "parowl/obs/options.hpp"
+#include "parowl/obs/report.hpp"
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/flat_index.hpp"
 #include "parowl/rdf/triple_store.hpp"
@@ -43,6 +45,11 @@ struct ForwardOptions {
   /// — log order and all statistics included — is bit-identical for every
   /// thread count.  0 = hardware concurrency.
   unsigned threads = 1;
+
+  /// Observability sinks/sampling (docs/architecture.md "Observability"):
+  /// every layer's Options embeds this by value; drivers pass it to
+  /// obs::configure at entry.
+  obs::ObsOptions obs;
 };
 
 /// Evaluation statistics.
@@ -55,6 +62,9 @@ struct ForwardStats {
   /// frontier order), so the per-rule sum always equals `derived`.
   std::vector<std::size_t> firings_per_rule;
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const ForwardStats& s);
 
 /// Bottom-up datalog evaluation over a triple store.
 ///

@@ -47,6 +47,10 @@ struct MaterializeOptions {
 
   /// Safety cap on query-driven outer sweeps.
   std::size_t max_sweeps = 64;
+
+  /// Observability sinks/sampling, forwarded to the ForwardOptions the
+  /// materializer builds.
+  obs::ObsOptions obs;
 };
 
 struct MaterializeResult {
@@ -58,6 +62,9 @@ struct MaterializeResult {
   double reason_seconds = 0.0;       // pure inference wall time
   double compile_seconds = 0.0;      // schema closure + rule compilation
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const MaterializeResult& r);
 
 /// Compile the ontology found in `store` and return the instance rule set
 /// (schema closure is computed internally).  Exposed separately because the
@@ -72,6 +79,8 @@ struct QueryDrivenStats {
   std::size_t sweeps = 0;
   std::size_t added = 0;
 };
+
+[[nodiscard]] obs::FieldList fields(const QueryDrivenStats& s);
 
 /// Run the query-driven (Jena-like) materialization loop on `store` with an
 /// already-compiled rule set: sweep (r, ?p, ?o) queries over every resource,
@@ -125,6 +134,8 @@ struct IncrementalResult {
   bool schema_changed = false;  // rejected: contains schema triples
   double reason_seconds = 0.0;
 };
+
+[[nodiscard]] obs::FieldList fields(const IncrementalResult& r);
 /// `threads` is the forward engine's matching-pass thread count (0 =
 /// hardware concurrency); the result is identical for every value.
 IncrementalResult materialize_incremental(

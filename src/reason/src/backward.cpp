@@ -117,4 +117,12 @@ void BackwardEngine::emit(const rules::Rule& rule,
   }
 }
 
+obs::FieldList fields(const BackwardStats& s) {
+  return {
+      {"subgoals", s.subgoals},
+      {"resolutions", s.resolutions},
+      {"store_probes", s.store_probes},
+  };
+}
+
 }  // namespace parowl::reason

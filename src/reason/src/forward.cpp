@@ -1,5 +1,7 @@
 #include "parowl/reason/forward.hpp"
 
+#include "parowl/obs/obs.hpp"
+
 #include <algorithm>
 #include <barrier>
 #include <bit>
@@ -205,6 +207,7 @@ void ForwardEngine::process_range(std::size_t lo, std::size_t hi,
 }
 
 ForwardStats ForwardEngine::run(std::size_t delta_begin) {
+  obs::configure(options_.obs);
   ForwardStats stats;
   stats.firings_per_rule.assign(rules_.size(), 0);
 
@@ -277,6 +280,9 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
       break;
     }
     ++stats.iterations;
+    obs::Span round_span("reason.round",
+                         {{"round", stats.iterations},
+                          {"frontier", frontier_end - frontier_begin}});
 
     for (Shard& shard : shards) {
       shard.reset();
@@ -296,6 +302,7 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
     // cross-shard dedup and the per-rule firing credit — statistics and
     // log order are identical for every thread count.
     std::size_t added = 0;
+    const std::size_t attempts_before = stats.attempts;
     merged_seen.reset();
     for (Shard& shard : shards) {
       stats.attempts += shard.attempts;
@@ -308,6 +315,10 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
       }
     }
     stats.derived += added;
+    round_span.arg({"derived", added});
+    PAROWL_COUNT("reason.iterations", 1);
+    PAROWL_COUNT("reason.derived", added);
+    PAROWL_COUNT("reason.rule_attempts", stats.attempts - attempts_before);
     if (added == 0) {
       break;
     }
@@ -323,6 +334,15 @@ ForwardStats forward_closure(rdf::TripleStore& store,
                              const rules::RuleSet& rules,
                              ForwardOptions options) {
   return ForwardEngine(store, rules, options).run(0);
+}
+
+obs::FieldList fields(const ForwardStats& s) {
+  return {
+      {"iterations", s.iterations},
+      {"derived", s.derived},
+      {"attempts", s.attempts},
+      {"rules_fired", s.firings_per_rule.size()},
+  };
 }
 
 }  // namespace parowl::reason

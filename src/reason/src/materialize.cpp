@@ -1,5 +1,7 @@
 #include "parowl/reason/materialize.hpp"
 
+#include "parowl/obs/obs.hpp"
+
 #include <algorithm>
 #include <memory>
 #include <unordered_set>
@@ -156,6 +158,11 @@ MaterializeResult materialize(rdf::TripleStore& store,
                               const rdf::Dictionary& dict,
                               const ontology::Vocabulary& vocab,
                               const MaterializeOptions& options) {
+  obs::configure(options.obs);
+  PAROWL_SPAN("reason.materialize",
+              {{"strategy", options.strategy == Strategy::kForward
+                                ? "forward"
+                                : "query_driven"}});
   MaterializeResult result;
   result.base_triples = store.size();
   for (const rdf::Triple& t : store.triples()) {
@@ -186,6 +193,7 @@ MaterializeResult materialize(rdf::TripleStore& store,
     fopts.dispatch_index = options.dispatch_index;
     fopts.devirtualize = options.devirtualize;
     fopts.threads = options.threads;
+    fopts.obs = options.obs;
     const ForwardStats stats = ForwardEngine(store, active, fopts).run(0);
     result.iterations = stats.iterations;
   } else {
@@ -195,6 +203,7 @@ MaterializeResult materialize(rdf::TripleStore& store,
   }
   result.reason_seconds = reason_watch.elapsed_seconds();
   result.inferred = store.size() - result.base_triples;
+  obs::publish(result, "reason.materialize");
   return result;
 }
 
@@ -230,6 +239,35 @@ IncrementalResult materialize_incremental(
   result.inferred = store.size() - delta_begin - result.added;
   result.reason_seconds = watch.elapsed_seconds();
   return result;
+}
+
+obs::FieldList fields(const MaterializeResult& r) {
+  return {
+      {"base_triples", r.base_triples},
+      {"schema_triples", r.schema_triples},
+      {"inferred", r.inferred},
+      {"iterations", r.iterations},
+      {"compiled_rules", r.compiled_rules},
+      {"reason_seconds", r.reason_seconds},
+      {"compile_seconds", r.compile_seconds},
+  };
+}
+
+obs::FieldList fields(const QueryDrivenStats& s) {
+  return {
+      {"sweeps", s.sweeps},
+      {"added", s.added},
+  };
+}
+
+obs::FieldList fields(const IncrementalResult& r) {
+  return {
+      {"added", r.added},
+      {"inferred", r.inferred},
+      {"iterations", r.iterations},
+      {"schema_changed", r.schema_changed},
+      {"reason_seconds", r.reason_seconds},
+  };
 }
 
 }  // namespace parowl::reason

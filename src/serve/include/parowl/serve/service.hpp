@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "parowl/obs/options.hpp"
 #include "parowl/ontology/ontology.hpp"
 #include "parowl/query/sparql_parser.hpp"
 #include "parowl/rdf/snapshot.hpp"
@@ -44,6 +45,10 @@ struct ServiceOptions {
 
   /// Namespace prefixes pre-registered with the SPARQL parser.
   std::vector<std::pair<std::string, std::string>> prefixes;
+
+  /// Observability sinks/sampling (docs/architecture.md "Observability").
+  /// `sample_every` strides the per-request serve spans.
+  obs::ObsOptions obs;
 };
 
 /// The serving layer: turns a materialized TripleStore into a concurrently
@@ -137,6 +142,7 @@ class QueryService {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> request_seq_{0};  // obs sampling stride counter
   LatencyHistogram latency_;
 };
 

@@ -1,48 +1,20 @@
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+
+#include "parowl/obs/metrics.hpp"
+#include "parowl/obs/report.hpp"
 
 namespace parowl::serve {
 
 /// Log-bucketed latency histogram.
 ///
-/// Bucket i covers [2^i, 2^(i+1)) microseconds (bucket 0 additionally
-/// absorbs sub-microsecond samples), so 48 buckets span ns..days.  Recording
-/// is a single relaxed atomic increment — safe from any number of threads —
-/// and percentiles are read off the bucket boundaries, which bounds their
-/// error to the 2x bucket width (plenty for p50/p95/p99 reporting).
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 48;
-
-  LatencyHistogram() = default;
-  LatencyHistogram(const LatencyHistogram& other) { merge(other); }
-  LatencyHistogram& operator=(const LatencyHistogram& other);
-
-  /// Record one sample.  Thread-safe.
-  void record_seconds(double seconds);
-
-  /// Add every sample of `other` into this histogram.
-  void merge(const LatencyHistogram& other);
-
-  [[nodiscard]] std::uint64_t count() const;
-
-  /// Sum of recorded durations (bucket-midpoint approximation), seconds.
-  [[nodiscard]] double approximate_total_seconds() const;
-
-  /// The p-quantile (p in [0, 1]) in seconds: upper edge of the bucket
-  /// containing the p-th sample.  Returns 0 when empty.
-  [[nodiscard]] double percentile_seconds(double p) const;
-
-  void reset();
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-};
+/// This was the serving layer's histogram first; it is now the shared
+/// obs::Histogram (same buckets, same API) so every layer records latency
+/// into one shape and the MetricsRegistry can export it.
+using LatencyHistogram = obs::Histogram;
 
 /// Cache counters (see ResultCache).
 struct CacheCounters {
@@ -57,6 +29,9 @@ struct CacheCounters {
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
 };
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const CacheCounters& c);
 
 /// One consistent view of everything the service observed, for reporting.
 struct ServiceStats {
@@ -77,9 +52,12 @@ struct ServiceStats {
     return total == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(total);
   }
 
-  /// Render as a two-column util::Table ("metric", "value").
+  /// Render as a two-column util::Table ("metric", "value"); the rows are
+  /// the protocol fields plus human-formatted latency percentiles.
   void print(std::ostream& os) const;
 };
+
+[[nodiscard]] obs::FieldList fields(const ServiceStats& s);
 
 /// "123.4 us" / "5.67 ms" / "1.23 s" — for latency cells.
 [[nodiscard]] std::string fmt_latency(double seconds);

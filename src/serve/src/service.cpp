@@ -1,8 +1,10 @@
 #include "parowl/serve/service.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <ostream>
 
+#include "parowl/obs/obs.hpp"
 #include "parowl/query/bgp.hpp"
 #include "parowl/rdf/snapshot.hpp"
 #include "parowl/util/timer.hpp"
@@ -41,6 +43,7 @@ QueryService::QueryService(rdf::Dictionary& dict,
       updater_(registry_, &cache_, dict, vocab),
       executor_(std::make_unique<Executor>(options_.threads,
                                            options_.queue_capacity)) {
+  obs::configure(options_.obs);
   for (const auto& [name, iri] : options_.prefixes) {
     parser_.add_prefix(name, iri);
   }
@@ -108,6 +111,17 @@ Response QueryService::execute(const std::string& query_text) {
 }
 
 Response QueryService::execute_locked(const std::string& query_text) {
+  PAROWL_COUNT("serve.requests", 1);
+  // Per-request spans are strided by ObsOptions.sample_every so a loaded
+  // service does not flood the trace buffer.
+  std::optional<obs::Span> request_span;
+  if (obs::Tracer::global().enabled() &&
+      request_seq_.fetch_add(1, std::memory_order_relaxed) %
+              obs::sample_stride() ==
+          0) {
+    request_span.emplace("serve.request");
+  }
+
   Response response;
   const std::string key = normalize_query(query_text);
 
@@ -120,12 +134,20 @@ Response QueryService::execute_locked(const std::string& query_text) {
   if (auto hit = cache_.lookup(key)) {
     response.cache_hit = true;
     response.results = std::move(*hit);
+    if (request_span) {
+      request_span->arg({"cache", "hit"});
+      request_span->arg({"rows", response.results.size()});
+    }
     return response;
   }
 
   std::optional<query::SelectQuery> parsed;
   std::string error;
   {
+    std::optional<obs::Span> parse_span;
+    if (request_span) {
+      parse_span.emplace("serve.parse");
+    }
     // Parsing interns query constants and mutates parser prefix state.
     const std::unique_lock lock(dict_mutex_);
     parsed = parser_.parse(query_text, &error);
@@ -133,12 +155,23 @@ Response QueryService::execute_locked(const std::string& query_text) {
   if (!parsed) {
     response.status = RequestStatus::kParseError;
     response.error = error;
+    if (request_span) {
+      request_span->arg({"status", "parse_error"});
+    }
     return response;
   }
 
   // Evaluation is lock-free: the snapshot is immutable and BGP matching
   // touches only TermIds.
+  std::optional<obs::Span> eval_span;
+  if (request_span) {
+    eval_span.emplace("serve.eval");
+  }
   response.results = query::evaluate(snap->store, *parsed);
+  if (eval_span) {
+    eval_span->arg({"rows", response.results.size()});
+    eval_span.reset();
+  }
 
   CachedResult entry;
   entry.results = response.results;
@@ -146,11 +179,16 @@ Response QueryService::execute_locked(const std::string& query_text) {
       footprint_of(*parsed, &entry.wildcard_predicate);
   entry.version = snap->version;
   cache_.insert(key, std::move(entry));
+  if (request_span) {
+    request_span->arg({"cache", "miss"});
+    request_span->arg({"rows", response.results.size()});
+  }
   return response;
 }
 
 UpdateOutcome QueryService::apply_update(
     std::span<const rdf::Triple> additions) {
+  PAROWL_SPAN("serve.update", {{"additions", additions.size()}});
   // Shared lock: the incremental closure reads term kinds (literal guard)
   // concurrently with result rendering, but must exclude parser interning.
   const std::shared_lock lock(dict_mutex_);
@@ -169,6 +207,7 @@ rdf::SnapshotStats QueryService::save_snapshot(std::ostream& out) const {
   // Pin the snapshot first: RCU keeps the store alive and immutable while
   // we stream it out, and the shared lock only guards dictionary reads.
   const SnapshotPtr snap = registry_.current();
+  PAROWL_SPAN("serve.snapshot", {{"version", snap->version}});
   return with_dict_shared([&out, &snap](const rdf::Dictionary& dict) {
     return rdf::save_snapshot(out, dict, snap->store);
   });
@@ -184,6 +223,7 @@ ServiceStats QueryService::stats() const {
   s.snapshot_version = registry_.version();
   s.cache = cache_.counters();
   s.latency = latency_;
+  obs::publish(s, "serve");
   return s;
 }
 

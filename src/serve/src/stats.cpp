@@ -1,91 +1,10 @@
 #include "parowl/serve/stats.hpp"
 
-#include <cmath>
 #include <ostream>
 
 #include "parowl/util/table.hpp"
 
 namespace parowl::serve {
-namespace {
-
-/// Bucket index for a duration in microseconds: floor(log2(us)), clamped.
-int bucket_for(double micros) {
-  if (micros < 1.0) {
-    return 0;
-  }
-  const int b = static_cast<int>(std::floor(std::log2(micros)));
-  return b >= LatencyHistogram::kBuckets ? LatencyHistogram::kBuckets - 1 : b;
-}
-
-/// Upper edge of bucket i, in seconds.
-double bucket_upper_seconds(int i) {
-  return std::ldexp(1.0, i + 1) * 1e-6;
-}
-
-}  // namespace
-
-LatencyHistogram& LatencyHistogram::operator=(const LatencyHistogram& other) {
-  if (this != &other) {
-    reset();
-    merge(other);
-  }
-  return *this;
-}
-
-void LatencyHistogram::record_seconds(double seconds) {
-  const int b = bucket_for(seconds * 1e6);
-  buckets_[static_cast<std::size_t>(b)].fetch_add(1, std::memory_order_relaxed);
-}
-
-void LatencyHistogram::merge(const LatencyHistogram& other) {
-  for (int i = 0; i < kBuckets; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    buckets_[idx].fetch_add(other.buckets_[idx].load(std::memory_order_relaxed),
-                            std::memory_order_relaxed);
-  }
-}
-
-std::uint64_t LatencyHistogram::count() const {
-  std::uint64_t total = 0;
-  for (const auto& b : buckets_) {
-    total += b.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-double LatencyHistogram::approximate_total_seconds() const {
-  double total = 0.0;
-  for (int i = 0; i < kBuckets; ++i) {
-    const auto n = buckets_[static_cast<std::size_t>(i)].load(
-        std::memory_order_relaxed);
-    // Geometric midpoint of [2^i, 2^(i+1)) us.
-    total += static_cast<double>(n) * std::ldexp(1.0, i) * 1.5 * 1e-6;
-  }
-  return total;
-}
-
-double LatencyHistogram::percentile_seconds(double p) const {
-  const std::uint64_t total = count();
-  if (total == 0) {
-    return 0.0;
-  }
-  const double target = p * static_cast<double>(total);
-  std::uint64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[static_cast<std::size_t>(i)].load(
-        std::memory_order_relaxed);
-    if (static_cast<double>(seen) >= target) {
-      return bucket_upper_seconds(i);
-    }
-  }
-  return bucket_upper_seconds(kBuckets - 1);
-}
-
-void LatencyHistogram::reset() {
-  for (auto& b : buckets_) {
-    b.store(0, std::memory_order_relaxed);
-  }
-}
 
 std::string fmt_latency(double seconds) {
   if (seconds < 1e-3) {
@@ -97,25 +16,43 @@ std::string fmt_latency(double seconds) {
   return util::fmt_double(seconds, 2) + " s";
 }
 
+obs::FieldList fields(const CacheCounters& c) {
+  return {
+      {"cache_hits", c.hits},
+      {"cache_misses", c.misses},
+      {"cache_hit_rate", c.hit_rate()},
+      {"cache_evictions", c.evictions},
+      {"cache_invalidations", c.invalidations},
+      {"cache_rejected", c.rejected},
+  };
+}
+
+obs::FieldList fields(const ServiceStats& s) {
+  obs::FieldList out = {
+      {"requests", s.total_requests()},
+      {"completed", s.completed},
+      {"shed", s.shed},
+      {"deadline_exceeded", s.deadline_exceeded},
+      {"parse_errors", s.parse_errors},
+      {"shed_rate", s.shed_rate()},
+      {"p50_latency_seconds", s.latency.percentile_seconds(0.50)},
+      {"p95_latency_seconds", s.latency.percentile_seconds(0.95)},
+      {"p99_latency_seconds", s.latency.percentile_seconds(0.99)},
+  };
+  for (obs::Field& f : fields(s.cache)) {
+    out.push_back(std::move(f));
+  }
+  out.emplace_back("updates_applied", s.updates_applied);
+  out.emplace_back("snapshot_version", s.snapshot_version);
+  return out;
+}
+
 void ServiceStats::print(std::ostream& os) const {
   util::Table table({"metric", "value"});
-  table.add_row({"requests", std::to_string(total_requests())});
-  table.add_row({"completed", std::to_string(completed)});
-  table.add_row({"shed (overloaded)", std::to_string(shed)});
-  table.add_row({"deadline exceeded", std::to_string(deadline_exceeded)});
-  table.add_row({"parse errors", std::to_string(parse_errors)});
-  table.add_row({"shed rate", util::fmt_double(shed_rate() * 100, 2) + " %"});
+  obs::print(*this, table);
   table.add_row({"p50 latency", fmt_latency(latency.percentile_seconds(0.50))});
   table.add_row({"p95 latency", fmt_latency(latency.percentile_seconds(0.95))});
   table.add_row({"p99 latency", fmt_latency(latency.percentile_seconds(0.99))});
-  table.add_row({"cache hits", std::to_string(cache.hits)});
-  table.add_row({"cache misses", std::to_string(cache.misses)});
-  table.add_row({"cache hit rate",
-                 util::fmt_double(cache.hit_rate() * 100, 2) + " %"});
-  table.add_row({"cache evictions", std::to_string(cache.evictions)});
-  table.add_row({"cache invalidations", std::to_string(cache.invalidations)});
-  table.add_row({"updates applied", std::to_string(updates_applied)});
-  table.add_row({"snapshot version", std::to_string(snapshot_version)});
   table.print(os);
 }
 

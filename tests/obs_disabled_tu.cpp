@@ -1,0 +1,22 @@
+// Compiled with PAROWL_OBS_DISABLED defined *before* any obs header: the
+// instrumentation macros in this translation unit must expand to nothing.
+// obs_test.cpp calls run_instrumented_block and asserts that neither the
+// global tracer nor the global registry saw anything.
+
+#define PAROWL_OBS_DISABLED
+
+#include "parowl/obs/obs.hpp"
+
+namespace parowl::obs_disabled_probe {
+
+int run_instrumented_block(int iterations) {
+  int total = 0;
+  for (int i = 0; i < iterations; ++i) {
+    PAROWL_SPAN("obs_disabled_probe.iter", {{"i", i}});
+    PAROWL_COUNT("obs_disabled_probe.calls", 1);
+    ++total;
+  }
+  return total;
+}
+
+}  // namespace parowl::obs_disabled_probe

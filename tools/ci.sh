@@ -39,4 +39,9 @@ cmake --build --preset asan -j "$jobs" \
   codec_test ingest_equivalence_test
 ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable'
 
+echo "=== tsan subset (obs: sharded counters, tracer buffers) ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" --target obs_test
+ctest --preset tsan -j "$jobs" -R 'Obs'
+
 echo "=== ci green ==="

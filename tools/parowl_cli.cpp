@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "parowl/gen/lubm.hpp"
+#include "parowl/obs/obs.hpp"
 #include "parowl/gen/lubm_queries.hpp"
 #include "parowl/gen/mdc.hpp"
 #include "parowl/gen/uobm.hpp"
@@ -61,6 +62,7 @@ commands:
           [--rule-parts M] [--mode sync|async|threaded] [--strategy ...]
           [--faults seed=S,drop=P,dup=P,corrupt=P,delay=P,reorder=P]
           [--checkpoint-dir <dir>]
+  run     alias for cluster; accepts --partitions N for -k N
   serve-bench <kb> [--reason] [--threads N] [--queue N] [--requests N]
           [--mode open|closed] [--rate QPS] [--clients N] [--think S]
           [--deadline S] [--no-cache] [--seed S] [--queries-file <file>]
@@ -69,6 +71,11 @@ commands:
 kb files: .nt (N-Triples), .ttl (Turtle), .snap (binary snapshot)
 every command that loads a .nt/.ttl KB accepts --load-threads N
 (parallel ingest; the loaded KB is bit-identical for any N)
+
+observability (every command):
+  --trace-out FILE     write a Chrome/Perfetto trace of the run
+  --metrics-out FILE   write the metrics-registry snapshot as JSON
+  --sample-every N     trace every Nth serve request (default 1)
 )";
   return 2;
 }
@@ -179,7 +186,8 @@ class Args {
                           "--clients", "--think", "--deadline",
                           "--update-batches", "--update-size",
                           "--faults", "--checkpoint-dir", "--load-threads",
-                          "--max-threads"}) {
+                          "--max-threads", "--partitions", "--trace-out",
+                          "--metrics-out", "--sample-every"}) {
       if (flag_name == f) {
         return true;
       }
@@ -192,6 +200,17 @@ class Args {
 unsigned load_threads_of(const Args& args) {
   return static_cast<unsigned>(
       std::stoul(args.option("--load-threads", "1")));
+}
+
+/// The one place CLI observability flags are parsed; every command embeds
+/// the result into its layer's options struct (the uniform convention).
+obs::ObsOptions obs_options_from(const Args& args) {
+  obs::ObsOptions o;
+  o.trace_out = args.option("--trace-out");
+  o.metrics_out = args.option("--metrics-out");
+  o.sample_every = static_cast<std::uint32_t>(
+      std::stoul(args.option("--sample-every", "1")));
+  return o;
 }
 
 std::unique_ptr<partition::OwnerPolicy> make_policy(const std::string& name) {
@@ -360,6 +379,7 @@ int cmd_materialize(const Args& args) {
   opts.threads = static_cast<unsigned>(std::stoul(args.option("--threads", "1")));
   opts.dispatch_index = !args.flag("--no-dispatch");
   opts.devirtualize = !args.flag("--no-devirt");
+  opts.obs = obs_options_from(args);
 
   const reason::MaterializeResult r =
       reason::materialize(store, dict, vocab, opts);
@@ -511,6 +531,7 @@ int cmd_serve_bench(const Args& args) {
   sopts.default_deadline_seconds = std::stod(args.option("--deadline", "0"));
   sopts.prefixes = {{"ub", std::string(gen::kUnivBenchNs)},
                     {"mdc", std::string(gen::kMdcNs)}};
+  sopts.obs = obs_options_from(args);
   serve::QueryService service(dict, vocab, std::move(store), sopts);
 
   serve::WorkloadOptions wopts;
@@ -699,8 +720,9 @@ int cmd_cluster(const Args& args) {
   ontology::Vocabulary vocab(dict);
 
   parallel::ParallelOptions opts;
-  opts.partitions =
-      static_cast<std::uint32_t>(std::stoul(args.option("-k", "4")));
+  opts.partitions = static_cast<std::uint32_t>(
+      std::stoul(args.option("-k", args.option("--partitions", "4"))));
+  opts.obs = obs_options_from(args);
   opts.rule_partitions = static_cast<std::uint32_t>(
       std::stoul(args.option("--rule-parts", "2")));
   const std::string approach = args.option("--approach", "data");
@@ -787,6 +809,9 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
+  // One RAII session covers every command: configure the sinks up front,
+  // flush the trace/metrics files on the way out.
+  const obs::Session obs_session(obs_options_from(args));
   if (command == "gen") {
     return cmd_gen(args);
   }
@@ -808,7 +833,7 @@ int main(int argc, char** argv) {
   if (command == "partition") {
     return cmd_partition(args);
   }
-  if (command == "cluster") {
+  if (command == "cluster" || command == "run") {
     return cmd_cluster(args);
   }
   if (command == "serve-bench") {

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Summarize a parowl Chrome-trace file (--trace-out output).
+
+    tools/trace_summary.py trace.json [--category parallel] [--markdown]
+
+Prints three views of the trace:
+  * per-category span totals (count, total/mean duration),
+  * per-worker round skew (for parallel runs: each worker's time per round,
+    plus the round's max/min ratio — the straggler factor),
+  * per-worker communication breakdown (compute vs send/recv/retransmit).
+
+The input is the {"traceEvents": [...]} JSON written by the tracer; only
+"X" (complete) events are consumed, "M" metadata names the worker tracks.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", [])
+    spans = [e for e in events if e.get("ph") == "X"]
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    return spans, names
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.3f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.1f}ms"
+    return f"{us:.0f}us"
+
+
+class Table:
+    def __init__(self, header):
+        self.header = header
+        self.rows = []
+
+    def add(self, row):
+        self.rows.append([str(c) for c in row])
+
+    def print(self, markdown=False):
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in self.rows)) if self.rows
+            else len(str(h))
+            for i, h in enumerate(self.header)
+        ]
+        if markdown:
+            print("| " + " | ".join(
+                str(h).ljust(w) for h, w in zip(self.header, widths)) + " |")
+            print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+            for row in self.rows:
+                print("| " + " | ".join(
+                    c.ljust(w) for c, w in zip(row, widths)) + " |")
+        else:
+            print("  ".join(str(h).ljust(w)
+                            for h, w in zip(self.header, widths)))
+            for row in self.rows:
+                print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        print()
+
+
+def category_totals(spans, markdown):
+    by_name = collections.defaultdict(lambda: [0, 0.0])
+    for e in spans:
+        agg = by_name[e["name"]]
+        agg[0] += 1
+        agg[1] += e.get("dur", 0)
+    table = Table(["span", "count", "total", "mean"])
+    for name in sorted(by_name):
+        count, total = by_name[name]
+        table.add([name, count, fmt_us(total), fmt_us(total / count)])
+    print("== span totals ==")
+    table.print(markdown)
+
+
+def worker_label(tid, names):
+    return names.get(tid, f"track {tid}")
+
+
+def round_skew(spans, names, markdown):
+    # parallel.round spans carry a "round" arg and a per-worker track.
+    per_round = collections.defaultdict(dict)  # round -> tid -> dur
+    for e in spans:
+        if e["name"] != "parallel.round":
+            continue
+        rnd = e.get("args", {}).get("round")
+        if rnd is None:
+            continue
+        # A worker can appear once per round; keep the sum to be safe.
+        per_round[rnd][e["tid"]] = per_round[rnd].get(e["tid"], 0) + e["dur"]
+    if not per_round:
+        return
+    tids = sorted({tid for durs in per_round.values() for tid in durs})
+    table = Table(["round"] + [worker_label(t, names) for t in tids]
+                  + ["skew (max/min)"])
+    for rnd in sorted(per_round):
+        durs = per_round[rnd]
+        row = [rnd] + [fmt_us(durs.get(t, 0)) for t in tids]
+        present = [d for d in durs.values() if d > 0]
+        skew = (max(present) / max(min(present), 1)) if present else 0.0
+        row.append(f"{skew:.2f}x")
+        table.add(row)
+    print("== per-worker round skew ==")
+    table.print(markdown)
+
+
+def comm_breakdown(spans, names, markdown):
+    stages = ["parallel.compute", "parallel.send", "parallel.recv",
+              "parallel.retransmit", "parallel.aggregate"]
+    per_worker = collections.defaultdict(lambda: collections.defaultdict(float))
+    for e in spans:
+        if e["name"] in stages:
+            per_worker[e["tid"]][e["name"]] += e["dur"]
+    if not per_worker:
+        return
+    table = Table(["worker"] + [s.split(".", 1)[1] for s in stages]
+                  + ["comm share"])
+    for tid in sorted(per_worker):
+        durs = per_worker[tid]
+        compute = durs.get("parallel.compute", 0.0)
+        comm = sum(durs.get(s, 0.0) for s in stages[1:])
+        total = compute + comm
+        share = 100.0 * comm / total if total > 0 else 0.0
+        table.add([worker_label(tid, names)]
+                  + [fmt_us(durs.get(s, 0.0)) for s in stages]
+                  + [f"{share:.1f}%"])
+    print("== per-worker communication breakdown ==")
+    table.print(markdown)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON written by --trace-out")
+    parser.add_argument("--category", help="only spans whose cat matches")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit GitHub-flavored markdown tables")
+    args = parser.parse_args()
+
+    spans, names = load_events(args.trace)
+    if args.category:
+        spans = [e for e in spans if e.get("cat") == args.category]
+    if not spans:
+        print("no spans in trace", file=sys.stderr)
+        return 1
+    category_totals(spans, args.markdown)
+    round_skew(spans, names, args.markdown)
+    comm_breakdown(spans, names, args.markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
