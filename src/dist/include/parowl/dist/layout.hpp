@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace parowl::dist {
+
+/// Base of the virtual obs trace-track range for serving-tier nodes
+/// (kDistTrackBase + node).  The materialization plane's workers use
+/// 100 + worker id; 200+ keeps the two planes on separate Perfetto rows.
+inline constexpr std::uint32_t kDistTrackBase = 200;
+
+/// Node-id geometry of the serving cluster, overlaid on the parallel
+/// layer's Transport (whose node-id space is just 0..num_nodes-1):
+///
+///   node 0                        — the router (query front end)
+///   node 1 + p * replicas + r     — replica r of partition p
+///
+/// The same Transport implementations (memory / file / faulty) carry both
+/// the materialization plane's derivation batches and the serving plane's
+/// scan requests; only the node-id interpretation differs.
+struct NodeLayout {
+  std::uint32_t partitions = 1;
+  std::uint32_t replicas = 1;
+
+  static constexpr std::uint32_t kRouterNode = 0;
+
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return 1 + partitions * replicas;
+  }
+  [[nodiscard]] std::uint32_t replica_node(std::uint32_t partition,
+                                           std::uint32_t replica) const {
+    return 1 + partition * replicas + replica;
+  }
+  [[nodiscard]] std::uint32_t partition_of(std::uint32_t node) const {
+    return (node - 1) / replicas;
+  }
+  [[nodiscard]] std::uint32_t replica_of(std::uint32_t node) const {
+    return (node - 1) % replicas;
+  }
+};
+
+}  // namespace parowl::dist

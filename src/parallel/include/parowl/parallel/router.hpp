@@ -14,6 +14,12 @@ namespace parowl::parallel {
 /// Decides which partitions a freshly derived tuple must be shipped to
 /// (Algorithm 3 step 4).  Implementations are shared read-only between all
 /// workers and must be thread-safe after construction.
+///
+/// Naming note — this is the *derivation* router of the materialization
+/// plane (write path, runs while the closure is being computed).  Its
+/// serving-plane counterpart is dist::QueryRouter, which routes *scan
+/// requests* from the query front end to shard replicas at serve time.
+/// See docs/architecture.md "Distributed serving" for the side-by-side.
 class Router {
  public:
   virtual ~Router() = default;

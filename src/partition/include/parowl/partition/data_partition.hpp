@@ -37,4 +37,26 @@ struct DataPartitioning {
                                               const OwnerPolicy& policy,
                                               std::uint32_t num_partitions);
 
+/// Append the partitions that must hold a *closure* triple to `out` (not
+/// cleared; destinations are distinct): the owner of the subject plus the
+/// owner of the object when each is owned.  A triple with no owned endpoint
+/// — schema axioms, inferred schema facts, literal-only statements — is
+/// broadcast to all `num_partitions` partitions, the replication rule that
+/// keeps every shard self-contained for pattern matching.  This is the
+/// placement rule behind both Algorithm 1's parts and the serving tier's
+/// shards (dist::ShardCatalog), kept here so the two planes cannot drift.
+void append_shard_destinations(const OwnerTable& owners, const rdf::Triple& t,
+                               std::uint32_t num_partitions,
+                               std::vector<std::uint32_t>& out);
+
+/// The partitions a query *pattern* (kAnyTerm = wildcard) can match triples
+/// on, under the append_shard_destinations placement rule: a pattern with
+/// an owned constant subject or object is answerable entirely by that
+/// endpoint's partition (every matching triple is replicated there); any
+/// other pattern must consult all partitions.  Returns the sorted distinct
+/// partition list.
+[[nodiscard]] std::vector<std::uint32_t> pattern_footprint(
+    const OwnerTable& owners, const rdf::Triple& pattern,
+    std::uint32_t num_partitions);
+
 }  // namespace parowl::partition

@@ -46,4 +46,49 @@ DataPartitioning partition_data(const rdf::TripleStore& store,
   return out;
 }
 
+void append_shard_destinations(const OwnerTable& owners, const rdf::Triple& t,
+                               std::uint32_t num_partitions,
+                               std::vector<std::uint32_t>& out) {
+  const auto sit = owners.find(t.s);
+  const auto oit = owners.find(t.o);
+  if (sit == owners.end() && oit == owners.end()) {
+    // No owned endpoint: replicate everywhere (schema-style triples).
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      out.push_back(p);
+    }
+    return;
+  }
+  if (sit != owners.end()) {
+    out.push_back(sit->second);
+  }
+  if (oit != owners.end() &&
+      (sit == owners.end() || oit->second != sit->second)) {
+    out.push_back(oit->second);
+  }
+}
+
+std::vector<std::uint32_t> pattern_footprint(const OwnerTable& owners,
+                                             const rdf::Triple& pattern,
+                                             std::uint32_t num_partitions) {
+  // A constant owned endpoint narrows the pattern to one partition: every
+  // triple carrying that endpoint is replicated to its owner's shard by
+  // append_shard_destinations.  Schema terms and literals are unowned, so
+  // patterns bound only to them still fan out everywhere.
+  if (pattern.s != rdf::kAnyTerm) {
+    if (const auto it = owners.find(pattern.s); it != owners.end()) {
+      return {it->second};
+    }
+  }
+  if (pattern.o != rdf::kAnyTerm) {
+    if (const auto it = owners.find(pattern.o); it != owners.end()) {
+      return {it->second};
+    }
+  }
+  std::vector<std::uint32_t> all(num_partitions);
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    all[p] = p;
+  }
+  return all;
+}
+
 }  // namespace parowl::partition

@@ -17,6 +17,7 @@ enum class RequestStatus {
   kOverloaded,        // shed at admission: the bounded queue was full
   kDeadlineExceeded,  // expired in the queue before a worker picked it up
   kParseError,
+  kUnavailable,       // distributed path: a shard answered on no replica
 };
 
 [[nodiscard]] const char* to_string(RequestStatus status);

@@ -41,6 +41,13 @@ struct CachedResult {
 
 /// Sharded LRU cache of query results keyed on normalized SPARQL text.
 ///
+/// Distributed caveat: a *merged* result (dist::DistService) has no single
+/// snapshot version to floor against — its freshness depends on every
+/// touched shard.  The distributed tier therefore keys entries on the
+/// normalized text *plus the per-partition shard version vector* (see
+/// DistService::cache_key), so a shard refresh retires affected entries by
+/// moving them to a dead key instead of relying on the version floor.
+///
 /// Shard = hash(key) % shards; each shard holds its own mutex, LRU list, and
 /// map, so concurrent lookups on different queries don't contend.  Deltas
 /// invalidate by predicate footprint: `on_update` drops exactly the entries

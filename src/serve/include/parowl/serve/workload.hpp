@@ -42,6 +42,7 @@ struct WorkloadReport {
   std::size_t shed = 0;
   std::size_t deadline_exceeded = 0;
   std::size_t parse_errors = 0;
+  std::size_t unavailable = 0;  // distributed path: no replica answered
   std::size_t cache_hits = 0;
   double wall_seconds = 0.0;
   LatencyHistogram latency;  // client-observed (admission -> answer)
@@ -55,9 +56,22 @@ struct WorkloadReport {
   void print(std::ostream& os) const;
 };
 
-/// Drive `service` with requests drawn uniformly (seeded) from `queries`.
+/// The service surface the driver needs: admit `query` and invoke `done`
+/// exactly once (inline when shed).  Both serve::QueryService::submit and
+/// dist::DistService::submit fit, so one driver exercises the single-store
+/// and distributed tiers identically.
+using SubmitFn =
+    std::function<bool(const std::string& query,
+                       std::function<void(const Response&)> done)>;
+
+/// Drive `submit` with requests drawn uniformly (seeded) from `queries`.
 /// Blocks until every admitted request has been answered.  Deterministic in
 /// which queries are issued (not in timing).
+WorkloadReport run_workload(const SubmitFn& submit,
+                            std::span<const std::string> queries,
+                            const WorkloadOptions& options);
+
+/// Convenience overload for the single-store service.
 WorkloadReport run_workload(QueryService& service,
                             std::span<const std::string> queries,
                             const WorkloadOptions& options);

@@ -14,6 +14,8 @@ const char* to_string(RequestStatus status) {
       return "deadline_exceeded";
     case RequestStatus::kParseError:
       return "parse_error";
+    case RequestStatus::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

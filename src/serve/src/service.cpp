@@ -241,6 +241,10 @@ void QueryService::count(const Response& response) {
     case RequestStatus::kParseError:
       parse_errors_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case RequestStatus::kUnavailable:
+      // Single-store serving has no unavailable outcome (the snapshot is
+      // local); the distributed facade keeps its own counter.
+      break;
   }
   latency_.record_seconds(response.latency_seconds);
 }

@@ -23,6 +23,7 @@ struct Collector {
   std::atomic<std::size_t> shed{0};
   std::atomic<std::size_t> deadline_exceeded{0};
   std::atomic<std::size_t> parse_errors{0};
+  std::atomic<std::size_t> unavailable{0};
   std::atomic<std::size_t> cache_hits{0};
   LatencyHistogram latency;
 
@@ -46,6 +47,9 @@ struct Collector {
         break;
       case RequestStatus::kParseError:
         parse_errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kUnavailable:
+        unavailable.fetch_add(1, std::memory_order_relaxed);
         break;
     }
     latency.record_seconds(response.latency_seconds);
@@ -78,13 +82,14 @@ WorkloadReport finish(const Collector& collector, std::size_t submitted,
   report.shed = collector.shed.load();
   report.deadline_exceeded = collector.deadline_exceeded.load();
   report.parse_errors = collector.parse_errors.load();
+  report.unavailable = collector.unavailable.load();
   report.cache_hits = collector.cache_hits.load();
   report.wall_seconds = wall_seconds;
   report.latency = collector.latency;
   return report;
 }
 
-WorkloadReport run_open_loop(QueryService& service,
+WorkloadReport run_open_loop(const SubmitFn& submit,
                              std::span<const std::string> queries,
                              const WorkloadOptions& options) {
   Collector collector;
@@ -100,7 +105,7 @@ WorkloadReport run_open_loop(QueryService& service,
                     interval * static_cast<double>(i));
     std::this_thread::sleep_until(due);
     const std::string& q = queries[rng.below(queries.size())];
-    service.submit(q, [&collector](const Response& r) { collector.record(r); });
+    submit(q, [&collector](const Response& r) { collector.record(r); });
   }
   collector.wait_for(options.total_requests);
   const double wall =
@@ -109,7 +114,7 @@ WorkloadReport run_open_loop(QueryService& service,
   return finish(collector, options.total_requests, wall);
 }
 
-WorkloadReport run_closed_loop(QueryService& service,
+WorkloadReport run_closed_loop(const SubmitFn& submit,
                                std::span<const std::string> queries,
                                const WorkloadOptions& options) {
   Collector collector;
@@ -127,7 +132,7 @@ WorkloadReport run_closed_loop(QueryService& service,
         std::mutex done_mutex;
         std::condition_variable done_cv;
         bool answered = false;
-        service.submit(q, [&](const Response& r) {
+        submit(q, [&](const Response& r) {
           collector.record(r);
           {
             const std::scoped_lock lock(done_mutex);
@@ -157,15 +162,26 @@ WorkloadReport run_closed_loop(QueryService& service,
 
 }  // namespace
 
-WorkloadReport run_workload(QueryService& service,
+WorkloadReport run_workload(const SubmitFn& submit,
                             std::span<const std::string> queries,
                             const WorkloadOptions& options) {
   if (queries.empty() || options.total_requests == 0) {
     return {};
   }
   return options.mode == WorkloadMode::kOpenLoop
-             ? run_open_loop(service, queries, options)
-             : run_closed_loop(service, queries, options);
+             ? run_open_loop(submit, queries, options)
+             : run_closed_loop(submit, queries, options);
+}
+
+WorkloadReport run_workload(QueryService& service,
+                            std::span<const std::string> queries,
+                            const WorkloadOptions& options) {
+  return run_workload(
+      [&service](const std::string& q,
+                 std::function<void(const Response&)> done) {
+        return service.submit(q, std::move(done));
+      },
+      queries, options);
 }
 
 std::vector<std::string> load_query_lines(std::istream& in) {
@@ -206,6 +222,7 @@ void WorkloadReport::print(std::ostream& os) const {
   table.add_row({"shed", std::to_string(shed)});
   table.add_row({"deadline exceeded", std::to_string(deadline_exceeded)});
   table.add_row({"parse errors", std::to_string(parse_errors)});
+  table.add_row({"unavailable", std::to_string(unavailable)});
   table.add_row({"cache hits", std::to_string(cache_hits)});
   table.add_row({"wall time", util::format_seconds(wall_seconds)});
   table.add_row({"throughput", util::fmt_double(throughput_qps(), 1) + " q/s"});

@@ -7,12 +7,14 @@
 //   parowl partition data.nt -k 8 --policy graph   partition + metrics
 //   parowl cluster data.nt -k 8 [--approach data|rule|hybrid] [--mode sync|async]
 //   parowl serve-bench full.snap --threads 4       drive the serving layer
+//   parowl serve-dist full.snap --partitions 4 --replicas 2   distributed tier
 //
 // Input format is chosen by extension: .nt (N-Triples), .ttl (Turtle),
 // .snap (binary snapshot); output likewise (.snap or .nt).
 
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <fstream>
 #include <iostream>
@@ -20,8 +22,10 @@
 #include <thread>
 #include <vector>
 
+#include "parowl/dist/service.hpp"
 #include "parowl/gen/lubm.hpp"
 #include "parowl/obs/obs.hpp"
+#include "parowl/partition/data_partition.hpp"
 #include "parowl/gen/lubm_queries.hpp"
 #include "parowl/gen/mdc.hpp"
 #include "parowl/gen/uobm.hpp"
@@ -67,6 +71,9 @@ commands:
           [--mode open|closed] [--rate QPS] [--clients N] [--think S]
           [--deadline S] [--no-cache] [--seed S] [--queries-file <file>]
           [--update-batches N] [--update-size M]
+  serve-dist <kb> [--reason] --partitions N [--replicas R] [--policy ...]
+          [--faults seed=S,drop=P,...] [serve-bench workload options]
+          (sharded serving tier: scatter/gather over partition replicas)
 
 kb files: .nt (N-Triples), .ttl (Turtle), .snap (binary snapshot)
 every command that loads a .nt/.ttl KB accepts --load-threads N
@@ -186,8 +193,9 @@ class Args {
                           "--clients", "--think", "--deadline",
                           "--update-batches", "--update-size",
                           "--faults", "--checkpoint-dir", "--load-threads",
-                          "--max-threads", "--partitions", "--trace-out",
-                          "--metrics-out", "--sample-every"}) {
+                          "--max-threads", "--partitions", "--replicas",
+                          "--trace-out", "--metrics-out",
+                          "--sample-every"}) {
       if (flag_name == f) {
         return true;
       }
@@ -710,6 +718,110 @@ parallel::FaultSpec parse_fault_spec(const std::string& text) {
   return spec;
 }
 
+/// serve-dist: the distributed serving tier.  Shards the (optionally
+/// freshly materialized) closure over `--partitions` partitions with
+/// `--replicas` replicas each, then drives dist::DistService with the same
+/// workload knobs serve-bench takes.  `--faults` wraps the in-memory
+/// transport in the seeded FaultyTransport so replica failover and
+/// retransmission show up in the stats.
+int cmd_serve_dist(const Args& args) {
+  const std::string path = args.positional(0);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
+    return path.empty() ? usage() : 1;
+  }
+  ontology::Vocabulary vocab(dict);
+  if (args.flag("--reason")) {
+    const reason::MaterializeResult r =
+        reason::materialize(store, dict, vocab, {});
+    std::cout << "materialized: +" << r.inferred << " triples\n";
+  }
+
+  std::vector<std::string> queries;
+  const std::string queries_file = args.option("--queries-file");
+  if (!queries_file.empty()) {
+    std::ifstream in(queries_file);
+    if (!in) {
+      std::cerr << "cannot open " << queries_file << "\n";
+      return 1;
+    }
+    queries = serve::load_query_lines(in);
+  } else {
+    for (const gen::LubmQuery& q : gen::lubm_queries()) {
+      queries.push_back(q.sparql);
+    }
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries to serve\n";
+    return 1;
+  }
+
+  const auto k = static_cast<std::uint32_t>(
+      std::stoul(args.option("--partitions", args.option("-k", "4"))));
+  const auto replicas = static_cast<std::uint32_t>(
+      std::stoul(args.option("--replicas", "1")));
+  const auto policy = make_policy(args.option("--policy", "hash"));
+  partition::OwnerTable owners =
+      partition::partition_data(store, dict, vocab, *policy, k).owners;
+
+  const dist::NodeLayout layout{k, replicas};
+  parallel::MemoryTransport inner(layout.num_nodes());
+  std::unique_ptr<parallel::FaultyTransport> faulty;
+  const std::string faults_arg = args.option("--faults");
+  if (!faults_arg.empty()) {
+    faulty = std::make_unique<parallel::FaultyTransport>(
+        inner, parse_fault_spec(faults_arg));
+  }
+  parallel::Transport& transport =
+      faulty ? static_cast<parallel::Transport&>(*faulty) : inner;
+
+  dist::DistOptions dopts;
+  dopts.threads = std::stoul(args.option("--threads", "2"));
+  dopts.queue_capacity = std::stoul(args.option("--queue", "64"));
+  dopts.cache_enabled = !args.flag("--no-cache");
+  dopts.default_deadline_seconds = std::stod(args.option("--deadline", "0"));
+  dopts.prefixes = {{"ub", std::string(gen::kUnivBenchNs)},
+                    {"mdc", std::string(gen::kMdcNs)}};
+  dopts.replicas = replicas;
+  dopts.obs = obs_options_from(args);
+  dist::DistService service(dict, store, std::move(owners), k, transport,
+                            dopts);
+
+  serve::WorkloadOptions wopts;
+  wopts.mode = args.option("--mode", "closed") == "open"
+                   ? serve::WorkloadMode::kOpenLoop
+                   : serve::WorkloadMode::kClosedLoop;
+  wopts.total_requests = std::stoul(args.option("--requests", "1000"));
+  wopts.seed = std::stoull(args.option("--seed", "42"));
+  wopts.arrival_rate_qps = std::stod(args.option("--rate", "1000"));
+  wopts.clients = std::stoul(args.option("--clients", "4"));
+  wopts.think_seconds = std::stod(args.option("--think", "0"));
+
+  const serve::WorkloadReport report =
+      dist::run_workload(service, queries, wopts);
+  service.drain();
+
+  std::cout << "\n--- client view ("
+            << (wopts.mode == serve::WorkloadMode::kOpenLoop ? "open loop"
+                                                             : "closed loop")
+            << ", " << k << " partitions x " << replicas << " replicas, cache "
+            << (dopts.cache_enabled ? "on" : "off") << ") ---\n";
+  report.print(std::cout);
+  std::cout << "\n--- dist service stats ---\n";
+  service.stats().print(std::cout);
+  if (faulty) {
+    const parallel::FaultLog inj = faulty->injected_faults();
+    std::cout << "faults: injected " << inj.total() << " (drop " << inj.drops
+              << ", dup " << inj.duplicates << ", corrupt " << inj.corruptions
+              << ", delay " << inj.delays << ", reorder " << inj.reorders
+              << ")\n";
+  }
+  std::cout << "throughput " << util::fmt_double(report.throughput_qps(), 1)
+            << " q/s\n";
+  return 0;
+}
+
 int cmd_cluster(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
@@ -838,6 +950,9 @@ int main(int argc, char** argv) {
   }
   if (command == "serve-bench") {
     return cmd_serve_bench(args);
+  }
+  if (command == "serve-dist") {
+    return cmd_serve_dist(args);
   }
   return usage();
 }

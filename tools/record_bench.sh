@@ -6,6 +6,9 @@
 #   bench/BENCH_ingest.json — parallel-ingest thread sweep (N-Triples and
 #     Turtle), serial-parse baseline, codec encode/decode throughput and
 #     bytes-per-triple, snapshot save/load.
+#   bench/BENCH_serving.json — distributed serving tail-latency sweep
+#     (p50/p99 vs partition count × replica count under the open-loop
+#     driver, plus the single-store serve baseline).
 # Usage: tools/record_bench.sh [extra benchmark args...]
 #
 # The baselines answer "did this PR make a hot path slower?" — compare a
@@ -19,7 +22,7 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
 cmake --preset default
 cmake --build --preset default -j "$jobs" --target micro_reason \
-  extension_ingest
+  extension_ingest extension_distributed_serving
 
 build/bench/micro_reason \
   --benchmark_filter='BM_Closure' \
@@ -35,3 +38,10 @@ build/bench/extension_ingest \
   "$@"
 
 echo "wrote bench/BENCH_ingest.json"
+
+build/bench/extension_distributed_serving \
+  --benchmark_out=bench/BENCH_serving.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote bench/BENCH_serving.json"

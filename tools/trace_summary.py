@@ -138,6 +138,35 @@ def comm_breakdown(spans, names, markdown):
     table.print(markdown)
 
 
+def dist_breakdown(spans, names, markdown):
+    # Distributed serving tier: the router's per-request phases
+    # (dist.route footprint computation, dist.fanout scatter/gather,
+    # dist.merge canonical merge + evaluation) land on the "dist router"
+    # track; each replica's scan service time (dist.scan) lands on its own
+    # "dist replica p<P>/r<R>" track, so rows double as the per-partition
+    # fan-out breakdown.
+    stages = ["dist.route", "dist.fanout", "dist.merge", "dist.scan"]
+    per_track = collections.defaultdict(
+        lambda: collections.defaultdict(float))
+    scan_counts = collections.defaultdict(int)
+    for e in spans:
+        if e["name"] in stages:
+            per_track[e["tid"]][e["name"]] += e["dur"]
+            if e["name"] == "dist.scan":
+                scan_counts[e["tid"]] += 1
+    if not per_track:
+        return
+    table = Table(["track"] + [s.split(".", 1)[1] for s in stages]
+                  + ["scans"])
+    for tid in sorted(per_track):
+        durs = per_track[tid]
+        table.add([worker_label(tid, names)]
+                  + [fmt_us(durs.get(s, 0.0)) for s in stages]
+                  + [scan_counts.get(tid, 0)])
+    print("== distributed serving fan-out/merge breakdown ==")
+    table.print(markdown)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="trace JSON written by --trace-out")
@@ -155,6 +184,7 @@ def main():
     category_totals(spans, args.markdown)
     round_skew(spans, names, args.markdown)
     comm_breakdown(spans, names, args.markdown)
+    dist_breakdown(spans, names, args.markdown)
     return 0
 
 
