@@ -3,74 +3,131 @@
 // till all other partitions finish, but rather start immediately using all
 // the currently received tuples will reduce the synchronization time").
 //
-// Both executors run the same partitioning; the table compares the modeled
-// parallel time and the wait/synchronization component.  Expected shape:
-// async never waits at a barrier, so its wait time and makespan drop —
-// most visibly where partitions are imbalanced or rounds are many (UOBM).
+// BM_ClusterExec/mode/k materializes the LUBM closure under one executor
+// and partition count; every iteration is a full run, and the counters
+// report the measured wall-clock p50/p99 across iterations plus the
+// executor's own accounting (modeled makespan, barrier-wait or idle time,
+// steals).  tools/record_bench.sh captures the sweep as
+// bench/BENCH_async.json.
+//
+// Single-core caveat: all workers share one core here, so wall-clock rows
+// compare *executor overhead* (barrier bookkeeping vs token ring + steal
+// machinery), while the modeled makespan/idle columns carry the parallel
+// story — async removes barrier waits, most visibly where partitions are
+// imbalanced.  See EXPERIMENTS.md "Asynchronous execution".
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace {
 
 using namespace parowl;
 using namespace parowl::bench;
 
-namespace {
+enum Mode : std::int64_t {
+  kSync = 0,
+  kAsync = 1,
+  kAsyncNoSteal = 2,
+  kAsyncThreaded = 3,
+};
 
-void series(const Universe& u, reason::Strategy strategy,
-            util::Table& table) {
-  const partition::GraphOwnerPolicy policy;
-  for (const unsigned k : {4u, 8u, 16u}) {
-    parallel::ParallelOptions sync_opts;
-    sync_opts.partitions = k;
-    sync_opts.policy = &policy;
-    sync_opts.local_strategy = strategy;
-    sync_opts.build_merged = false;
-    const auto sync_r =
-        parallel::parallel_materialize(u.store, u.dict, *u.vocab, sync_opts);
+Universe& lubm_universe() {
+  static Universe* u = [] {
+    auto* fresh = new Universe();
+    make_lubm(*fresh, 10 * scale_factor());
+    return fresh;
+  }();
+  return *u;
+}
 
-    parallel::ParallelOptions async_opts = sync_opts;
-    async_opts.mode = parallel::ExecutionMode::kAsyncSimulated;
-    const auto async_r = parallel::parallel_materialize(u.store, u.dict,
-                                                        *u.vocab, async_opts);
+// Dense cross-university links: many rounds, imbalanced exchanges — the
+// workload where §VI-B predicts the barrier hurts most.
+Universe& uobm_universe() {
+  static Universe* u = [] {
+    auto* fresh = new Universe();
+    make_uobm(*fresh, 4 * scale_factor());
+    return fresh;
+  }();
+  return *u;
+}
 
-    table.add_row(
-        {u.name, std::to_string(k),
-         util::fmt_double(sync_r.cluster.simulated_seconds, 3),
-         util::fmt_double(sync_r.cluster.sync_seconds, 3),
-         util::fmt_double(async_r.cluster.simulated_seconds, 3),
-         util::fmt_double(async_r.async->wait_seconds, 3),
-         util::fmt_double(
-             async_r.cluster.simulated_seconds > 0
-                 ? sync_r.cluster.simulated_seconds /
-                       async_r.cluster.simulated_seconds
-                 : 1.0,
-             2)});
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
   }
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+void run_cluster_exec(benchmark::State& state, Universe& u) {
+  const auto mode = static_cast<Mode>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const partition::GraphOwnerPolicy policy;
+
+  parallel::ParallelOptions opts;
+  opts.partitions = k;
+  opts.policy = &policy;
+  opts.build_merged = false;
+  switch (mode) {
+    case kSync:
+      opts.mode = parallel::ExecutionMode::kSequentialSimulated;
+      break;
+    case kAsync:
+      opts.mode = parallel::ExecutionMode::kAsync;
+      break;
+    case kAsyncNoSteal:
+      opts.mode = parallel::ExecutionMode::kAsync;
+      opts.async_exec.steal = false;
+      break;
+    case kAsyncThreaded:
+      opts.mode = parallel::ExecutionMode::kAsyncThreaded;
+      break;
+  }
+
+  std::vector<double> wall;
+  parallel::ParallelResult last;
+  for (auto _ : state) {
+    util::Stopwatch watch;
+    last = parallel::parallel_materialize(u.store, u.dict, *u.vocab, opts);
+    wall.push_back(watch.elapsed_seconds());
+    benchmark::DoNotOptimize(last.inferred);
+  }
+
+  state.counters["wall_p50_ms"] = percentile(wall, 0.50) * 1e3;
+  state.counters["wall_p99_ms"] = percentile(wall, 0.99) * 1e3;
+  state.counters["model_s"] = last.cluster.simulated_seconds;
+  // Worst-case worker wait: barrier-gap envelope (sync) / the most idle
+  // worker's total (async) — the §VI-B quantity in both modes.
+  state.counters["wait_s"] = last.cluster.sync_seconds;
+  state.counters["idle_total_s"] = last.cluster.async_stats.idle_seconds;
+  state.counters["steals"] =
+      static_cast<double>(last.cluster.async_stats.steals);
+  state.counters["inferred"] = static_cast<double>(last.inferred);
+}
+
+void BM_ClusterExec(benchmark::State& state) {
+  run_cluster_exec(state, lubm_universe());
+}
+
+void BM_ClusterExecUobm(benchmark::State& state) {
+  run_cluster_exec(state, uobm_universe());
 }
 
 }  // namespace
 
-int main() {
-  const unsigned s = scale_factor();
-  print_header("Ablation: synchronous rounds vs asynchronous execution");
+BENCHMARK(BM_ClusterExec)
+    ->ArgsProduct({{kSync, kAsync, kAsyncNoSteal, kAsyncThreaded}, {2, 4, 8}})
+    ->Iterations(7)
+    ->Unit(benchmark::kMillisecond);
 
-  util::Table table({"dataset", "procs", "sync time(s)", "sync wait(s)",
-                     "async time(s)", "async wait(s)", "async gain"});
-  {
-    Universe u;
-    make_lubm(u, 10 * s);
-    series(u, reason::Strategy::kQueryDriven, table);
-  }
-  {
-    Universe u;
-    make_uobm(u, 4 * s);
-    series(u, reason::Strategy::kForward, table);
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected: asynchronous execution removes barrier waits "
-               "(the paper's SecVI-B\nsuggestion).  The gain is largest "
-               "where synchronization dominates (UOBM's\nimbalanced, "
-               "many-round exchanges); on LUBM's fast balanced rounds, "
-               "batching at\nthe barrier can narrowly beat fragmented "
-               "async activations.\n";
-  return 0;
-}
+BENCHMARK(BM_ClusterExecUobm)
+    ->ArgsProduct({{kSync, kAsync}, {4, 8}})
+    ->Iterations(7)
+    ->Unit(benchmark::kMillisecond);

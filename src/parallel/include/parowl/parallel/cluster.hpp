@@ -32,6 +32,20 @@ enum class ExecutionMode {
   /// improvement the paper proposes.  Handled by AsyncSimulator; the
   /// round-based Cluster rejects this mode.
   kAsyncSimulated,
+
+  /// Asynchronous execution over the real Transport/ack machinery, driven
+  /// deterministically on one thread with per-worker virtual clocks:
+  /// workers drain arrivals as they come, evaluate bounded frontier
+  /// chunks, steal frontier shards from the most-backlogged peer when
+  /// idle, and terminate via a Dijkstra-style token ring — no round
+  /// barrier.  The closure SET is bit-identical to the synchronous modes
+  /// (monotone closure: the fixpoint is interleaving-independent).
+  kAsync,
+
+  /// Same protocol with one real thread per worker (mutex-guarded worker
+  /// state, lock-free backlog hints) — the mode TSan exercises, since
+  /// stealing introduces genuine cross-worker sharing.
+  kAsyncThreaded,
 };
 
 /// Communication-cost model used to convert measured traffic into the
@@ -80,12 +94,43 @@ struct FaultToleranceOptions {
   std::uint32_t crash_worker = 0;
 };
 
+/// Knobs of the asynchronous executors (kAsync / kAsyncThreaded).
+struct AsyncOptions {
+  /// Steal frontier shards from the most-backlogged peer when idle.
+  bool steal = true;
+  /// Max frontier tuples surrendered per steal grant.
+  std::size_t steal_batch = 256;
+  /// Max frontier tuples one async_step evaluates (the activation grain —
+  /// smaller chunks interleave communication more aggressively).
+  std::size_t chunk = 256;
+  /// Idle polls without progress before unacked envelopes are resent.
+  std::uint32_t retransmit_after = 3;
+  /// Checkpoint every N termination-token epochs (0 = every epoch).
+  std::uint32_t checkpoint_epochs = 1;
+};
+
+/// What the asynchronous executors did, beyond the round-mode accounting.
+struct AsyncStats {
+  std::uint64_t activations = 0;     // bounded evaluation steps executed
+  std::uint64_t steals = 0;          // successful steal grants
+  std::uint64_t stolen_tuples = 0;   // frontier tuples stolen
+  std::uint64_t steal_derivations = 0;  // tuples shipped back by thieves
+  std::uint64_t token_epochs = 0;    // termination probes launched
+  std::uint64_t token_passes = 0;    // token hops observed
+  double idle_seconds = 0.0;         // summed per-worker idle time
+  std::vector<double> idle_seconds_per_worker;
+};
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const AsyncStats& s);
+
 struct ClusterOptions {
   ExecutionMode mode = ExecutionMode::kSequentialSimulated;
   NetworkModel network;
   std::size_t max_rounds = 10000;
   CheckpointOptions checkpoint;
   FaultToleranceOptions fault_tolerance;
+  AsyncOptions async;
 
   /// Observability sinks/sampling (docs/architecture.md "Observability").
   obs::ObsOptions obs;
@@ -155,6 +200,9 @@ struct ClusterResult {
   std::vector<double> reason_seconds_per_worker;
 
   RunReport report;
+
+  /// Filled by the asynchronous executors (zeroed elsewhere).
+  AsyncStats async_stats;
 };
 
 /// The parallel reasoner of Algorithm 3: a set of workers, a transport, and
@@ -198,11 +246,14 @@ class Cluster {
  private:
   ClusterResult run_sequential();
   ClusterResult run_threaded();
+  ClusterResult run_async();
+  ClusterResult run_async_threaded();
   /// Bounded ack/retry delivery of one round, sequential flavour.
   void deliver_round_sequential(std::uint32_t round);
   void checkpoint_worker(Worker& worker, std::uint32_t round);
   [[nodiscard]] bool checkpoint_due(std::uint32_t round) const;
   void finalize(ClusterResult& result);
+  void finalize_async(ClusterResult& result, const AsyncStats& stats);
 
   Transport& transport_;
   ClusterOptions options_;

@@ -54,6 +54,10 @@ struct ParallelOptions {
   NetworkModel network;
   rules::HorstOptions horst;
 
+  /// Asynchronous-executor knobs (kAsync / kAsyncThreaded), forwarded to
+  /// ClusterOptions.
+  AsyncOptions async_exec;
+
   /// External transport (e.g. a FileTransport on a spool directory).  When
   /// null, an in-memory transport is created internally.
   Transport* transport = nullptr;

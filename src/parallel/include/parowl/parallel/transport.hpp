@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -77,6 +78,15 @@ struct CommStats {
          (static_cast<std::uint64_t>(round) & 0xfffffffffULL);
 }
 
+/// What an envelope carries.  kData is an ordinary delta batch; kToken is a
+/// termination-detection probe (empty tuple payload, token_* fields live);
+/// kStealResult returns the derivations a thief computed over a stolen
+/// frontier shard to the shard's owner, who absorbs them like foreign
+/// deltas.  Tokens ride the same ack'd envelopes as data, so drop/dup/delay
+/// faults are already handled by the retry layer — and their payload is
+/// empty, so the corrupt fault (which mutates tuples) cannot touch them.
+enum class BatchKind : std::uint8_t { kData = 0, kToken = 1, kStealResult = 2 };
+
 /// Wire envelope: one tuple batch plus the identity and integrity metadata
 /// the ack/retry protocol needs.
 struct Batch {
@@ -86,6 +96,12 @@ struct Batch {
   std::uint32_t seq = 0;      // per-(from, to, round) sequence number
   std::uint32_t attempt = 0;  // 0 = first transmission
   std::uint64_t checksum = 0; // batch_checksum(tuples) at send time
+  BatchKind kind = BatchKind::kData;
+  /// Termination-token payload (kToken only): the probe epoch, the
+  /// Dijkstra color, and a spare counter field for protocol extensions.
+  std::uint32_t token_epoch = 0;
+  std::int64_t token_count = 0;
+  bool token_black = false;
   /// False when the transport could not even reconstruct the envelope
   /// (torn file, unparsable payload); treated as a checksum failure.
   bool intact = true;
@@ -157,6 +173,16 @@ class Transport {
   virtual std::vector<Batch> receive_batches(std::uint32_t to,
                                              std::uint32_t round) = 0;
 
+  /// Drain every envelope currently available for `to`, regardless of
+  /// round — the asynchronous executors poll with this, since async senders
+  /// stamp envelopes with a monotonic sequence rather than a shared round.
+  /// Default implementation refuses: round-synchronous-only transports
+  /// (e.g. test doubles) need not support it.
+  virtual std::vector<Batch> receive_all(std::uint32_t to) {
+    (void)to;
+    throw std::logic_error(name() + " transport does not support receive_all");
+  }
+
   /// Tuple-level convenience wrappers (sequence numbers assigned
   /// internally; payload integrity still checked on receive, corrupt
   /// batches dropped with a warning rather than returned).
@@ -206,6 +232,7 @@ class MemoryTransport final : public Transport {
   void send_batch(Batch batch) override;
   std::vector<Batch> receive_batches(std::uint32_t to,
                                      std::uint32_t round) override;
+  std::vector<Batch> receive_all(std::uint32_t to) override;
   [[nodiscard]] std::string name() const override { return "memory"; }
 
   /// Envelopes still sitting in mailboxes (test introspection).
@@ -241,6 +268,7 @@ class FileTransport final : public Transport {
   void send_batch(Batch batch) override;
   std::vector<Batch> receive_batches(std::uint32_t to,
                                      std::uint32_t round) override;
+  std::vector<Batch> receive_all(std::uint32_t to) override;
   [[nodiscard]] std::string name() const override { return "file"; }
 
   [[nodiscard]] std::filesystem::path batch_path(const Batch& batch) const;
@@ -283,6 +311,7 @@ class FaultyTransport final : public Transport {
   void send_batch(Batch batch) override;
   std::vector<Batch> receive_batches(std::uint32_t to,
                                      std::uint32_t round) override;
+  std::vector<Batch> receive_all(std::uint32_t to) override;
   [[nodiscard]] CommStats stats(std::uint32_t partition) const override;
   [[nodiscard]] FaultLog injected_faults() const override;
   [[nodiscard]] std::string name() const override {
@@ -293,9 +322,12 @@ class FaultyTransport final : public Transport {
   [[nodiscard]] std::size_t limbo_remaining() const;
 
  private:
-  /// An envelope held back by a delay fault until `due_round`.
+  /// An envelope held back by a delay fault until `due_round` (round-
+  /// synchronous receive) or until `holds` further receive_all polls have
+  /// elapsed (asynchronous receive, where no shared round exists).
   struct Delayed {
     std::uint32_t due_round = 0;
+    std::uint32_t holds = 0;
     Batch batch;
   };
 
@@ -304,6 +336,9 @@ class FaultyTransport final : public Transport {
   mutable std::mutex mutex_;
   FaultLog log_;
   std::vector<Delayed> limbo_;
+  // Per-destination receive_all poll counters: seed both the limbo
+  // countdown and the deterministic delivery shuffle in async mode.
+  std::map<std::uint32_t, std::uint64_t> poll_counts_;
 };
 
 }  // namespace parowl::parallel

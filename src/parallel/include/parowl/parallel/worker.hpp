@@ -10,6 +10,7 @@
 #include "parowl/parallel/router.hpp"
 #include "parowl/parallel/transport.hpp"
 #include "parowl/rdf/triple_store.hpp"
+#include "parowl/reason/forward.hpp"
 #include "parowl/reason/materialize.hpp"
 #include "parowl/rules/rule.hpp"
 
@@ -119,6 +120,119 @@ class Worker {
     return pending_.size();
   }
 
+  // -- Asynchronous execution ------------------------------------------
+  //
+  // The async executors (ExecutionMode::kAsync / kAsyncThreaded) drop the
+  // round barrier: workers drain arrivals with `async_collect`, evaluate
+  // bounded frontier chunks with `async_step`, steal frontier shards from
+  // backlogged peers (`grant_steal` on the victim, `evaluate_shard` +
+  // `ship_steal_results` on the thief), and detect global quiescence with
+  // a Dijkstra-style token ring (`send_token`).  All exchange still flows
+  // through the ack'd Transport envelopes, so the fault model and retry
+  // machinery of the synchronous mode apply unchanged.
+
+  /// One envelope this worker has shipped and not yet seen acknowledged.
+  struct SentRecord {
+    std::uint64_t id = 0;
+    std::size_t tuples = 0;
+  };
+
+  /// What one `async_collect` poll produced.
+  struct AsyncArrivals {
+    std::size_t batches = 0;       // data/steal envelopes newly staged
+    std::size_t fresh = 0;         // genuinely new tuples absorbed
+    std::size_t steal_tuples = 0;  // tuples arriving via kStealResult
+    std::vector<Batch> tokens;     // termination probes (handled by caller)
+  };
+
+  /// Drain the transport inbox (any round), validate/dedup/ack exactly as
+  /// `collect` does, absorb data and steal-result payloads in canonical
+  /// order, and hand termination tokens back to the executor.
+  AsyncArrivals async_collect(AckBoard* board);
+
+  /// What one `async_step` call did.
+  struct AsyncStepStats {
+    std::size_t consumed = 0;      // frontier tuples evaluated
+    std::size_t derived = 0;       // new local derivations
+    std::size_t sent_tuples = 0;
+    std::size_t sent_batches = 0;
+    double compute_seconds = 0.0;
+  };
+
+  /// Evaluate up to `max_delta` frontier tuples (one bounded matching
+  /// pass — not a fixpoint), insert the new derivations, and ship the
+  /// routed ones.  Appends a SentRecord per envelope when `sent` is
+  /// non-null.  Query-driven workers ignore `max_delta` and close fully.
+  AsyncStepStats async_step(std::size_t max_delta,
+                            std::vector<SentRecord>* sent);
+
+  /// Frontier tuples not yet evaluated — the steal-target metric.
+  [[nodiscard]] std::size_t backlog() const {
+    return store_.size() - frontier_;
+  }
+
+  /// A contiguous frontier shard handed to a thief.
+  struct StealShard {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+  };
+
+  /// Victim side of a steal: advance the frontier over up to `max_tuples`
+  /// pending tuples and return the surrendered range (empty when no
+  /// backlog).  The thief now owns evaluating [lo, hi).
+  StealShard grant_steal(std::size_t max_tuples);
+
+  /// Thief side of a steal: evaluate the victim's frontier range [lo, hi)
+  /// against the victim's store WITHOUT mutating it (single matching
+  /// pass).  Safe to call concurrently with nothing else touching the
+  /// victim; the threaded executor serializes via the victim's lock.
+  [[nodiscard]] std::vector<reason::ForwardEngine::Derivation> evaluate_shard(
+      std::size_t lo, std::size_t hi) const;
+
+  /// Ship a steal's derivations: everything goes back to the victim as one
+  /// kStealResult envelope (the victim absorbs them as foreign deltas and
+  /// re-evaluates), plus ordinary kData envelopes to every destination the
+  /// router names for the *victim's* partition.  Returns tuples shipped.
+  std::size_t ship_steal_results(
+      std::uint32_t victim_id,
+      std::span<const reason::ForwardEngine::Derivation> derivations,
+      std::vector<SentRecord>* sent);
+
+  /// Ship a termination probe to worker `to`.
+  void send_token(std::uint32_t to, std::uint32_t epoch, bool black,
+                  std::vector<SentRecord>* sent);
+
+  /// Async retransmission: resend every pending envelope the board has not
+  /// acknowledged (no round argument — ids are monotonic).  Returns the
+  /// number of retransmissions issued.
+  std::size_t retransmit_unacked_async(const AckBoard& board);
+
+  /// Release acknowledged envelopes from the pending set and mark their
+  /// outbox entries with the current checkpoint count (for pruning).
+  /// Returns the number still unacknowledged.
+  std::size_t release_acked(const AckBoard& board);
+
+  /// Begin logging every shipped envelope to the outbox (async runs with
+  /// checkpointing enabled); no-op otherwise.
+  void enable_outbox() { log_outbox_ = true; }
+
+  /// Resend every envelope still in the outbox log (crash recovery:
+  /// receivers deduplicate by batch id, so over-sending is harmless).
+  std::size_t resend_outbox(std::vector<SentRecord>* sent);
+
+  /// Drop outbox entries acknowledged before the *previous* checkpoint —
+  /// any receiver cut that old has already durably absorbed them.
+  void prune_outbox();
+
+  [[nodiscard]] reason::Strategy strategy() const {
+    return options_.strategy;
+  }
+  /// Only forward-strategy workers can serve as steal victims: the stolen
+  /// shard is evaluated by ForwardEngine::match_delta against their store.
+  [[nodiscard]] bool can_steal_from() const {
+    return options_.strategy == reason::Strategy::kForward;
+  }
+
   // -- Checkpointing --------------------------------------------------
 
   /// Serialize the worker's complete reasoning state (store log, frontier
@@ -175,6 +289,27 @@ class Worker {
   std::vector<Batch> pending_;  // sent this round, awaiting acknowledgement
   std::vector<Batch> stash_;    // validated arrivals awaiting aggregation
   std::unordered_set<std::uint64_t> seen_batches_;  // redelivery dedup
+
+  // -- Async state ----------------------------------------------------
+  /// Monotonic per-sender sequence, packed into the batch-id round field
+  /// (no shared round exists).  Bumped by a large gap on checkpoint load
+  /// so post-recovery ids can never collide with pre-crash ones.
+  std::uint32_t send_seq_ = 0;
+  /// Outbox log for async checkpointing: every shipped data/steal
+  /// envelope, retained until a checkpoint older than its ack proves every
+  /// receiver cut has absorbed it.  `acked_ck` is the checkpoint count at
+  /// which the ack was observed (-1 = not yet acked).
+  struct OutboxEntry {
+    Batch batch;
+    std::int64_t acked_ck = -1;
+  };
+  std::vector<OutboxEntry> outbox_;
+  std::int64_t ckpt_count_ = 0;  // checkpoints taken this run
+  bool log_outbox_ = false;
+
+  /// Stamp identity/sequence/checksum on an async envelope, record it in
+  /// pending_ (+ outbox when logging), ship it.
+  void ship_async(Batch batch, std::vector<SentRecord>* sent);
 };
 
 }  // namespace parowl::parallel

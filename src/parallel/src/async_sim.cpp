@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_set>
 
+#include "parowl/obs/obs.hpp"
+
 namespace parowl::parallel {
 namespace {
 
@@ -188,6 +190,9 @@ AsyncResult AsyncSimulator::run() {
     }
   }
   result.union_results = union_results.size();
+  // First-class idle metric, matching the async cluster executors.
+  PAROWL_COUNT("parallel.idle_ns",
+               static_cast<std::uint64_t>(result.wait_seconds * 1e9));
   return result;
 }
 

@@ -187,6 +187,7 @@ ParallelResult parallel_materialize(const rdf::TripleStore& store,
     copts.network = options.network;
     copts.checkpoint = options.checkpoint;
     copts.fault_tolerance = options.fault_tolerance;
+    copts.async = options.async_exec;
     copts.obs = options.obs;
     cluster.emplace(*transport, copts);
     for (std::uint32_t w = 0; w < num_workers; ++w) {

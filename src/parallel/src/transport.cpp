@@ -130,6 +130,30 @@ std::vector<Batch> MemoryTransport::receive_batches(std::uint32_t to,
   return out;
 }
 
+std::vector<Batch> MemoryTransport::receive_all(std::uint32_t to) {
+  util::Stopwatch watch;
+  std::vector<Batch> out;
+  {
+    const std::scoped_lock lock(mutex_);
+    // Mailboxes are keyed (to, round); drain every round for `to`.
+    for (auto it = mailboxes_.lower_bound({to, 0});
+         it != mailboxes_.end() && it->first.first == to;) {
+      out.insert(out.end(), std::make_move_iterator(it->second.begin()),
+                 std::make_move_iterator(it->second.end()));
+      it = mailboxes_.erase(it);
+    }
+  }
+  std::uint64_t bytes = 0;
+  for (const Batch& b : out) {
+    bytes += b.tuples.size() * sizeof(rdf::Triple);
+  }
+  const std::scoped_lock lock(stats_mutex_);
+  CommStats& s = stats_for(to);
+  s.recv_seconds += watch.elapsed_seconds();
+  s.bytes_received += bytes;
+  return out;
+}
+
 std::size_t MemoryTransport::pending_batches() const {
   const std::scoped_lock lock(mutex_);
   std::size_t n = 0;
@@ -145,9 +169,11 @@ std::size_t MemoryTransport::pending_batches() const {
 namespace {
 
 // Binary batch envelope: magic, varint identity fields, the sender's
-// order-insensitive checksum, then one codec triple block (which carries
-// its own count and order-sensitive checksum).
-constexpr char kBatchMagic[4] = {'P', 'W', 'B', '2'};
+// order-insensitive checksum, the envelope kind (plus the token payload
+// for termination probes), then one codec triple block (which carries its
+// own count and order-sensitive checksum).  PWB3 extends PWB2 with the
+// kind byte the asynchronous executor needs.
+constexpr char kBatchMagic[4] = {'P', 'W', 'B', '3'};
 
 std::string encode_envelope(const Batch& batch) {
   std::string out;
@@ -158,6 +184,12 @@ std::string encode_envelope(const Batch& batch) {
   rdf::codec::put_varint(out, batch.seq);
   rdf::codec::put_varint(out, batch.attempt);
   rdf::codec::put_u64le(out, batch.checksum);
+  rdf::codec::put_varint(out, static_cast<std::uint64_t>(batch.kind));
+  if (batch.kind == BatchKind::kToken) {
+    rdf::codec::put_varint(out, batch.token_epoch);
+    rdf::codec::put_varint(out, rdf::codec::zigzag_encode(batch.token_count));
+    rdf::codec::put_varint(out, batch.token_black ? 1 : 0);
+  }
   rdf::codec::encode_block(batch.tuples, out);
   return out;
 }
@@ -173,12 +205,14 @@ void decode_envelope(std::string_view in, Batch& batch) {
     return;
   }
   in.remove_prefix(sizeof(kBatchMagic));
-  std::uint64_t from = 0, to = 0, round = 0, seq = 0, attempt = 0;
+  std::uint64_t from = 0, to = 0, round = 0, seq = 0, attempt = 0, kind = 0;
   if (!rdf::codec::get_varint(in, from) || !rdf::codec::get_varint(in, to) ||
       !rdf::codec::get_varint(in, round) ||
       !rdf::codec::get_varint(in, seq) ||
       !rdf::codec::get_varint(in, attempt) ||
-      !rdf::codec::get_u64le(in, batch.checksum)) {
+      !rdf::codec::get_u64le(in, batch.checksum) ||
+      !rdf::codec::get_varint(in, kind) ||
+      kind > static_cast<std::uint64_t>(BatchKind::kStealResult)) {
     batch.intact = false;
     return;
   }
@@ -189,6 +223,19 @@ void decode_envelope(std::string_view in, Batch& batch) {
   batch.from = static_cast<std::uint32_t>(from);
   batch.seq = static_cast<std::uint32_t>(seq);
   batch.attempt = static_cast<std::uint32_t>(attempt);
+  batch.kind = static_cast<BatchKind>(kind);
+  if (batch.kind == BatchKind::kToken) {
+    std::uint64_t epoch = 0, count = 0, black = 0;
+    if (!rdf::codec::get_varint(in, epoch) ||
+        !rdf::codec::get_varint(in, count) ||
+        !rdf::codec::get_varint(in, black) || black > 1) {
+      batch.intact = false;
+      return;
+    }
+    batch.token_epoch = static_cast<std::uint32_t>(epoch);
+    batch.token_count = rdf::codec::zigzag_decode(count);
+    batch.token_black = black != 0;
+  }
   if (!rdf::codec::decode_block(in, batch.tuples) || !in.empty()) {
     batch.intact = false;
   }
@@ -287,6 +334,66 @@ std::vector<Batch> FileTransport::receive_batches(std::uint32_t to,
   return out;
 }
 
+std::vector<Batch> FileTransport::receive_all(std::uint32_t to) {
+  util::Stopwatch watch;
+  std::vector<Batch> out;
+  std::uint64_t bytes = 0;
+
+  // Async spool scan: match any round for this destination.  The round is
+  // recovered from the "r<digits>_" filename prefix so decode_envelope can
+  // validate the header against it exactly as the per-round scan does.
+  const std::string to_marker = "_to" + std::to_string(to) + "_from";
+  std::vector<std::filesystem::path> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("r") && name.ends_with(".batch") &&
+        name.find(to_marker) != std::string::npos) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // scan order is fs-dependent
+
+  for (const auto& path : paths) {
+    const std::string name = path.filename().string();
+    std::uint32_t round = 0;
+    bool round_ok = false;
+    for (std::size_t i = 1; i < name.size() && name[i] != '_'; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        round_ok = false;
+        break;
+      }
+      round = round * 10 + static_cast<std::uint32_t>(name[i] - '0');
+      round_ok = true;
+    }
+    if (!round_ok) {
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      continue;
+    }
+    Batch batch;
+    batch.to = to;
+    batch.round = round;
+
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string encoded = buffer.str();
+    bytes += encoded.size();
+    decode_envelope(encoded, batch);
+    in.close();
+    std::filesystem::remove(path, ec);  // consumed
+    out.push_back(std::move(batch));
+  }
+
+  const std::scoped_lock lock(stats_mutex_);
+  CommStats& s = stats_for(to);
+  s.recv_seconds += watch.elapsed_seconds();
+  s.bytes_received += bytes;
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // FaultyTransport
 
@@ -356,7 +463,7 @@ void FaultyTransport::send_batch(Batch batch) {
                                        std::max(1u, spec_.max_delay_rounds));
     const std::scoped_lock lock(mutex_);
     log_.delays += 1;
-    limbo_.push_back(Delayed{batch.round + extra, std::move(batch)});
+    limbo_.push_back(Delayed{batch.round + extra, extra, std::move(batch)});
     return;
   }
 
@@ -387,6 +494,51 @@ std::vector<Batch> FaultyTransport::receive_batches(std::uint32_t to,
                                   mix64((static_cast<std::uint64_t>(to) << 32) ^
                                         round) ^
                                   out.size());
+    if (hash_unit(h) < spec_.reorder) {
+      std::uint64_t state = mix64(h ^ 0x2545f4914f6cdd1dULL);
+      for (std::size_t i = out.size() - 1; i > 0; --i) {
+        state = mix64(state);
+        std::swap(out[i], out[state % (i + 1)]);
+      }
+      const std::scoped_lock lock(mutex_);
+      log_.reorders += 1;
+    }
+  }
+  return out;
+}
+
+std::vector<Batch> FaultyTransport::receive_all(std::uint32_t to) {
+  std::vector<Batch> out;
+  std::uint64_t poll = 0;
+  {
+    // No shared round exists in async mode, so delayed envelopes count
+    // down `holds` once per destination poll instead of waiting on a due
+    // round; release at zero.
+    const std::scoped_lock lock(mutex_);
+    poll = ++poll_counts_[to];
+    for (auto it = limbo_.begin(); it != limbo_.end();) {
+      if (it->batch.to == to && it->holds > 0) {
+        it->holds -= 1;
+      }
+      if (it->batch.to == to && it->holds == 0) {
+        out.push_back(std::move(it->batch));
+        it = limbo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::vector<Batch> inner = inner_.receive_all(to);
+  out.insert(out.end(), std::make_move_iterator(inner.begin()),
+             std::make_move_iterator(inner.end()));
+
+  if (out.size() > 1) {
+    // Deterministic delivery shuffle keyed on the destination's poll count
+    // (the async analogue of the per-round shuffle above).
+    const std::uint64_t h =
+        mix64(spec_.seed ^
+              mix64((static_cast<std::uint64_t>(to) << 32) ^ poll) ^
+              out.size());
     if (hash_unit(h) < spec_.reorder) {
       std::uint64_t state = mix64(h ^ 0x2545f4914f6cdd1dULL);
       for (std::size_t i = out.size() - 1; i > 0; --i) {

@@ -237,6 +237,325 @@ std::size_t Worker::receive_and_aggregate(std::uint32_t round) {
   return aggregate_round(round);
 }
 
+// -- Asynchronous execution -------------------------------------------
+
+void Worker::ship_async(Batch batch, std::vector<SentRecord>* sent) {
+  batch.from = id_;
+  // Monotonic per-sender sequence in the id's round field: with no shared
+  // round, uniqueness comes from (from, to, send_seq).
+  batch.round = send_seq_++;
+  batch.seq = 0;
+  batch.attempt = 0;
+  batch.checksum = batch_checksum(batch.tuples);
+  if (sent != nullptr) {
+    sent->push_back(SentRecord{batch.id(), batch.tuples.size()});
+  }
+  pending_.push_back(batch);
+  if (log_outbox_ && batch.kind != BatchKind::kToken) {
+    outbox_.push_back(OutboxEntry{batch, -1});
+  }
+  transport_->send_batch(std::move(batch));
+}
+
+Worker::AsyncArrivals Worker::async_collect(AckBoard* board) {
+  obs::Span span("parallel.drain", {{"worker", id_}}, worker_track(id_));
+  RoundStats& rs = round_stats(0);  // async stats accumulate on slot 0
+
+  util::Stopwatch io_watch;
+  std::vector<Batch> arrived = transport_->receive_all(id_);
+  rs.io_seconds += io_watch.elapsed_seconds();
+
+  AsyncArrivals result;
+  std::vector<Batch> staged;
+  for (Batch& batch : arrived) {
+    rs.received_tuples += batch.tuples.size();
+    if (!batch.intact || batch_checksum(batch.tuples) != batch.checksum) {
+      rs.corrupt_batches += 1;
+      transport_->note_checksum_failure(id_);
+      continue;  // no ack: the sender will retransmit
+    }
+    const std::uint64_t id = batch.id();
+    if (board != nullptr) {
+      board->ack(id);  // ack even redeliveries: the sender may have missed it
+    }
+    if (!seen_batches_.insert(id).second) {
+      rs.redelivered += 1;
+      transport_->note_redelivery(id_);
+      continue;
+    }
+    if (batch.kind == BatchKind::kToken) {
+      result.tokens.push_back(std::move(batch));
+      continue;
+    }
+    if (batch.kind == BatchKind::kStealResult) {
+      result.steal_tuples += batch.tuples.size();
+    }
+    staged.push_back(std::move(batch));
+    result.batches += 1;
+  }
+
+  // Canonical absorb order within the poll: batches by (from, round-field
+  // a.k.a. sender sequence), tuples sorted within each batch.  The final
+  // store SET is interleaving-independent anyway (monotone closure); this
+  // just keeps each poll deterministic for a fixed arrival set.
+  util::Stopwatch agg_watch;
+  std::sort(staged.begin(), staged.end(), [](const Batch& a, const Batch& b) {
+    return std::tie(a.from, a.round) < std::tie(b.from, b.round);
+  });
+  for (Batch& batch : staged) {
+    std::sort(batch.tuples.begin(), batch.tuples.end());
+    result.fresh += absorb(batch.tuples);
+  }
+  rs.aggregate_seconds += agg_watch.elapsed_seconds();
+  rs.received_new += result.fresh;
+  span.arg({"batches", result.batches});
+  span.arg({"fresh", result.fresh});
+  return result;
+}
+
+Worker::AsyncStepStats Worker::async_step(std::size_t max_delta,
+                                          std::vector<SentRecord>* sent) {
+  AsyncStepStats st;
+  RoundStats& rs = round_stats(0);
+  const std::size_t before = store_.size();
+
+  util::Stopwatch reason_watch;
+  if (options_.strategy == reason::Strategy::kForward) {
+    // One bounded matching pass over the next frontier chunk.  New
+    // derivations land at the end of the log and become further backlog,
+    // so repeated steps still reach the local fixpoint.
+    const std::size_t hi = std::min(store_.size(), frontier_ + max_delta);
+    if (frontier_ >= hi) {
+      return st;
+    }
+    reason::ForwardOptions fopts;
+    fopts.dict = options_.dict;
+    fopts.threads = options_.reason_threads;
+    reason::ForwardEngine engine(store_, rule_base_, fopts);
+    const auto derivations = engine.match_delta(frontier_, hi);
+    st.consumed = hi - frontier_;
+    frontier_ = hi;
+    for (const auto& d : derivations) {
+      if (store_.insert(d.triple)) {
+        st.derived += 1;
+        if (rule_firings_.size() <= d.rule) {
+          rule_firings_.resize(d.rule + 1, 0);
+        }
+        rule_firings_[d.rule] += 1;
+      }
+    }
+  } else {
+    // Query-driven workers have no incremental chunk notion: close fully
+    // from the frontier, exactly as one synchronous round would.
+    const std::size_t backlog_before = backlog();
+    if (backlog_before == 0) {
+      return st;
+    }
+    reason::query_driven_closure_delta(store_, *options_.dict, rule_base_,
+                                       frontier_, options_.share_tables);
+    st.consumed = backlog_before;
+    frontier_ = store_.size();
+    st.derived = store_.size() - before;
+  }
+  st.compute_seconds = reason_watch.elapsed_seconds();
+  rs.reason_seconds += st.compute_seconds;
+  rs.derived += store_.size() - before;
+
+  // Route and ship the fresh derivations (insertions happened above, so
+  // route exactly [before, size) minus anything absorb already marked).
+  std::unordered_map<std::uint32_t, std::vector<rdf::Triple>> outgoing;
+  std::vector<std::uint32_t> destinations;
+  for (std::size_t i = std::max(route_mark_, before); i < store_.size();
+       ++i) {
+    const rdf::Triple& t = store_.triples()[i];
+    destinations.clear();
+    router_->route(t, id_, destinations);
+    for (const std::uint32_t dest : destinations) {
+      outgoing[dest].push_back(t);
+    }
+  }
+  route_mark_ = store_.size();
+
+  std::vector<Outgoing> batches;
+  batches.reserve(outgoing.size());
+  for (auto& [dest, tuples] : outgoing) {
+    batches.push_back(Outgoing{dest, std::move(tuples)});
+  }
+  std::sort(batches.begin(), batches.end(),
+            [](const Outgoing& a, const Outgoing& b) {
+              return a.dest < b.dest;
+            });
+
+  util::Stopwatch io_watch;
+  for (Outgoing& out : batches) {
+    Batch batch;
+    batch.to = out.dest;
+    batch.kind = BatchKind::kData;
+    batch.tuples = std::move(out.tuples);
+    st.sent_tuples += batch.tuples.size();
+    st.sent_batches += 1;
+    ship_async(std::move(batch), sent);
+  }
+  rs.io_seconds += io_watch.elapsed_seconds();
+  rs.sent_tuples += st.sent_tuples;
+  rs.sent_messages += st.sent_batches;
+  PAROWL_COUNT("parallel.tuples_sent", st.sent_tuples);
+  return st;
+}
+
+Worker::StealShard Worker::grant_steal(std::size_t max_tuples) {
+  StealShard shard;
+  shard.lo = frontier_;
+  shard.hi = std::min(store_.size(), frontier_ + max_tuples);
+  frontier_ = shard.hi;  // the thief owns evaluating [lo, hi) now
+  return shard;
+}
+
+std::vector<reason::ForwardEngine::Derivation> Worker::evaluate_shard(
+    std::size_t lo, std::size_t hi) const {
+  // match_delta never mutates the store; the const_cast only satisfies the
+  // engine's store-reference constructor.
+  auto& store = const_cast<rdf::TripleStore&>(store_);
+  reason::ForwardOptions fopts;
+  fopts.dict = options_.dict;
+  fopts.threads = 1;  // thief-side pass is already the parallel unit
+  reason::ForwardEngine engine(store, rule_base_, fopts);
+  return engine.match_delta(lo, hi);
+}
+
+std::size_t Worker::ship_steal_results(
+    std::uint32_t victim_id,
+    std::span<const reason::ForwardEngine::Derivation> derivations,
+    std::vector<SentRecord>* sent) {
+  RoundStats& rs = round_stats(0);
+  util::Stopwatch io_watch;
+  std::size_t shipped = 0;
+
+  // Everything returns to the victim: the derivations are *its* closure
+  // work, it must re-evaluate them against its rules (they are new
+  // frontier there) and own the per-rule firing credit.
+  Batch back;
+  back.to = victim_id;
+  back.kind = BatchKind::kStealResult;
+  back.tuples.reserve(derivations.size());
+  for (const auto& d : derivations) {
+    back.tuples.push_back(d.triple);
+  }
+
+  // Plus the ordinary routed copies, computed with the VICTIM's partition
+  // id — the placement rule is per-owner, and these tuples belong to the
+  // victim's partition.
+  std::unordered_map<std::uint32_t, std::vector<rdf::Triple>> outgoing;
+  std::vector<std::uint32_t> destinations;
+  for (const auto& d : derivations) {
+    destinations.clear();
+    router_->route(d.triple, victim_id, destinations);
+    for (const std::uint32_t dest : destinations) {
+      if (dest != victim_id) {  // the kStealResult envelope covers the victim
+        outgoing[dest].push_back(d.triple);
+      }
+    }
+  }
+
+  if (!back.tuples.empty()) {
+    shipped += back.tuples.size();
+    ship_async(std::move(back), sent);
+    rs.sent_messages += 1;
+  }
+  std::vector<Outgoing> batches;
+  batches.reserve(outgoing.size());
+  for (auto& [dest, tuples] : outgoing) {
+    batches.push_back(Outgoing{dest, std::move(tuples)});
+  }
+  std::sort(batches.begin(), batches.end(),
+            [](const Outgoing& a, const Outgoing& b) {
+              return a.dest < b.dest;
+            });
+  for (Outgoing& out : batches) {
+    Batch batch;
+    batch.to = out.dest;
+    batch.kind = BatchKind::kData;
+    batch.tuples = std::move(out.tuples);
+    shipped += batch.tuples.size();
+    ship_async(std::move(batch), sent);
+    rs.sent_messages += 1;
+  }
+  rs.io_seconds += io_watch.elapsed_seconds();
+  rs.sent_tuples += shipped;
+  return shipped;
+}
+
+void Worker::send_token(std::uint32_t to, std::uint32_t epoch, bool black,
+                        std::vector<SentRecord>* sent) {
+  Batch token;
+  token.to = to;
+  token.kind = BatchKind::kToken;
+  token.token_epoch = epoch;
+  token.token_black = black;
+  ship_async(std::move(token), sent);
+  RoundStats& rs = round_stats(0);
+  rs.sent_messages += 1;
+}
+
+std::size_t Worker::retransmit_unacked_async(const AckBoard& board) {
+  RoundStats& rs = round_stats(0);
+  std::erase_if(pending_,
+                [&](const Batch& b) { return board.acked(b.id()); });
+  std::size_t resent = 0;
+  util::Stopwatch io_watch;
+  for (Batch& batch : pending_) {
+    batch.attempt += 1;
+    transport_->send_batch(batch);
+    rs.retransmitted += 1;
+    resent += 1;
+  }
+  rs.io_seconds += io_watch.elapsed_seconds();
+  PAROWL_COUNT("parallel.retransmissions", resent);
+  return resent;
+}
+
+std::size_t Worker::release_acked(const AckBoard& board) {
+  std::erase_if(pending_,
+                [&](const Batch& b) { return board.acked(b.id()); });
+  if (log_outbox_) {
+    for (OutboxEntry& e : outbox_) {
+      if (e.acked_ck < 0 && board.acked(e.batch.id())) {
+        e.acked_ck = ckpt_count_;
+      }
+    }
+  }
+  return pending_.size();
+}
+
+std::size_t Worker::resend_outbox(std::vector<SentRecord>* sent) {
+  // Crash recovery: re-ship every retained envelope.  Receivers that
+  // already absorbed one deduplicate by batch id; receivers restored from
+  // an older cut genuinely need it.
+  std::size_t resent = 0;
+  for (const OutboxEntry& e : outbox_) {
+    Batch copy = e.batch;
+    if (sent != nullptr) {
+      sent->push_back(SentRecord{copy.id(), copy.tuples.size()});
+    }
+    pending_.push_back(copy);
+    transport_->send_batch(std::move(copy));
+    resent += 1;
+  }
+  return resent;
+}
+
+void Worker::prune_outbox() {
+  // Called once per checkpoint.  An entry acked before the PREVIOUS
+  // checkpoint is safe to drop: termination probes are strictly
+  // sequential, so every receiver's epoch-(k-1) cut happens-after the ack
+  // and therefore contains the payload durably.  Entries acked since then
+  // ride along one more checkpoint.
+  ckpt_count_ += 1;
+  std::erase_if(outbox_, [&](const OutboxEntry& e) {
+    return e.acked_ck >= 0 && e.acked_ck < ckpt_count_ - 1;
+  });
+}
+
 // -- Checkpointing ----------------------------------------------------
 //
 // Format (binary, little-endian on every supported target):
@@ -246,16 +565,26 @@ std::size_t Worker::receive_and_aggregate(std::uint32_t round) {
 //   u64 nseen    | nseen * u64
 //   u64 nrounds  | nrounds * RoundStats (4 x f64, 8 x u64)
 //   u64 nrules   | nrules * u64
+//   u32 send_seq | u64 noutbox | noutbox * outbox entry
 //   u64 digest   (mix64 chain over every field above)
 // Version 2 replaced the fixed 3 x u32 triple records with the shared
-// compact codec (rdf/codec.hpp).  The digest is computed over *decoded*
-// values, so it survived the format change unchanged: a torn or
-// bit-flipped file fails the magic/block-checksum/digest check on load.
+// compact codec (rdf/codec.hpp).  Version 3 adds the async executor's
+// sender state: the monotonic send sequence and the outbox log (each
+// entry: u32 to | u32 kind | u32 round=sender-seq | u64 ntuples | codec
+// triple blocks), so a recovered worker can resend in-flight envelopes.
+// In async runs the `round` header field holds the termination-token
+// epoch of the cut.  The digest is computed over *decoded* values, so it
+// survives format changes unchanged: a torn or bit-flipped file fails the
+// magic/block-checksum/digest check on load.
 
 namespace {
 
 constexpr std::uint32_t kCkptMagic = 0x43574F50;  // "POWC"
-constexpr std::uint32_t kCkptVersion = 2;
+constexpr std::uint32_t kCkptVersion = 3;
+/// Gap added to send_seq_ (and by the executor to the probe-epoch base)
+/// on checkpoint load, so post-recovery batch ids and token epochs can
+/// never collide with in-flight pre-crash ones.
+constexpr std::uint32_t kRecoverySeqGap = 1u << 20;
 
 template <typename T>
 void put(std::ostream& out, T value) {
@@ -314,13 +643,23 @@ class CkptDigest {
   std::uint64_t d_ = 0x243f6a8885a308d3ULL;
 };
 
+/// Wire fields of one outbox entry, pre-extracted for digesting/encoding.
+struct OutboxWire {
+  std::uint32_t to = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t round = 0;  // the sender's monotonic sequence
+  std::vector<rdf::Triple> tuples;
+};
+
 std::uint64_t state_digest(std::uint32_t id, std::uint32_t round,
                            std::uint64_t base_size, std::uint64_t frontier,
                            std::uint64_t route_mark,
                            std::span<const rdf::Triple> log,
                            std::span<const std::uint64_t> seen_in_order,
                            std::span<const RoundStats> stats,
-                           std::span<const std::size_t> firings) {
+                           std::span<const std::size_t> firings,
+                           std::uint32_t send_seq,
+                           std::span<const OutboxWire> outbox) {
   CkptDigest acc;
   acc.add((static_cast<std::uint64_t>(id) << 32) | round);
   acc.add(base_size);
@@ -352,6 +691,16 @@ std::uint64_t state_digest(std::uint32_t id, std::uint32_t round,
   acc.add(static_cast<std::uint64_t>(firings.size()));
   for (const std::size_t f : firings) {
     acc.add(static_cast<std::uint64_t>(f));
+  }
+  acc.add(static_cast<std::uint64_t>(send_seq));
+  acc.add(static_cast<std::uint64_t>(outbox.size()));
+  for (const OutboxWire& e : outbox) {
+    acc.add((static_cast<std::uint64_t>(e.to) << 40) |
+            (static_cast<std::uint64_t>(e.kind) << 36) | e.round);
+    acc.add(static_cast<std::uint64_t>(e.tuples.size()));
+    for (const rdf::Triple& t : e.tuples) {
+      acc.add(triple_digest(t));
+    }
   }
   return acc.value();
 }
@@ -389,8 +738,25 @@ void Worker::save_checkpoint(std::ostream& out, std::uint32_t round) const {
     put(out, static_cast<std::uint64_t>(f));
   }
 
+  put(out, send_seq_);
+  std::vector<OutboxWire> outbox;
+  outbox.reserve(outbox_.size());
+  for (const OutboxEntry& e : outbox_) {
+    outbox.push_back(OutboxWire{e.batch.to,
+                                static_cast<std::uint32_t>(e.batch.kind),
+                                e.batch.round, e.batch.tuples});
+  }
+  put(out, static_cast<std::uint64_t>(outbox.size()));
+  for (const OutboxWire& e : outbox) {
+    put(out, e.to);
+    put(out, e.kind);
+    put(out, e.round);
+    put(out, static_cast<std::uint64_t>(e.tuples.size()));
+    rdf::codec::write_blocks(out, e.tuples);
+  }
+
   put(out, state_digest(id_, round, base_size_, frontier_, route_mark_, log,
-                        seen, rounds_, rule_firings_));
+                        seen, rounds_, rule_firings_, send_seq_, outbox));
 }
 
 bool Worker::load_checkpoint(std::istream& in, std::uint32_t* round,
@@ -480,12 +846,39 @@ bool Worker::load_checkpoint(std::istream& in, std::uint32_t* round,
     f = static_cast<std::size_t>(u);
   }
 
+  std::uint32_t send_seq = 0;
+  if (!get(in, send_seq)) {
+    return fail("truncated checkpoint (send sequence)");
+  }
+  std::uint64_t noutbox = 0;
+  if (!get(in, noutbox)) {
+    return fail("truncated checkpoint (outbox count)");
+  }
+  std::vector<OutboxWire> outbox;
+  outbox.reserve(static_cast<std::size_t>(noutbox));
+  for (std::uint64_t i = 0; i < noutbox; ++i) {
+    OutboxWire e;
+    std::uint64_t ntuples = 0;
+    if (!get(in, e.to) || !get(in, e.kind) || !get(in, e.round) ||
+        !get(in, ntuples) ||
+        e.kind > static_cast<std::uint32_t>(BatchKind::kStealResult)) {
+      return fail("truncated checkpoint (outbox entry)");
+    }
+    e.tuples.reserve(static_cast<std::size_t>(ntuples));
+    if (!rdf::codec::read_blocks(in, ntuples, [&e](const rdf::Triple& t) {
+          e.tuples.push_back(t);
+        })) {
+      return fail("truncated checkpoint (outbox tuples)");
+    }
+    outbox.push_back(std::move(e));
+  }
+
   std::uint64_t digest = 0;
   if (!get(in, digest)) {
     return fail("truncated checkpoint (digest)");
   }
   if (digest != state_digest(id_, saved_round, base, frontier, route_mark,
-                             log, seen, stats, firings)) {
+                             log, seen, stats, firings, send_seq, outbox)) {
     return fail("checkpoint digest mismatch (torn or damaged file)");
   }
 
@@ -503,6 +896,23 @@ bool Worker::load_checkpoint(std::istream& in, std::uint32_t* round,
   seen_batches_.insert(seen.begin(), seen.end());
   pending_.clear();
   stash_.clear();
+  // Restore the async sender state with a sequence gap: every batch id
+  // minted after recovery is distinct from anything in flight pre-crash,
+  // so stale envelopes can only ever be deduplicated, never confused.
+  send_seq_ = send_seq + kRecoverySeqGap;
+  outbox_.clear();
+  for (OutboxWire& e : outbox) {
+    Batch b;
+    b.from = id_;
+    b.to = e.to;
+    b.kind = static_cast<BatchKind>(e.kind);
+    b.round = e.round;
+    b.seq = 0;
+    b.tuples = std::move(e.tuples);
+    b.checksum = batch_checksum(b.tuples);
+    outbox_.push_back(OutboxEntry{std::move(b), -1});
+  }
+  ckpt_count_ = 0;
   if (round != nullptr) {
     *round = saved_round;
   }

@@ -82,6 +82,21 @@ class ForwardEngine {
   /// triples at or after it form the initial frontier (0 = everything).
   ForwardStats run(std::size_t delta_begin = 0);
 
+  /// One rule-attributed derivation from a single matching pass.
+  struct Derivation {
+    rdf::Triple triple;
+    std::uint32_t rule = 0;
+  };
+
+  /// One matching pass over frontier triples [lo, hi) against the current
+  /// store, WITHOUT mutating it: derivations that are new w.r.t. the store
+  /// are returned (deduplicated, in frontier order) instead of inserted.
+  /// This is the work-stealing entry point — a thief evaluates a shard of
+  /// a victim's frontier against the victim's store and ships the results
+  /// back, so the pass must leave the victim's store untouched.
+  [[nodiscard]] std::vector<Derivation> match_delta(std::size_t lo,
+                                                    std::size_t hi);
+
  private:
   /// One body atom usable as the entry point of a rule firing.
   struct PivotRef {

@@ -206,6 +206,26 @@ void ForwardEngine::process_range(std::size_t lo, std::size_t hi,
   }
 }
 
+std::vector<ForwardEngine::Derivation> ForwardEngine::match_delta(
+    std::size_t lo, std::size_t hi) {
+  // One matching pass, no insertion, no iteration to fixpoint: exactly the
+  // body of a single round restricted to [lo, hi), with the results
+  // returned instead of merged into the store.  `join` only reads the
+  // store (contains + match), so the victim's log stays untouched.
+  Shard shard;
+  if (options_.devirtualize) {
+    process_range<true>(lo, hi, shard);
+  } else {
+    process_range<false>(lo, hi, shard);
+  }
+  std::vector<Derivation> out;
+  out.reserve(shard.pending.size());
+  for (const Pending& pd : shard.pending) {
+    out.push_back(Derivation{pd.triple, pd.rule});
+  }
+  return out;
+}
+
 ForwardStats ForwardEngine::run(std::size_t delta_begin) {
   obs::configure(options_.obs);
   ForwardStats stats;

@@ -136,6 +136,90 @@ TEST_F(AsyncTest, VirtualTimeInvariantsHold) {
   EXPECT_EQ(sent, received);
 }
 
+// -- kAsync / kAsyncThreaded: the transport-backed asynchronous executor --
+
+TEST_F(AsyncTest, AsyncClusterMatchesSerial) {
+  const partition::HashOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.mode = ExecutionMode::kAsync;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  const AsyncStats& st = result.cluster.async_stats;
+  EXPECT_GT(st.activations, 0u);
+  EXPECT_GT(st.token_epochs, 0u);
+  EXPECT_GT(st.token_passes, 0u);
+  EXPECT_EQ(st.idle_seconds_per_worker.size(), 4u);
+}
+
+TEST_F(AsyncTest, AsyncClusterStealDisabledMatchesSerial) {
+  const partition::HashOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.mode = ExecutionMode::kAsync;
+  opts.async_exec.steal = false;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  EXPECT_EQ(result.cluster.async_stats.steals, 0u);
+}
+
+TEST_F(AsyncTest, AsyncClusterSmallChunksSteal) {
+  // Tiny activation grain + graph partitioning (skewed backlogs) make
+  // idle workers steal; the closure must be unaffected.
+  const partition::GraphOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.mode = ExecutionMode::kAsync;
+  opts.async_exec.chunk = 16;
+  opts.async_exec.steal_batch = 16;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  const AsyncStats& st = result.cluster.async_stats;
+  EXPECT_GT(st.steals, 0u);
+  EXPECT_GT(st.stolen_tuples, 0u);
+}
+
+TEST_F(AsyncTest, AsyncClusterSinglePartitionTerminates) {
+  const partition::GraphOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 1;
+  opts.policy = &policy;
+  opts.mode = ExecutionMode::kAsync;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  EXPECT_EQ(result.cluster.async_stats.steals, 0u);
+}
+
+TEST_F(AsyncTest, AsyncClusterQueryDrivenMatchesSerial) {
+  const partition::DomainOwnerPolicy policy(&partition::lubm_university_key);
+  ParallelOptions opts;
+  opts.partitions = 2;
+  opts.policy = &policy;
+  opts.local_strategy = reason::Strategy::kQueryDriven;
+  opts.mode = ExecutionMode::kAsync;
+  expect_equivalent(parallel_materialize(store, dict, vocab, opts));
+}
+
+TEST_F(AsyncTest, AsyncThreadedClusterMatchesSerial) {
+  const partition::HashOwnerPolicy policy;
+  ParallelOptions opts;
+  opts.partitions = 4;
+  opts.policy = &policy;
+  opts.mode = ExecutionMode::kAsyncThreaded;
+  const ParallelResult result =
+      parallel_materialize(store, dict, vocab, opts);
+  expect_equivalent(result);
+  EXPECT_GT(result.cluster.async_stats.activations, 0u);
+  EXPECT_GT(result.cluster.async_stats.token_epochs, 0u);
+}
+
 TEST_F(AsyncTest, AsyncUobmMatchesSerial) {
   // Dense data-set: many in-flight batches and re-activations.
   rdf::Dictionary d2;

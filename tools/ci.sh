@@ -32,16 +32,17 @@ if [ "$full" = 1 ]; then
   ctest --preset default -j "$jobs" -L tier2
 fi
 
-echo "=== asan subset (transport/worker/cluster/fault/ingest/codec/dist) ==="
+echo "=== asan subset (transport/worker/cluster/fault/async/ingest/codec/dist) ==="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target transport_test worker_test cluster_test fault_injection_test \
-  codec_test ingest_equivalence_test dist_test
-ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable|Dist'
+  async_test async_equivalence_test codec_test ingest_equivalence_test \
+  dist_test
+ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Async|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable|Dist'
 
-echo "=== tsan subset (obs counters/tracer, dist executor + replica RCU) ==="
+echo "=== tsan subset (obs, dist executor + replica RCU, async steal/token) ==="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target obs_test dist_test
-ctest --preset tsan -j "$jobs" -R 'Obs|Dist'
+cmake --build --preset tsan -j "$jobs" --target obs_test dist_test async_test
+ctest --preset tsan -j "$jobs" -R 'Obs|Dist|Async'
 
 echo "=== ci green ==="

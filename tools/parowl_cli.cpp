@@ -63,7 +63,9 @@ commands:
   explain <kb> <s> <p> <o>       (terms as full IRIs; reasons, then proves)
   partition <kb> -k N [--policy graph|hash|lubm|mdc]
   cluster <kb> -k N [--policy ...] [--approach data|rule|hybrid]
-          [--rule-parts M] [--mode sync|async|threaded] [--strategy ...]
+          [--rule-parts M] [--strategy ...]
+          [--exec-mode sync|threaded|async|async-threaded|async-sim]
+          [--no-steal] [--steal-batch N] [--chunk N]   (async modes)
           [--faults seed=S,drop=P,dup=P,corrupt=P,delay=P,reorder=P]
           [--checkpoint-dir <dir>]
   run     alias for cluster; accepts --partitions N for -k N
@@ -187,7 +189,8 @@ class Args {
   static bool has_value(const std::string& flag_name) {
     // Flags that consume a value.
     for (const char* f : {"-o", "-k", "--scale", "--seed", "--policy",
-                          "--approach", "--mode", "--strategy",
+                          "--approach", "--mode", "--exec-mode",
+                          "--steal-batch", "--chunk", "--strategy",
                           "--rule-parts", "--rules", "--queries-file",
                           "--threads", "--queue", "--requests", "--rate",
                           "--clients", "--think", "--deadline",
@@ -841,11 +844,21 @@ int cmd_cluster(const Args& args) {
   opts.approach = approach == "rule"     ? parallel::Approach::kRulePartition
                   : approach == "hybrid" ? parallel::Approach::kHybrid
                                          : parallel::Approach::kDataPartition;
-  const std::string mode = args.option("--mode", "sync");
-  opts.mode = mode == "async" ? parallel::ExecutionMode::kAsyncSimulated
+  // --exec-mode is the full selector; legacy --mode sync|async|threaded
+  // keeps meaning what it always did (async = the event simulator).
+  const std::string legacy = args.option("--mode", "sync");
+  const std::string mode = args.option(
+      "--exec-mode", legacy == "async" ? "async-sim" : legacy);
+  opts.mode = mode == "async"            ? parallel::ExecutionMode::kAsync
+              : mode == "async-threaded" ? parallel::ExecutionMode::kAsyncThreaded
+              : mode == "async-sim"  ? parallel::ExecutionMode::kAsyncSimulated
               : mode == "threaded"
                   ? parallel::ExecutionMode::kThreaded
                   : parallel::ExecutionMode::kSequentialSimulated;
+  opts.async_exec.steal = !args.flag("--no-steal");
+  opts.async_exec.steal_batch =
+      std::stoul(args.option("--steal-batch", "256"));
+  opts.async_exec.chunk = std::stoul(args.option("--chunk", "256"));
   if (args.option("--strategy") == "query") {
     opts.local_strategy = reason::Strategy::kQueryDriven;
   }
@@ -876,6 +889,16 @@ int cmd_cluster(const Args& args) {
               << ", io " << util::format_seconds(r.cluster.io_seconds)
               << ", sync " << util::format_seconds(r.cluster.sync_seconds)
               << ")\n";
+    if (opts.mode == parallel::ExecutionMode::kAsync ||
+        opts.mode == parallel::ExecutionMode::kAsyncThreaded) {
+      const parallel::AsyncStats& st = r.cluster.async_stats;
+      std::cout << "async: " << st.activations << " activations, "
+                << st.steals << " steals (" << st.stolen_tuples
+                << " tuples, " << st.steal_derivations << " derived), "
+                << st.token_epochs << " token epochs, "
+                << st.token_passes << " passes, idle "
+                << util::format_seconds(st.idle_seconds) << "\n";
+    }
   }
   if (r.metrics) {
     std::cout << "IR=" << util::fmt_double(r.metrics->input_replication, 3)

@@ -9,6 +9,9 @@
 #   bench/BENCH_serving.json — distributed serving tail-latency sweep
 #     (p50/p99 vs partition count × replica count under the open-loop
 #     driver, plus the single-store serve baseline).
+#   bench/BENCH_async.json — executor ablation (sync rounds vs the
+#     asynchronous token-ring executor, steal on/off, threaded) with
+#     measured wall-clock p50/p99 per configuration.
 # Usage: tools/record_bench.sh [extra benchmark args...]
 #
 # The baselines answer "did this PR make a hot path slower?" — compare a
@@ -22,7 +25,7 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
 cmake --preset default
 cmake --build --preset default -j "$jobs" --target micro_reason \
-  extension_ingest extension_distributed_serving
+  extension_ingest extension_distributed_serving ablation_async
 
 build/bench/micro_reason \
   --benchmark_filter='BM_Closure' \
@@ -45,3 +48,10 @@ build/bench/extension_distributed_serving \
   "$@"
 
 echo "wrote bench/BENCH_serving.json"
+
+build/bench/ablation_async \
+  --benchmark_out=bench/BENCH_async.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote bench/BENCH_async.json"

@@ -7,7 +7,9 @@ Prints three views of the trace:
   * per-category span totals (count, total/mean duration),
   * per-worker round skew (for parallel runs: each worker's time per round,
     plus the round's max/min ratio — the straggler factor),
-  * per-worker communication breakdown (compute vs send/recv/retransmit).
+  * per-worker communication breakdown (compute vs send/recv/retransmit),
+  * async steal/idle breakdown (--exec-mode async runs: drain/steal/idle
+    time per worker, steal counts, stolen tuples, victims).
 
 The input is the {"traceEvents": [...]} JSON written by the tracer; only
 "X" (complete) events are consumed, "M" metadata names the worker tracks.
@@ -138,6 +140,50 @@ def comm_breakdown(spans, names, markdown):
     table.print(markdown)
 
 
+def async_breakdown(spans, names, markdown):
+    # Asynchronous executor (--exec-mode async / async-threaded): each
+    # worker's activity lands on its own track as parallel.drain (inbox
+    # polls), parallel.steal (thief-side shard evaluations, with victim /
+    # tuples / derived args), and parallel.idle (polls with no backlog, no
+    # steal target, nothing arriving).  The table shows where each worker's
+    # wall time went and how much work it took from whom — the steal /
+    # backlog story behind the idle numbers.
+    stages = ["parallel.drain", "parallel.steal", "parallel.idle"]
+    per_track = collections.defaultdict(
+        lambda: collections.defaultdict(float))
+    steal_counts = collections.defaultdict(int)
+    stolen_tuples = collections.defaultdict(int)
+    victims = collections.defaultdict(collections.Counter)
+    for e in spans:
+        if e["name"] not in stages:
+            continue
+        per_track[e["tid"]][e["name"]] += e.get("dur", 0)
+        if e["name"] == "parallel.steal":
+            args = e.get("args", {})
+            steal_counts[e["tid"]] += 1
+            stolen_tuples[e["tid"]] += args.get("tuples", 0)
+            if "victim" in args:
+                victims[e["tid"]][args["victim"]] += 1
+    if not any(durs.get("parallel.steal") or durs.get("parallel.idle")
+               for durs in per_track.values()) and not steal_counts:
+        return
+    table = Table(["worker", "drain", "steal", "idle", "idle share",
+                   "steals", "stolen tuples", "victims"])
+    for tid in sorted(per_track):
+        durs = per_track[tid]
+        total = sum(durs.values())
+        idle = durs.get("parallel.idle", 0.0)
+        share = 100.0 * idle / total if total > 0 else 0.0
+        victim_str = ",".join(
+            f"w{v}x{c}" for v, c in sorted(victims[tid].items())) or "-"
+        table.add([worker_label(tid, names)]
+                  + [fmt_us(durs.get(s, 0.0)) for s in stages]
+                  + [f"{share:.1f}%", steal_counts.get(tid, 0),
+                     stolen_tuples.get(tid, 0), victim_str])
+    print("== async steal/idle breakdown ==")
+    table.print(markdown)
+
+
 def dist_breakdown(spans, names, markdown):
     # Distributed serving tier: the router's per-request phases
     # (dist.route footprint computation, dist.fanout scatter/gather,
@@ -184,6 +230,7 @@ def main():
     category_totals(spans, args.markdown)
     round_skew(spans, names, args.markdown)
     comm_breakdown(spans, names, args.markdown)
+    async_breakdown(spans, names, args.markdown)
     dist_breakdown(spans, names, args.markdown)
     return 0
 
