@@ -1,88 +1,171 @@
 // Incremental-maintenance bench: the paper's setting is a materialized KB
 // where "the frequency of data being added is much smaller than that of
-// queries".  Between full materializations, additions should be absorbed
-// incrementally.  This harness compares, for batches of new facts arriving
-// at an already-materialized LUBM store:
-//   (a) materialize_incremental — semi-naive closure from the delta only;
-//   (b) full re-materialization from scratch.
+// queries".  Between full materializations, updates should be absorbed
+// incrementally.  Arms, swept over batch size (number of affected
+// students; adds are 3 triples each):
+//   BM_MaintainMixed/dred|fbf — mixed add+delete batches through
+//     reason::Maintainer (overdelete + rederive);
+//   BM_IncrementalAdditions — additions-only semi-naive closure
+//     (materialize_incremental), the pre-deletion fast path;
+//   BM_FullRematerialize — from-scratch closure of the equivalent final
+//     base, the cost incremental maintenance avoids.
+// Counters report the overdeletion cone (overdeleted/rederived/removed) so
+// the DRed-vs-FBF trade-off is visible, not just total time.
 
-#include "parowl/util/timer.hpp"
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
 #include "bench_common.hpp"
-#include "parowl/util/rng.hpp"
+#include "parowl/rdf/flat_index.hpp"
+#include "parowl/reason/maintain.hpp"
+
+namespace {
 
 using namespace parowl;
 using namespace parowl::bench;
 
-int main() {
-  const unsigned s = scale_factor();
-  print_header("Extension: incremental maintenance vs re-materialization");
-
+/// Materialized LUBM universe + deterministic update batches, built once.
+struct IncUniverse {
   Universe u;
-  make_lubm(u, 8 * s);
-  const std::vector<rdf::Triple> base_triples = u.store.triples();
+  rdf::TripleStore closure;        // materialized
+  std::vector<rdf::Triple> base;   // asserted triples
+  std::vector<rdf::Triple> deletable;  // instance triples, every 3rd
 
-  // Materialize once.
-  rdf::TripleStore live;
-  live.insert_all(base_triples);
-  reason::materialize(live, u.dict, *u.vocab, {});
+  rdf::TermId type, grad, member_of, takes, dept, course;
 
-  // Synthesize update batches: new graduate students joining existing
-  // departments with advisors and courses (pure instance data).
-  const auto type = u.dict.find_iri(
-      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
-  const auto grad = u.dict.find_iri(std::string(gen::kUnivBenchNs) +
-                                    "GraduateStudent");
-  const auto member_of =
-      u.dict.find_iri(std::string(gen::kUnivBenchNs) + "memberOf");
-  const auto takes =
-      u.dict.find_iri(std::string(gen::kUnivBenchNs) + "takesCourse");
-  const auto dept = u.dict.find_iri("http://www.Univ0.edu/Department0");
-  const auto course =
-      u.dict.find_iri("http://www.Department0.Univ0.edu/Course0_0");
+  IncUniverse() {
+    make_lubm(u, 4 * scale_factor());
+    base = u.store.triples();
+    closure.insert_all(base);
+    reason::materialize(closure, u.dict, *u.vocab, {});
 
-  util::Table table({"batch size", "incremental(ms)", "full rerun(ms)",
-                     "speedup", "inferred (incremental)"});
-  util::Rng rng(11);
-  std::size_t next_id = 0;
-
-  for (const std::size_t batch : {1u, 10u, 100u, 1000u}) {
-    std::vector<rdf::Triple> additions;
-    for (std::size_t i = 0; i < batch; ++i) {
-      const auto stu = u.dict.intern_iri(
-          "http://www.Department0.Univ0.edu/NewStudent" +
-          std::to_string(next_id++));
-      additions.push_back({stu, type, grad});
-      additions.push_back({stu, member_of, dept});
-      additions.push_back({stu, takes, course});
+    std::size_t i = 0;
+    for (const rdf::Triple& t : base) {
+      if (!u.vocab->is_schema_triple(t) && i++ % 3 == 0) {
+        deletable.push_back(t);
+      }
     }
 
-    util::Stopwatch inc_watch;
-    const auto inc = reason::materialize_incremental(
-        live, u.dict, *u.vocab, additions);
-    const double inc_ms = inc_watch.elapsed_seconds() * 1e3;
-
-    // Full re-run over the equivalent final base.
-    rdf::TripleStore scratch;
-    scratch.insert_all(base_triples);
-    // Include every addition applied so far (live's base grew batch by
-    // batch) by replaying live's asserted instance triples: simplest is to
-    // re-insert additions from all batches — tracked via the live store's
-    // size bookkeeping is complex, so re-materialize base + this batch's
-    // additions only; the comparison stays apples-to-apples because the
-    // full rerun must at minimum redo the whole base closure.
-    scratch.insert_all(additions);
-    util::Stopwatch full_watch;
-    reason::materialize(scratch, u.dict, *u.vocab, {});
-    const double full_ms = full_watch.elapsed_seconds() * 1e3;
-
-    table.add_row({std::to_string(batch * 3), util::fmt_double(inc_ms, 2),
-                   util::fmt_double(full_ms, 2),
-                   util::fmt_double(inc_ms > 0 ? full_ms / inc_ms : 0, 1),
-                   std::to_string(inc.inferred)});
+    type = u.dict.find_iri(
+        "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    grad = u.dict.find_iri(std::string(gen::kUnivBenchNs) +
+                           "GraduateStudent");
+    member_of =
+        u.dict.find_iri(std::string(gen::kUnivBenchNs) + "memberOf");
+    takes = u.dict.find_iri(std::string(gen::kUnivBenchNs) + "takesCourse");
+    dept = u.dict.find_iri("http://www.Univ0.edu/Department0");
+    course = u.dict.find_iri("http://www.Department0.Univ0.edu/Course0_0");
   }
-  table.print(std::cout);
-  std::cout << "\nIncremental closure touches only the delta's consequences; "
-               "full reruns pay\nthe whole-KB cost again regardless of batch "
-               "size.\n";
-  return 0;
+
+  /// `n` new graduate students joining Department0 (3 triples each).
+  std::vector<rdf::Triple> additions(std::size_t n) {
+    std::vector<rdf::Triple> adds;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto stu = u.dict.intern_iri(
+          "http://www.Department0.Univ0.edu/NewStudent" + std::to_string(i));
+      adds.push_back({stu, type, grad});
+      adds.push_back({stu, member_of, dept});
+      adds.push_back({stu, takes, course});
+    }
+    return adds;
+  }
+
+  std::vector<rdf::Triple> deletions(std::size_t n) {
+    const std::size_t take = std::min(n, deletable.size());
+    return {deletable.begin(),
+            deletable.begin() + static_cast<std::ptrdiff_t>(take)};
+  }
+};
+
+IncUniverse& universe() {
+  static IncUniverse u;
+  return u;
 }
+
+void run_maintain(benchmark::State& state, reason::MaintainStrategy strategy) {
+  IncUniverse& fx = universe();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<rdf::Triple> adds = fx.additions(n);
+  const std::vector<rdf::Triple> dels = fx.deletions(n);
+
+  reason::MaintainOptions opts;
+  opts.strategy = strategy;
+  const reason::Maintainer maintainer(fx.u.dict, *fx.u.vocab, opts);
+
+  reason::MaintainResult last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::TripleStore store = fx.closure;  // maintain mutates: fresh copy
+    std::vector<rdf::Triple> base = fx.base;
+    state.ResumeTiming();
+    last = maintainer.apply(store, base, adds, dels);
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.counters["overdeleted"] = static_cast<double>(last.overdeleted);
+  state.counters["kept_alive"] = static_cast<double>(last.kept_alive);
+  state.counters["rederived"] = static_cast<double>(last.rederived);
+  state.counters["removed"] = static_cast<double>(last.removed);
+}
+
+void BM_MaintainMixed_dred(benchmark::State& state) {
+  run_maintain(state, reason::MaintainStrategy::kDRed);
+}
+BENCHMARK(BM_MaintainMixed_dred)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MaintainMixed_fbf(benchmark::State& state) {
+  run_maintain(state, reason::MaintainStrategy::kFbf);
+}
+BENCHMARK(BM_MaintainMixed_fbf)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalAdditions(benchmark::State& state) {
+  IncUniverse& fx = universe();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<rdf::Triple> adds = fx.additions(n);
+
+  std::size_t inferred = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::TripleStore store = fx.closure;
+    state.ResumeTiming();
+    const auto r =
+        reason::materialize_incremental(store, fx.u.dict, *fx.u.vocab, adds);
+    inferred = r.inferred;
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.counters["inferred"] = static_cast<double>(inferred);
+}
+BENCHMARK(BM_IncrementalAdditions)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullRematerialize(benchmark::State& state) {
+  IncUniverse& fx = universe();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<rdf::Triple> adds = fx.additions(n);
+  const std::vector<rdf::Triple> dels = fx.deletions(n);
+  rdf::TripleSet del_set;
+  for (const rdf::Triple& t : dels) {
+    del_set.insert(t);
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::TripleStore scratch;
+    for (const rdf::Triple& t : fx.base) {
+      if (!del_set.contains(t)) {
+        scratch.insert(t);
+      }
+    }
+    scratch.insert_all(adds);
+    state.ResumeTiming();
+    reason::materialize(scratch, fx.u.dict, *fx.u.vocab, {});
+    benchmark::DoNotOptimize(scratch.size());
+  }
+}
+BENCHMARK(BM_FullRematerialize)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

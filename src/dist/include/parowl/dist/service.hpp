@@ -117,6 +117,15 @@ class DistService {
   /// the new version vector as their cache key — the invalidation path.
   void refresh(std::span<const rdf::Triple> additions);
 
+  /// Mixed refresh after an incremental maintenance batch: retire
+  /// `deletions` (the triples the maintainer removed from the closure) from
+  /// their shards, append `additions`, and re-ship only the touched
+  /// partitions.  Untouched shards keep their bytes and versions, so the
+  /// re-encode/re-sync cost scales with the batch's placement footprint,
+  /// not the catalog size.
+  void refresh(std::span<const rdf::Triple> additions,
+               std::span<const rdf::Triple> deletions);
+
   /// Block until the request queue is drained.
   void drain();
 

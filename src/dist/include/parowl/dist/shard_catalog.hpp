@@ -66,6 +66,15 @@ class ShardCatalog {
   /// path, not an incremental closure (ROADMAP: live updates across shards).
   std::vector<std::uint32_t> refresh(std::span<const rdf::Triple> additions);
 
+  /// Mixed refresh after an incremental maintenance batch: remove
+  /// `deletions` (the triples the maintainer actually retired from the
+  /// closure) from the shards they were placed on, then append `additions`
+  /// (the new log tail).  Only touched partitions re-encode and bump their
+  /// versions; untouched shards keep their bytes and version.  Returns the
+  /// touched partitions, sorted.
+  std::vector<std::uint32_t> refresh(std::span<const rdf::Triple> additions,
+                                     std::span<const rdf::Triple> deletions);
+
   /// Total encoded bytes across shards (what one full sync ships per
   /// replica set member).
   [[nodiscard]] std::uint64_t encoded_bytes() const;

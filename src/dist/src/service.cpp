@@ -238,6 +238,18 @@ void DistService::refresh(std::span<const rdf::Triple> additions) {
   }
 }
 
+void DistService::refresh(std::span<const rdf::Triple> additions,
+                          std::span<const rdf::Triple> deletions) {
+  PAROWL_SPAN("dist.refresh", {{"additions", additions.size()},
+                               {"deletions", deletions.size()}});
+  const std::unique_lock lock(catalog_mutex_);
+  const std::vector<std::uint32_t> touched =
+      catalog_.refresh(additions, deletions);
+  for (const std::uint32_t p : touched) {
+    replicas_.sync_partition(catalog_, p);
+  }
+}
+
 void DistService::drain() { executor_->wait_idle(); }
 
 std::string DistService::render(const query::ResultSet& results) const {

@@ -4,6 +4,7 @@
 
 #include "parowl/partition/data_partition.hpp"
 #include "parowl/rdf/codec.hpp"
+#include "parowl/rdf/flat_index.hpp"
 
 namespace parowl::dist {
 namespace {
@@ -60,6 +61,66 @@ std::vector<std::uint32_t> ShardCatalog::refresh(
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   for (const std::uint32_t p : touched) {
+    shards_[p].version += 1;
+    encode_shard(p, plain_[p]);
+  }
+  return touched;
+}
+
+std::vector<std::uint32_t> ShardCatalog::refresh(
+    std::span<const rdf::Triple> additions,
+    std::span<const rdf::Triple> deletions) {
+  if (deletions.empty()) {
+    return refresh(additions);
+  }
+  const auto k = static_cast<std::uint32_t>(shards_.size());
+  std::vector<std::uint32_t> touched;
+  std::vector<std::uint32_t> dests;
+
+  // Retire first, append second — so a triple deleted and re-added in one
+  // batch survives.  Per-partition sets keep the erase pass O(shard size).
+  std::vector<rdf::TripleSet> retire(k);
+  std::vector<std::vector<rdf::Triple>> appends(k);
+  for (const rdf::Triple& t : deletions) {
+    dests.clear();
+    partition::append_shard_destinations(owners_, t, k, dests);
+    for (const std::uint32_t p : dests) {
+      retire[p].insert(t);
+      touched.push_back(p);
+    }
+  }
+  for (const rdf::Triple& t : additions) {
+    dests.clear();
+    partition::append_shard_destinations(owners_, t, k, dests);
+    for (const std::uint32_t p : dests) {
+      appends[p].push_back(t);
+      touched.push_back(p);
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const std::uint32_t p : touched) {
+    auto& list = plain_[p];
+    if (!retire[p].empty()) {
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [&](const rdf::Triple& t) {
+                                  return retire[p].contains(t);
+                                }),
+                 list.end());
+    }
+    // Appends are deduplicated against the surviving shard contents: a
+    // rederived triple shows up in the maintained log's new tail but never
+    // left the shard (it is not among the removals), so a blind append
+    // would double it.
+    rdf::TripleSet present;
+    for (const rdf::Triple& t : list) {
+      present.insert(t);
+    }
+    for (const rdf::Triple& t : appends[p]) {
+      if (present.insert(t)) {
+        list.push_back(t);
+      }
+    }
     shards_[p].version += 1;
     encode_shard(p, plain_[p]);
   }

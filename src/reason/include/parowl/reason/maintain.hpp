@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parowl/obs/options.hpp"
+#include "parowl/obs/report.hpp"
+#include "parowl/ontology/ontology.hpp"
+#include "parowl/rdf/dictionary.hpp"
+#include "parowl/rdf/triple_store.hpp"
+#include "parowl/reason/forward.hpp"
+#include "parowl/rules/horst_rules.hpp"
+
+namespace parowl::reason {
+
+/// How deletions are propagated through the materialized closure.
+enum class MaintainStrategy {
+  /// Delete-and-rederive: overdelete everything transitively derivable from
+  /// the deleted facts, then re-prove survivors (one-step rederivation seeds
+  /// + semi-naive closure).  Always correct; pays for the full overdeletion
+  /// cone even when most of it survives.
+  kDRed,
+  /// Backward/forward: walk the same cone, but before condemning a fact run
+  /// a backward proof search for an alternate well-founded derivation from
+  /// the surviving base.  Facts with an independent support never propagate,
+  /// so shallow (non-recursive) deletions touch far fewer facts; deeply
+  /// recursive proof spaces can make the backward search the bottleneck.
+  kFbf,
+};
+
+struct MaintainOptions {
+  MaintainStrategy strategy = MaintainStrategy::kDRed;
+
+  rules::HorstOptions horst;
+
+  /// Matching-pass thread count for the rederivation closure (0 = hardware
+  /// concurrency).  The maintained store is bit-identical for every value:
+  /// the overdelete walk is deterministic and single-threaded, and the
+  /// forward engine's sharded merge is order-preserving.
+  unsigned threads = 1;
+
+  /// Observability sinks/sampling (docs/architecture.md "Observability").
+  obs::ObsOptions obs;
+};
+
+/// What one mixed add/delete batch did to the closure.
+struct MaintainResult {
+  bool schema_changed = false;  // rejected: batch touches schema triples
+
+  std::size_t base_deleted = 0;  // asserted triples actually retracted
+  std::size_t base_added = 0;    // asserted triples actually added
+
+  /// DRed: facts condemned by the overdelete cone (including the deletions
+  /// themselves).  FBF: facts in the cone that failed the backward check.
+  std::size_t overdeleted = 0;
+  /// Facts the overdelete pass visited but kept (FBF alternate-support hits;
+  /// always 0 under pure DRed, which condemns first and re-proves later).
+  std::size_t kept_alive = 0;
+  /// Overdeleted facts reinstated by the rederivation pass (one-step seeds;
+  /// DRed only — FBF never removes a derivable fact in the first place).
+  std::size_t rederived = 0;
+  /// Net facts that left the closure (overdeleted and not rederived).
+  std::size_t removed = 0;
+  /// Net new derivations from the additions + rederivation closure.
+  std::size_t inferred = 0;
+
+  std::size_t overdelete_iterations = 0;  // overdelete BFS frontier rounds
+  std::size_t rederive_iterations = 0;    // forward-engine iterations
+
+  double overdelete_seconds = 0.0;
+  double rederive_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Index into the maintained store's log where this batch's new triples
+  /// (additions + rederivations + fresh derivations) begin — the serve
+  /// layer's snapshot delta.  Everything before it survived in log order.
+  std::size_t first_new_index = 0;
+
+  /// The triples that actually left the closure, in deterministic order —
+  /// the serve layer retires cache entries whose answers contained any of
+  /// them (footprint invalidation must cover deletions, not just additions).
+  std::vector<rdf::Triple> removed_triples;
+};
+
+/// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
+[[nodiscard]] obs::FieldList fields(const MaintainResult& r);
+
+/// Incremental maintenance of a materialized OWL-Horst closure under mixed
+/// add/delete batches (ROADMAP item 2; Ajileye/Motik/Horrocks give the
+/// distributed recipe this is the single-store core of).
+///
+/// The maintainer owns no data: `apply` mutates the store and the asserted
+/// base handed to it.  The contract is the oracle equality the test suite
+/// pins: after `apply`, the store holds exactly the triples a from-scratch
+/// `materialize` of the updated base would produce (log order differs —
+/// survivors keep their original positions — so equality is on the sorted
+/// triple sequence).
+class Maintainer {
+ public:
+  /// `dict` is used for the literal guard during rederivation; `vocab`
+  /// classifies schema triples.  Both must outlive the maintainer.
+  Maintainer(const rdf::Dictionary& dict, const ontology::Vocabulary& vocab,
+             MaintainOptions options = {});
+
+  /// Apply one mixed batch to `store` (a materialized closure) whose
+  /// asserted triples are `base` (schema + instance, insertion order).
+  ///
+  /// Semantics are batch-atomic: the updated base is (base \ deletions)
+  /// + additions, so a triple deleted and re-added in the same batch stays.
+  /// Deletions of never-present triples are no-ops.  Schema triples in
+  /// either direction reject the whole batch (schema_changed) untouched —
+  /// a schema change invalidates the compiled rule-base and needs a full
+  /// re-materialization.
+  ///
+  /// On success `store` is replaced by the maintained closure: survivors in
+  /// original log order, then additions, rederivations, and new derivations
+  /// (see MaintainResult::first_new_index); `base` is updated in place.
+  MaintainResult apply(rdf::TripleStore& store,
+                       std::vector<rdf::Triple>& base,
+                       std::span<const rdf::Triple> additions,
+                       std::span<const rdf::Triple> deletions) const;
+
+ private:
+  const rdf::Dictionary& dict_;
+  const ontology::Vocabulary& vocab_;
+  MaintainOptions options_;
+};
+
+}  // namespace parowl::reason

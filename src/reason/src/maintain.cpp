@@ -1,0 +1,475 @@
+#include "parowl/reason/maintain.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "parowl/obs/obs.hpp"
+#include "parowl/reason/materialize.hpp"
+#include "parowl/rules/compiler.hpp"
+#include "parowl/util/timer.hpp"
+
+namespace parowl::reason {
+namespace {
+
+/// One body atom usable as a forward-propagation entry point, mirroring the
+/// forward engine's dispatch pairs.
+struct PivotRef {
+  std::uint32_t rule = 0;
+  std::uint32_t pivot = 0;
+};
+
+/// Predicate-keyed dispatch index over a rule set: deletions propagate the
+/// same way derivations do, by routing each condemned triple only to the
+/// (rule, pivot) pairs whose pivot pattern can bind it.
+struct DispatchIndex {
+  rdf::IdMap<std::uint32_t> slot;            // predicate -> bucket index + 1
+  std::vector<std::vector<PivotRef>> buckets;
+  std::vector<PivotRef> wildcard;            // variable-predicate pivots
+
+  explicit DispatchIndex(const rules::RuleSet& rules) {
+    for (std::uint32_t r = 0; r < rules.size(); ++r) {
+      const std::vector<rules::Atom>& body = rules[r].body;
+      for (std::uint32_t i = 0; i < body.size(); ++i) {
+        if (body[i].p.is_const()) {
+          std::uint32_t& s = slot[body[i].p.const_id()];
+          if (s == 0) {
+            buckets.emplace_back();
+            s = static_cast<std::uint32_t>(buckets.size());
+          }
+          buckets[s - 1].push_back({r, i});
+        } else {
+          wildcard.push_back({r, i});
+        }
+      }
+    }
+  }
+
+  /// Invoke `fn(PivotRef)` for every candidate pair of `t`.
+  template <typename Fn>
+  void dispatch(const rdf::Triple& t, Fn&& fn) const {
+    if (const std::uint32_t* s = slot.find(t.p)) {
+      for (const PivotRef& ref : buckets[*s - 1]) {
+        fn(ref);
+      }
+    }
+    for (const PivotRef& ref : wildcard) {
+      fn(ref);
+    }
+  }
+};
+
+/// Recursive join of `rule`'s body atoms not in `done_mask` against `store`,
+/// invoking `fn()` for every complete binding.  `fn` returns false to stop
+/// the enumeration (existence checks).  Returns false iff stopped early.
+template <typename Fn>
+bool join_rest(const rdf::TripleStore& store, const rules::Rule& rule,
+               unsigned done_mask, rules::Binding& binding, Fn&& fn) {
+  const auto body_size = static_cast<unsigned>(rule.body.size());
+  if (done_mask == (1u << body_size) - 1) {
+    return fn();
+  }
+  // Pick the unprocessed atom with the most bound positions (same heuristic
+  // as the forward engine's join).
+  unsigned best = body_size;
+  int best_bound = -1;
+  for (unsigned i = 0; i < body_size; ++i) {
+    if (done_mask & (1u << i)) {
+      continue;
+    }
+    const auto pattern = rules::to_pattern(rule.body[i], binding);
+    const int bound = (pattern.s != rdf::kAnyTerm) +
+                      (pattern.p != rdf::kAnyTerm) +
+                      (pattern.o != rdf::kAnyTerm);
+    if (bound > best_bound) {
+      best_bound = bound;
+      best = i;
+    }
+  }
+  assert(best < body_size);
+  const auto pattern = rules::to_pattern(rule.body[best], binding);
+  bool keep_going = true;
+  store.match_each(pattern, [&](const rdf::Triple& t) {
+    if (!keep_going) {
+      return;
+    }
+    rules::Binding saved = binding;
+    if (rules::bind_atom(rule.body[best], t, binding)) {
+      keep_going =
+          join_rest(store, rule, done_mask | (1u << best), binding, fn);
+    }
+    binding = saved;
+  });
+  return keep_going;
+}
+
+/// Ground `head` under a complete binding (range restriction guarantees
+/// every head variable is bound).
+rdf::Triple ground_head(const rules::Atom& head,
+                        const rules::Binding& binding) {
+  const auto pattern = rules::to_pattern(head, binding);
+  assert(pattern.s != rdf::kAnyTerm && pattern.p != rdf::kAnyTerm &&
+         pattern.o != rdf::kAnyTerm);
+  return {pattern.s, pattern.p, pattern.o};
+}
+
+/// True iff some rule derives `t` in one step from facts in `store`.
+bool one_step_derivable(const rdf::TripleStore& store,
+                        const rules::RuleSet& rules, const rdf::Triple& t) {
+  for (const rules::Rule& rule : rules.rules()) {
+    rules::Binding binding{};
+    if (!rules::bind_atom(rule.head, t, binding)) {
+      continue;
+    }
+    const bool exhausted =
+        join_rest(store, rule, 0, binding, [&] { return false; });
+    if (!exhausted) {
+      return true;  // enumeration stopped at the first complete binding
+    }
+  }
+  return false;
+}
+
+/// Backward well-founded proof search for the FBF strategy: `t` is alive iff
+/// it is protected (asserted / compile-time ground fact) or some rule
+/// instantiation derives it from facts that are themselves alive, where the
+/// proof may not use condemned facts or facts on the current proof stack
+/// (a fact supported only by a cycle through itself has no well-founded
+/// derivation and must die).
+class AliveChecker {
+ public:
+  AliveChecker(const rdf::TripleStore& store, const rules::RuleSet& rules,
+               const rdf::TripleSet& protected_set,
+               const rdf::TripleSet& dead)
+      : store_(store), rules_(rules), protected_(protected_set), dead_(dead) {}
+
+  /// Fresh per-root memo: `true` verdicts cached within one root check are
+  /// safe (the dead set is fixed for its duration) but must not leak across
+  /// roots — the dead set grows between checks, so an old `true` may rest
+  /// on a fact that has since died.
+  bool alive(const rdf::Triple& t) {
+    proven_.reset();
+    stack_.clear();
+    return alive_rec(t);
+  }
+
+ private:
+  bool alive_rec(const rdf::Triple& t) {
+    if (protected_.contains(t) || proven_.contains(t)) {
+      return true;
+    }
+    if (dead_.contains(t)) {
+      return false;
+    }
+    if (std::find(stack_.begin(), stack_.end(), t) != stack_.end()) {
+      // In-progress: blocks cyclic self-support for this branch only.  A
+      // `false` here is not cached — the same fact may still be proven
+      // alive through a path that does not pass through the stack.
+      return false;
+    }
+    stack_.push_back(t);
+    bool result = false;
+    for (const rules::Rule& rule : rules_.rules()) {
+      rules::Binding binding{};
+      if (!rules::bind_atom(rule.head, t, binding)) {
+        continue;
+      }
+      const bool exhausted = join_rest(store_, rule, 0, binding, [&] {
+        for (const rules::Atom& atom : rule.body) {
+          const rdf::Triple b = ground_head(atom, binding);
+          if (dead_.contains(b) || !alive_rec(b)) {
+            return true;  // this instantiation fails; try the next
+          }
+        }
+        return false;  // well-founded support found: stop enumerating
+      });
+      if (!exhausted) {
+        result = true;
+        break;
+      }
+    }
+    stack_.pop_back();
+    if (result) {
+      proven_.insert(t);
+    }
+    return result;
+  }
+
+  const rdf::TripleStore& store_;
+  const rules::RuleSet& rules_;
+  const rdf::TripleSet& protected_;
+  const rdf::TripleSet& dead_;
+  rdf::TripleSet proven_;
+  std::vector<rdf::Triple> stack_;
+};
+
+}  // namespace
+
+Maintainer::Maintainer(const rdf::Dictionary& dict,
+                       const ontology::Vocabulary& vocab,
+                       MaintainOptions options)
+    : dict_(dict), vocab_(vocab), options_(std::move(options)) {}
+
+MaintainResult Maintainer::apply(rdf::TripleStore& store,
+                                 std::vector<rdf::Triple>& base,
+                                 std::span<const rdf::Triple> additions,
+                                 std::span<const rdf::Triple> deletions) const {
+  obs::configure(options_.obs);
+  MaintainResult result;
+  util::Stopwatch total;
+  PAROWL_SPAN("maintain.apply", {{"additions", additions.size()},
+                                 {"deletions", deletions.size()}});
+
+  for (const rdf::Triple& t : additions) {
+    if (vocab_.is_schema_triple(t)) {
+      result.schema_changed = true;
+      return result;
+    }
+  }
+  for (const rdf::Triple& t : deletions) {
+    if (vocab_.is_schema_triple(t)) {
+      result.schema_changed = true;
+      return result;
+    }
+  }
+
+  rdf::TripleSet base_set;
+  for (const rdf::Triple& t : base) {
+    base_set.insert(t);
+  }
+  rdf::TripleSet addition_set;
+  for (const rdf::Triple& t : additions) {
+    addition_set.insert(t);
+  }
+
+  // Effective deletions: present in the base and not re-added in the same
+  // batch (batch-atomic semantics).  Deduplicated, batch order.
+  std::vector<rdf::Triple> effective;
+  rdf::TripleSet delete_set;
+  for (const rdf::Triple& t : deletions) {
+    if (base_set.contains(t) && !addition_set.contains(t) &&
+        delete_set.insert(t)) {
+      effective.push_back(t);
+    }
+  }
+  result.base_deleted = effective.size();
+
+  if (effective.empty()) {
+    // Pure-addition batch: the existing semi-naive delta path.  The base
+    // still records every addition (dedup against the base, not the
+    // closure: an addition that was merely derived before becomes asserted
+    // and must survive a later deletion of its support).
+    const IncrementalResult inc = materialize_incremental(
+        store, dict_, vocab_, additions, options_.horst, options_.threads);
+    assert(!inc.schema_changed);
+    for (const rdf::Triple& t : additions) {
+      if (!base_set.contains(t)) {
+        base_set.insert(t);
+        base.push_back(t);
+        ++result.base_added;
+      }
+    }
+    result.inferred = inc.inferred;
+    result.rederive_iterations = inc.iterations;
+    result.rederive_seconds = inc.reason_seconds;
+    result.first_new_index = store.size() - inc.added - inc.inferred;
+    result.total_seconds = total.elapsed_seconds();
+    return result;
+  }
+
+  // The compiled rule-base depends only on the schema, which is unchanged.
+  const rules::CompiledRules compiled =
+      compile_ontology(store, vocab_, options_.horst);
+  const DispatchIndex dispatch(compiled.rules);
+
+  // The updated base: deletions dropped in place, additions appended.
+  // (A triple deleted and re-added in the same batch never reaches
+  // `delete_set`, so it survives the first loop and the second loop's
+  // insert dedups it.)
+  rdf::TripleSet new_base_set;
+  std::vector<rdf::Triple> new_base;
+  new_base.reserve(base.size() + additions.size());
+  for (const rdf::Triple& t : base) {
+    if (!delete_set.contains(t) && new_base_set.insert(t)) {
+      new_base.push_back(t);
+    }
+  }
+  for (const rdf::Triple& t : additions) {
+    if (new_base_set.insert(t)) {
+      new_base.push_back(t);
+      ++result.base_added;
+    }
+  }
+
+  // Facts that can never leave the closure: the updated base plus the
+  // compile-time ground facts (schema-derived; instance deletions cannot
+  // touch their support).  The overdelete walk prunes at them — anything
+  // still asserted keeps itself and everything it supports.
+  rdf::TripleSet protected_set;
+  for (const rdf::Triple& t : new_base) {
+    protected_set.insert(t);
+  }
+  for (const rdf::Triple& t : compiled.ground_facts) {
+    protected_set.insert(t);
+  }
+
+  // --- Overdelete pass -----------------------------------------------------
+  // BFS over the derivation graph: condemned facts route through the
+  // dispatch index to the (rule, pivot) pairs they can feed, the remaining
+  // body atoms join against the *old* closure, and every head found in the
+  // closure joins the cone.  DRed condemns unconditionally (and re-proves
+  // later); FBF first runs the backward check and propagates only genuine
+  // deaths.
+  util::Stopwatch overdelete_watch;
+  rdf::TripleSet condemned;   // DRed: overdeleted; FBF: dead
+  std::vector<rdf::Triple> cone;  // BFS queue, deterministic order
+  const bool fbf = options_.strategy == MaintainStrategy::kFbf;
+  AliveChecker checker(store, compiled.rules, protected_set, condemned);
+  {
+    PAROWL_SPAN("maintain.overdelete", {{"deletions", effective.size()}});
+    for (const rdf::Triple& t : effective) {
+      if (!fbf) {
+        condemned.insert(t);  // DRed condemns by fiat; rederive re-proves
+      }
+      cone.push_back(t);
+    }
+    std::size_t frontier_end = cone.size();
+    std::size_t processed = 0;
+    while (processed < cone.size()) {
+      if (processed == frontier_end) {
+        ++result.overdelete_iterations;
+        frontier_end = cone.size();
+      }
+      const rdf::Triple t = cone[processed++];
+      if (fbf) {
+        if (condemned.contains(t)) {
+          continue;  // already dead; its dependents are already enqueued
+        }
+        // Backward step: an alternate well-founded support keeps `t` (and
+        // everything downstream of it) out of the cone.  This applies to
+        // the deleted base facts themselves — a retracted assertion with an
+        // independent derivation stays in the closure as a derived fact.
+        if (checker.alive(t)) {
+          ++result.kept_alive;
+          continue;
+        }
+        condemned.insert(t);
+      }
+      dispatch.dispatch(t, [&](const PivotRef& ref) {
+        const rules::Rule& rule = compiled.rules[ref.rule];
+        rules::Binding binding{};
+        if (!rules::bind_atom(rule.body[ref.pivot], t, binding)) {
+          return;
+        }
+        join_rest(store, rule, 1u << ref.pivot, binding, [&] {
+          const rdf::Triple head = ground_head(rule.head, binding);
+          // The closure is a fixpoint, so a head joined from closure facts
+          // is already present — unless the literal guard dropped it.
+          if (store.contains(head) && !protected_set.contains(head) &&
+              !condemned.contains(head)) {
+            if (fbf) {
+              // Enqueue for its own backward check; re-enqueueing on every
+              // dying supporter keeps verdicts current as the dead set
+              // grows (an early "alive" may rest on a fact that dies
+              // later).
+              if (std::find(cone.begin() + static_cast<std::ptrdiff_t>(
+                                               processed),
+                            cone.end(), head) == cone.end()) {
+                cone.push_back(head);
+              }
+            } else {
+              condemned.insert(head);
+              cone.push_back(head);
+            }
+          }
+          return true;  // keep enumerating: all heads of this pivot
+        });
+      });
+    }
+    if (result.overdelete_iterations == 0 && !cone.empty()) {
+      result.overdelete_iterations = 1;
+    }
+  }
+  result.overdeleted = condemned.size();
+  result.overdelete_seconds = overdelete_watch.elapsed_seconds();
+  PAROWL_COUNT("maintain.overdeleted", result.overdeleted);
+  PAROWL_COUNT("maintain.kept_alive", result.kept_alive);
+
+  // --- Rebuild + rederive pass --------------------------------------------
+  // Survivors keep their log order; then additions, rederivation seeds, and
+  // the semi-naive closure of both append at the tail.
+  util::Stopwatch rederive_watch;
+  {
+    PAROWL_SPAN("maintain.rederive", {{"condemned", result.overdeleted}});
+    rdf::TripleStore next;
+    for (const rdf::Triple& t : store.triples()) {
+      if (!condemned.contains(t)) {
+        next.insert(t);
+      }
+    }
+    result.first_new_index = next.size();
+
+    for (const rdf::Triple& t : additions) {
+      next.insert(t);
+    }
+
+    if (!fbf) {
+      // DRed rederivation seeds: a condemned fact with a one-step
+      // derivation from the surviving closure re-enters; the semi-naive
+      // run below completes the transitive rederivations.  (FBF never
+      // condemns a fact with surviving support, so it skips this.)
+      for (const rdf::Triple& t : cone) {
+        if (!next.contains(t) && one_step_derivable(next, compiled.rules, t)) {
+          next.insert(t);
+          ++result.rederived;
+        }
+      }
+    }
+
+    ForwardOptions fopts;
+    fopts.dict = &dict_;
+    fopts.threads = options_.threads;
+    fopts.obs = options_.obs;
+    const ForwardStats stats = ForwardEngine(next, compiled.rules, fopts)
+                                   .run(result.first_new_index);
+    result.rederive_iterations = stats.iterations;
+
+    // Net removals: condemned facts that did not make it back.
+    for (const rdf::Triple& t : cone) {
+      if (condemned.contains(t) && !next.contains(t)) {
+        result.removed_triples.push_back(t);
+      }
+    }
+    result.removed = result.removed_triples.size();
+    result.inferred =
+        next.size() - result.first_new_index;  // additions + rederived + new
+
+    store = std::move(next);
+  }
+  base = std::move(new_base);
+  result.rederive_seconds = rederive_watch.elapsed_seconds();
+  PAROWL_COUNT("maintain.rederived", result.rederived);
+  PAROWL_COUNT("maintain.removed", result.removed);
+  result.total_seconds = total.elapsed_seconds();
+  return result;
+}
+
+obs::FieldList fields(const MaintainResult& r) {
+  return {
+      {"schema_changed", r.schema_changed},
+      {"base_deleted", r.base_deleted},
+      {"base_added", r.base_added},
+      {"overdeleted", r.overdeleted},
+      {"kept_alive", r.kept_alive},
+      {"rederived", r.rederived},
+      {"removed", r.removed},
+      {"inferred", r.inferred},
+      {"overdelete_iterations", r.overdelete_iterations},
+      {"rederive_iterations", r.rederive_iterations},
+      {"overdelete_seconds", r.overdelete_seconds},
+      {"rederive_seconds", r.rederive_seconds},
+      {"total_seconds", r.total_seconds},
+  };
+}
+
+}  // namespace parowl::reason

@@ -43,6 +43,11 @@ struct ServiceOptions {
   /// still queued when it expires are answered kDeadlineExceeded.
   double default_deadline_seconds = 0.0;
 
+  /// Deletion-propagation algorithm for mixed add/delete batches (see
+  /// reason::Maintainer; both strategies maintain the identical closure).
+  reason::MaintainStrategy maintain_strategy =
+      reason::MaintainStrategy::kDRed;
+
   /// Namespace prefixes pre-registered with the SPARQL parser.
   std::vector<std::pair<std::string, std::string>> prefixes;
 
@@ -69,9 +74,12 @@ class QueryService {
  public:
   /// `store` must already be materialized (the service answers from the
   /// closure; it runs no inference at query time).  `dict`/`vocab` outlive
-  /// the service.
+  /// the service.  `base` is the asserted-triple provenance incremental
+  /// deletion maintains against (empty = treat the whole store as
+  /// asserted; see make_initial_snapshot).
   QueryService(rdf::Dictionary& dict, const ontology::Vocabulary& vocab,
-               rdf::TripleStore store, ServiceOptions options = {});
+               rdf::TripleStore store, ServiceOptions options = {},
+               std::vector<rdf::Triple> base = {});
 
   /// Completes pending requests, then stops the workers.
   ~QueryService();
@@ -92,6 +100,13 @@ class QueryService {
   /// Apply one instance-triple batch (see Updater).  The triples' terms
   /// must already be interned — use with_dict_exclusive to intern them.
   UpdateOutcome apply_update(std::span<const rdf::Triple> additions);
+
+  /// Apply one mixed add/delete batch: retract `deletions` from the
+  /// asserted base, add `additions`, and maintain the closure incrementally
+  /// (delete-and-rederive; see Updater).  Batch-atomic; readers never
+  /// observe a half-maintained snapshot.
+  UpdateOutcome apply_update(std::span<const rdf::Triple> additions,
+                             std::span<const rdf::Triple> deletions);
 
   /// Run `fn(dict)` holding the exclusive dictionary lock (interning).
   template <typename Fn>

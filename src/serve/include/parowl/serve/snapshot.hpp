@@ -23,9 +23,19 @@ struct KbSnapshot {
   /// The materialized triple store.  Immutable after publication.
   rdf::TripleStore store;
 
-  /// Log length of the *previous* version's store — the range
-  /// [delta_begin, store.size()) is what this update added (base + inferred).
+  /// Survivor prefix length: the range [delta_begin, store.size()) is what
+  /// this update added (base + rederived + inferred).  For pure-addition
+  /// batches that is exactly the previous version's log length; a deletion
+  /// batch compacts the log, so the prefix is shorter than the predecessor.
   std::size_t delta_begin = 0;
+
+  /// The *asserted* triples (schema + instance) this closure was
+  /// materialized from — what incremental deletion maintains against
+  /// (reason::Maintainer).  Null means "everything in the store is
+  /// asserted": the conservative default when a service is built from an
+  /// already-materialized store with no base provenance.  Shared across
+  /// versions whose base did not change.
+  std::shared_ptr<const std::vector<rdf::Triple>> base;
 };
 
 using SnapshotPtr = std::shared_ptr<const KbSnapshot>;
@@ -55,6 +65,11 @@ class SnapshotRegistry {
 };
 
 /// Build the initial snapshot (version 1) from a materialized store.
-[[nodiscard]] SnapshotPtr make_initial_snapshot(rdf::TripleStore store);
+/// `base` is the asserted-triple provenance for incremental deletion; pass
+/// empty to treat the whole store as asserted (deletions then retract any
+/// closure triple directly, which is still maintained correctly — there is
+/// just no asserted/derived distinction to exploit).
+[[nodiscard]] SnapshotPtr make_initial_snapshot(
+    rdf::TripleStore store, std::vector<rdf::Triple> base = {});
 
 }  // namespace parowl::serve

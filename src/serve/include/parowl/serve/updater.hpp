@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "parowl/ontology/ontology.hpp"
+#include "parowl/reason/maintain.hpp"
 #include "parowl/reason/materialize.hpp"
 #include "parowl/serve/result_cache.hpp"
 #include "parowl/serve/snapshot.hpp"
@@ -15,14 +16,23 @@ namespace parowl::serve {
 /// What one update batch did.
 struct UpdateOutcome {
   /// Version of the snapshot the batch produced (0 when nothing was
-  /// published: rejected schema change or an all-duplicate batch).
+  /// published: rejected schema change or an all-no-op batch).
   std::uint64_t version = 0;
 
   /// The incremental closure's own statistics (added/inferred/rejected).
+  /// Always populated, for mixed batches too (added/inferred/schema_changed
+  /// mirror the maintenance result).
   reason::IncrementalResult result;
 
-  /// Distinct predicates of the delta (new base + inferred triples) — the
-  /// footprint handed to the cache.
+  /// Full maintenance statistics when the batch carried deletions
+  /// (overdeleted/rederived/removed and the per-pass timings); default-
+  /// constructed for pure-addition batches.
+  reason::MaintainResult maintain;
+
+  /// Distinct predicates of the delta — the footprint handed to the cache.
+  /// Covers the new triples (base + rederived + inferred) AND the removed
+  /// ones: a cached answer that contained a deleted (or overdeleted-then-
+  /// not-rederived) triple is stale exactly like one missing a new triple.
   std::vector<rdf::TermId> delta_predicates;
 
   /// Cache entries dropped by this batch.
@@ -35,14 +45,16 @@ struct UpdateOutcome {
 /// The write side of the serving layer: applies an instance-triple batch to
 /// the current snapshot and publishes the successor version.
 ///
-/// Copy-on-update RCU: the updater clones the current store, runs
-/// `reason::materialize_incremental` on the clone (semi-naive from the delta
-/// only), invalidates overlapping cache entries, and atomically swaps the
-/// new snapshot in.  Readers keep their version until they finish; nothing
-/// ever blocks a query.  Invalidation runs *before* publication so no reader
-/// can hit a stale cached answer under the new version, and the cache's
-/// version floor stops in-flight queries from re-inserting answers computed
-/// against the old snapshot.
+/// Copy-on-update RCU: the updater clones the current store, runs the
+/// incremental closure (`reason::materialize_incremental` for pure
+/// additions, `reason::Maintainer` delete-and-rederive for mixed batches)
+/// on the clone, invalidates overlapping cache entries, and atomically
+/// swaps the new snapshot in.  Readers keep their version until they
+/// finish; nothing ever blocks a query, and no query can observe a
+/// half-maintained store.  Invalidation runs *before* publication so no
+/// reader can hit a stale cached answer under the new version, and the
+/// cache's version floor stops in-flight queries from re-inserting answers
+/// computed against the old snapshot.
 ///
 /// One Updater serializes its own batches (internal mutex), but the KB
 /// design assumes a single logical writer — concurrent Updaters on one
@@ -53,15 +65,24 @@ class Updater {
   /// closure itself interns nothing.  `cache` may be null (no caching).
   /// `reason_threads` fans out the incremental closure's matching pass
   /// (0 = hardware concurrency); the published snapshot is bit-identical
-  /// for every value.
+  /// for every value.  `strategy` picks the deletion-propagation algorithm
+  /// (DRed vs FBF; both maintain the identical closure).
   Updater(SnapshotRegistry& registry, ResultCache* cache,
           const rdf::Dictionary& dict, const ontology::Vocabulary& vocab,
-          unsigned reason_threads = 1);
+          unsigned reason_threads = 1,
+          reason::MaintainStrategy strategy = reason::MaintainStrategy::kDRed);
 
   /// Apply one batch of *instance* triples.  Schema triples are rejected
   /// (outcome.result.schema_changed) without publishing — a schema change
   /// invalidates the compiled rule-base and needs a full re-materialization.
   UpdateOutcome apply(std::span<const rdf::Triple> additions);
+
+  /// Apply one mixed batch: retract `deletions` from the asserted base and
+  /// add `additions`, maintaining the closure incrementally (DRed/FBF).
+  /// Batch-atomic: a triple in both lists stays.  Deleting a never-present
+  /// triple is a no-op; an all-no-op batch publishes nothing (version 0).
+  UpdateOutcome apply(std::span<const rdf::Triple> additions,
+                      std::span<const rdf::Triple> deletions);
 
   /// Number of batches successfully published.
   [[nodiscard]] std::uint64_t batches_applied() const;
@@ -72,6 +93,7 @@ class Updater {
   const rdf::Dictionary& dict_;
   const ontology::Vocabulary& vocab_;
   unsigned reason_threads_;
+  reason::MaintainStrategy strategy_;
   mutable std::mutex write_mutex_;
   std::uint64_t batches_ = 0;
 };

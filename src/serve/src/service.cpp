@@ -33,14 +33,16 @@ std::vector<rdf::TermId> footprint_of(const query::SelectQuery& q,
 
 QueryService::QueryService(rdf::Dictionary& dict,
                            const ontology::Vocabulary& vocab,
-                           rdf::TripleStore store, ServiceOptions options)
+                           rdf::TripleStore store, ServiceOptions options,
+                           std::vector<rdf::Triple> base)
     : options_(std::move(options)),
       dict_(dict),
-      registry_(make_initial_snapshot(std::move(store))),
+      registry_(make_initial_snapshot(std::move(store), std::move(base))),
       cache_(options_.cache_shards,
              options_.cache_enabled ? options_.cache_capacity_per_shard : 0),
       parser_(dict),
-      updater_(registry_, &cache_, dict, vocab),
+      updater_(registry_, &cache_, dict, vocab, /*reason_threads=*/1,
+               options_.maintain_strategy),
       executor_(std::make_unique<Executor>(options_.threads,
                                            options_.queue_capacity)) {
   obs::configure(options_.obs);
@@ -193,6 +195,17 @@ UpdateOutcome QueryService::apply_update(
   // concurrently with result rendering, but must exclude parser interning.
   const std::shared_lock lock(dict_mutex_);
   return updater_.apply(additions);
+}
+
+UpdateOutcome QueryService::apply_update(
+    std::span<const rdf::Triple> additions,
+    std::span<const rdf::Triple> deletions) {
+  PAROWL_SPAN("serve.update", {{"additions", additions.size()},
+                               {"deletions", deletions.size()}});
+  // Shared lock, same as the additions path: maintenance reads term kinds
+  // (literal guard) but interns nothing.
+  const std::shared_lock lock(dict_mutex_);
+  return updater_.apply(additions, deletions);
 }
 
 std::string QueryService::render(const query::ResultSet& results) const {

@@ -27,11 +27,16 @@ void SnapshotRegistry::publish(SnapshotPtr next) {
   current_ = std::move(next);
 }
 
-SnapshotPtr make_initial_snapshot(rdf::TripleStore store) {
+SnapshotPtr make_initial_snapshot(rdf::TripleStore store,
+                                  std::vector<rdf::Triple> base) {
   auto snap = std::make_shared<KbSnapshot>();
   snap->version = 1;
   snap->delta_begin = store.size();  // nothing is "new" in the first version
   snap->store = std::move(store);
+  if (!base.empty()) {
+    snap->base =
+        std::make_shared<const std::vector<rdf::Triple>>(std::move(base));
+  }
   return snap;
 }
 

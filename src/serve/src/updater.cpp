@@ -1,19 +1,30 @@
 #include "parowl/serve/updater.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "parowl/util/timer.hpp"
 
 namespace parowl::serve {
+namespace {
+
+void sort_unique(std::vector<rdf::TermId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
 
 Updater::Updater(SnapshotRegistry& registry, ResultCache* cache,
                  const rdf::Dictionary& dict,
-                 const ontology::Vocabulary& vocab, unsigned reason_threads)
+                 const ontology::Vocabulary& vocab, unsigned reason_threads,
+                 reason::MaintainStrategy strategy)
     : registry_(registry),
       cache_(cache),
       dict_(dict),
       vocab_(vocab),
-      reason_threads_(reason_threads) {}
+      reason_threads_(reason_threads),
+      strategy_(strategy) {}
 
 UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions) {
   const std::scoped_lock lock(write_mutex_);
@@ -41,18 +52,110 @@ UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions) {
     return outcome;
   }
 
+  // The base grows by the genuinely new asserted triples; derived triples
+  // already present stay derived.  Null base means "everything asserted" —
+  // keep that convention by leaving it null (the new triples are in the
+  // store log either way).
+  if (old_snap->base != nullptr) {
+    auto base = std::make_shared<std::vector<rdf::Triple>>(*old_snap->base);
+    rdf::TripleSet base_set;
+    for (const rdf::Triple& t : *base) {
+      base_set.insert(t);
+    }
+    for (const rdf::Triple& t : additions) {
+      if (base_set.insert(t)) {
+        base->push_back(t);
+      }
+    }
+    next->base = std::move(base);
+  }
+
   // Footprint of the delta: every predicate among the new triples.
   const auto& log = next->store.triples();
   for (std::size_t i = next->delta_begin; i < log.size(); ++i) {
     outcome.delta_predicates.push_back(log[i].p);
   }
-  std::sort(outcome.delta_predicates.begin(), outcome.delta_predicates.end());
-  outcome.delta_predicates.erase(std::unique(outcome.delta_predicates.begin(),
-                                             outcome.delta_predicates.end()),
-                                 outcome.delta_predicates.end());
+  sort_unique(outcome.delta_predicates);
 
   // Invalidate before publishing: after the swap no reader can find a
   // cached answer the delta made stale.
+  if (cache_ != nullptr) {
+    outcome.invalidated =
+        cache_->on_update(outcome.delta_predicates, next->version);
+  }
+  outcome.version = next->version;
+  registry_.publish(std::move(next));
+  ++batches_;
+  outcome.total_seconds = total.elapsed_seconds();
+  return outcome;
+}
+
+UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions,
+                             std::span<const rdf::Triple> deletions) {
+  if (deletions.empty()) {
+    return apply(additions);
+  }
+  const std::scoped_lock lock(write_mutex_);
+  UpdateOutcome outcome;
+  util::Stopwatch total;
+
+  const SnapshotPtr old_snap = registry_.current();
+
+  auto next = std::make_shared<KbSnapshot>();
+  std::vector<rdf::Triple> base;
+  {
+    util::Stopwatch copy_watch;
+    next->store = old_snap->store;  // copy-on-update: readers keep theirs
+    // No recorded base: conservatively treat every closure triple as
+    // asserted (see KbSnapshot::base).
+    base = old_snap->base != nullptr ? *old_snap->base
+                                     : old_snap->store.triples();
+    outcome.copy_seconds = copy_watch.elapsed_seconds();
+  }
+  next->version = old_snap->version + 1;
+
+  reason::MaintainOptions mopts;
+  mopts.strategy = strategy_;
+  mopts.threads = reason_threads_;
+  const reason::Maintainer maintainer(dict_, vocab_, mopts);
+  outcome.maintain = maintainer.apply(next->store, base, additions, deletions);
+
+  // Mirror the headline numbers into the legacy stats block so existing
+  // callers see one shape for both batch kinds.
+  outcome.result.schema_changed = outcome.maintain.schema_changed;
+  outcome.result.added = outcome.maintain.base_added;
+  outcome.result.inferred = outcome.maintain.inferred;
+  outcome.result.iterations = outcome.maintain.rederive_iterations;
+  outcome.result.reason_seconds = outcome.maintain.rederive_seconds;
+
+  const bool changed = outcome.maintain.base_added > 0 ||
+                       outcome.maintain.base_deleted > 0 ||
+                       outcome.maintain.removed > 0 ||
+                       outcome.maintain.inferred > 0;
+  if (outcome.maintain.schema_changed || !changed) {
+    // Rejected, or an all-no-op batch (deletes of absent triples plus
+    // duplicate adds): the fixpoint is unchanged, keep the current
+    // snapshot and every cache entry as is.
+    outcome.total_seconds = total.elapsed_seconds();
+    return outcome;
+  }
+
+  next->delta_begin = outcome.maintain.first_new_index;
+  next->base =
+      std::make_shared<const std::vector<rdf::Triple>>(std::move(base));
+
+  // Footprint of the delta: the new triples' predicates AND the removed
+  // triples' predicates — a cached answer that contained a deleted (or
+  // overdeleted-then-not-rederived) triple must be retired too.
+  const auto& log = next->store.triples();
+  for (std::size_t i = next->delta_begin; i < log.size(); ++i) {
+    outcome.delta_predicates.push_back(log[i].p);
+  }
+  for (const rdf::Triple& t : outcome.maintain.removed_triples) {
+    outcome.delta_predicates.push_back(t.p);
+  }
+  sort_unique(outcome.delta_predicates);
+
   if (cache_ != nullptr) {
     outcome.invalidated =
         cache_->on_update(outcome.delta_predicates, next->version);

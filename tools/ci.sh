@@ -8,8 +8,9 @@
 # Tier labels are assigned in tests/CMakeLists.txt via parowl_add_test:
 # tier1 is every fast deterministic suite, tier2 the slower sweeps.  The
 # ASan subset covers the transport/worker/cluster/fault layers plus the
-# ingest pipeline and triple codec — the places where serialization and
-# concurrency bugs would live.
+# ingest pipeline, triple codec, and incremental maintenance (DRed/FBF
+# store rebuilds) — the places where serialization and concurrency bugs
+# would live.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,17 +33,18 @@ if [ "$full" = 1 ]; then
   ctest --preset default -j "$jobs" -L tier2
 fi
 
-echo "=== asan subset (transport/worker/cluster/fault/async/ingest/codec/dist) ==="
+echo "=== asan subset (transport/worker/cluster/fault/async/ingest/codec/dist/incremental) ==="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target transport_test worker_test cluster_test fault_injection_test \
   async_test async_equivalence_test codec_test ingest_equivalence_test \
-  dist_test
-ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Async|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable|Dist'
+  dist_test incremental_test incremental_equivalence_test
+ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Async|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable|Dist|Incremental'
 
-echo "=== tsan subset (obs, dist executor + replica RCU, async steal/token) ==="
+echo "=== tsan subset (obs, dist executor + replica RCU, async steal/token, incremental serve loop) ==="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target obs_test dist_test async_test
-ctest --preset tsan -j "$jobs" -R 'Obs|Dist|Async'
+cmake --build --preset tsan -j "$jobs" --target obs_test dist_test async_test \
+  incremental_test
+ctest --preset tsan -j "$jobs" -R 'Obs|Dist|Async|IncrementalServe'
 
 echo "=== ci green ==="

@@ -40,6 +40,7 @@
 #include "parowl/rdf/ntriples.hpp"
 #include "parowl/rdf/snapshot.hpp"
 #include "parowl/rdf/turtle.hpp"
+#include "parowl/reason/maintain.hpp"
 #include "parowl/reason/materialize.hpp"
 #include "parowl/util/table.hpp"
 #include "parowl/util/timer.hpp"
@@ -58,6 +59,10 @@ commands:
   load-bench <kb.nt|kb.ttl> [--max-threads N]   (parallel-ingest sweep)
   materialize <kb> [-o <file>] [--strategy forward|query] [--no-compile]
               [--rules <file>] [--threads N] [--no-dispatch] [--no-devirt]
+  update <kb> [--adds-file <nt>] [--deletes-file <nt>] [-o <file>]
+          [--strategy dred|fbf] [--threads N]
+          (incremental maintenance: retract/add against the asserted base,
+           delete-and-rederive the closure; kb is the *base*, not a closure)
   query <kb> <sparql> [--reason]
   query <kb> --queries-file <file> [--reason]   (one query per line)
   explain <kb> <s> <p> <o>       (terms as full IRIs; reasons, then proves)
@@ -72,7 +77,10 @@ commands:
   serve-bench <kb> [--reason] [--threads N] [--queue N] [--requests N]
           [--mode open|closed] [--rate QPS] [--clients N] [--think S]
           [--deadline S] [--no-cache] [--seed S] [--queries-file <file>]
-          [--update-batches N] [--update-size M]
+          [--update-batches N] [--update-size M] [--delete-ratio R]
+          [--strategy dred|fbf]
+          (R>0 turns the writer into a mixed stream: each batch deletes
+           R*M previously added triples and adds M new ones)
   serve-dist <kb> [--reason] --partitions N [--replicas R] [--policy ...]
           [--faults seed=S,drop=P,...] [serve-bench workload options]
           (sharded serving tier: scatter/gather over partition replicas)
@@ -140,6 +148,18 @@ bool save_kb(const std::string& path, const rdf::Dictionary& dict,
   return out.good();
 }
 
+/// Load a triple file (.nt/.ttl/.snap) into a vector, interning into the
+/// caller's dictionary — the add/delete batch loader for `update`.
+bool load_triples(const std::string& path, rdf::Dictionary& dict,
+                  std::vector<rdf::Triple>& out) {
+  rdf::TripleStore tmp;
+  if (!load_kb(path, dict, tmp)) {
+    return false;
+  }
+  out = tmp.triples();
+  return true;
+}
+
 /// Minimal flag scanner: --name value / --flag / -k value.
 class Args {
  public:
@@ -195,6 +215,7 @@ class Args {
                           "--threads", "--queue", "--requests", "--rate",
                           "--clients", "--think", "--deadline",
                           "--update-batches", "--update-size",
+                          "--delete-ratio", "--adds-file", "--deletes-file",
                           "--faults", "--checkpoint-dir", "--load-threads",
                           "--max-threads", "--partitions", "--replicas",
                           "--trace-out", "--metrics-out",
@@ -435,6 +456,80 @@ int cmd_materialize(const Args& args) {
   return 0;
 }
 
+/// Incremental maintenance from the command line: the KB file is the
+/// asserted base; the closure is materialized in memory, then one mixed
+/// add/delete batch is maintained through reason::Maintainer (DRed or FBF)
+/// instead of re-materializing from scratch.
+int cmd_update(const Args& args) {
+  const std::string path = args.positional(0);
+  rdf::Dictionary dict;
+  rdf::TripleStore store;
+  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
+    return path.empty() ? usage() : 1;
+  }
+  const std::string adds_path = args.option("--adds-file");
+  const std::string dels_path = args.option("--deletes-file");
+  if (adds_path.empty() && dels_path.empty()) {
+    std::cerr << "update: need --adds-file and/or --deletes-file\n";
+    return usage();
+  }
+  ontology::Vocabulary vocab(dict);
+  const auto threads =
+      static_cast<unsigned>(std::stoul(args.option("--threads", "1")));
+
+  // The loaded KB is the asserted base; compute the closure it maintains.
+  std::vector<rdf::Triple> base = store.triples();
+  reason::MaterializeOptions mo;
+  mo.threads = threads;
+  const reason::MaterializeResult mr =
+      reason::materialize(store, dict, vocab, mo);
+  std::cout << "closure: " << mr.base_triples << " base -> +" << mr.inferred
+            << " inferred\n";
+
+  std::vector<rdf::Triple> adds;
+  std::vector<rdf::Triple> dels;
+  if (!adds_path.empty() && !load_triples(adds_path, dict, adds)) {
+    return 1;
+  }
+  if (!dels_path.empty() && !load_triples(dels_path, dict, dels)) {
+    return 1;
+  }
+
+  reason::MaintainOptions opts;
+  opts.strategy = args.option("--strategy", "dred") == "fbf"
+                      ? reason::MaintainStrategy::kFbf
+                      : reason::MaintainStrategy::kDRed;
+  opts.threads = threads;
+  opts.obs = obs_options_from(args);
+  const reason::Maintainer maintainer(dict, vocab, opts);
+  const reason::MaintainResult r = maintainer.apply(store, base, adds, dels);
+  if (r.schema_changed) {
+    std::cerr << "update rejected: the batch touches schema triples — "
+                 "re-materialize instead\n";
+    return 1;
+  }
+  std::cout << "base: -" << r.base_deleted << " +" << r.base_added
+            << "\noverdelete: " << r.overdeleted << " condemned"
+            << (opts.strategy == reason::MaintainStrategy::kFbf
+                    ? " (" + std::to_string(r.kept_alive) + " kept alive)"
+                    : std::string())
+            << " in " << r.overdelete_iterations << " iterations, "
+            << util::format_seconds(r.overdelete_seconds)
+            << "\nrederive: " << r.rederived << " re-proven one-step, "
+            << r.inferred << " total new log entries in "
+            << r.rederive_iterations << " iterations, "
+            << util::format_seconds(r.rederive_seconds)
+            << "\nnet removed " << r.removed << "; closure now "
+            << store.size() << " triples ("
+            << util::format_seconds(r.total_seconds) << " total)\n";
+
+  const std::string out = args.option("-o");
+  if (!out.empty() && !save_kb(out, dict, store)) {
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_query(const Args& args) {
   const std::string path = args.positional(0);
   const std::string queries_file = args.option("--queries-file");
@@ -542,6 +637,9 @@ int cmd_serve_bench(const Args& args) {
   sopts.default_deadline_seconds = std::stod(args.option("--deadline", "0"));
   sopts.prefixes = {{"ub", std::string(gen::kUnivBenchNs)},
                     {"mdc", std::string(gen::kMdcNs)}};
+  sopts.maintain_strategy = args.option("--strategy", "dred") == "fbf"
+                                ? reason::MaintainStrategy::kFbf
+                                : reason::MaintainStrategy::kDRed;
   sopts.obs = obs_options_from(args);
   serve::QueryService service(dict, vocab, std::move(store), sopts);
 
@@ -557,11 +655,16 @@ int cmd_serve_bench(const Args& args) {
 
   const auto update_batches = std::stoul(args.option("--update-batches", "0"));
   const auto update_size = std::stoul(args.option("--update-size", "10"));
+  const double delete_ratio = std::stod(args.option("--delete-ratio", "0"));
 
   // Optional concurrent writer: periodic instance batches (new students
   // joining Department0), exercising invalidation under live traffic.
+  // With --delete-ratio > 0 each batch is mixed: it retracts a slice of the
+  // previously added students (incremental maintenance path) alongside the
+  // new additions.
   std::thread updater;
   std::atomic<bool> stop_updater{false};
+  std::atomic<std::uint64_t> deletes_applied{0};
   if (update_batches > 0) {
     updater = std::thread([&] {
       const auto type = dict.find_iri(
@@ -569,6 +672,9 @@ int cmd_serve_bench(const Args& args) {
       const auto grad = dict.find_iri(std::string(gen::kUnivBenchNs) +
                                       "GraduateStudent");
       std::size_t next_id = 0;
+      std::vector<rdf::Triple> live;  // added and not yet retracted
+      const auto deletes_per_batch = static_cast<std::size_t>(
+          delete_ratio * static_cast<double>(update_size));
       for (std::size_t b = 0; b < update_batches && !stop_updater; ++b) {
         std::vector<rdf::Triple> batch;
         service.with_dict_exclusive([&](rdf::Dictionary& d) {
@@ -580,7 +686,15 @@ int cmd_serve_bench(const Args& args) {
           }
           return 0;
         });
-        const serve::UpdateOutcome outcome = service.apply_update(batch);
+        std::vector<rdf::Triple> dels;
+        const std::size_t d = std::min(deletes_per_batch, live.size());
+        dels.assign(live.end() - static_cast<std::ptrdiff_t>(d), live.end());
+        live.resize(live.size() - d);
+        const serve::UpdateOutcome outcome =
+            dels.empty() ? service.apply_update(batch)
+                         : service.apply_update(batch, dels);
+        deletes_applied += outcome.maintain.base_deleted;
+        live.insert(live.end(), batch.begin(), batch.end());
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         if (outcome.result.schema_changed) {
           break;
@@ -605,6 +719,14 @@ int cmd_serve_bench(const Args& args) {
   report.print(std::cout);
   std::cout << "\n--- service stats ---\n";
   service.stats().print(std::cout);
+  if (delete_ratio > 0 && update_batches > 0) {
+    std::cout << "mixed stream: " << deletes_applied.load()
+              << " base triples retracted ("
+              << (sopts.maintain_strategy == reason::MaintainStrategy::kFbf
+                      ? "fbf"
+                      : "dred")
+              << ")\n";
+  }
   std::cout << "throughput " << util::fmt_double(report.throughput_qps(), 1)
             << " q/s\n";
   return 0;
@@ -958,6 +1080,9 @@ int main(int argc, char** argv) {
   }
   if (command == "materialize") {
     return cmd_materialize(args);
+  }
+  if (command == "update") {
+    return cmd_update(args);
   }
   if (command == "query") {
     return cmd_query(args);

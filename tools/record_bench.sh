@@ -12,6 +12,10 @@
 #   bench/BENCH_async.json — executor ablation (sync rounds vs the
 #     asynchronous token-ring executor, steal on/off, threaded) with
 #     measured wall-clock p50/p99 per configuration.
+#   bench/BENCH_incremental.json — incremental maintenance sweep: mixed
+#     add+delete batches through DRed and FBF vs additions-only
+#     incremental closure vs full re-materialization, batch sizes
+#     {1, 10, 100} students.
 # Usage: tools/record_bench.sh [extra benchmark args...]
 #
 # The baselines answer "did this PR make a hot path slower?" — compare a
@@ -25,7 +29,8 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
 cmake --preset default
 cmake --build --preset default -j "$jobs" --target micro_reason \
-  extension_ingest extension_distributed_serving ablation_async
+  extension_ingest extension_distributed_serving ablation_async \
+  extension_incremental
 
 build/bench/micro_reason \
   --benchmark_filter='BM_Closure' \
@@ -55,3 +60,10 @@ build/bench/ablation_async \
   "$@"
 
 echo "wrote bench/BENCH_async.json"
+
+build/bench/extension_incremental \
+  --benchmark_out=bench/BENCH_incremental.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote bench/BENCH_incremental.json"
