@@ -1,0 +1,172 @@
+// Equality-rewriting bench: naive sameAs materialization (rdfp6/7/11a/11b
+// expand every clique quadratically and duplicate payload member-by-member)
+// vs representative rewriting (the EqualityManager intercepts sameAs and
+// keeps the closure in representative space), swept over clique density and
+// matching threads on the clique-heavy hard-mode generator.
+//
+//   BM_CloseNaive/cliq:C/threads:T    — full naive closure
+//   BM_CloseRewrite/cliq:C/threads:T  — rewrite closure (same entailments,
+//     expanded on demand); counters report merges and the stored-triple
+//     ratio vs naive, which is where the speedup comes from
+//   BM_QueryNaive|BM_QueryRewrite/cliq:C — BGP evaluation of a fixed probe
+//     mix; the rewrite arm pays class-map expansion per answer row, the
+//     price of the smaller store
+//
+// tools/record_bench.sh regenerates bench/BENCH_sameas.json from this.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "parowl/gen/sameas.hpp"
+#include "parowl/query/equality_expand.hpp"
+#include "parowl/query/sparql_parser.hpp"
+#include "parowl/reason/equality.hpp"
+
+namespace {
+
+using namespace parowl;
+using namespace parowl::bench;
+
+/// One clique-density point, built once: the base store plus prebuilt naive
+/// and rewrite closures for the query arms and the size-ratio counters.
+struct EqUniverse {
+  rdf::Dictionary dict;
+  std::unique_ptr<ontology::Vocabulary> vocab;
+  rdf::TripleStore base;
+  rdf::TripleStore naive_closure;
+  rdf::TripleStore rewrite_closure;
+  reason::EqualityManager eq;
+  std::size_t merges = 0;
+  std::vector<query::SelectQuery> probes;
+
+  explicit EqUniverse(unsigned max_clique)
+      : vocab(std::make_unique<ontology::Vocabulary>(dict)) {
+    gen::SameAsOptions o;
+    o.individuals = 250 * scale_factor();
+    o.max_clique_size = max_clique;
+    gen::generate_sameas(o, dict, base);
+
+    naive_closure = base;
+    reason::materialize(naive_closure, dict, *vocab, {});
+
+    rewrite_closure = base;
+    reason::MaterializeOptions ropts;
+    ropts.equality_mode = reason::EqualityMode::kRewrite;
+    ropts.equality = &eq;
+    merges = reason::materialize(rewrite_closure, dict, *vocab, ropts)
+                 .eq_merges;
+
+    query::SparqlParser parser(dict);
+    parser.add_prefix("id", gen::kSameAsNs);
+    for (const char* text :
+         {"SELECT ?x ?y WHERE { ?x id:relatesTo0 ?y }",
+          "SELECT DISTINCT ?x WHERE { ?x id:relatesTo1 ?y }",
+          "SELECT ?y WHERE { id:Entity0_alias1 id:relatesTo0 ?y }",
+          "SELECT ?x ?z WHERE { ?x id:relatesTo0 ?y . "
+          "?y id:relatesTo1 ?z }"}) {
+      const auto q = parser.parse(text);
+      if (q) {
+        probes.push_back(*q);
+      }
+    }
+  }
+};
+
+EqUniverse& universe(unsigned max_clique) {
+  static std::map<unsigned, std::unique_ptr<EqUniverse>> cache;
+  auto& slot = cache[max_clique];
+  if (!slot) {
+    slot = std::make_unique<EqUniverse>(max_clique);
+  }
+  return *slot;
+}
+
+void BM_CloseNaive(benchmark::State& state) {
+  EqUniverse& fx = universe(static_cast<unsigned>(state.range(0)));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::TripleStore store = fx.base;
+    state.ResumeTiming();
+    reason::MaterializeOptions opts;
+    opts.threads = threads;
+    reason::materialize(store, fx.dict, *fx.vocab, opts);
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.counters["closure"] = static_cast<double>(fx.naive_closure.size());
+}
+
+void BM_CloseRewrite(benchmark::State& state) {
+  EqUniverse& fx = universe(static_cast<unsigned>(state.range(0)));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::TripleStore store = fx.base;
+    reason::EqualityManager eq;
+    state.ResumeTiming();
+    reason::MaterializeOptions opts;
+    opts.threads = threads;
+    opts.equality_mode = reason::EqualityMode::kRewrite;
+    opts.equality = &eq;
+    reason::materialize(store, fx.dict, *fx.vocab, opts);
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.counters["closure"] = static_cast<double>(fx.rewrite_closure.size());
+  state.counters["merges"] = static_cast<double>(fx.merges);
+  state.counters["naive_ratio"] =
+      static_cast<double>(fx.naive_closure.size()) /
+      static_cast<double>(fx.rewrite_closure.size());
+}
+
+void BM_QueryNaive(benchmark::State& state) {
+  EqUniverse& fx = universe(static_cast<unsigned>(state.range(0)));
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    rows = 0;
+    for (const query::SelectQuery& q : fx.probes) {
+      rows += query::evaluate(fx.naive_closure, q).size();
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_QueryRewrite(benchmark::State& state) {
+  EqUniverse& fx = universe(static_cast<unsigned>(state.range(0)));
+  const rdf::TermId same_as = fx.vocab->owl_same_as;
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    rows = 0;
+    for (const query::SelectQuery& q : fx.probes) {
+      rows += query::evaluate_with_equality(fx.rewrite_closure, q, fx.eq,
+                                            same_as)
+                  .results.size();
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void close_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"cliq", "threads"});
+  for (const long cliq : {3L, 6L, 10L}) {
+    for (const long threads : {1L, 4L}) {
+      b->Args({cliq, threads});
+    }
+  }
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_CloseNaive)->Apply(close_args);
+BENCHMARK(BM_CloseRewrite)->Apply(close_args);
+BENCHMARK(BM_QueryNaive)->ArgName("cliq")->Arg(3)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueryRewrite)->ArgName("cliq")->Arg(3)->Arg(6)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

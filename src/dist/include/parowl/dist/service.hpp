@@ -16,6 +16,7 @@
 #include "parowl/dist/shard_catalog.hpp"
 #include "parowl/obs/options.hpp"
 #include "parowl/query/sparql_parser.hpp"
+#include "parowl/reason/equality.hpp"
 #include "parowl/serve/executor.hpp"
 #include "parowl/serve/result_cache.hpp"
 #include "parowl/serve/service.hpp"
@@ -43,6 +44,14 @@ struct DistOptions {
 
   RouterOptions router;
 
+  /// Frozen equality class map when the closure was materialized under
+  /// sameAs rewriting (null = naive).  Queries are then rewritten into
+  /// representative space before routing and the merged rows are expanded
+  /// through the map before caching/answering.  `same_as` must be the
+  /// owl:sameAs TermId (for the rewrite-mode shape checks).
+  std::shared_ptr<const reason::EqualityManager> equality;
+  rdf::TermId same_as = rdf::kAnyTerm;
+
   obs::ObsOptions obs;
 };
 
@@ -53,6 +62,7 @@ struct DistStats {
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t parse_errors = 0;
   std::uint64_t unavailable = 0;  // kUnavailable: a partition never answered
+  std::uint64_t unsupported = 0;  // shape not answerable under rewriting
 
   std::uint32_t partitions = 0;
   std::uint32_t replicas = 0;
@@ -66,7 +76,8 @@ struct DistStats {
   serve::LatencyHistogram latency;
 
   [[nodiscard]] std::uint64_t total_requests() const {
-    return completed + shed + deadline_exceeded + parse_errors + unavailable;
+    return completed + shed + deadline_exceeded + parse_errors + unavailable +
+           unsupported;
   }
 
   void print(std::ostream& os) const;
@@ -171,6 +182,7 @@ class DistService {
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> parse_errors_{0};
   std::atomic<std::uint64_t> unavailable_{0};
+  std::atomic<std::uint64_t> unsupported_{0};
   std::atomic<std::uint64_t> scans_sent_{0};
   std::atomic<std::uint64_t> retransmissions_{0};
   std::atomic<std::uint64_t> failovers_{0};

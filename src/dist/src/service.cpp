@@ -6,6 +6,7 @@
 
 #include "parowl/obs/obs.hpp"
 #include "parowl/obs/trace.hpp"
+#include "parowl/query/equality_expand.hpp"
 #include "parowl/util/table.hpp"
 #include "parowl/util/timer.hpp"
 
@@ -19,6 +20,7 @@ obs::FieldList fields(const DistStats& s) {
       {"deadline_exceeded", s.deadline_exceeded},
       {"parse_errors", s.parse_errors},
       {"unavailable", s.unavailable},
+      {"unsupported", s.unsupported},
       {"partitions", s.partitions},
       {"replicas", s.replicas},
       {"scans_sent", s.scans_sent},
@@ -193,11 +195,32 @@ DistService::Response DistService::execute_locked(
     return response;
   }
 
+  // Rewrite mode: route the representative-space widened query (constants
+  // rewritten, every variable projected, DISTINCT/LIMIT deferred) and
+  // expand the merged rows afterwards — shards only hold canonical triples.
+  const reason::EqualityManager* eq = options_.equality.get();
+  query::SelectQuery routed;
+  if (eq != nullptr) {
+    std::string why;
+    std::optional<query::SelectQuery> rewritten =
+        query::rewrite_for_equality(*parsed, *eq, options_.same_as, &why);
+    if (!rewritten) {
+      response.status = serve::RequestStatus::kUnsupported;
+      response.error = std::move(why);
+      if (request_span) {
+        request_span->arg({"status", "unsupported"});
+      }
+      return response;
+    }
+    routed = std::move(*rewritten);
+  }
+
   const std::uint32_t request =
       request_ids_.fetch_add(1, std::memory_order_relaxed);
   RouteStats route;
   const QueryRouter::Outcome outcome =
-      router_.run(*parsed, request, &response.results, &route);
+      router_.run(eq != nullptr ? routed : *parsed, request,
+                  &response.results, &route);
   scans_sent_.fetch_add(route.scans_sent, std::memory_order_relaxed);
   retransmissions_.fetch_add(route.retransmissions,
                              std::memory_order_relaxed);
@@ -212,6 +235,12 @@ DistService::Response DistService::execute_locked(
       request_span->arg({"status", "unavailable"});
     }
     return response;
+  }
+
+  if (eq != nullptr) {
+    query::EqualityEvalResult expanded =
+        query::expand_equality_results(*parsed, response.results, *eq);
+    response.results = std::move(expanded.results);
   }
 
   serve::CachedResult entry;
@@ -264,6 +293,7 @@ DistStats DistService::stats() const {
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   s.unavailable = unavailable_.load(std::memory_order_relaxed);
+  s.unsupported = unsupported_.load(std::memory_order_relaxed);
   s.partitions = layout_.partitions;
   s.replicas = layout_.replicas;
   s.scans_sent = scans_sent_.load(std::memory_order_relaxed);
@@ -307,6 +337,9 @@ void DistService::count(const Response& response) {
       break;
     case serve::RequestStatus::kUnavailable:
       unavailable_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case serve::RequestStatus::kUnsupported:
+      unsupported_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
   latency_.record_seconds(response.latency_seconds);

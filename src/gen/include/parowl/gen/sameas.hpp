@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "parowl/gen/lubm.hpp"
+
+namespace parowl::gen {
+
+/// Namespace of the identity-resolution ontology.
+inline constexpr const char* kSameAsNs =
+    "http://parowl.dev/onto/identity.owl#";
+
+/// Parameters of the clique-heavy owl:sameAs workload generator.
+///
+/// The hard mode for equality reasoning: many entities that denote the same
+/// individual under several aliases.  Each logical individual is emitted as
+/// a clique of alias IRIs that the pD* rules must merge — mostly through
+/// inverse-functional key collisions (every alias carries the individual's
+/// registryKey literal, so rdfp2 derives the sameAs edges), optionally
+/// through directly asserted sameAs chains.  Every alias also carries
+/// payload triples, so the naive closure pays the full clique-size^2 sameAs
+/// clique *and* the member-by-member duplication of every payload fact
+/// (rdfp11a/11b), while the rewrite collapses each clique onto one
+/// representative.
+struct SameAsOptions {
+  /// Logical individuals, each expanded into one alias clique.
+  std::uint32_t individuals = 200;
+
+  /// Alias clique size is drawn per individual from
+  /// [min_clique_size, max_clique_size]; `clique_size_shape` skews the draw
+  /// (1 = uniform, > 1 biases small cliques, < 1 biases large ones).
+  std::uint32_t min_clique_size = 2;
+  std::uint32_t max_clique_size = 6;
+  double clique_size_shape = 1.0;
+
+  /// Fraction of individuals whose aliases are linked by an asserted
+  /// sameAs chain *instead of* a shared inverse-functional key — exercises
+  /// the engine's asserted-edge interception next to the rdfp2 derivations.
+  double asserted_chain_fraction = 0.25;
+
+  /// Outbound payload triples per alias (alias --relatesTo_k--> some other
+  /// individual's alias); inbound references are implied by symmetry of the
+  /// drawing.  Payload predicates rotate over `payload_predicates`.
+  std::uint32_t payload_per_alias = 3;
+  std::uint32_t payload_predicates = 4;
+
+  /// Emit a displayName literal per alias (same value across one clique),
+  /// attached via an owl:FunctionalProperty so rdfp1 also fires.
+  bool include_literals = true;
+
+  std::uint64_t seed = 1234;
+};
+
+/// Emit the identity ontology (schema only): the inverse-functional
+/// registryKey, the functional displayName, and the payload predicates.
+GenStats generate_sameas_ontology(const SameAsOptions& options,
+                                  rdf::Dictionary& dict,
+                                  rdf::TripleStore& store);
+
+/// Emit ontology + the alias-clique instance data.
+GenStats generate_sameas(const SameAsOptions& options, rdf::Dictionary& dict,
+                         rdf::TripleStore& store);
+
+}  // namespace parowl::gen

@@ -1,0 +1,137 @@
+#include "parowl/gen/sameas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "parowl/ontology/vocabulary.hpp"
+#include "parowl/util/rng.hpp"
+
+namespace parowl::gen {
+namespace {
+
+std::string alias_iri(std::uint32_t individual, std::uint32_t alias) {
+  return std::string(kSameAsNs) + "Entity" + std::to_string(individual) +
+         "_alias" + std::to_string(alias);
+}
+
+}  // namespace
+
+GenStats generate_sameas_ontology(const SameAsOptions& options,
+                                  rdf::Dictionary& dict,
+                                  rdf::TripleStore& store) {
+  GenStats stats;
+  ontology::Vocabulary v(dict);
+  const auto schema = [&](rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    stats.schema_triples += store.insert({s, p, o}) ? 1 : 0;
+  };
+  const auto ns = [&](const char* local) {
+    return dict.intern_iri(std::string(kSameAsNs) + local);
+  };
+
+  // The identity machinery: every alias of one individual carries the same
+  // registryKey literal, so rdfp2 derives the clique's sameAs edges.  The
+  // functional profileDoc points at an IRI from one alias and at a literal
+  // from another, so rdfp1 also derives resource-to-literal equalities
+  // (the attach-literal path of the rewrite).
+  schema(ns("registryKey"), v.rdf_type, v.owl_inverse_functional_property);
+  schema(ns("profileDoc"), v.rdf_type, v.owl_functional_property);
+  schema(ns("displayName"), v.rdf_type, v.owl_datatype_property);
+  for (std::uint32_t p = 0; p < options.payload_predicates; ++p) {
+    schema(ns(("relatesTo" + std::to_string(p)).c_str()), v.rdf_type,
+           v.owl_object_property);
+  }
+  schema(ns("Entity"), v.rdf_type, v.owl_class);
+  return stats;
+}
+
+GenStats generate_sameas(const SameAsOptions& options, rdf::Dictionary& dict,
+                         rdf::TripleStore& store) {
+  GenStats stats = generate_sameas_ontology(options, dict, store);
+  ontology::Vocabulary v(dict);
+  util::Rng rng(options.seed);
+
+  const auto ns = [&](const std::string& local) {
+    return dict.intern_iri(std::string(kSameAsNs) + local);
+  };
+  const auto instance = [&](rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+    stats.instance_triples += store.insert({s, p, o}) ? 1 : 0;
+  };
+
+  const rdf::TermId entity_cls = ns("Entity");
+  const rdf::TermId registry_key = ns("registryKey");
+  const rdf::TermId profile_doc = ns("profileDoc");
+  const rdf::TermId display_name = ns("displayName");
+  std::vector<rdf::TermId> payload;
+  payload.reserve(options.payload_predicates);
+  for (std::uint32_t p = 0; p < options.payload_predicates; ++p) {
+    payload.push_back(ns("relatesTo" + std::to_string(p)));
+  }
+
+  const std::uint32_t min_size = std::max<std::uint32_t>(
+      1, std::min(options.min_clique_size, options.max_clique_size));
+  const std::uint32_t max_size =
+      std::max(options.max_clique_size, min_size);
+
+  // Draw every clique first so payload targets can point at any alias.
+  std::vector<std::uint32_t> clique_size(options.individuals);
+  std::vector<std::vector<rdf::TermId>> aliases(options.individuals);
+  for (std::uint32_t i = 0; i < options.individuals; ++i) {
+    const double u =
+        std::pow(rng.uniform(), std::max(options.clique_size_shape, 1e-6));
+    const auto span = static_cast<double>(max_size - min_size + 1);
+    clique_size[i] =
+        min_size + static_cast<std::uint32_t>(std::min(
+                       span - 1.0, std::floor(u * span)));
+    aliases[i].reserve(clique_size[i]);
+    for (std::uint32_t a = 0; a < clique_size[i]; ++a) {
+      aliases[i].push_back(dict.intern_iri(alias_iri(i, a)));
+    }
+    stats.entities += clique_size[i];
+  }
+
+  for (std::uint32_t i = 0; i < options.individuals; ++i) {
+    const std::vector<rdf::TermId>& clique = aliases[i];
+    const bool chained = rng.chance(options.asserted_chain_fraction);
+    const rdf::TermId key = dict.intern_literal(
+        "\"key-" + std::to_string(i) + "\"");
+    for (std::uint32_t a = 0; a < clique.size(); ++a) {
+      instance(clique[a], v.rdf_type, entity_cls);
+      if (chained) {
+        // Asserted chain: alias_a sameAs alias_{a+1}; interception (or
+        // rdfp6/7 in naive mode) closes the clique.
+        if (a + 1 < clique.size()) {
+          instance(clique[a], v.owl_same_as, clique[a + 1]);
+        }
+      } else {
+        // Shared inverse-functional key: rdfp2 derives the clique.
+        instance(clique[a], registry_key, key);
+      }
+      if (options.include_literals) {
+        instance(clique[a], display_name,
+                 dict.intern_literal("\"Entity " + std::to_string(i) + "\""));
+      }
+      for (std::uint32_t k = 0; k < options.payload_per_alias; ++k) {
+        const auto j = static_cast<std::uint32_t>(
+            rng.below(options.individuals));
+        const std::vector<rdf::TermId>& target = aliases[j];
+        instance(clique[a], payload[(a + k) % payload.size()],
+                 target[rng.below(target.size())]);
+      }
+    }
+    if (options.include_literals && clique.size() >= 2) {
+      // Mixed-object functional property: one alias points profileDoc at an
+      // IRI, another at a literal.  Once the aliases merge, rdfp1 derives
+      // (doc IRI) sameAs (doc literal) — the literal-partner case.
+      instance(clique[0], profile_doc,
+               ns("doc/Entity" + std::to_string(i)));
+      instance(clique[1], profile_doc,
+               dict.intern_literal("\"doc://entity-" + std::to_string(i) +
+                                   "\""));
+    }
+  }
+  return stats;
+}
+
+}  // namespace parowl::gen

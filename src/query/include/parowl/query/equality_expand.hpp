@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+
+#include "parowl/query/bgp.hpp"
+#include "parowl/reason/equality.hpp"
+
+namespace parowl::query {
+
+/// Outcome of evaluating a query against a rewrite-mode (representative
+/// space) store.  When `unsupported` is set the query shape cannot be
+/// answered through the class map (see evaluate_with_equality) and
+/// `results` is empty; callers fall back to a naive-mode store or report
+/// `message` to the client.
+struct EqualityEvalResult {
+  ResultSet results;
+  bool unsupported = false;
+  std::string message;
+  reason::ExpandStats stats;
+};
+
+/// Evaluate `query` over a store materialized under equality rewriting,
+/// expanding answers through the frozen class map so the result is exactly
+/// what evaluating over the naive closure would produce:
+///
+///  * constant subjects/objects are rewritten to their representative
+///    before matching (predicates are never rewritten — pD* does not
+///    propagate equality into predicate position);
+///  * each solution's variables fan out over their class: subject-position
+///    variables over resource members, object-only variables over resource
+///    members plus literal partners, predicate-position variables not at
+///    all;
+///  * DISTINCT is applied to the expanded rows (it commutes with
+///    expansion); LIMIT is applied after expansion.  Non-projected
+///    variables are expanded too, so duplicate multiplicities match the
+///    naive closure; under DISTINCT their expansion is skipped
+///    (multiplicity is dropped anyway).
+///
+/// Unsupported shapes (rejected, never silently wrong):
+///  * an atom whose predicate is owl:sameAs — the rewritten store holds no
+///    sameAs triples and regenerating the clique inside a join is a
+///    different query plan, out of scope;
+///  * a variable used in predicate position AND in subject/object position
+///    — members of a class used as a predicate cannot be recovered from
+///    representative space (the eq_conflicts caveat);
+///  * a constant object that is an attached literal partner — canonical
+///    triples carry the class representative, not the literal.
+[[nodiscard]] EqualityEvalResult evaluate_with_equality(
+    const rdf::TripleStore& store, const SelectQuery& query,
+    const reason::EqualityManager& eq, rdf::TermId same_as);
+
+/// The split form of evaluate_with_equality, for callers whose matching
+/// runs elsewhere (the distributed router): rewrite_for_equality runs the
+/// same shape checks and constant rewriting, but returns a *widened* query
+/// — every variable projected, DISTINCT and LIMIT stripped — because both
+/// must apply to expanded rows, not representative-space rows, and
+/// expansion needs the non-projected columns for exact multiplicities.
+/// Returns nullopt (with `*message` set) for the unsupported shapes above.
+[[nodiscard]] std::optional<SelectQuery> rewrite_for_equality(
+    const SelectQuery& query, const reason::EqualityManager& eq,
+    rdf::TermId same_as, std::string* message);
+
+/// Expand the full-width representative-space rows the widened query
+/// produced and re-apply `original`'s projection, DISTINCT, and LIMIT.
+/// `rep_rows` must have one column per variable of `original`, in variable
+/// order (what evaluating rewrite_for_equality's result yields).
+[[nodiscard]] EqualityEvalResult expand_equality_results(
+    const SelectQuery& original, const ResultSet& rep_rows,
+    const reason::EqualityManager& eq);
+
+}  // namespace parowl::query

@@ -2,12 +2,35 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "parowl/obs/report.hpp"
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/triple_store.hpp"
 
 namespace parowl::rdf {
+
+/// Serializable equality class map, persisted as the snapshot v3 trailer
+/// alongside a rewrite-mode closure.  This is the wire form of
+/// reason::EqualityManager (which lives above this layer); rdf only knows
+/// how to encode/decode it with the codec primitives.
+struct EqualityClassMap {
+  /// (member, representative) for every tracked resource, sorted by member.
+  std::vector<std::pair<TermId, TermId>> members;
+  /// (representative, literal partner), sorted, deduplicated.
+  std::vector<std::pair<TermId, TermId>> literals;
+  /// Resources with an explicit reflexive sameAs edge, sorted.
+  std::vector<TermId> self_terms;
+  /// Asserted literal-subject sameAs triples, replayed verbatim at
+  /// expansion (the store itself holds only canonical triples).
+  std::vector<Triple> raw_edges;
+
+  [[nodiscard]] bool empty() const {
+    return members.empty() && literals.empty() && self_terms.empty() &&
+           raw_edges.empty();
+  }
+};
 
 /// Binary knowledge-base snapshot: the dictionary (kinds + lexical forms)
 /// followed by the triple log.  The point of a materialized KB is to
@@ -24,6 +47,15 @@ namespace parowl::rdf {
 /// Every byte after the magic is covered by a checksum (term digest or
 /// block checksum), so corruption anywhere fails the load.  Version 1
 /// (fixed-width records) is no longer readable.
+///
+/// Version 3 appends the equality class map of a rewrite-mode closure
+/// (EqualityClassMap): varint-counted sections of member/representative
+/// pairs (member ids delta-encoded), literal-partner pairs, self terms,
+/// and raw edges, followed by a u64 digest over the whole trailer.
+/// Snapshots without a class map are always written as v2 — byte-identical
+/// to previous releases — and a v3 snapshot refuses to load through the
+/// map-unaware entry point (silently dropping the map would change query
+/// answers).
 struct SnapshotStats {
   std::size_t terms = 0;
   std::size_t triples = 0;
@@ -38,9 +70,22 @@ struct SnapshotStats {
 SnapshotStats save_snapshot(std::ostream& out, const Dictionary& dict,
                             const TripleStore& store);
 
+/// Write `dict` + `store` + the equality class map.  Writes v3 when
+/// `equality` is non-null and non-empty, byte-identical v2 otherwise.
+SnapshotStats save_snapshot(std::ostream& out, const Dictionary& dict,
+                            const TripleStore& store,
+                            const EqualityClassMap* equality);
+
 /// Read a snapshot into `dict`/`store` (both must be empty).  Returns
-/// false and sets *error on malformed input.
+/// false and sets *error on malformed input.  Rejects v3 snapshots (their
+/// answers are only correct expanded through the class map); use the
+/// overload below for those.
 bool load_snapshot(std::istream& in, Dictionary& dict, TripleStore& store,
                    std::string* error = nullptr);
+
+/// Read a v2 or v3 snapshot; on v3 the class map lands in `equality`
+/// (cleared first; empty after a v2 load).
+bool load_snapshot(std::istream& in, Dictionary& dict, TripleStore& store,
+                   EqualityClassMap& equality, std::string* error = nullptr);
 
 }  // namespace parowl::rdf

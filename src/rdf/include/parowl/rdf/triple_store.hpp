@@ -206,6 +206,15 @@ class TripleStore {
   /// Count matches without materializing them.
   [[nodiscard]] std::size_t count(const TriplePattern& pattern) const;
 
+  /// Number of lazy endpoint-index (re)builds this store has performed.
+  /// Monotone across clear() — the forward engine's rewrite mode rebuilds
+  /// the store mid-run and asserts the delta over a whole run stays zero
+  /// (nothing should probe with an unbound predicate in representative
+  /// space), so clearing the log must not reset the evidence.
+  [[nodiscard]] std::size_t endpoint_index_builds() const {
+    return endpoint_builds_.load(std::memory_order_relaxed);
+  }
+
   /// Remove everything (used when a worker rebuilds its base partition).
   void clear();
 
@@ -253,15 +262,20 @@ class TripleStore {
   std::deque<PredicateIndex> predicate_arena_;
   std::vector<TermId> predicates_;
   // Log indices per subject / per object, for queries with an unbound
-  // predicate ((s ? ?), (? ? o)) which the backward engine and the generic
-  // sameAs rules issue.  Built lazily, on first such probe, so the insert
-  // hot path never pays for them; `mutable` because the rebuild happens
-  // under const accessors.
+  // predicate ((s ? ?), (? ? o)).  Only two families of callers probe this
+  // way: the backward engine, and the naive sameAs rules (rdfp6/7/11a/11b
+  // pivot on wildcard predicates).  Under equality_mode = rewrite those
+  // rules are dropped and forward closure must never touch these postings —
+  // ForwardStats::endpoint_index_builds counts builds so tests can pin
+  // that.  Built lazily, on first such probe, so the insert hot path never
+  // pays for them; `mutable` because the rebuild happens under const
+  // accessors.
   mutable IdMap<std::uint32_t> subject_slot_;
   mutable IdMap<std::uint32_t> object_slot_;
   mutable std::deque<SmallIdList> subject_postings_;
   mutable std::deque<SmallIdList> object_postings_;
   mutable std::atomic<std::size_t> endpoint_built_{0};
+  mutable std::atomic<std::size_t> endpoint_builds_{0};
   mutable std::mutex endpoint_mu_;
 };
 

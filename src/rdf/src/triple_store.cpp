@@ -26,6 +26,9 @@ TripleStore& TripleStore::operator=(const TripleStore& other) {
   object_postings_ = other.object_postings_;
   endpoint_built_.store(other.endpoint_built_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
+  endpoint_builds_.store(
+      other.endpoint_builds_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   return *this;
 }
 
@@ -48,6 +51,9 @@ TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
   object_postings_ = std::move(other.object_postings_);
   endpoint_built_.store(other.endpoint_built_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
+  endpoint_builds_.store(
+      other.endpoint_builds_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   other.clear();
   return *this;
 }
@@ -55,6 +61,9 @@ TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
 void TripleStore::build_endpoint_tail() const {
   std::scoped_lock lock(endpoint_mu_);
   std::size_t i = endpoint_built_.load(std::memory_order_relaxed);
+  if (i < log_.size()) {
+    endpoint_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
   for (; i < log_.size(); ++i) {
     const Triple& t = log_[i];
     const auto log_index = static_cast<std::uint32_t>(i);

@@ -1,0 +1,204 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "parowl/obs/report.hpp"
+#include "parowl/rdf/flat_index.hpp"
+#include "parowl/rdf/snapshot.hpp"
+#include "parowl/rdf/triple_store.hpp"
+
+namespace parowl::reason {
+
+/// Union-find over equality classes of resources, plus the two asymmetric
+/// side channels the pD* sameAs semantics need (literal partners and
+/// explicit self edges).  This is the class map behind `equality_mode =
+/// rewrite` (Motik et al., "Handling owl:sameAs via Rewriting"): the
+/// forward engine intercepts every derived or asserted owl:sameAs triple,
+/// merges the two classes here instead of materializing the quadratic
+/// clique, and rewrites subject/object positions of the store through each
+/// class's canonical representative.
+///
+/// Determinism: classes are merged union-by-min, so the representative of
+/// a class is always its smallest member TermId — a property of the final
+/// partition, independent of merge order.  Since the sharded engine feeds
+/// merges in a thread-count-independent order anyway, and this makes even
+/// reordered merges converge to the same map, rewrite-mode closures are
+/// bit-identical for every thread count.
+///
+/// Literals are never unioned.  pD* propagation is asymmetric around
+/// literals (rdfp6/7/11a's heads die on the literal-subject guard), so a
+/// derived (a sameAs "v") attaches "v" to a's class as a directed literal
+/// partner: object positions expand to it, subject positions never do, and
+/// two resources that share only a literal partner stay in distinct
+/// classes — exactly what the naive closure computes.
+///
+/// Concurrency: mutation (merge/attach/note) is single-threaded — the
+/// engine only touches the map at its round barrier.  After `freeze()` the
+/// map is immutable and safe for concurrent readers (query-time expansion
+/// in serve/dist).
+class EqualityManager {
+ public:
+  /// Canonical representative of `id`'s class (the smallest resource member
+  /// once frozen; during merging, the current root).  Terms that never
+  /// appeared in a sameAs triple — and all literals — map to themselves.
+  [[nodiscard]] rdf::TermId find(rdf::TermId id) const {
+    const rdf::TermId* p = parent_.find(id);
+    while (p != nullptr && *p != id) {
+      id = *p;
+      p = parent_.find(id);
+    }
+    return id;
+  }
+
+  /// Rewrite subject and object through representatives.  The predicate is
+  /// left untouched: pD* never propagates equality into predicate position
+  /// (rdfp11a/b rewrite subjects and objects only), so canonical triples
+  /// keep their original predicate and expansion never invents one.
+  [[nodiscard]] rdf::Triple rewrite(const rdf::Triple& t) const {
+    return {find(t.s), t.p, find(t.o)};
+  }
+
+  /// Merge the classes of two resources; returns true if they were
+  /// previously distinct.  Merging a term with itself records nothing
+  /// beyond tracking it (see note_self for the explicit a sameAs a edge).
+  bool merge(rdf::TermId a, rdf::TermId b);
+
+  /// Record a directed literal partner: (resource sameAs lit) was derived
+  /// or asserted, so object positions of the class expand to `lit`.
+  /// Returns true iff the edge was new.
+  bool attach_literal(rdf::TermId resource, rdf::TermId lit);
+
+  /// Record an explicit (a sameAs a) edge.  A singleton class only yields
+  /// the reflexive pair at expansion time when one was actually derived —
+  /// the naive closure has no blanket reflexivity.  Returns true iff new.
+  bool note_self(rdf::TermId resource);
+
+  /// Record an asserted literal-subject sameAs triple verbatim.  The naive
+  /// closure keeps asserted triples regardless of the literal guard, so
+  /// expansion must replay these; they also imply the mirrored resource
+  /// edge (rdfp6) and a self edge (rdfp7), which the caller records via
+  /// attach_literal + note_self.  Returns true iff new.
+  bool keep_raw(const rdf::Triple& t) {
+    if (!raw_set_.insert(t)) {
+      return false;
+    }
+    raw_edges_.push_back(t);
+    return true;
+  }
+
+  /// True iff `id` has appeared in any intercepted sameAs triple.
+  [[nodiscard]] bool tracked(rdf::TermId id) const {
+    return parent_.find(id) != nullptr;
+  }
+
+  /// True iff `lit` is attached to some class as a literal partner.  A
+  /// query with such a literal as a constant object cannot be answered in
+  /// representative space (the canonical triples carry the class rep, not
+  /// the literal) — the query layer rejects it.
+  [[nodiscard]] bool literal_partner(rdf::TermId lit) const {
+    return partner_set_.find(lit) != nullptr;
+  }
+
+  [[nodiscard]] std::size_t merges() const { return merges_; }
+  [[nodiscard]] bool empty() const {
+    return tracked_.empty() && attach_edges_.empty() && raw_edges_.empty();
+  }
+
+  /// One frozen equality class: sorted resource members (>= 1), sorted
+  /// deduplicated literal partners, and whether the reflexive sameAs pairs
+  /// exist (always for classes with >= 2 resources; for singletons only
+  /// with an explicit self edge).
+  struct Class {
+    rdf::TermId rep = rdf::kAnyTerm;
+    std::vector<rdf::TermId> members;   // resources, ascending; rep first
+    std::vector<rdf::TermId> literals;  // attached literal partners, ascending
+    bool self = false;
+  };
+
+  /// Compact the forest and build per-class member lists.  Idempotent;
+  /// callable again after further merges.  Must be called before any of
+  /// the accessors below, and before publishing the map to concurrent
+  /// readers.
+  void freeze();
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  /// Frozen classes in ascending representative order.
+  [[nodiscard]] std::span<const Class> classes() const { return classes_; }
+
+  /// Frozen class of `rep` (a representative), or nullptr for untracked /
+  /// non-representative ids.
+  [[nodiscard]] const Class* class_of(rdf::TermId rep) const {
+    const std::uint32_t* slot = class_slot_.find(rep);
+    return slot != nullptr ? &classes_[*slot - 1] : nullptr;
+  }
+
+  /// Members substitutable for `rep` in SUBJECT position: the class's
+  /// resource members ({rep} when untracked).
+  [[nodiscard]] std::span<const rdf::TermId> subject_members(
+      rdf::TermId rep) const;
+
+  /// Members substitutable for `rep` in OBJECT position: resource members
+  /// followed by attached literal partners ({rep} when untracked).  The
+  /// combined list is prebuilt at freeze so this is allocation-free.
+  [[nodiscard]] std::span<const rdf::TermId> object_members(
+      rdf::TermId rep) const;
+
+  /// Asserted literal-subject sameAs triples, replayed at expansion.
+  [[nodiscard]] std::span<const rdf::Triple> raw_edges() const {
+    return raw_edges_;
+  }
+
+  /// Serializable state (rdf/snapshot.hpp persists it as the snapshot v3
+  /// trailer).  Requires freeze().
+  [[nodiscard]] rdf::EqualityClassMap export_map() const;
+  /// Rebuild (and freeze) a manager from persisted state.
+  [[nodiscard]] static EqualityManager import_map(
+      const rdf::EqualityClassMap& map);
+
+ private:
+  rdf::TermId root_compress(rdf::TermId id);
+  rdf::TermId& track(rdf::TermId id);
+
+  rdf::IdMap<rdf::TermId> parent_;
+  std::vector<rdf::TermId> tracked_;  // first-touch order; sorted at freeze
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> attach_edges_;
+  rdf::TripleSet attach_set_;  // (resource, lit, lit) — dedup of the above
+  rdf::IdMap<std::uint8_t> partner_set_;  // literals attached to any class
+  std::vector<rdf::TermId> self_edges_;
+  rdf::IdMap<std::uint8_t> self_set_;
+  std::vector<rdf::Triple> raw_edges_;
+  rdf::TripleSet raw_set_;
+  std::size_t merges_ = 0;
+
+  bool frozen_ = false;
+  rdf::IdMap<std::uint32_t> class_slot_;  // rep -> classes_ index + 1
+  std::vector<Class> classes_;
+  std::vector<std::vector<rdf::TermId>> object_lists_;  // members + literals
+};
+
+/// Expand a rewrite-mode closure back into the naive closure's triple set:
+/// subject positions fan out over resource members, object positions over
+/// resource members plus literal partners, and the sameAs clique triples
+/// (all resource-subject ordered pairs, reflexive pairs per Class::self,
+/// literal-partner edges, raw asserted edges) are regenerated.  Returns the
+/// expanded set sorted ascending — the canonical form the equivalence suite
+/// compares against a sorted naive closure.  `eq` must be frozen.
+[[nodiscard]] std::vector<rdf::Triple> expand_closure(
+    const rdf::TripleStore& store, const EqualityManager& eq,
+    rdf::TermId same_as);
+
+/// Expansion statistics (obs: reason.eq.expand).
+struct ExpandStats {
+  std::size_t rows_in = 0;
+  std::size_t rows_out = 0;
+  double seconds = 0.0;
+};
+
+[[nodiscard]] obs::FieldList fields(const ExpandStats& s);
+
+}  // namespace parowl::reason

@@ -10,9 +10,22 @@
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/flat_index.hpp"
 #include "parowl/rdf/triple_store.hpp"
+#include "parowl/reason/equality.hpp"
 #include "parowl/rules/rule.hpp"
 
 namespace parowl::reason {
+
+/// How the closure treats owl:sameAs.
+enum class EqualityMode {
+  /// Materialize equality through the pD* rules (rdfp6/7/11a/11b): an
+  /// n-member clique costs O(n^2) sameAs triples and replicates every
+  /// statement across all members.
+  kNaive,
+  /// Intercept sameAs triples into an EqualityManager, keep the store in
+  /// representative space, and expand answers through the class map at
+  /// query time (Motik et al., "Handling owl:sameAs via Rewriting").
+  kRewrite,
+};
 
 /// Options for the forward-chaining engine.
 struct ForwardOptions {
@@ -50,6 +63,19 @@ struct ForwardOptions {
   /// every layer's Options embeds this by value; drivers pass it to
   /// obs::configure at entry.
   obs::ObsOptions obs;
+
+  /// Equality rewriting (active when mode is kRewrite AND `equality` is
+  /// set AND `same_as` names the owl:sameAs term AND `dict` is set — the
+  /// interceptor needs the literal test).  The engine merges intercepted
+  /// sameAs triples into `equality`, keeps the store in representative
+  /// space (rebuilding it through the dispatch index whenever a merge
+  /// remaps existing triples), and freezes the map when the run finishes.
+  /// The rule set should be built with include_same_as_propagation = false;
+  /// rdfp6/7/11a/11b can never fire on a store that holds no sameAs
+  /// triples, and dropping them removes every wildcard-predicate pivot.
+  EqualityMode equality_mode = EqualityMode::kNaive;
+  EqualityManager* equality = nullptr;
+  rdf::TermId same_as = rdf::kAnyTerm;
 };
 
 /// Evaluation statistics.
@@ -61,6 +87,21 @@ struct ForwardStats {
   /// within one iteration count once (for the first deriving rule in
   /// frontier order), so the per-rule sum always equals `derived`.
   std::vector<std::size_t> firings_per_rule;
+
+  // Equality-rewriting breakdown (all zero in naive mode).
+  std::size_t eq_intercepted = 0;  // sameAs triples kept out of the store
+  std::size_t eq_merges = 0;       // class unions performed
+  std::size_t eq_remapped = 0;     // existing triples rewritten by a merge
+  std::size_t eq_rebuilds = 0;     // store rebuilds triggered by merges
+  /// Interceptions touching terms the rewrite cannot treat as plain
+  /// individuals (rule constants, predicates in use, owl:sameAs itself).
+  /// Nonzero means the dataset equates schema-level terms and the rewrite
+  /// closure is not guaranteed equivalent to the naive one — re-run naive.
+  std::size_t eq_conflicts = 0;
+  /// Endpoint-index builds the store performed during this run.  The lazy
+  /// subject/object index only serves wildcard-predicate probes (the naive
+  /// sameAs family); rewrite-mode runs must keep this at zero.
+  std::size_t endpoint_index_builds = 0;
 };
 
 /// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
@@ -159,6 +200,22 @@ class ForwardEngine {
   void join(std::size_t rule_index, unsigned done_mask,
             rules::Binding& binding, Shard& shard);
 
+  /// True iff this run rewrites equality (mode, manager, sameAs id, dict).
+  [[nodiscard]] bool rewrite_active() const;
+
+  /// Fold one sameAs triple (already in representative space) into the
+  /// class map instead of the store.  Returns true iff the map changed —
+  /// the signal that existing triples may need remapping.
+  bool intercept_same_as(const rdf::Triple& t, ForwardStats& stats);
+
+  /// Rebuild the store through the class map: unchanged survivors from
+  /// [0, keep_end) keep their log order as the prefix; remapped survivors
+  /// and everything at/after keep_end are reinserted (deduplicated) at the
+  /// tail, and sameAs triples are dropped.  Returns the prefix length —
+  /// the next frontier begin, so every remapped triple re-derives through
+  /// the dispatch index.
+  std::size_t rewrite_store(std::size_t keep_end, ForwardStats& stats);
+
   rdf::TripleStore& store_;
   const rules::RuleSet& rules_;
   ForwardOptions options_;
@@ -170,6 +227,12 @@ class ForwardEngine {
   std::vector<Bucket> pivot_buckets_;
   std::vector<PivotRef> wildcard_pivots_;
   std::vector<PivotRef> all_pivots_;
+
+  /// Constant term ids appearing anywhere in the rule set (rewrite mode
+  /// only).  Merging one of these — a folded schema constant, a vocabulary
+  /// term — cannot be expressed by individual-level rewriting; such
+  /// interceptions bump ForwardStats::eq_conflicts.
+  rdf::IdMap<std::uint8_t> rule_constants_;
 };
 
 /// Convenience: run `rules` on `store` to fixpoint and return stats.

@@ -42,11 +42,31 @@ struct MaintainOptions {
 
   /// Observability sinks/sampling (docs/architecture.md "Observability").
   obs::ObsOptions obs;
+
+  /// Equality handling of the store being maintained.  Under kRewrite the
+  /// caller supplies the EqualityManager holding the closure's class map;
+  /// the maintainer then refuses batches that would invalidate the map (see
+  /// MaintainResult::equality_rejected) and closes additions in
+  /// representative space.
+  EqualityMode equality_mode = EqualityMode::kNaive;
+  EqualityManager* equality = nullptr;
 };
 
 /// What one mixed add/delete batch did to the closure.
 struct MaintainResult {
   bool schema_changed = false;  // rejected: batch touches schema triples
+
+  /// Rejected (whole batch, store untouched): under equality rewriting the
+  /// class map is monotone — merges cannot be unwound incrementally, since
+  /// every rewritten triple in the store has lost the information of which
+  /// member it was originally stated about.  A batch is refused when it
+  /// (a) deletes an owl:sameAs triple, (b) deletes or mixes additions of
+  /// sameAs with deletions, (c) deletes a triple whose endpoint belongs to
+  /// an equality class (the raw-space fact cannot be located in the
+  /// rewritten store), or (d) its overdelete cone reaches an owl:sameAs
+  /// derivation (the deletion undermines a merge).  Callers re-materialize
+  /// from scratch instead.
+  bool equality_rejected = false;
 
   std::size_t base_deleted = 0;  // asserted triples actually retracted
   std::size_t base_added = 0;    // asserted triples actually added

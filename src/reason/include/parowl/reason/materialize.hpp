@@ -51,16 +51,32 @@ struct MaterializeOptions {
   /// Observability sinks/sampling, forwarded to the ForwardOptions the
   /// materializer builds.
   obs::ObsOptions obs;
+
+  /// Equality handling (kForward strategy only; the query-driven path
+  /// always materializes naively).  Under kRewrite the caller supplies the
+  /// EqualityManager that will hold the class map: the materializer drops
+  /// the sameAs propagation rules (rdfp6/7/11a/11b), wires the forward
+  /// engine's interceptor, and leaves the store in representative space
+  /// with `equality` frozen.  Answers must then be expanded through the
+  /// class map (expand_closure, or the query layer's expansion).
+  EqualityMode equality_mode = EqualityMode::kNaive;
+  EqualityManager* equality = nullptr;
 };
 
 struct MaterializeResult {
   std::size_t base_triples = 0;      // store size before reasoning
   std::size_t schema_triples = 0;    // of which schema
-  std::size_t inferred = 0;          // new triples added
+  std::size_t inferred = 0;          // new triples added (0 if the rewrite
+                                     // shrank the store below the base)
   std::size_t iterations = 0;        // forward iterations / backward sweeps
   std::size_t compiled_rules = 0;    // instance rules after compilation
   double reason_seconds = 0.0;       // pure inference wall time
   double compile_seconds = 0.0;      // schema closure + rule compilation
+
+  // Equality-rewriting breakdown (zero under kNaive); see ForwardStats.
+  std::size_t eq_merges = 0;
+  std::size_t eq_conflicts = 0;
+  std::size_t endpoint_index_builds = 0;
 };
 
 /// Stats protocol (obs/report.hpp): obs::to_json / obs::print / obs::publish.
@@ -133,15 +149,29 @@ struct IncrementalResult {
   std::size_t iterations = 0;
   bool schema_changed = false;  // rejected: contains schema triples
   double reason_seconds = 0.0;
+
+  // Rewrite mode only: class unions this batch performed, and store
+  // rebuilds they triggered.  A nonzero rebuild count means the store log
+  // was reordered — callers tracking a log-order delta (the serve layer's
+  // snapshots) must fall back to treating the whole store as new.
+  std::size_t eq_merges = 0;
+  std::size_t eq_rebuilds = 0;
 };
 
 [[nodiscard]] obs::FieldList fields(const IncrementalResult& r);
 /// `threads` is the forward engine's matching-pass thread count (0 =
 /// hardware concurrency); the result is identical for every value.
+///
+/// When the store was materialized under equality rewriting, pass the same
+/// mode plus the (mutable) EqualityManager holding its class map: new
+/// sameAs assertions merge into the map, the delta closes in
+/// representative space, and the map is re-frozen.
 IncrementalResult materialize_incremental(
     rdf::TripleStore& store, const rdf::Dictionary& dict,
     const ontology::Vocabulary& vocab,
     std::span<const rdf::Triple> additions,
-    const rules::HorstOptions& horst = {}, unsigned threads = 1);
+    const rules::HorstOptions& horst = {}, unsigned threads = 1,
+    EqualityMode equality_mode = EqualityMode::kNaive,
+    EqualityManager* equality = nullptr);
 
 }  // namespace parowl::reason

@@ -1,0 +1,236 @@
+#include "parowl/reason/equality.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parowl::reason {
+
+rdf::TermId& EqualityManager::track(rdf::TermId id) {
+  const rdf::TermId* existing = parent_.find(id);
+  rdf::TermId& slot = parent_[id];
+  if (existing == nullptr) {
+    slot = id;
+    tracked_.push_back(id);
+  }
+  return slot;
+}
+
+rdf::TermId EqualityManager::root_compress(rdf::TermId id) {
+  const rdf::TermId root = find(id);
+  while (id != root) {
+    rdf::TermId& slot = parent_[id];
+    id = slot;
+    slot = root;
+  }
+  return root;
+}
+
+bool EqualityManager::merge(rdf::TermId a, rdf::TermId b) {
+  track(a);
+  track(b);
+  const rdf::TermId ra = root_compress(a);
+  const rdf::TermId rb = root_compress(b);
+  if (ra == rb) {
+    return false;
+  }
+  // Union-by-min: the smaller id wins, so the final representative of any
+  // class is its smallest member regardless of merge order.
+  const rdf::TermId winner = std::min(ra, rb);
+  const rdf::TermId loser = std::max(ra, rb);
+  parent_[loser] = winner;
+  ++merges_;
+  frozen_ = false;
+  return true;
+}
+
+bool EqualityManager::attach_literal(rdf::TermId resource, rdf::TermId lit) {
+  // Dedup on the (class, literal) pair: re-deriving the same edge through
+  // another member of an existing class must not signal a map change, or
+  // the engine would rebuild the store every round forever.
+  const rdf::TermId rep = find(resource);
+  if (!attach_set_.insert(rdf::Triple{rep, lit, lit})) {
+    return false;
+  }
+  track(resource);
+  attach_edges_.emplace_back(resource, lit);
+  partner_set_[lit] = 1;
+  frozen_ = false;
+  return true;
+}
+
+bool EqualityManager::note_self(rdf::TermId resource) {
+  if (self_set_.find(resource) != nullptr) {
+    return false;
+  }
+  self_set_[resource] = 1;
+  track(resource);
+  self_edges_.push_back(resource);
+  frozen_ = false;
+  return true;
+}
+
+void EqualityManager::freeze() {
+  classes_.clear();
+  object_lists_.clear();
+  class_slot_.clear();
+
+  // Bucket tracked resources by final root, smallest member first.  The
+  // sorted order also fully compresses the forest: every member's parent
+  // entry is rewritten to point straight at the representative, so find()
+  // is a single probe afterwards (and safe for concurrent readers).
+  std::vector<rdf::TermId> sorted = tracked_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const rdf::TermId id : sorted) {
+    const rdf::TermId rep = root_compress(id);
+    std::uint32_t& slot = class_slot_[rep];
+    if (slot == 0) {
+      classes_.push_back(Class{rep, {}, {}, false});
+      slot = static_cast<std::uint32_t>(classes_.size());
+    }
+    classes_[slot - 1].members.push_back(id);
+  }
+  // Ascending member iteration means the representative (the minimum) leads
+  // each member list and classes_ is already in ascending-rep order.
+  for (const auto& [resource, lit] : attach_edges_) {
+    const std::uint32_t* slot = class_slot_.find(find(resource));
+    assert(slot != nullptr);
+    classes_[*slot - 1].literals.push_back(lit);
+  }
+  object_lists_.reserve(classes_.size());
+  for (Class& c : classes_) {
+    std::sort(c.literals.begin(), c.literals.end());
+    c.literals.erase(std::unique(c.literals.begin(), c.literals.end()),
+                     c.literals.end());
+    // Reflexive pairs: any two distinct members a, b give (a~b)(b~a) and
+    // rdfp7 closes them into (a~a); a singleton needs an explicit edge.
+    c.self = c.members.size() > 1;
+    std::vector<rdf::TermId> objects = c.members;
+    objects.insert(objects.end(), c.literals.begin(), c.literals.end());
+    object_lists_.push_back(std::move(objects));
+  }
+  for (const rdf::TermId id : self_edges_) {
+    const std::uint32_t* slot = class_slot_.find(find(id));
+    assert(slot != nullptr);
+    classes_[*slot - 1].self = true;
+  }
+  frozen_ = true;
+}
+
+std::span<const rdf::TermId> EqualityManager::subject_members(
+    rdf::TermId rep) const {
+  assert(frozen_);
+  const Class* c = class_of(rep);
+  return c != nullptr ? std::span<const rdf::TermId>(c->members)
+                      : std::span<const rdf::TermId>();
+}
+
+std::span<const rdf::TermId> EqualityManager::object_members(
+    rdf::TermId rep) const {
+  assert(frozen_);
+  const std::uint32_t* slot = class_slot_.find(rep);
+  return slot != nullptr
+             ? std::span<const rdf::TermId>(object_lists_[*slot - 1])
+             : std::span<const rdf::TermId>();
+}
+
+rdf::EqualityClassMap EqualityManager::export_map() const {
+  assert(frozen_);
+  rdf::EqualityClassMap map;
+  for (const Class& c : classes_) {
+    for (const rdf::TermId m : c.members) {
+      map.members.emplace_back(m, c.rep);
+    }
+    for (const rdf::TermId lit : c.literals) {
+      map.literals.emplace_back(c.rep, lit);
+    }
+    if (c.self) {
+      map.self_terms.push_back(c.rep);
+    }
+  }
+  std::sort(map.members.begin(), map.members.end());
+  std::sort(map.literals.begin(), map.literals.end());
+  std::sort(map.self_terms.begin(), map.self_terms.end());
+  map.raw_edges = raw_edges_;
+  std::sort(map.raw_edges.begin(), map.raw_edges.end());
+  return map;
+}
+
+EqualityManager EqualityManager::import_map(const rdf::EqualityClassMap& map) {
+  EqualityManager eq;
+  for (const auto& [member, rep] : map.members) {
+    eq.merge(member, rep);
+  }
+  for (const auto& [rep, lit] : map.literals) {
+    eq.attach_literal(rep, lit);
+  }
+  // A persisted self term is a representative; the class-level flag
+  // re-forms at freeze.  Singleton self classes need the per-term note.
+  for (const rdf::TermId id : map.self_terms) {
+    eq.note_self(id);
+  }
+  for (const rdf::Triple& t : map.raw_edges) {
+    eq.keep_raw(t);
+  }
+  eq.freeze();
+  return eq;
+}
+
+std::vector<rdf::Triple> expand_closure(const rdf::TripleStore& store,
+                                        const EqualityManager& eq,
+                                        rdf::TermId same_as) {
+  assert(eq.frozen());
+  std::vector<rdf::Triple> out;
+  out.reserve(store.size());
+  for (const rdf::Triple& t : store.triples()) {
+    const std::span<const rdf::TermId> subjects = eq.subject_members(t.s);
+    const std::span<const rdf::TermId> objects = eq.object_members(t.o);
+    if (subjects.empty() && objects.empty()) {
+      out.push_back(t);
+      continue;
+    }
+    const rdf::TermId one_s = t.s;
+    const rdf::TermId one_o = t.o;
+    const std::span<const rdf::TermId> ss =
+        subjects.empty() ? std::span<const rdf::TermId>(&one_s, 1) : subjects;
+    const std::span<const rdf::TermId> os =
+        objects.empty() ? std::span<const rdf::TermId>(&one_o, 1) : objects;
+    for (const rdf::TermId s : ss) {
+      for (const rdf::TermId o : os) {
+        out.push_back(rdf::Triple{s, t.p, o});
+      }
+    }
+  }
+  // Regenerate the sameAs clique triples the rewrite intercepted: every
+  // ordered resource pair of each class (reflexive pairs per Class::self),
+  // each resource against each literal partner, and the raw asserted
+  // literal-subject edges.
+  for (const EqualityManager::Class& c : eq.classes()) {
+    for (const rdf::TermId a : c.members) {
+      for (const rdf::TermId b : c.members) {
+        if (a != b || c.self) {
+          out.push_back(rdf::Triple{a, same_as, b});
+        }
+      }
+      for (const rdf::TermId lit : c.literals) {
+        out.push_back(rdf::Triple{a, same_as, lit});
+      }
+    }
+  }
+  for (const rdf::Triple& t : eq.raw_edges()) {
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+obs::FieldList fields(const ExpandStats& s) {
+  return {
+      {"rows_in", s.rows_in},
+      {"rows_out", s.rows_out},
+      {"seconds", s.seconds},
+  };
+}
+
+}  // namespace parowl::reason

@@ -78,6 +78,114 @@ ForwardEngine::ForwardEngine(rdf::TripleStore& store,
                 });
     }
   }
+  // Rewrite mode: collect every constant term the rule set mentions.  An
+  // equality class touching one of these is a schema-level merge the
+  // individual-oriented rewrite cannot express (see eq_conflicts).
+  if (rewrite_active()) {
+    const auto note_const = [this](const rules::AtomTerm& t) {
+      if (t.is_const()) {
+        rule_constants_[t.const_id()] = 1;
+      }
+    };
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      for (const rules::Atom& atom : rules_[r].body) {
+        note_const(atom.s);
+        note_const(atom.p);
+        note_const(atom.o);
+      }
+      note_const(rules_[r].head.s);
+      note_const(rules_[r].head.p);
+      note_const(rules_[r].head.o);
+    }
+  }
+}
+
+bool ForwardEngine::rewrite_active() const {
+  return options_.equality_mode == EqualityMode::kRewrite &&
+         options_.equality != nullptr && options_.dict != nullptr &&
+         options_.same_as != rdf::kAnyTerm;
+}
+
+bool ForwardEngine::intercept_same_as(const rdf::Triple& t,
+                                      ForwardStats& stats) {
+  EqualityManager& eq = *options_.equality;
+  const auto is_literal = [this](rdf::TermId id) {
+    return options_.dict->kind(id) == rdf::TermKind::kLiteral;
+  };
+  const auto conflict = [this, &stats](rdf::TermId id) {
+    // Schema-level equality the rewrite cannot fold: the term is a rule
+    // constant (folded schema term, vocabulary id) or already serves as a
+    // predicate in the store.
+    if (rule_constants_.find(id) != nullptr ||
+        !store_.with_predicate(id).empty()) {
+      ++stats.eq_conflicts;
+    }
+  };
+  ++stats.eq_intercepted;
+  bool changed = false;
+  if (is_literal(t.s)) {
+    // Asserted literal-subject edge (derivations never pass the literal
+    // guard).  The naive closure keeps the assertion and derives its
+    // mirror (rdfp6) plus the resource's reflexive pair (rdfp7).
+    changed = eq.keep_raw(t);
+    if (changed && !is_literal(t.o)) {
+      eq.attach_literal(t.o, t.s);
+      eq.note_self(t.o);
+      conflict(t.o);
+    }
+  } else if (is_literal(t.o)) {
+    changed = eq.attach_literal(t.s, t.o);
+    if (changed) {
+      conflict(t.s);
+    }
+  } else if (t.s == t.o) {
+    changed = eq.note_self(t.s);
+  } else {
+    changed = eq.merge(t.s, t.o);
+    if (changed) {
+      ++stats.eq_merges;
+      conflict(t.s);
+      conflict(t.o);
+    }
+  }
+  return changed;
+}
+
+std::size_t ForwardEngine::rewrite_store(std::size_t keep_end,
+                                         ForwardStats& stats) {
+  obs::Span span("reason.eq.rewrite", {{"keep_end", keep_end}});
+  const EqualityManager& eq = *options_.equality;
+  // The log is copied out because the store is cleared before reinsertion.
+  const std::vector<rdf::Triple> log = store_.triples();
+  std::vector<rdf::Triple> prefix;
+  std::vector<rdf::Triple> tail;
+  prefix.reserve(keep_end);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const rdf::Triple& t = log[i];
+    if (t.p == options_.same_as) {
+      continue;  // interception already folded it into the class map
+    }
+    const rdf::Triple r = eq.rewrite(t);
+    if (i < keep_end && r == t) {
+      prefix.push_back(t);
+    } else {
+      if (r != t) {
+        ++stats.eq_remapped;
+      }
+      tail.push_back(r);
+    }
+  }
+  store_.clear();
+  for (const rdf::Triple& t : prefix) {
+    store_.insert(t);
+  }
+  const std::size_t frontier = store_.size();
+  for (const rdf::Triple& t : tail) {
+    store_.insert(t);
+  }
+  ++stats.eq_rebuilds;
+  span.arg({"remapped", tail.size()});
+  return frontier;
 }
 
 template <bool Devirt>
@@ -230,8 +338,38 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
   obs::configure(options_.obs);
   ForwardStats stats;
   stats.firings_per_rule.assign(rules_.size(), 0);
+  const std::size_t endpoint_builds_before = store_.endpoint_index_builds();
 
   std::size_t frontier_begin = options_.semi_naive ? delta_begin : 0;
+
+  const bool rewrite = rewrite_active();
+  if (rewrite) {
+    // Pre-pass: fold asserted sameAs triples in the frontier into the
+    // class map, then canonicalize the store if anything needs it.  The
+    // prefix before `frontier_begin` is already representative space by
+    // the incremental contract (it was produced by a rewrite run).
+    EqualityManager& eq = *options_.equality;
+    bool needs_rebuild = false;
+    const std::vector<rdf::Triple>& log = store_.triples();
+    for (std::size_t i = frontier_begin; i < log.size(); ++i) {
+      const rdf::Triple& t = log[i];
+      if (t.p == options_.same_as) {
+        intercept_same_as(t, stats);
+        needs_rebuild = true;
+      } else if (eq.rewrite(t) != t) {
+        needs_rebuild = true;
+      }
+      if (t.s == options_.same_as || t.o == options_.same_as) {
+        ++stats.eq_conflicts;  // schema statements about sameAs itself
+      }
+    }
+    if (needs_rebuild) {
+      frontier_begin = rewrite_store(frontier_begin, stats);
+    }
+    if (!options_.semi_naive) {
+      frontier_begin = 0;
+    }
+  }
 
   unsigned threads = options_.threads;
   if (threads == 0) {
@@ -320,14 +458,35 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
     // Merge at the barrier: concatenated shard buffers replay the
     // single-threaded emission order, so first-occurrence wins both the
     // cross-shard dedup and the per-rule firing credit — statistics and
-    // log order are identical for every thread count.
+    // log order are identical for every thread count.  Under rewrite,
+    // every pending triple passes through the class map first: sameAs
+    // heads fold into it, everything else is inserted canonically (the
+    // rewrite can collapse distinct pendings, so credit follows the
+    // actual insert to keep the per-rule sum equal to `derived`).
     std::size_t added = 0;
+    bool eq_changed = false;
     const std::size_t attempts_before = stats.attempts;
     merged_seen.reset();
     for (Shard& shard : shards) {
       stats.attempts += shard.attempts;
       for (const Pending& pd : shard.pending) {
         if (shards.size() > 1 && !merged_seen.insert(pd.triple)) {
+          continue;
+        }
+        if (rewrite) {
+          const rdf::Triple t = options_.equality->rewrite(pd.triple);
+          if (t.p == options_.same_as) {
+            eq_changed = intercept_same_as(t, stats) || eq_changed;
+            continue;
+          }
+          if (options_.equality->tracked(t.p) ||
+              t.s == options_.same_as || t.o == options_.same_as) {
+            ++stats.eq_conflicts;
+          }
+          if (store_.insert(t)) {
+            ++added;
+            ++stats.firings_per_rule[pd.rule];
+          }
           continue;
         }
         added += store_.insert(pd.triple) ? 1 : 0;
@@ -339,6 +498,17 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
     PAROWL_COUNT("reason.iterations", 1);
     PAROWL_COUNT("reason.derived", added);
     PAROWL_COUNT("reason.rule_attempts", stats.attempts - attempts_before);
+    if (rewrite && eq_changed) {
+      // A merge may remap triples inserted in earlier rounds: rebuild the
+      // store in representative space and make every remapped triple (plus
+      // this round's inserts) the next frontier, so they re-derive through
+      // the dispatch index against the canonical store.
+      frontier_begin = rewrite_store(frontier_end, stats);
+      if (!options_.semi_naive) {
+        frontier_begin = 0;
+      }
+      continue;
+    }
     if (added == 0) {
       break;
     }
@@ -347,6 +517,16 @@ ForwardStats ForwardEngine::run(std::size_t delta_begin) {
     frontier_begin = options_.semi_naive ? frontier_end : 0;
   }
   release_pool();
+  if (rewrite) {
+    options_.equality->freeze();
+    PAROWL_COUNT("reason.eq.intercepted", stats.eq_intercepted);
+    PAROWL_COUNT("reason.eq.merges", stats.eq_merges);
+    PAROWL_COUNT("reason.eq.remapped", stats.eq_remapped);
+    PAROWL_COUNT("reason.eq.rebuilds", stats.eq_rebuilds);
+    PAROWL_COUNT("reason.eq.conflicts", stats.eq_conflicts);
+  }
+  stats.endpoint_index_builds =
+      store_.endpoint_index_builds() - endpoint_builds_before;
   return stats;
 }
 
@@ -362,6 +542,12 @@ obs::FieldList fields(const ForwardStats& s) {
       {"derived", s.derived},
       {"attempts", s.attempts},
       {"rules_fired", s.firings_per_rule.size()},
+      {"eq_intercepted", s.eq_intercepted},
+      {"eq_merges", s.eq_merges},
+      {"eq_remapped", s.eq_remapped},
+      {"eq_rebuilds", s.eq_rebuilds},
+      {"eq_conflicts", s.eq_conflicts},
+      {"endpoint_index_builds", s.endpoint_index_builds},
   };
 }
 

@@ -233,6 +233,22 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
     }
   }
 
+  // Equality rewriting: the class map only grows (see the header's
+  // equality_rejected contract).  Deleting a sameAs edge, or any fact about
+  // a merged individual, cannot be maintained incrementally — reject the
+  // whole batch before touching anything.
+  const bool rewrite = options_.equality_mode == EqualityMode::kRewrite &&
+                       options_.equality != nullptr;
+  if (rewrite) {
+    for (const rdf::Triple& t : deletions) {
+      if (t.p == vocab_.owl_same_as || options_.equality->tracked(t.s) ||
+          options_.equality->tracked(t.o)) {
+        result.equality_rejected = true;
+        return result;
+      }
+    }
+  }
+
   rdf::TripleSet base_set;
   for (const rdf::Triple& t : base) {
     base_set.insert(t);
@@ -254,13 +270,26 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
   }
   result.base_deleted = effective.size();
 
+  // Mixing sameAs additions with deletions would interleave class-map
+  // merges with the overdelete cone; pure-addition batches below handle
+  // them through the engine's interceptor instead.
+  if (rewrite && !effective.empty()) {
+    for (const rdf::Triple& t : additions) {
+      if (t.p == vocab_.owl_same_as) {
+        result.equality_rejected = true;
+        return result;
+      }
+    }
+  }
+
   if (effective.empty()) {
     // Pure-addition batch: the existing semi-naive delta path.  The base
     // still records every addition (dedup against the base, not the
     // closure: an addition that was merely derived before becomes asserted
     // and must survive a later deletion of its support).
     const IncrementalResult inc = materialize_incremental(
-        store, dict_, vocab_, additions, options_.horst, options_.threads);
+        store, dict_, vocab_, additions, options_.horst, options_.threads,
+        options_.equality_mode, options_.equality);
     assert(!inc.schema_changed);
     for (const rdf::Triple& t : additions) {
       if (!base_set.contains(t)) {
@@ -272,14 +301,20 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
     result.inferred = inc.inferred;
     result.rederive_iterations = inc.iterations;
     result.rederive_seconds = inc.reason_seconds;
-    result.first_new_index = store.size() - inc.added - inc.inferred;
+    // A class-map merge rebuilds the store log; the log-order delta is then
+    // meaningless and the serve layer must treat everything as new.
+    result.first_new_index =
+        inc.eq_rebuilds > 0 ? 0 : store.size() - inc.added - inc.inferred;
     result.total_seconds = total.elapsed_seconds();
     return result;
   }
 
   // The compiled rule-base depends only on the schema, which is unchanged.
-  const rules::CompiledRules compiled =
-      compile_ontology(store, vocab_, options_.horst);
+  rules::HorstOptions hopts = options_.horst;
+  if (rewrite) {
+    hopts.include_same_as_propagation = false;
+  }
+  const rules::CompiledRules compiled = compile_ontology(store, vocab_, hopts);
   const DispatchIndex dispatch(compiled.rules);
 
   // The updated base: deletions dropped in place, additions appended.
@@ -324,6 +359,7 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
   rdf::TripleSet condemned;   // DRed: overdeleted; FBF: dead
   std::vector<rdf::Triple> cone;  // BFS queue, deterministic order
   const bool fbf = options_.strategy == MaintainStrategy::kFbf;
+  bool equality_undermined = false;
   AliveChecker checker(store, compiled.rules, protected_set, condemned);
   {
     PAROWL_SPAN("maintain.overdelete", {{"deletions", effective.size()}});
@@ -335,7 +371,7 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
     }
     std::size_t frontier_end = cone.size();
     std::size_t processed = 0;
-    while (processed < cone.size()) {
+    while (processed < cone.size() && !equality_undermined) {
       if (processed == frontier_end) {
         ++result.overdelete_iterations;
         frontier_end = cone.size();
@@ -363,6 +399,14 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
         }
         join_rest(store, rule, 1u << ref.pivot, binding, [&] {
           const rdf::Triple head = ground_head(rule.head, binding);
+          // A sameAs head means the deleted fact supported a merge (rdfp1/2
+          // fired through it); the class map would have to shrink, which it
+          // cannot.  Checked BEFORE the contains test — rewritten stores
+          // hold no sameAs triples, so contains() would hide it.
+          if (rewrite && head.p == vocab_.owl_same_as) {
+            equality_undermined = true;
+            return false;
+          }
           // The closure is a fixpoint, so a head joined from closure facts
           // is already present — unless the literal guard dropped it.
           if (store.contains(head) && !protected_set.contains(head) &&
@@ -389,6 +433,12 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
     if (result.overdelete_iterations == 0 && !cone.empty()) {
       result.overdelete_iterations = 1;
     }
+  }
+  if (equality_undermined) {
+    // The cone phase only reads the store, so rejecting here leaves the
+    // closure, the base, and the class map exactly as they were.
+    result.equality_rejected = true;
+    return result;
   }
   result.overdeleted = condemned.size();
   result.overdelete_seconds = overdelete_watch.elapsed_seconds();
@@ -430,9 +480,19 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
     fopts.dict = &dict_;
     fopts.threads = options_.threads;
     fopts.obs = options_.obs;
+    if (rewrite) {
+      fopts.equality_mode = EqualityMode::kRewrite;
+      fopts.equality = options_.equality;
+      fopts.same_as = vocab_.owl_same_as;
+    }
     const ForwardStats stats = ForwardEngine(next, compiled.rules, fopts)
                                    .run(result.first_new_index);
     result.rederive_iterations = stats.iterations;
+    if (rewrite && stats.eq_rebuilds > 0) {
+      // New additions triggered a merge: the rebuilt log has no stable
+      // survivor prefix, so the serve layer must treat everything as new.
+      result.first_new_index = 0;
+    }
 
     // Net removals: condemned facts that did not make it back.
     for (const rdf::Triple& t : cone) {
@@ -457,6 +517,7 @@ MaintainResult Maintainer::apply(rdf::TripleStore& store,
 obs::FieldList fields(const MaintainResult& r) {
   return {
       {"schema_changed", r.schema_changed},
+      {"equality_rejected", r.equality_rejected},
       {"base_deleted", r.base_deleted},
       {"base_added", r.base_added},
       {"overdeleted", r.overdeleted},

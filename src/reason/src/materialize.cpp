@@ -169,18 +169,27 @@ MaterializeResult materialize(rdf::TripleStore& store,
     result.schema_triples += vocab.is_schema_triple(t) ? 1 : 0;
   }
 
+  // Equality rewriting only applies to the forward strategy; it drops the
+  // sameAs propagation rules, whose work the EqualityManager takes over.
+  const bool rewrite = options.strategy == Strategy::kForward &&
+                       options.equality_mode == EqualityMode::kRewrite &&
+                       options.equality != nullptr;
+  rules::HorstOptions horst = options.horst;
+  if (rewrite) {
+    horst.include_same_as_propagation = false;
+  }
+
   util::Stopwatch compile_watch;
   rules::RuleSet active;
   if (options.compile) {
-    rules::CompiledRules compiled =
-        compile_ontology(store, vocab, options.horst);
+    rules::CompiledRules compiled = compile_ontology(store, vocab, horst);
     for (const rdf::Triple& t : compiled.ground_facts) {
       store.insert(t);
     }
     result.compiled_rules = compiled.rules.size();
     active = std::move(compiled.rules);
   } else {
-    active = rules::horst_rules(vocab, options.horst);
+    active = rules::horst_rules(vocab, horst);
     result.compiled_rules = active.size();
   }
   result.compile_seconds = compile_watch.elapsed_seconds();
@@ -194,15 +203,27 @@ MaterializeResult materialize(rdf::TripleStore& store,
     fopts.devirtualize = options.devirtualize;
     fopts.threads = options.threads;
     fopts.obs = options.obs;
+    if (rewrite) {
+      fopts.equality_mode = EqualityMode::kRewrite;
+      fopts.equality = options.equality;
+      fopts.same_as = vocab.owl_same_as;
+    }
     const ForwardStats stats = ForwardEngine(store, active, fopts).run(0);
     result.iterations = stats.iterations;
+    result.eq_merges = stats.eq_merges;
+    result.eq_conflicts = stats.eq_conflicts;
+    result.endpoint_index_builds = stats.endpoint_index_builds;
   } else {
     const QueryDrivenStats stats = query_driven_closure(
         store, dict, active, options.share_tables, options.max_sweeps);
     result.iterations = stats.sweeps;
   }
   result.reason_seconds = reason_watch.elapsed_seconds();
-  result.inferred = store.size() - result.base_triples;
+  // The rewrite can leave the store SMALLER than the input (sameAs triples
+  // fold into the class map); clamp rather than underflow.
+  result.inferred = store.size() > result.base_triples
+                        ? store.size() - result.base_triples
+                        : 0;
   obs::publish(result, "reason.materialize");
   return result;
 }
@@ -211,7 +232,8 @@ IncrementalResult materialize_incremental(
     rdf::TripleStore& store, const rdf::Dictionary& dict,
     const ontology::Vocabulary& vocab,
     std::span<const rdf::Triple> additions,
-    const rules::HorstOptions& horst, unsigned threads) {
+    const rules::HorstOptions& horst, unsigned threads,
+    EqualityMode equality_mode, EqualityManager* equality) {
   IncrementalResult result;
   for (const rdf::Triple& t : additions) {
     if (vocab.is_schema_triple(t)) {
@@ -220,8 +242,15 @@ IncrementalResult materialize_incremental(
     }
   }
 
+  const bool rewrite =
+      equality_mode == EqualityMode::kRewrite && equality != nullptr;
+  rules::HorstOptions hopts = horst;
+  if (rewrite) {
+    hopts.include_same_as_propagation = false;
+  }
+
   // The compiled rule-base depends only on the schema, which is unchanged.
-  const rules::CompiledRules compiled = compile_ontology(store, vocab, horst);
+  const rules::CompiledRules compiled = compile_ontology(store, vocab, hopts);
 
   const std::size_t delta_begin = store.size();
   result.added = store.insert_all(additions);
@@ -233,10 +262,20 @@ IncrementalResult materialize_incremental(
   ForwardOptions fopts;
   fopts.dict = &dict;
   fopts.threads = threads;
+  if (rewrite) {
+    fopts.equality_mode = EqualityMode::kRewrite;
+    fopts.equality = equality;
+    fopts.same_as = vocab.owl_same_as;
+  }
   const ForwardStats stats =
       ForwardEngine(store, compiled.rules, fopts).run(delta_begin);
   result.iterations = stats.iterations;
-  result.inferred = store.size() - delta_begin - result.added;
+  result.eq_merges = stats.eq_merges;
+  result.eq_rebuilds = stats.eq_rebuilds;
+  // New sameAs assertions fold into the class map and a merge can shrink
+  // the store, so the inferred count is clamped at zero.
+  const std::size_t floor = delta_begin + result.added;
+  result.inferred = store.size() > floor ? store.size() - floor : 0;
   result.reason_seconds = watch.elapsed_seconds();
   return result;
 }
@@ -250,6 +289,9 @@ obs::FieldList fields(const MaterializeResult& r) {
       {"compiled_rules", r.compiled_rules},
       {"reason_seconds", r.reason_seconds},
       {"compile_seconds", r.compile_seconds},
+      {"eq_merges", r.eq_merges},
+      {"eq_conflicts", r.eq_conflicts},
+      {"endpoint_index_builds", r.endpoint_index_builds},
   };
 }
 
@@ -267,6 +309,8 @@ obs::FieldList fields(const IncrementalResult& r) {
       {"iterations", r.iterations},
       {"schema_changed", r.schema_changed},
       {"reason_seconds", r.reason_seconds},
+      {"eq_merges", r.eq_merges},
+      {"eq_rebuilds", r.eq_rebuilds},
   };
 }
 

@@ -12,6 +12,15 @@ struct HorstOptions {
   /// disabling this removes rules that can never fire.
   bool include_same_as = true;
 
+  /// Include the sameAs *propagation* rules rdfp6/7/11a/11b.  Rewrite-mode
+  /// closures (reason::EqualityManager) intercept every sameAs triple
+  /// before it reaches the store, so these rules can never fire there —
+  /// and dropping them removes the only wildcard-predicate pivots in the
+  /// rule set, which both shrinks every dispatch bucket and keeps the
+  /// store's lazily built endpoint index unbuilt.  rdfp1/2 (the rules that
+  /// *derive* sameAs) stay on.  Ignored when include_same_as is false.
+  bool include_same_as_propagation = true;
+
   /// Include the owl:Restriction rules rdfp14a/14b/15/16.
   bool include_restrictions = true;
 

@@ -84,7 +84,7 @@ RuleSet horst_rules(const ontology::Vocabulary& vocab,
                {V(2), V(0), V(3)}},
               {V(1), V(0), V(3)}, 4));
 
-  if (options.include_same_as) {
+  if (options.include_same_as && options.include_same_as_propagation) {
     // rdfp6: sameAs symmetry; rdfp7: sameAs transitivity.
     rs.add(make("rdfp6", {{V(0), same_as, V(1)}}, {V(1), same_as, V(0)}, 2));
     rs.add(make("rdfp7", {{V(0), same_as, V(1)}, {V(1), same_as, V(2)}},

@@ -18,6 +18,7 @@ enum class RequestStatus {
   kDeadlineExceeded,  // expired in the queue before a worker picked it up
   kParseError,
   kUnavailable,       // distributed path: a shard answered on no replica
+  kUnsupported,       // query shape not answerable in equality-rewrite mode
 };
 
 [[nodiscard]] const char* to_string(RequestStatus status);

@@ -29,7 +29,7 @@ struct Response {
   bool cache_hit = false;
   std::uint64_t snapshot_version = 0;
   double latency_seconds = 0.0;  // admission -> completion
-  std::string error;             // parse diagnostic when kParseError
+  std::string error;  // diagnostic when kParseError / kUnsupported
 };
 
 struct ServiceOptions {
@@ -76,10 +76,15 @@ class QueryService {
   /// closure; it runs no inference at query time).  `dict`/`vocab` outlive
   /// the service.  `base` is the asserted-triple provenance incremental
   /// deletion maintains against (empty = treat the whole store as
-  /// asserted; see make_initial_snapshot).
+  /// asserted; see make_initial_snapshot).  Pass the frozen `equality`
+  /// class map when `store` was materialized under sameAs rewriting: the
+  /// service then expands answers through it at query time and threads it
+  /// through updates (the updater clones + extends the map per batch).
   QueryService(rdf::Dictionary& dict, const ontology::Vocabulary& vocab,
                rdf::TripleStore store, ServiceOptions options = {},
-               std::vector<rdf::Triple> base = {});
+               std::vector<rdf::Triple> base = {},
+               std::shared_ptr<const reason::EqualityManager> equality =
+                   nullptr);
 
   /// Completes pending requests, then stops the workers.
   ~QueryService();
@@ -146,6 +151,7 @@ class QueryService {
 
   ServiceOptions options_;
   rdf::Dictionary& dict_;
+  rdf::TermId same_as_;  // owl:sameAs id, for query-time expansion
   mutable std::shared_mutex dict_mutex_;
   SnapshotRegistry registry_;
   ResultCache cache_;
@@ -157,6 +163,7 @@ class QueryService {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> unsupported_{0};
   std::atomic<std::uint64_t> request_seq_{0};  // obs sampling stride counter
   LatencyHistogram latency_;
 };

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "parowl/rdf/triple_store.hpp"
+#include "parowl/reason/equality.hpp"
 
 namespace parowl::serve {
 
@@ -36,6 +37,12 @@ struct KbSnapshot {
   /// already-materialized store with no base provenance.  Shared across
   /// versions whose base did not change.
   std::shared_ptr<const std::vector<rdf::Triple>> base;
+
+  /// Frozen equality class map when the store was materialized under
+  /// sameAs rewriting (null = naive closure).  Immutable like the store:
+  /// the updater clones it before merging new sameAs facts, so readers
+  /// expanding answers through this map never race a mutation.
+  std::shared_ptr<const reason::EqualityManager> equality;
 };
 
 using SnapshotPtr = std::shared_ptr<const KbSnapshot>;
@@ -68,8 +75,10 @@ class SnapshotRegistry {
 /// `base` is the asserted-triple provenance for incremental deletion; pass
 /// empty to treat the whole store as asserted (deletions then retract any
 /// closure triple directly, which is still maintained correctly — there is
-/// just no asserted/derived distinction to exploit).
+/// just no asserted/derived distinction to exploit).  `equality` is the
+/// frozen class map of a rewrite-mode closure (null for naive stores).
 [[nodiscard]] SnapshotPtr make_initial_snapshot(
-    rdf::TripleStore store, std::vector<rdf::Triple> base = {});
+    rdf::TripleStore store, std::vector<rdf::Triple> base = {},
+    std::shared_ptr<const reason::EqualityManager> equality = nullptr);
 
 }  // namespace parowl::serve

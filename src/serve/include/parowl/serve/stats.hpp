@@ -39,13 +39,14 @@ struct ServiceStats {
   std::uint64_t shed = 0;               // rejected at admission (queue full)
   std::uint64_t deadline_exceeded = 0;  // expired before a worker got to it
   std::uint64_t parse_errors = 0;
+  std::uint64_t unsupported = 0;  // shape not answerable under rewriting
   std::uint64_t updates_applied = 0;
   std::uint64_t snapshot_version = 0;
   CacheCounters cache;
   LatencyHistogram latency;  // service-side, enqueue -> completion
 
   [[nodiscard]] std::uint64_t total_requests() const {
-    return completed + shed + deadline_exceeded + parse_errors;
+    return completed + shed + deadline_exceeded + parse_errors + unsupported;
   }
   [[nodiscard]] double shed_rate() const {
     const std::uint64_t total = total_requests();

@@ -16,7 +16,8 @@ namespace parowl::serve {
 /// What one update batch did.
 struct UpdateOutcome {
   /// Version of the snapshot the batch produced (0 when nothing was
-  /// published: rejected schema change or an all-no-op batch).
+  /// published: rejected schema change, a deletion touching the equality
+  /// class map (maintain.equality_rejected), or an all-no-op batch).
   std::uint64_t version = 0;
 
   /// The incremental closure's own statistics (added/inferred/rejected).

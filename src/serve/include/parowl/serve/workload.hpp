@@ -43,6 +43,7 @@ struct WorkloadReport {
   std::size_t deadline_exceeded = 0;
   std::size_t parse_errors = 0;
   std::size_t unavailable = 0;  // distributed path: no replica answered
+  std::size_t unsupported = 0;  // shape not answerable under rewriting
   std::size_t cache_hits = 0;
   double wall_seconds = 0.0;
   LatencyHistogram latency;  // client-observed (admission -> answer)

@@ -16,6 +16,8 @@ const char* to_string(RequestStatus status) {
       return "parse_error";
     case RequestStatus::kUnavailable:
       return "unavailable";
+    case RequestStatus::kUnsupported:
+      return "unsupported";
   }
   return "unknown";
 }

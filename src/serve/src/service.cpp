@@ -6,6 +6,7 @@
 
 #include "parowl/obs/obs.hpp"
 #include "parowl/query/bgp.hpp"
+#include "parowl/query/equality_expand.hpp"
 #include "parowl/rdf/snapshot.hpp"
 #include "parowl/util/timer.hpp"
 
@@ -31,13 +32,16 @@ std::vector<rdf::TermId> footprint_of(const query::SelectQuery& q,
 
 }  // namespace
 
-QueryService::QueryService(rdf::Dictionary& dict,
-                           const ontology::Vocabulary& vocab,
-                           rdf::TripleStore store, ServiceOptions options,
-                           std::vector<rdf::Triple> base)
+QueryService::QueryService(
+    rdf::Dictionary& dict, const ontology::Vocabulary& vocab,
+    rdf::TripleStore store, ServiceOptions options,
+    std::vector<rdf::Triple> base,
+    std::shared_ptr<const reason::EqualityManager> equality)
     : options_(std::move(options)),
       dict_(dict),
-      registry_(make_initial_snapshot(std::move(store), std::move(base))),
+      same_as_(vocab.owl_same_as),
+      registry_(make_initial_snapshot(std::move(store), std::move(base),
+                                      std::move(equality))),
       cache_(options_.cache_shards,
              options_.cache_enabled ? options_.cache_capacity_per_shard : 0),
       parser_(dict),
@@ -164,12 +168,29 @@ Response QueryService::execute_locked(const std::string& query_text) {
   }
 
   // Evaluation is lock-free: the snapshot is immutable and BGP matching
-  // touches only TermIds.
+  // touches only TermIds.  Under equality rewriting the snapshot's store
+  // holds representative-space triples, so answers are expanded through the
+  // frozen class map before leaving the service (and before caching — a hit
+  // must be byte-identical to a miss).
   std::optional<obs::Span> eval_span;
   if (request_span) {
     eval_span.emplace("serve.eval");
   }
-  response.results = query::evaluate(snap->store, *parsed);
+  if (snap->equality != nullptr) {
+    query::EqualityEvalResult eval = query::evaluate_with_equality(
+        snap->store, *parsed, *snap->equality, same_as_);
+    if (eval.unsupported) {
+      response.status = RequestStatus::kUnsupported;
+      response.error = std::move(eval.message);
+      if (request_span) {
+        request_span->arg({"status", "unsupported"});
+      }
+      return response;
+    }
+    response.results = std::move(eval.results);
+  } else {
+    response.results = query::evaluate(snap->store, *parsed);
+  }
   if (eval_span) {
     eval_span->arg({"rows", response.results.size()});
     eval_span.reset();
@@ -222,6 +243,10 @@ rdf::SnapshotStats QueryService::save_snapshot(std::ostream& out) const {
   const SnapshotPtr snap = registry_.current();
   PAROWL_SPAN("serve.snapshot", {{"version", snap->version}});
   return with_dict_shared([&out, &snap](const rdf::Dictionary& dict) {
+    if (snap->equality != nullptr) {
+      const rdf::EqualityClassMap map = snap->equality->export_map();
+      return rdf::save_snapshot(out, dict, snap->store, &map);
+    }
     return rdf::save_snapshot(out, dict, snap->store);
   });
 }
@@ -232,6 +257,7 @@ ServiceStats QueryService::stats() const {
   s.shed = shed_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.unsupported = unsupported_.load(std::memory_order_relaxed);
   s.updates_applied = updater_.batches_applied();
   s.snapshot_version = registry_.version();
   s.cache = cache_.counters();
@@ -257,6 +283,9 @@ void QueryService::count(const Response& response) {
     case RequestStatus::kUnavailable:
       // Single-store serving has no unavailable outcome (the snapshot is
       // local); the distributed facade keeps its own counter.
+      break;
+    case RequestStatus::kUnsupported:
+      unsupported_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
   latency_.record_seconds(response.latency_seconds);

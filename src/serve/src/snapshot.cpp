@@ -27,8 +27,9 @@ void SnapshotRegistry::publish(SnapshotPtr next) {
   current_ = std::move(next);
 }
 
-SnapshotPtr make_initial_snapshot(rdf::TripleStore store,
-                                  std::vector<rdf::Triple> base) {
+SnapshotPtr make_initial_snapshot(
+    rdf::TripleStore store, std::vector<rdf::Triple> base,
+    std::shared_ptr<const reason::EqualityManager> equality) {
   auto snap = std::make_shared<KbSnapshot>();
   snap->version = 1;
   snap->delta_begin = store.size();  // nothing is "new" in the first version
@@ -37,6 +38,8 @@ SnapshotPtr make_initial_snapshot(rdf::TripleStore store,
     snap->base =
         std::make_shared<const std::vector<rdf::Triple>>(std::move(base));
   }
+  assert(equality == nullptr || equality->frozen());
+  snap->equality = std::move(equality);
   return snap;
 }
 

@@ -34,6 +34,7 @@ obs::FieldList fields(const ServiceStats& s) {
       {"shed", s.shed},
       {"deadline_exceeded", s.deadline_exceeded},
       {"parse_errors", s.parse_errors},
+      {"unsupported", s.unsupported},
       {"shed_rate", s.shed_rate()},
       {"p50_latency_seconds", s.latency.percentile_seconds(0.50)},
       {"p95_latency_seconds", s.latency.percentile_seconds(0.95)},

@@ -42,15 +42,37 @@ UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions) {
   next->delta_begin = next->store.size();
   next->version = old_snap->version + 1;
 
+  // Rewrite mode: the class map is extended on a private clone (RCU, like
+  // the store) so readers expanding through the old snapshot never race.
+  std::shared_ptr<reason::EqualityManager> eq_next;
+  if (old_snap->equality != nullptr) {
+    eq_next = std::make_shared<reason::EqualityManager>(*old_snap->equality);
+  }
+
   outcome.result = reason::materialize_incremental(
-      next->store, dict_, vocab_, additions, {}, reason_threads_);
+      next->store, dict_, vocab_, additions, {}, reason_threads_,
+      eq_next != nullptr ? reason::EqualityMode::kRewrite
+                         : reason::EqualityMode::kNaive,
+      eq_next.get());
+  // A merge can change the fixpoint without growing the store (the new
+  // sameAs fact is intercepted and existing triples are remapped in
+  // place), so "unchanged" must also check the map.
   if (outcome.result.schema_changed ||
-      next->store.size() == next->delta_begin) {
+      (next->store.size() == next->delta_begin &&
+       outcome.result.eq_merges == 0)) {
     // Rejected or a pure-duplicate batch: the fixpoint is unchanged, keep
     // the current snapshot (and every cache entry) as is.
     outcome.total_seconds = total.elapsed_seconds();
     return outcome;
   }
+  if (outcome.result.eq_rebuilds > 0) {
+    // A merge rebuilt (reordered) the store log: the survivor-prefix
+    // contract is void, so the whole store is the delta.  The footprint
+    // below then spans every stored predicate, which is exactly what makes
+    // cached pre-merge answers unreachable.
+    next->delta_begin = 0;
+  }
+  next->equality = std::move(eq_next);
 
   // The base grows by the genuinely new asserted triples; derived triples
   // already present stay derived.  Null base means "everything asserted" —
@@ -117,6 +139,15 @@ UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions,
   reason::MaintainOptions mopts;
   mopts.strategy = strategy_;
   mopts.threads = reason_threads_;
+  // Rewrite mode: hand the maintainer a private clone of the class map
+  // (RCU).  It only ever *grows* the clone — batches that would shrink a
+  // class come back equality_rejected and the clone is discarded.
+  std::shared_ptr<reason::EqualityManager> eq_next;
+  if (old_snap->equality != nullptr) {
+    eq_next = std::make_shared<reason::EqualityManager>(*old_snap->equality);
+    mopts.equality_mode = reason::EqualityMode::kRewrite;
+    mopts.equality = eq_next.get();
+  }
   const reason::Maintainer maintainer(dict_, vocab_, mopts);
   outcome.maintain = maintainer.apply(next->store, base, additions, deletions);
 
@@ -132,15 +163,20 @@ UpdateOutcome Updater::apply(std::span<const rdf::Triple> additions,
                        outcome.maintain.base_deleted > 0 ||
                        outcome.maintain.removed > 0 ||
                        outcome.maintain.inferred > 0;
-  if (outcome.maintain.schema_changed || !changed) {
-    // Rejected, or an all-no-op batch (deletes of absent triples plus
-    // duplicate adds): the fixpoint is unchanged, keep the current
-    // snapshot and every cache entry as is.
+  if (outcome.maintain.schema_changed || outcome.maintain.equality_rejected ||
+      !changed) {
+    // Rejected (schema change / deletion touching the equality map), or an
+    // all-no-op batch (deletes of absent triples plus duplicate adds): the
+    // fixpoint is unchanged, keep the current snapshot and every cache
+    // entry as is.
     outcome.total_seconds = total.elapsed_seconds();
     return outcome;
   }
 
+  // first_new_index is already 0 when a merge rebuilt the store log, so the
+  // footprint below covers every stored predicate in that case.
   next->delta_begin = outcome.maintain.first_new_index;
+  next->equality = std::move(eq_next);
   next->base =
       std::make_shared<const std::vector<rdf::Triple>>(std::move(base));
 

@@ -24,6 +24,7 @@ struct Collector {
   std::atomic<std::size_t> deadline_exceeded{0};
   std::atomic<std::size_t> parse_errors{0};
   std::atomic<std::size_t> unavailable{0};
+  std::atomic<std::size_t> unsupported{0};
   std::atomic<std::size_t> cache_hits{0};
   LatencyHistogram latency;
 
@@ -50,6 +51,9 @@ struct Collector {
         break;
       case RequestStatus::kUnavailable:
         unavailable.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kUnsupported:
+        unsupported.fetch_add(1, std::memory_order_relaxed);
         break;
     }
     latency.record_seconds(response.latency_seconds);
@@ -83,6 +87,7 @@ WorkloadReport finish(const Collector& collector, std::size_t submitted,
   report.deadline_exceeded = collector.deadline_exceeded.load();
   report.parse_errors = collector.parse_errors.load();
   report.unavailable = collector.unavailable.load();
+  report.unsupported = collector.unsupported.load();
   report.cache_hits = collector.cache_hits.load();
   report.wall_seconds = wall_seconds;
   report.latency = collector.latency;
@@ -223,6 +228,7 @@ void WorkloadReport::print(std::ostream& os) const {
   table.add_row({"deadline exceeded", std::to_string(deadline_exceeded)});
   table.add_row({"parse errors", std::to_string(parse_errors)});
   table.add_row({"unavailable", std::to_string(unavailable)});
+  table.add_row({"unsupported", std::to_string(unsupported)});
   table.add_row({"cache hits", std::to_string(cache_hits)});
   table.add_row({"wall time", util::format_seconds(wall_seconds)});
   table.add_row({"throughput", util::fmt_double(throughput_qps(), 1) + " q/s"});

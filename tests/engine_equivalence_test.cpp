@@ -15,6 +15,8 @@
 
 #include "parowl/gen/lubm.hpp"
 #include "parowl/gen/mdc.hpp"
+#include "parowl/gen/sameas.hpp"
+#include "parowl/reason/equality.hpp"
 #include "parowl/reason/materialize.hpp"
 
 namespace parowl::reason {
@@ -184,6 +186,69 @@ TEST(EngineEquivalenceTest, DeltaRunsAgreeAcrossThreadCounts) {
     EXPECT_EQ(ref_stats.firings_per_rule, stats.firings_per_rule)
         << threads << " threads";
   }
+}
+
+TEST(EngineEquivalenceTest, EqualityRewriteIdenticalAcrossModesAndThreads) {
+  // The equality-mode axis of the sweep: under sameAs rewriting the engine
+  // ablations (dispatch index, devirtualized joins, thread count) must stay
+  // bit-identical — same rewritten insertion log AND the same class map —
+  // and the naive-evaluation ablation must still expand to the same set.
+  rdf::Dictionary dict;
+  const ontology::Vocabulary vocab(dict);
+  rdf::TripleStore base;
+  gen::SameAsOptions gopts;
+  gopts.individuals = 50;
+  gen::generate_sameas(gopts, dict, base);
+
+  struct RewriteRun {
+    std::vector<rdf::Triple> log;
+    rdf::EqualityClassMap map;
+    std::size_t merges = 0;
+  };
+  auto run = [&](bool dispatch, bool devirt, unsigned threads,
+                 bool semi_naive) {
+    rdf::TripleStore store;
+    store.insert_all(base.triples());
+    EqualityManager eq;
+    MaterializeOptions opts;
+    opts.dispatch_index = dispatch;
+    opts.devirtualize = devirt;
+    opts.threads = threads;
+    opts.semi_naive = semi_naive;
+    opts.equality_mode = EqualityMode::kRewrite;
+    opts.equality = &eq;
+    const MaterializeResult r = materialize(store, dict, vocab, opts);
+    return RewriteRun{store.triples(), eq.export_map(), r.eq_merges};
+  };
+
+  const RewriteRun ref = run(true, true, 1, true);
+  ASSERT_GT(ref.merges, 0u);
+  for (const auto& [dispatch, devirt, threads] :
+       {std::tuple{false, false, 1u}, std::tuple{true, false, 1u},
+        std::tuple{false, true, 1u}, std::tuple{true, true, 2u},
+        std::tuple{true, true, 4u}, std::tuple{true, true, 8u}}) {
+    const RewriteRun r = run(dispatch, devirt, threads, true);
+    EXPECT_EQ(ref.log, r.log)
+        << "dispatch=" << dispatch << " devirt=" << devirt
+        << " threads=" << threads << " (insertion-log order)";
+    EXPECT_EQ(ref.map.members, r.map.members);
+    EXPECT_EQ(ref.map.literals, r.map.literals);
+    EXPECT_EQ(ref.map.self_terms, r.map.self_terms);
+    EXPECT_EQ(ref.map.raw_edges, r.map.raw_edges);
+    EXPECT_EQ(ref.merges, r.merges);
+  }
+
+  // Naive evaluation reorders derivations, so compare the expanded sets.
+  const RewriteRun naive = run(true, true, 1, false);
+  rdf::TripleStore ref_store;
+  ref_store.insert_all(ref.log);
+  rdf::TripleStore naive_store;
+  naive_store.insert_all(naive.log);
+  EXPECT_EQ(expand_closure(ref_store, EqualityManager::import_map(ref.map),
+                           vocab.owl_same_as),
+            expand_closure(naive_store,
+                           EqualityManager::import_map(naive.map),
+                           vocab.owl_same_as));
 }
 
 TEST(EngineEquivalenceTest, MaterializeThreadsOptionIsTransparent) {

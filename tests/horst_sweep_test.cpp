@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "parowl/gen/lubm.hpp"
 #include "parowl/gen/mdc.hpp"
+#include "parowl/reason/equality.hpp"
 #include "parowl/reason/materialize.hpp"
 
 namespace parowl::reason {
@@ -103,6 +106,30 @@ TEST_P(HorstSweep, AllEngineModesAgree) {
     ASSERT_TRUE(stores[2].contains(t));
   }
   EXPECT_GT(inferred[0], 0u);
+
+  // Equality-mode axis: with the sameAs rules active the forward engine can
+  // also run under representative rewriting; the expanded rewrite closure
+  // must equal the naive closure for the same HorstOptions, compiled or
+  // generic.
+  if (c.same_as) {
+    for (const bool compile : {true, false}) {
+      EqualityManager eq;
+      MaterializeOptions ropts;
+      ropts.horst = horst;
+      ropts.compile = compile;
+      ropts.equality_mode = EqualityMode::kRewrite;
+      ropts.equality = &eq;
+      rdf::TripleStore rewritten;
+      rewritten.insert_all(base.triples());
+      materialize(rewritten, dict, *vocab, ropts);
+
+      std::vector<rdf::Triple> expected =
+          (compile ? stores[0] : stores[2]).triples();
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(expand_closure(rewritten, eq, vocab->owl_same_as), expected)
+          << (compile ? "compiled" : "generic") << " rewrite";
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

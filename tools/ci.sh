@@ -33,18 +33,19 @@ if [ "$full" = 1 ]; then
   ctest --preset default -j "$jobs" -L tier2
 fi
 
-echo "=== asan subset (transport/worker/cluster/fault/async/ingest/codec/dist/incremental) ==="
+echo "=== asan subset (transport/worker/cluster/fault/async/ingest/codec/dist/incremental/sameas) ==="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target transport_test worker_test cluster_test fault_injection_test \
   async_test async_equivalence_test codec_test ingest_equivalence_test \
-  dist_test incremental_test incremental_equivalence_test
-ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Async|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable|Dist|Incremental'
+  dist_test incremental_test incremental_equivalence_test \
+  sameas_equivalence_test sameas_serve_test
+ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Async|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable|Dist|Incremental|SameAs'
 
-echo "=== tsan subset (obs, dist executor + replica RCU, async steal/token, incremental serve loop) ==="
+echo "=== tsan subset (obs, dist executor + replica RCU, async steal/token, incremental serve loop, equality rewrite) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" --target obs_test dist_test async_test \
-  incremental_test
-ctest --preset tsan -j "$jobs" -R 'Obs|Dist|Async|IncrementalServe'
+  incremental_test sameas_equivalence_test sameas_serve_test
+ctest --preset tsan -j "$jobs" -R 'Obs|Dist|Async|IncrementalServe|SameAs'
 
 echo "=== ci green ==="

@@ -28,7 +28,9 @@
 #include "parowl/partition/data_partition.hpp"
 #include "parowl/gen/lubm_queries.hpp"
 #include "parowl/gen/mdc.hpp"
+#include "parowl/gen/sameas.hpp"
 #include "parowl/gen/uobm.hpp"
+#include "parowl/query/equality_expand.hpp"
 #include "parowl/parallel/pipeline.hpp"
 #include "parowl/query/sparql_parser.hpp"
 #include "parowl/serve/service.hpp"
@@ -54,16 +56,22 @@ int usage() {
       R"(usage: parowl <command> [options]
 
 commands:
-  gen <lubm|uobm|mdc> [--scale N] [--seed S] -o <file>
+  gen <lubm|uobm|mdc|sameas> [--scale N] [--seed S] -o <file>
+      (sameas: clique-heavy equality workload; --scale multiplies the
+       individual count, --max-clique caps the alias clique size)
   info <kb>
   load-bench <kb.nt|kb.ttl> [--max-threads N]   (parallel-ingest sweep)
   materialize <kb> [-o <file>] [--strategy forward|query] [--no-compile]
               [--rules <file>] [--threads N] [--no-dispatch] [--no-devirt]
+              [--equality-mode naive|rewrite]
+              (rewrite: intercept owl:sameAs into a class map and keep the
+               closure in representative space; a -o .snap then carries the
+               map — v3 — and query/serve expand answers through it)
   update <kb> [--adds-file <nt>] [--deletes-file <nt>] [-o <file>]
           [--strategy dred|fbf] [--threads N]
           (incremental maintenance: retract/add against the asserted base,
            delete-and-rederive the closure; kb is the *base*, not a closure)
-  query <kb> <sparql> [--reason]
+  query <kb> <sparql> [--reason] [--equality-mode naive|rewrite]
   query <kb> --queries-file <file> [--reason]   (one query per line)
   explain <kb> <s> <p> <o>       (terms as full IRIs; reasons, then proves)
   partition <kb> -k N [--policy graph|hash|lubm|mdc]
@@ -74,14 +82,16 @@ commands:
           [--faults seed=S,drop=P,dup=P,corrupt=P,delay=P,reorder=P]
           [--checkpoint-dir <dir>]
   run     alias for cluster; accepts --partitions N for -k N
-  serve-bench <kb> [--reason] [--threads N] [--queue N] [--requests N]
+  serve-bench <kb> [--reason] [--equality-mode naive|rewrite]
+          [--threads N] [--queue N] [--requests N]
           [--mode open|closed] [--rate QPS] [--clients N] [--think S]
           [--deadline S] [--no-cache] [--seed S] [--queries-file <file>]
           [--update-batches N] [--update-size M] [--delete-ratio R]
           [--strategy dred|fbf]
           (R>0 turns the writer into a mixed stream: each batch deletes
            R*M previously added triples and adds M new ones)
-  serve-dist <kb> [--reason] --partitions N [--replicas R] [--policy ...]
+  serve-dist <kb> [--reason] [--equality-mode naive|rewrite]
+          --partitions N [--replicas R] [--policy ...]
           [--faults seed=S,drop=P,...] [serve-bench workload options]
           (sharded serving tier: scatter/gather over partition replicas)
 
@@ -102,8 +112,13 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+/// `equality` non-null makes v3 snapshots (representative-space closure +
+/// class map) loadable; commands that cannot expand answers leave it null
+/// and get a clear rejection from the v2-only loader instead of silently
+/// wrong answers.
 bool load_kb(const std::string& path, rdf::Dictionary& dict,
-             rdf::TripleStore& store, unsigned load_threads = 1) {
+             rdf::TripleStore& store, unsigned load_threads = 1,
+             rdf::EqualityClassMap* equality = nullptr) {
   if (ends_with(path, ".snap")) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -111,7 +126,11 @@ bool load_kb(const std::string& path, rdf::Dictionary& dict,
       return false;
     }
     std::string error;
-    if (!rdf::load_snapshot(in, dict, store, &error)) {
+    const bool ok =
+        equality != nullptr
+            ? rdf::load_snapshot(in, dict, store, *equality, &error)
+            : rdf::load_snapshot(in, dict, store, &error);
+    if (!ok) {
       std::cerr << "bad snapshot " << path << ": " << error << "\n";
       return false;
     }
@@ -134,15 +153,22 @@ bool load_kb(const std::string& path, rdf::Dictionary& dict,
 }
 
 bool save_kb(const std::string& path, const rdf::Dictionary& dict,
-             const rdf::TripleStore& store) {
+             const rdf::TripleStore& store,
+             const rdf::EqualityClassMap* equality = nullptr) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
     return false;
   }
   if (ends_with(path, ".snap")) {
-    rdf::save_snapshot(out, dict, store);
+    rdf::save_snapshot(out, dict, store, equality);
   } else {
+    if (equality != nullptr && !equality->empty()) {
+      std::cerr << "warning: " << path
+                << " is N-Triples — writing the representative-space store "
+                   "without its equality class map (use a .snap output to "
+                   "keep it)\n";
+    }
     rdf::write_ntriples(out, store, dict);
   }
   return out.good();
@@ -219,7 +245,8 @@ class Args {
                           "--faults", "--checkpoint-dir", "--load-threads",
                           "--max-threads", "--partitions", "--replicas",
                           "--trace-out", "--metrics-out",
-                          "--sample-every"}) {
+                          "--sample-every", "--equality-mode",
+                          "--max-clique"}) {
       if (flag_name == f) {
         return true;
       }
@@ -232,6 +259,16 @@ class Args {
 unsigned load_threads_of(const Args& args) {
   return static_cast<unsigned>(
       std::stoul(args.option("--load-threads", "1")));
+}
+
+bool rewrite_mode_of(const Args& args) {
+  const std::string mode = args.option("--equality-mode", "naive");
+  if (mode != "naive" && mode != "rewrite") {
+    std::cerr << "--equality-mode: expected naive|rewrite, got '" << mode
+              << "' (using naive)\n";
+    return false;
+  }
+  return mode == "rewrite";
 }
 
 /// The one place CLI observability flags are parsed; every command embeds
@@ -290,6 +327,13 @@ int cmd_gen(const Args& args) {
     o.fields = scale;
     o.seed = seed;
     stats = gen::generate_mdc(o, dict, store);
+  } else if (kind == "sameas") {
+    gen::SameAsOptions o;
+    o.individuals = 200 * scale;
+    o.max_clique_size = static_cast<std::uint32_t>(
+        std::stoul(args.option("--max-clique", "6")));
+    o.seed = seed;
+    stats = gen::generate_sameas(o, dict, store);
   } else {
     return usage();
   }
@@ -412,6 +456,12 @@ int cmd_materialize(const Args& args) {
   opts.dispatch_index = !args.flag("--no-dispatch");
   opts.devirtualize = !args.flag("--no-devirt");
   opts.obs = obs_options_from(args);
+  reason::EqualityManager eq;
+  const bool rewrite = rewrite_mode_of(args);
+  if (rewrite) {
+    opts.equality_mode = reason::EqualityMode::kRewrite;
+    opts.equality = &eq;
+  }
 
   const reason::MaterializeResult r =
       reason::materialize(store, dict, vocab, opts);
@@ -420,6 +470,11 @@ int cmd_materialize(const Args& args) {
             << util::format_seconds(r.reason_seconds) << " ("
             << r.compiled_rules << " rules, " << r.iterations
             << " iterations)\n";
+  if (rewrite) {
+    std::cout << "equality rewrite: " << r.eq_merges << " merges, "
+              << r.eq_conflicts << " conflicts; representative-space closure "
+              << store.size() << " triples\n";
+  }
 
   // Optional user rule file applied on top of the OWL-Horst closure.
   const std::string rules_path = args.option("--rules");
@@ -450,8 +505,14 @@ int cmd_materialize(const Args& args) {
   }
 
   const std::string out = args.option("-o");
-  if (!out.empty() && !save_kb(out, dict, store)) {
-    return 1;
+  if (!out.empty()) {
+    rdf::EqualityClassMap map;
+    if (rewrite) {
+      map = eq.export_map();
+    }
+    if (!save_kb(out, dict, store, rewrite ? &map : nullptr)) {
+      return 1;
+    }
   }
   return 0;
 }
@@ -536,18 +597,49 @@ int cmd_query(const Args& args) {
   const std::string text = args.positional(1);
   rdf::Dictionary dict;
   rdf::TripleStore store;
+  rdf::EqualityClassMap eqmap;  // non-empty after loading a v3 snapshot
   if (path.empty() || (text.empty() && queries_file.empty()) ||
-      !load_kb(path, dict, store, load_threads_of(args))) {
+      !load_kb(path, dict, store, load_threads_of(args), &eqmap)) {
     return path.empty() || (text.empty() && queries_file.empty()) ? usage()
                                                                   : 1;
   }
   ontology::Vocabulary vocab(dict);
   if (args.flag("--reason")) {
-    reason::materialize(store, dict, vocab, {});
+    reason::MaterializeOptions mopts;
+    reason::EqualityManager em;
+    if (rewrite_mode_of(args)) {
+      mopts.equality_mode = reason::EqualityMode::kRewrite;
+      mopts.equality = &em;
+    }
+    reason::materialize(store, dict, vocab, mopts);
+    if (mopts.equality != nullptr) {
+      eqmap = em.export_map();
+    }
   }
+  std::optional<reason::EqualityManager> eq;
+  if (!eqmap.empty()) {
+    eq = reason::EqualityManager::import_map(eqmap);
+  }
+  // Answers from a representative-space closure are expanded through the
+  // class map; unsupported shapes are reported, never silently wrong.
+  const auto run_query =
+      [&](const query::SelectQuery& q,
+          std::string* why) -> std::optional<query::ResultSet> {
+    if (!eq) {
+      return query::evaluate(store, q);
+    }
+    query::EqualityEvalResult r =
+        query::evaluate_with_equality(store, q, *eq, vocab.owl_same_as);
+    if (r.unsupported) {
+      *why = std::move(r.message);
+      return std::nullopt;
+    }
+    return std::move(r.results);
+  };
   query::SparqlParser parser(dict);
   parser.add_prefix("ub", gen::kUnivBenchNs);
   parser.add_prefix("mdc", gen::kMdcNs);
+  parser.add_prefix("id", gen::kSameAsNs);
 
   // Batch mode: one query per line (the workload driver's file format).
   if (!queries_file.empty()) {
@@ -572,9 +664,16 @@ int cmd_query(const Args& args) {
         continue;
       }
       util::Stopwatch watch;
-      const query::ResultSet results = query::evaluate(store, *q);
+      std::string why;
+      const auto results = run_query(*q, &why);
+      if (!results) {
+        std::cerr << "query " << i + 1 << ": unsupported under equality "
+                  << "rewriting: " << why << "\n";
+        ++failures;
+        continue;
+      }
       const std::string& full = queries[i];
-      table.add_row({std::to_string(i + 1), std::to_string(results.size()),
+      table.add_row({std::to_string(i + 1), std::to_string(results->size()),
                      util::format_seconds(watch.elapsed_seconds()),
                      full.size() > 60 ? full.substr(0, 57) + "..." : full});
     }
@@ -589,26 +688,61 @@ int cmd_query(const Args& args) {
     return 1;
   }
   util::Stopwatch watch;
-  const query::ResultSet results = query::evaluate(store, *q);
-  std::cout << query::to_text(results, dict) << results.size()
+  std::string why;
+  const auto results = run_query(*q, &why);
+  if (!results) {
+    std::cerr << "unsupported under equality rewriting: " << why << "\n";
+    return 1;
+  }
+  std::cout << query::to_text(*results, dict) << results->size()
             << " result(s) in " << util::format_seconds(watch.elapsed_seconds())
             << "\n";
   return 0;
+}
+
+/// Shared by serve-bench and serve-dist: the frozen class map of a rewrite
+/// run — from a v3 snapshot, or from materializing under --equality-mode
+/// rewrite — as the shared_ptr the serving layers hold.
+std::shared_ptr<const reason::EqualityManager> serve_equality(
+    const Args& args, rdf::Dictionary& dict,
+    const ontology::Vocabulary& vocab, rdf::TripleStore& store,
+    const rdf::EqualityClassMap& loaded_map) {
+  if (args.flag("--reason")) {
+    reason::MaterializeOptions mopts;
+    auto em = std::make_shared<reason::EqualityManager>();
+    const bool rewrite = rewrite_mode_of(args);
+    if (rewrite) {
+      mopts.equality_mode = reason::EqualityMode::kRewrite;
+      mopts.equality = em.get();
+    }
+    const reason::MaterializeResult r =
+        reason::materialize(store, dict, vocab, mopts);
+    std::cout << "materialized: +" << r.inferred << " triples";
+    if (rewrite) {
+      std::cout << " (rewrite: " << r.eq_merges << " merges)";
+    }
+    std::cout << "\n";
+    return rewrite ? em : nullptr;
+  }
+  if (!loaded_map.empty()) {
+    return std::make_shared<reason::EqualityManager>(
+        reason::EqualityManager::import_map(loaded_map));
+  }
+  return nullptr;
 }
 
 int cmd_serve_bench(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
+  rdf::EqualityClassMap eqmap;
+  if (path.empty() ||
+      !load_kb(path, dict, store, load_threads_of(args), &eqmap)) {
     return path.empty() ? usage() : 1;
   }
   ontology::Vocabulary vocab(dict);
-  if (args.flag("--reason")) {
-    const reason::MaterializeResult r =
-        reason::materialize(store, dict, vocab, {});
-    std::cout << "materialized: +" << r.inferred << " triples\n";
-  }
+  const std::shared_ptr<const reason::EqualityManager> equality =
+      serve_equality(args, dict, vocab, store, eqmap);
 
   // The query mix: a file of one-per-line queries, or the LUBM-14 mix.
   std::vector<std::string> queries;
@@ -636,12 +770,14 @@ int cmd_serve_bench(const Args& args) {
   sopts.cache_enabled = !args.flag("--no-cache");
   sopts.default_deadline_seconds = std::stod(args.option("--deadline", "0"));
   sopts.prefixes = {{"ub", std::string(gen::kUnivBenchNs)},
-                    {"mdc", std::string(gen::kMdcNs)}};
+                    {"mdc", std::string(gen::kMdcNs)},
+                    {"id", std::string(gen::kSameAsNs)}};
   sopts.maintain_strategy = args.option("--strategy", "dred") == "fbf"
                                 ? reason::MaintainStrategy::kFbf
                                 : reason::MaintainStrategy::kDRed;
   sopts.obs = obs_options_from(args);
-  serve::QueryService service(dict, vocab, std::move(store), sopts);
+  serve::QueryService service(dict, vocab, std::move(store), sopts, {},
+                              equality);
 
   serve::WorkloadOptions wopts;
   wopts.mode = args.option("--mode", "closed") == "open"
@@ -853,15 +989,14 @@ int cmd_serve_dist(const Args& args) {
   const std::string path = args.positional(0);
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
+  rdf::EqualityClassMap eqmap;
+  if (path.empty() ||
+      !load_kb(path, dict, store, load_threads_of(args), &eqmap)) {
     return path.empty() ? usage() : 1;
   }
   ontology::Vocabulary vocab(dict);
-  if (args.flag("--reason")) {
-    const reason::MaterializeResult r =
-        reason::materialize(store, dict, vocab, {});
-    std::cout << "materialized: +" << r.inferred << " triples\n";
-  }
+  const std::shared_ptr<const reason::EqualityManager> equality =
+      serve_equality(args, dict, vocab, store, eqmap);
 
   std::vector<std::string> queries;
   const std::string queries_file = args.option("--queries-file");
@@ -907,8 +1042,11 @@ int cmd_serve_dist(const Args& args) {
   dopts.cache_enabled = !args.flag("--no-cache");
   dopts.default_deadline_seconds = std::stod(args.option("--deadline", "0"));
   dopts.prefixes = {{"ub", std::string(gen::kUnivBenchNs)},
-                    {"mdc", std::string(gen::kMdcNs)}};
+                    {"mdc", std::string(gen::kMdcNs)},
+                    {"id", std::string(gen::kSameAsNs)}};
   dopts.replicas = replicas;
+  dopts.equality = equality;
+  dopts.same_as = vocab.owl_same_as;
   dopts.obs = obs_options_from(args);
   dist::DistService service(dict, store, std::move(owners), k, transport,
                             dopts);

@@ -16,6 +16,10 @@
 #     add+delete batches through DRed and FBF vs additions-only
 #     incremental closure vs full re-materialization, batch sizes
 #     {1, 10, 100} students.
+#   bench/BENCH_sameas.json — equality-rewriting sweep on the clique-heavy
+#     generator: naive sameAs closure vs representative rewriting × clique
+#     density {3, 6, 10} × threads {1, 4}, plus query-time class-map
+#     expansion vs naive BGP evaluation.
 # Usage: tools/record_bench.sh [extra benchmark args...]
 #
 # The baselines answer "did this PR make a hot path slower?" — compare a
@@ -30,7 +34,7 @@ jobs=$(nproc 2>/dev/null || echo 2)
 cmake --preset default
 cmake --build --preset default -j "$jobs" --target micro_reason \
   extension_ingest extension_distributed_serving ablation_async \
-  extension_incremental
+  extension_incremental extension_sameas
 
 build/bench/micro_reason \
   --benchmark_filter='BM_Closure' \
@@ -67,3 +71,10 @@ build/bench/extension_incremental \
   "$@"
 
 echo "wrote bench/BENCH_incremental.json"
+
+build/bench/extension_sameas \
+  --benchmark_out=bench/BENCH_sameas.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote bench/BENCH_sameas.json"

@@ -9,7 +9,11 @@ Prints three views of the trace:
     plus the round's max/min ratio — the straggler factor),
   * per-worker communication breakdown (compute vs send/recv/retransmit),
   * async steal/idle breakdown (--exec-mode async runs: drain/steal/idle
-    time per worker, steal counts, stolen tuples, victims).
+    time per worker, steal counts, stolen tuples, victims),
+  * equality-rewrite breakdown (--equality-mode rewrite runs: store
+    rebuild passes with remapped-triple counts from reason.eq.rewrite,
+    query-time class-map expansion with row amplification from
+    reason.eq.expand).
 
 The input is the {"traceEvents": [...]} JSON written by the tracer; only
 "X" (complete) events are consumed, "M" metadata names the worker tracks.
@@ -184,6 +188,38 @@ def async_breakdown(spans, names, markdown):
     table.print(markdown)
 
 
+def eq_breakdown(spans, markdown):
+    # Equality rewriting: reason.eq.rewrite spans are the engine's in-place
+    # store rebuilds after sameAs merges (args: keep_end — the prefix that
+    # may survive untouched, remapped — triples moved to a new
+    # representative), reason.eq.expand spans are query-time class-map
+    # expansions (args: rows_in — representative-space solutions, rows_out
+    # — expanded answer rows).  The rows_out/rows_in ratio is the
+    # amplification the smaller store pays back at answer time.
+    rewrites = [e for e in spans if e["name"] == "reason.eq.rewrite"]
+    expands = [e for e in spans if e["name"] == "reason.eq.expand"]
+    if not rewrites and not expands:
+        return
+    table = Table(["phase", "count", "total", "mean", "detail"])
+    if rewrites:
+        total = sum(e.get("dur", 0) for e in rewrites)
+        remapped = sum(e.get("args", {}).get("remapped", 0)
+                       for e in rewrites)
+        table.add(["rewrite (store rebuild)", len(rewrites), fmt_us(total),
+                   fmt_us(total / len(rewrites)),
+                   f"{remapped} triples remapped"])
+    if expands:
+        total = sum(e.get("dur", 0) for e in expands)
+        rows_in = sum(e.get("args", {}).get("rows_in", 0) for e in expands)
+        rows_out = sum(e.get("args", {}).get("rows_out", 0) for e in expands)
+        amp = rows_out / rows_in if rows_in else 0.0
+        table.add(["expand (query answers)", len(expands), fmt_us(total),
+                   fmt_us(total / len(expands)),
+                   f"{rows_in} rows in, {rows_out} out ({amp:.2f}x)"])
+    print("== equality-rewrite breakdown ==")
+    table.print(markdown)
+
+
 def dist_breakdown(spans, names, markdown):
     # Distributed serving tier: the router's per-request phases
     # (dist.route footprint computation, dist.fanout scatter/gather,
@@ -231,6 +267,7 @@ def main():
     round_skew(spans, names, args.markdown)
     comm_breakdown(spans, names, args.markdown)
     async_breakdown(spans, names, args.markdown)
+    eq_breakdown(spans, args.markdown)
     dist_breakdown(spans, names, args.markdown)
     return 0
 
