@@ -22,9 +22,9 @@ int main() {
     const double serial = serial_seconds(u, reason::Strategy::kQueryDriven);
     util::Table table({"refinement", "procs", "IR", "bal", "speedup"});
     for (const bool refine : {true, false}) {
-      partition::MultilevelOptions mopts;
-      mopts.refine = refine;
-      const partition::GraphOwnerPolicy policy(mopts);
+      partition::PartitionerOptions popts;
+      popts.refine = refine;
+      const partition::GraphOwnerPolicy policy(popts);
       for (const unsigned k : {4u, 8u}) {
         const partition::DataPartitioning dp = partition::partition_data(
             u.store, u.dict, *u.vocab, policy, k);

@@ -1,49 +1,97 @@
 // Fig. 5 — "Comparison of performance of the two data-partitioning
-// algorithms for LUBM-10": speedups obtained from the three owner policies
-// (graph, domain-specific, hash) at 2/4/8/16 partitions.
+// algorithms for LUBM-10", extended to the full partitioner suite: the
+// multilevel graph policy, the domain-specific and hash owner functions,
+// and the streaming partitioners (HDRF / Fennel / NE / HDRF+split-merge),
+// all scored on the same counters (speedup, IR, OR, RF, plan edge cut,
+// partitioning time) at 2/4/8/16 partitions.
 //
 // The paper could not complete hash runs at 8 and 16 nodes ("experiments
 // did not complete due to memory size limitations") because hash
 // partitioning replicates so heavily; this harness runs them anyway and
 // reports the replication blow-up alongside the (poor) speedup.
+//
+// Built as a google-benchmark binary so tools/record_bench.sh can record
+// the counters into bench/BENCH_partition.json.
+
+#include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+
+namespace {
 
 using namespace parowl;
 using namespace parowl::bench;
 
-int main() {
-  const unsigned s = scale_factor();
-  print_header("Fig. 5: data-partitioning policy comparison (LUBM)");
-
-  Universe u;
-  make_lubm(u, 10 * s);
-  const double serial = serial_seconds(u, reason::Strategy::kQueryDriven);
-
-  const partition::GraphOwnerPolicy graph_policy;
-  const partition::DomainOwnerPolicy domain_policy(
-      &partition::lubm_university_key);
-  const partition::HashOwnerPolicy hash_policy;
-  const partition::OwnerPolicy* policies[] = {&graph_policy, &domain_policy,
-                                              &hash_policy};
-
-  util::Table table(
-      {"policy", "procs", "speedup", "IR", "OR", "rounds"});
-  for (const partition::OwnerPolicy* policy : policies) {
-    for (const unsigned k : {2u, 4u, 8u, 16u}) {
-      const SpeedupPoint p = run_data_point(
-          u, *policy, k, reason::Strategy::kQueryDriven, serial);
-      table.add_row({policy->name(), std::to_string(k),
-                     util::fmt_double(p.speedup, 2),
-                     util::fmt_double(p.input_replication, 2),
-                     util::fmt_double(p.output_replication, 2),
-                     std::to_string(p.rounds)});
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected shape (paper): domain-specific performs nearly "
-               "as well as graph\npartitioning; hash performs much worse "
-               "because it does not minimize\nedge-cut (IR ~10x higher), "
-               "and in the paper it exhausted memory at 8/16 nodes.\n";
-  return 0;
+Universe& universe() {
+  static Universe* u = [] {
+    auto* v = new Universe();
+    make_lubm(*v, 10 * scale_factor());
+    return v;
+  }();
+  return *u;
 }
+
+double serial_baseline() {
+  static const double s =
+      serial_seconds(universe(), reason::Strategy::kQueryDriven);
+  return s;
+}
+
+std::unique_ptr<partition::OwnerPolicy> policy_for(int which) {
+  partition::PartitionerOptions popts;
+  switch (which) {
+    case 0:
+      return std::make_unique<partition::GraphOwnerPolicy>();
+    case 1:
+      return std::make_unique<partition::DomainOwnerPolicy>(
+          &partition::lubm_university_key);
+    case 2:
+      return std::make_unique<partition::HashOwnerPolicy>();
+    case 3:
+      popts.kind = partition::PartitionerKind::kHdrf;
+      return std::make_unique<partition::StreamingOwnerPolicy>(popts);
+    case 4:
+      popts.kind = partition::PartitionerKind::kFennel;
+      return std::make_unique<partition::StreamingOwnerPolicy>(popts);
+    case 5:
+      popts.kind = partition::PartitionerKind::kNe;
+      return std::make_unique<partition::StreamingOwnerPolicy>(popts);
+    default:
+      popts.kind = partition::PartitionerKind::kHdrf;
+      popts.split_merge_factor = 4;
+      return std::make_unique<partition::StreamingOwnerPolicy>(popts);
+  }
+}
+
+void BM_Fig5PartitionerComparison(benchmark::State& state) {
+  Universe& u = universe();
+  const auto k = static_cast<unsigned>(state.range(1));
+  const auto policy = policy_for(static_cast<int>(state.range(0)));
+  const double serial = serial_baseline();
+
+  partition::DataPartitioning dp;
+  for (auto _ : state) {
+    dp = partition::partition_data(u.store, u.dict, *u.vocab, *policy, k);
+    benchmark::DoNotOptimize(dp);
+  }
+  const partition::PartitionMetrics m =
+      partition::compute_partition_metrics(dp, u.dict);
+  const SpeedupPoint p = run_data_point(
+      u, *policy, k, reason::Strategy::kQueryDriven, serial);
+
+  state.SetLabel(policy->name() + " [" + dp.algorithm + "]");
+  state.counters["speedup"] = p.speedup;
+  state.counters["IR"] = m.input_replication;
+  state.counters["OR"] = p.output_replication;
+  state.counters["RF"] = m.replication_factor;
+  state.counters["bal"] = m.bal;
+  state.counters["plan_cut"] =
+      static_cast<double>(dp.plan_metrics.edge_cut);
+  state.counters["part_seconds"] = dp.partition_seconds;
+}
+BENCHMARK(BM_Fig5PartitionerComparison)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {2, 4, 8, 16}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,11 +1,12 @@
-// Micro-benchmarks for the multilevel graph partitioner and the owner
-// policies.
+// Micro-benchmarks for the graph partitioners (multilevel + streaming) and
+// the owner policies.
 
 #include <benchmark/benchmark.h>
 
 #include "parowl/gen/lubm.hpp"
 #include "parowl/ontology/ontology.hpp"
 #include "parowl/partition/data_partition.hpp"
+#include "parowl/partition/streaming.hpp"
 #include "parowl/util/rng.hpp"
 
 namespace {
@@ -28,11 +29,28 @@ void BM_MultilevelPartition(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const partition::Graph g = random_graph(n, 3, 7);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(partition::partition_graph(g, 8));
+    benchmark::DoNotOptimize(partition::partition_csr_graph(g, 8));
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_MultilevelPartition)->Arg(10000)->Arg(50000);
+
+void BM_StreamingPartition(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto kind = static_cast<partition::PartitionerKind>(state.range(1));
+  const partition::Graph g = random_graph(n, 3, 7);
+  partition::PartitionerOptions opts;
+  opts.kind = kind;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::partition_csr_graph(g, 8, opts));
+  }
+  state.SetLabel(std::string(partition::to_string(kind)));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StreamingPartition)
+    ->Args({50000, static_cast<int>(partition::PartitionerKind::kHdrf)})
+    ->Args({50000, static_cast<int>(partition::PartitionerKind::kFennel)})
+    ->Args({50000, static_cast<int>(partition::PartitionerKind::kNe)});
 
 void BM_DataPartitionPolicies(benchmark::State& state) {
   rdf::Dictionary dict;
@@ -42,16 +60,21 @@ void BM_DataPartitionPolicies(benchmark::State& state) {
   opts.universities = 4;
   gen::generate_lubm(opts, dict, store);
 
+  partition::PartitionerOptions hdrf_opts;
+  hdrf_opts.kind = partition::PartitionerKind::kHdrf;
   const int which = static_cast<int>(state.range(0));
   const partition::GraphOwnerPolicy graph_policy;
   const partition::HashOwnerPolicy hash_policy;
   const partition::DomainOwnerPolicy domain_policy(
       &partition::lubm_university_key);
+  const partition::StreamingOwnerPolicy hdrf_policy(hdrf_opts);
   const partition::OwnerPolicy* policy =
       which == 0 ? static_cast<const partition::OwnerPolicy*>(&graph_policy)
       : which == 1
           ? static_cast<const partition::OwnerPolicy*>(&hash_policy)
-          : static_cast<const partition::OwnerPolicy*>(&domain_policy);
+      : which == 2
+          ? static_cast<const partition::OwnerPolicy*>(&domain_policy)
+          : static_cast<const partition::OwnerPolicy*>(&hdrf_policy);
 
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -59,6 +82,6 @@ void BM_DataPartitionPolicies(benchmark::State& state) {
   }
   state.SetLabel(policy->name());
 }
-BENCHMARK(BM_DataPartitionPolicies)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_DataPartitionPolicies)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 }  // namespace

@@ -25,11 +25,22 @@ int main() {
   const partition::DomainOwnerPolicy domain_policy(
       &partition::lubm_university_key);
   const partition::HashOwnerPolicy hash_policy;
-  const partition::OwnerPolicy* policies[] = {&graph_policy, &domain_policy,
-                                              &hash_policy};
+  partition::PartitionerOptions hdrf_opts, fennel_opts, ne_opts, sm_opts;
+  hdrf_opts.kind = partition::PartitionerKind::kHdrf;
+  fennel_opts.kind = partition::PartitionerKind::kFennel;
+  ne_opts.kind = partition::PartitionerKind::kNe;
+  sm_opts.kind = partition::PartitionerKind::kHdrf;
+  sm_opts.split_merge_factor = 4;
+  const partition::StreamingOwnerPolicy hdrf_policy(hdrf_opts);
+  const partition::StreamingOwnerPolicy fennel_policy(fennel_opts);
+  const partition::StreamingOwnerPolicy ne_policy(ne_opts);
+  const partition::StreamingOwnerPolicy sm_policy(sm_opts);
+  const partition::OwnerPolicy* policies[] = {
+      &graph_policy, &domain_policy, &hash_policy,
+      &hdrf_policy,  &fennel_policy, &ne_policy,   &sm_policy};
 
-  util::Table table({"partitions", "algorithm", "bal", "OR", "IR",
-                     "part. time(s)"});
+  util::Table table({"partitions", "policy", "algorithm", "bal", "OR", "IR",
+                     "RF", "part. time(s)"});
   for (const unsigned k : {2u, 4u, 8u, 16u}) {
     for (const partition::OwnerPolicy* policy : policies) {
       const partition::DataPartitioning dp = partition::partition_data(
@@ -46,10 +57,11 @@ int main() {
       const parallel::ParallelResult r =
           parallel::parallel_materialize(u.store, u.dict, *u.vocab, opts);
 
-      table.add_row({std::to_string(k), policy->name(),
+      table.add_row({std::to_string(k), policy->name(), dp.algorithm,
                      util::fmt_double(m.bal, 0),
                      util::fmt_double(r.output_replication, 2),
                      util::fmt_double(m.input_replication, 2),
+                     util::fmt_double(m.replication_factor, 2),
                      util::fmt_double(dp.partition_seconds, 3)});
     }
   }

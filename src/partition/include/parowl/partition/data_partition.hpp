@@ -25,6 +25,13 @@ struct DataPartitioning {
 
   /// Wall time of the whole partitioning step (the paper's "Part. Time").
   double partition_seconds = 0.0;
+
+  /// Provenance from the owner plan: the algorithm that produced the owner
+  /// table and the plan-level metrics (replication factor, edge cut, load
+  /// balance) the partitioner reported about itself.  `owners` above is the
+  /// plan's table, moved here.
+  std::string algorithm;
+  PartitionMetrics plan_metrics;
 };
 
 /// Run Algorithm 1 on `store`:

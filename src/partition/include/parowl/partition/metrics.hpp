@@ -1,13 +1,21 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
-#include "parowl/partition/data_partition.hpp"
+#include "parowl/partition/graph.hpp"
 
 namespace parowl::partition {
 
-/// The partition-quality metrics of §III (Table I).
+struct DataPartitioning;
+
+/// The partition-quality metrics of §III (Table I), extended with the
+/// graph-level diagnostics (edge cut, vertex-weight balance, replication
+/// factor) so there is exactly one metrics struct across the partitioning
+/// stack — partitioners fill the graph-level fields into their plans, and
+/// compute_partition_metrics fills the data-level fields from a finished
+/// DataPartitioning.
 struct PartitionMetrics {
   /// bal: standard deviation of the number of (distinct) nodes per
   /// partition.  Computation time is proportional to node count, so this
@@ -22,11 +30,40 @@ struct PartitionMetrics {
 
   std::vector<std::size_t> nodes_per_partition;
   std::size_t total_nodes = 0;
+
+  /// RF: mean number of partitions a node appears on under the placement
+  /// rule (owner of subject + owner of object); equals IR + 1.  0 when not
+  /// computed.
+  double replication_factor = 0.0;
+
+  /// Total weight of edges whose endpoints lie in different partitions.
+  std::uint64_t edge_cut = 0;
+
+  /// Vertex-weight total per partition (balance diagnostic; for resource
+  /// graphs all weights are 1, so this is the owned-node count).
+  std::vector<std::uint64_t> partition_weights;
 };
 
-/// Compute bal and IR for a data partitioning.
+/// Compute bal and IR for a data partitioning (data-level fields only).
 [[nodiscard]] PartitionMetrics compute_partition_metrics(
     const DataPartitioning& partitioning, const rdf::Dictionary& dict);
+
+/// Score a vertex -> partition assignment against its graph: edge cut,
+/// per-partition vertex weights, and the placement replication metrics
+/// (a vertex is replicated to every partition owning one of its
+/// neighbors).  This replaces the old free-standing compute_edge_cut /
+/// partition_weights helpers.
+[[nodiscard]] PartitionMetrics compute_graph_metrics(
+    const Graph& graph, std::span<const std::uint32_t> assignment, int k);
+
+/// Build plan-level metrics from per-vertex replica bitmasks (bit p set =
+/// the vertex appears on partition p under the placement rule) plus the
+/// per-partition vertex-weight loads and the already-accumulated edge cut.
+/// This is how the streaming partitioners score themselves without ever
+/// holding the edge set.  Requires |part_weights| <= 64.
+[[nodiscard]] PartitionMetrics metrics_from_replica_masks(
+    std::span<const std::uint64_t> masks,
+    std::span<const std::uint64_t> part_weights, std::uint64_t edge_cut);
 
 /// OR: the output-duplication excess — sum over processors of result-tuple
 /// counts divided by the size of the unioned output, minus 1.  0 means

@@ -1,52 +1,48 @@
 #pragma once
 
-#include <cstdint>
 #include <vector>
 
-#include "parowl/partition/graph.hpp"
+#include "parowl/partition/partitioner.hpp"
 
 namespace parowl::partition {
 
-/// Options for the multilevel partitioner.
-struct MultilevelOptions {
-  /// RNG seed for the matching visit order (determinism knob).
-  std::uint64_t seed = 0x5eed;
-
-  /// Run Fiduccia–Mattheyses boundary refinement after each uncoarsening
-  /// step.  Disabling it is the "no refinement" ablation.
-  bool refine = true;
-
-  /// Allowed imbalance: a side may carry up to (1 + tolerance) x its
-  /// proportional share of vertex weight.
-  double balance_tolerance = 0.03;
-
-  /// Stop coarsening once the graph has at most this many vertices.
-  std::size_t coarsen_to = 96;
-
-  /// FM passes per level.
-  int refine_passes = 6;
-};
-
-/// Result of a k-way partitioning.
-struct PartitionResult {
-  std::vector<std::uint32_t> assignment;  // vertex -> partition in [0, k)
-  std::uint64_t edge_cut = 0;             // total weight of cut edges
-};
-
-/// Partition `graph` into `k` parts using multilevel recursive bisection:
-/// heavy-edge-matching coarsening, greedy BFS-grown initial bisection, and
-/// FM refinement projected back up the hierarchy.  This is the same
+/// Multilevel recursive-bisection implementation of the Partitioner
+/// interface: heavy-edge-matching coarsening, greedy BFS-grown initial
+/// bisection, and FM refinement projected back up the hierarchy — the same
 /// algorithm family as Metis, which the paper uses for its graph
 /// partitioning policy.
-[[nodiscard]] PartitionResult partition_graph(const Graph& graph, int k,
-                                              const MultilevelOptions& options = {});
+///
+/// Unlike the streaming partitioners this one needs the whole graph:
+/// ingest() buffers the triples and finalize() builds the resource graph,
+/// so state is O(|V| + |E|).  It is the quality baseline the streaming
+/// heuristics are scored against.
+class MultilevelPartitioner final : public Partitioner {
+ public:
+  MultilevelPartitioner(const PartitionerOptions& options,
+                        const rdf::Dictionary& dict,
+                        std::uint32_t num_partitions,
+                        const ExcludedTerms* exclude = nullptr)
+      : options_(options),
+        dict_(&dict),
+        exclude_(exclude),
+        k_(num_partitions) {}
 
-/// Total weight of edges whose endpoints lie in different partitions.
-[[nodiscard]] std::uint64_t compute_edge_cut(
-    const Graph& graph, const std::vector<std::uint32_t>& assignment);
+  void ingest(std::span<const rdf::Triple> chunk) override;
+  [[nodiscard]] PartitionPlan finalize() override;
+  [[nodiscard]] std::string name() const override { return "Multilevel"; }
 
-/// Vertex-weight total per partition (balance diagnostic).
-[[nodiscard]] std::vector<std::uint64_t> partition_weights(
-    const Graph& graph, const std::vector<std::uint32_t>& assignment, int k);
+ private:
+  PartitionerOptions options_;
+  const rdf::Dictionary* dict_;
+  const ExcludedTerms* exclude_;
+  std::uint32_t k_;
+  std::vector<rdf::Triple> buffer_;
+};
+
+/// CSR entry point for the multilevel kind (partition_csr_graph dispatches
+/// here): recursive bisection at k * split_merge_factor, then the shared
+/// split-merge post-pass when configured.
+[[nodiscard]] PartitionPlan multilevel_csr_plan(
+    const Graph& graph, int k, const PartitionerOptions& options = {});
 
 }  // namespace parowl::partition

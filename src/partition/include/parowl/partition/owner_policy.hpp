@@ -6,56 +6,129 @@
 #include <string>
 #include <unordered_map>
 
-#include "parowl/partition/graph.hpp"
-#include "parowl/partition/multilevel.hpp"
+#include "parowl/partition/partitioner.hpp"
 #include "parowl/rdf/dictionary.hpp"
 #include "parowl/rdf/term.hpp"
 
 namespace parowl::partition {
 
-/// Maps each resource node to the partition that owns it — the "owner list"
-/// of the paper's generic data partitioning algorithm (Algorithm 1).
-using OwnerTable = std::unordered_map<rdf::TermId, std::uint32_t>;
-
-/// Strategy interface: given the instance triples, produce the owner table.
+/// Strategy interface: a factory of Partitioner instances, one per
+/// partitioning run.  This is the policy layer of §III-A — callers that
+/// stream (the ingest bootstrap) call create() and feed chunks themselves;
+/// one-shot callers (Algorithm 1's partition_data) use the plan()/assign()
+/// conveniences below.
 ///
-/// Implementations correspond to §III-A's three policies:
-///  * GraphOwnerPolicy  — multilevel partitioning of the resource graph
-///  * HashOwnerPolicy   — streaming hash of the node's lexical form
-///  * DomainOwnerPolicy — locality key extracted from the IRI
+/// Implementations correspond to §III-A's policies plus the streaming
+/// suite:
+///  * GraphOwnerPolicy     — multilevel partitioning of the resource graph
+///  * HashOwnerPolicy      — streaming hash of the node's lexical form
+///  * DomainOwnerPolicy    — locality key extracted from the IRI
+///  * StreamingOwnerPolicy — HDRF / Fennel / NE (+ split-merge)
+///  * FixedOwnerPolicy     — replay of a precomputed owner table
 class OwnerPolicy {
  public:
   virtual ~OwnerPolicy() = default;
 
-  /// Compute owners for every resource in `instance_triples` across
-  /// `num_partitions` partitions.  Terms in `exclude` (schema elements —
-  /// classes/properties, which are replicated rather than partitioned) get
-  /// no owner and induce no graph edges.
-  [[nodiscard]] virtual OwnerTable assign(
-      std::span<const rdf::Triple> instance_triples,
+  /// Construct a fresh partitioner bound to (dict, num_partitions,
+  /// exclude).  `dict`, `exclude`, and this policy must outlive it.  Terms
+  /// in `exclude` (schema elements — classes/properties, which are
+  /// replicated rather than partitioned) get no owner and induce no graph
+  /// edges.
+  [[nodiscard]] virtual std::unique_ptr<Partitioner> create(
       const rdf::Dictionary& dict, std::uint32_t num_partitions,
       const ExcludedTerms* exclude = nullptr) const = 0;
 
-  /// Short name used in benchmark tables ("Graph", "Hash", "Dom sp.").
+  /// Short name used in benchmark tables ("Graph", "Hash", "HDRF").
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-shot convenience: create(), ingest the whole span, finalize().
+  /// Chunking never changes the result, so feeding everything at once is
+  /// equivalent to any streaming decomposition.
+  [[nodiscard]] PartitionPlan plan(
+      std::span<const rdf::Triple> instance_triples,
+      const rdf::Dictionary& dict, std::uint32_t num_partitions,
+      const ExcludedTerms* exclude = nullptr) const;
+
+  /// plan() reduced to its owner table.
+  [[nodiscard]] OwnerTable assign(
+      std::span<const rdf::Triple> instance_triples,
+      const rdf::Dictionary& dict, std::uint32_t num_partitions,
+      const ExcludedTerms* exclude = nullptr) const;
+};
+
+/// A Partitioner for pointwise policies (hash / domain / fixed): the owner
+/// of a term is decided at first sight by a callback on (term, lexical),
+/// independent of graph structure.  Streams with O(|V| + k^2) state and
+/// accounts the same replica-mask metrics as the structural partitioners
+/// when k <= 64 (beyond that only the load counters are kept).
+class PointwisePartitioner final : public Partitioner {
+ public:
+  using OwnerFn = std::function<std::uint32_t(rdf::TermId, std::string_view)>;
+
+  PointwisePartitioner(OwnerFn owner_of, std::string algorithm,
+                       const rdf::Dictionary& dict,
+                       std::uint32_t num_partitions,
+                       const ExcludedTerms* exclude);
+
+  void ingest(std::span<const rdf::Triple> chunk) override;
+  [[nodiscard]] PartitionPlan finalize() override;
+  [[nodiscard]] std::string name() const override { return algorithm_; }
+
+ private:
+  struct Node {
+    std::uint32_t owner = 0;
+    std::uint64_t mask = 0;
+  };
+
+  Node* touch(rdf::TermId term);
+
+  OwnerFn owner_of_;
+  std::string algorithm_;
+  const rdf::Dictionary* dict_;
+  const ExcludedTerms* exclude_;
+  std::uint32_t k_;
+  std::unordered_map<rdf::TermId, Node> nodes_;
+  std::vector<std::uint64_t> loads_;
+  std::vector<std::uint64_t> cut_matrix_;  // [lo * k + hi], k <= 64 only
+  std::size_t triples_ingested_ = 0;
+  std::size_t peak_state_ = 0;
+  double ingest_seconds_ = 0.0;
 };
 
 /// Graph partitioning policy (§III-A-1): build the RDF resource graph and
 /// run the multilevel partitioner; the owner of a node is its partition.
 class GraphOwnerPolicy final : public OwnerPolicy {
  public:
-  explicit GraphOwnerPolicy(MultilevelOptions options = {})
-      : options_(options) {}
+  explicit GraphOwnerPolicy(PartitionerOptions options = {})
+      : options_(options) {
+    options_.kind = PartitionerKind::kMultilevel;
+  }
 
-  [[nodiscard]] OwnerTable assign(std::span<const rdf::Triple> instance_triples,
-                                  const rdf::Dictionary& dict,
-                                  std::uint32_t num_partitions,
-                                  const ExcludedTerms* exclude = nullptr)
-      const override;
+  [[nodiscard]] std::unique_ptr<Partitioner> create(
+      const rdf::Dictionary& dict, std::uint32_t num_partitions,
+      const ExcludedTerms* exclude = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "Graph"; }
 
  private:
-  MultilevelOptions options_;
+  PartitionerOptions options_;
+};
+
+/// Streaming policy: HDRF / Fennel / NE with the optional split-merge
+/// post-pass, per the options' kind.  The partitioners it creates hold
+/// O(|V| + k) state and never materialize the resource graph.
+class StreamingOwnerPolicy final : public OwnerPolicy {
+ public:
+  explicit StreamingOwnerPolicy(PartitionerOptions options,
+                                std::string label = "");
+
+  [[nodiscard]] std::unique_ptr<Partitioner> create(
+      const rdf::Dictionary& dict, std::uint32_t num_partitions,
+      const ExcludedTerms* exclude = nullptr) const override;
+  [[nodiscard]] std::string name() const override { return label_; }
+
+ private:
+  PartitionerOptions options_;
+  std::string label_;
 };
 
 /// Hash policy (§III-A-2): owner(node) = hash(lexical form) mod k.
@@ -65,11 +138,9 @@ class HashOwnerPolicy final : public OwnerPolicy {
  public:
   explicit HashOwnerPolicy(std::uint64_t salt = 0) : salt_(salt) {}
 
-  [[nodiscard]] OwnerTable assign(std::span<const rdf::Triple> instance_triples,
-                                  const rdf::Dictionary& dict,
-                                  std::uint32_t num_partitions,
-                                  const ExcludedTerms* exclude = nullptr)
-      const override;
+  [[nodiscard]] std::unique_ptr<Partitioner> create(
+      const rdf::Dictionary& dict, std::uint32_t num_partitions,
+      const ExcludedTerms* exclude = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "Hash"; }
 
   /// The pure hash (also usable without a table).
@@ -95,11 +166,9 @@ class DomainOwnerPolicy final : public OwnerPolicy {
   explicit DomainOwnerPolicy(KeyExtractor extractor, std::string label = "Dom sp.")
       : extractor_(std::move(extractor)), label_(std::move(label)) {}
 
-  [[nodiscard]] OwnerTable assign(std::span<const rdf::Triple> instance_triples,
-                                  const rdf::Dictionary& dict,
-                                  std::uint32_t num_partitions,
-                                  const ExcludedTerms* exclude = nullptr)
-      const override;
+  [[nodiscard]] std::unique_ptr<Partitioner> create(
+      const rdf::Dictionary& dict, std::uint32_t num_partitions,
+      const ExcludedTerms* exclude = nullptr) const override;
   [[nodiscard]] std::string name() const override { return label_; }
 
  private:

@@ -9,18 +9,18 @@
 namespace parowl::partition {
 
 /// An owner policy that replays a precomputed owner table.  Used to feed a
-/// rebalanced (or externally supplied) partitioning back into the parallel
-/// pipeline; terms absent from the table fall back to a stable hash.
+/// streamed or rebalanced (or externally supplied) partitioning back into
+/// the parallel pipeline; terms absent from the table fall back to a
+/// stable hash.  This is how a PartitionPlan built during ingest drives
+/// Algorithm 1 without re-partitioning.
 class FixedOwnerPolicy final : public OwnerPolicy {
  public:
   explicit FixedOwnerPolicy(OwnerTable owners, std::string label = "Fixed")
       : owners_(std::move(owners)), label_(std::move(label)) {}
 
-  [[nodiscard]] OwnerTable assign(std::span<const rdf::Triple> instance_triples,
-                                  const rdf::Dictionary& dict,
-                                  std::uint32_t num_partitions,
-                                  const ExcludedTerms* exclude = nullptr)
-      const override;
+  [[nodiscard]] std::unique_ptr<Partitioner> create(
+      const rdf::Dictionary& dict, std::uint32_t num_partitions,
+      const ExcludedTerms* exclude = nullptr) const override;
   [[nodiscard]] std::string name() const override { return label_; }
 
  private:
@@ -31,8 +31,9 @@ class FixedOwnerPolicy final : public OwnerPolicy {
 /// Predictive re-partitioning — the dynamic load-balancing idea of the
 /// paper's related work ([20]) and conclusions: after a run, per-partition
 /// reasoning costs are known; attribute each node a weight proportional to
-/// its old partition's observed cost-per-node and re-run the multilevel
-/// partitioner so the *predicted* cost (not the node count) is balanced.
+/// its old partition's observed cost-per-node and re-run the partitioner
+/// (any kind — the options select it) so the *predicted* cost (not the
+/// node count) is balanced.
 ///
 /// `previous` maps nodes to their old partitions; `measured_cost[p]` is the
 /// observed reasoning cost of partition p (any consistent unit).  Returns
@@ -41,6 +42,6 @@ class FixedOwnerPolicy final : public OwnerPolicy {
     const rdf::TripleStore& store, const rdf::Dictionary& dict,
     const ontology::Vocabulary& vocab, const OwnerTable& previous,
     std::span<const double> measured_cost, std::uint32_t num_partitions,
-    const MultilevelOptions& options = {});
+    const PartitionerOptions& options = {});
 
 }  // namespace parowl::partition

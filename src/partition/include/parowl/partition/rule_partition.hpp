@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "parowl/partition/multilevel.hpp"
+#include "parowl/partition/partitioner.hpp"
 #include "parowl/rules/dependency_graph.hpp"
 #include "parowl/rules/rule.hpp"
 
@@ -27,7 +27,8 @@ struct RulePartitioning {
 struct RulePartitionOptions {
   /// Weigh dependency edges by predicate statistics from a sample data-set
   /// (paper §III-B); the caller passes the store to build_dependency_graph.
-  MultilevelOptions multilevel;
+  /// The partitioner options pick the algorithm (multilevel by default).
+  PartitionerOptions partitioner;
 };
 
 /// Run Algorithm 2: build/partition the rule-dependency graph and split the

@@ -22,9 +22,13 @@ DataPartitioning partition_data(const rdf::TripleStore& store,
   const ontology::Ontology onto = ontology::extract_ontology(store, vocab);
   const ExcludedTerms& schema_terms = onto.schema_terms;
 
-  // Step 2: generate the owner list with the chosen policy.
-  out.owners = policy.assign(split.instance, dict, num_partitions,
-                             &schema_terms);
+  // Step 2: generate the owner list with the chosen policy (one streaming
+  // pass through the Partitioner API; the plan's provenance rides along).
+  PartitionPlan plan =
+      policy.plan(split.instance, dict, num_partitions, &schema_terms);
+  out.owners = std::move(plan.owners);
+  out.algorithm = std::move(plan.algorithm);
+  out.plan_metrics = std::move(plan.metrics);
 
   // Step 3: assign each tuple to the owner of its subject and the owner of
   // its object (when the object is an owned resource).

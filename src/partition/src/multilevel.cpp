@@ -5,7 +5,9 @@
 #include <numeric>
 #include <queue>
 
+#include "parowl/partition/streaming.hpp"
 #include "parowl/util/rng.hpp"
+#include "parowl/util/timer.hpp"
 
 namespace parowl::partition {
 namespace {
@@ -236,7 +238,7 @@ void fm_refine(const Graph& g, std::vector<std::uint8_t>& side,
 /// cut wins.
 std::vector<std::uint8_t> initial_bisection(const Graph& g,
                                             std::uint64_t target0,
-                                            const MultilevelOptions& options,
+                                            const PartitionerOptions& options,
                                             Rng& rng) {
   const auto n = static_cast<std::uint32_t>(g.num_vertices());
   std::vector<std::uint8_t> best(n, 1);
@@ -282,7 +284,7 @@ std::vector<std::uint8_t> initial_bisection(const Graph& g,
       }
     }
 
-    fm_refine(g, side, target0, options.balance_tolerance,
+    fm_refine(g, side, target0, options.balance_slack,
               options.refine_passes);
     const std::uint64_t cut = bisection_cut(g, side);
     if (cut < best_cut) {
@@ -295,7 +297,7 @@ std::vector<std::uint8_t> initial_bisection(const Graph& g,
 
 /// Multilevel bisection of `g` with side-0 weight target `target0`.
 std::vector<std::uint8_t> bisect(const Graph& g, std::uint64_t target0,
-                                 const MultilevelOptions& options, Rng& rng) {
+                                 const PartitionerOptions& options, Rng& rng) {
   if (g.num_vertices() <= options.coarsen_to) {
     return initial_bisection(g, target0, options, rng);
   }
@@ -318,7 +320,7 @@ std::vector<std::uint8_t> bisect(const Graph& g, std::uint64_t target0,
     side[v] = coarse_side[coarse_of[v]];
   }
   if (options.refine) {
-    fm_refine(g, side, target0, options.balance_tolerance,
+    fm_refine(g, side, target0, options.balance_slack,
               options.refine_passes);
   }
   return side;
@@ -358,7 +360,7 @@ Subgraph induce(const Graph& g, const std::vector<std::uint8_t>& side,
 }
 
 void kway(const Graph& g, int k, std::uint32_t base,
-          const MultilevelOptions& options, Rng& rng,
+          const PartitionerOptions& options, Rng& rng,
           const std::vector<std::uint32_t>& to_parent,
           std::vector<std::uint32_t>& assignment) {
   if (k <= 1 || g.num_vertices() == 0) {
@@ -387,44 +389,96 @@ void kway(const Graph& g, int k, std::uint32_t base,
        parent1, assignment);
 }
 
-}  // namespace
-
-PartitionResult partition_graph(const Graph& graph, int k,
-                                const MultilevelOptions& options) {
+/// Raw k-way assignment — the only direct entry into the multilevel
+/// machinery; every caller goes through the Partitioner API.
+std::vector<std::uint32_t> multilevel_assign(const Graph& graph, int k,
+                                             const PartitionerOptions& options) {
   assert(k >= 1);
-  PartitionResult result;
-  result.assignment.assign(graph.num_vertices(), 0);
+  std::vector<std::uint32_t> assignment(graph.num_vertices(), 0);
   if (k > 1 && graph.num_vertices() > 0) {
     Rng rng(options.seed);
     std::vector<std::uint32_t> identity(graph.num_vertices());
     std::iota(identity.begin(), identity.end(), 0u);
-    kway(graph, k, 0, options, rng, identity, result.assignment);
+    kway(graph, k, 0, options, rng, identity, assignment);
   }
-  result.edge_cut = compute_edge_cut(graph, result.assignment);
-  return result;
+  return assignment;
 }
 
-std::uint64_t compute_edge_cut(const Graph& graph,
-                               const std::vector<std::uint32_t>& assignment) {
-  std::uint64_t cut = 0;
+/// Placement replica masks for the split-merge pass: a vertex appears on
+/// its own partition plus each neighbor's partition.  Requires k <= 64.
+std::vector<std::uint64_t> placement_masks(
+    const Graph& graph, const std::vector<std::uint32_t>& assignment) {
+  std::vector<std::uint64_t> masks(graph.num_vertices(), 0);
   for (std::uint32_t v = 0; v < graph.num_vertices(); ++v) {
-    for (std::size_t e = graph.xadj[v]; e < graph.xadj[v + 1]; ++e) {
-      const std::uint32_t u = graph.adjncy[e];
-      if (u > v && assignment[u] != assignment[v]) {
-        cut += graph.adjwgt[e];
-      }
+    std::uint64_t mask = std::uint64_t{1} << assignment[v];
+    for (const std::uint32_t u : graph.neighbors(v)) {
+      mask |= std::uint64_t{1} << assignment[u];
+    }
+    masks[v] = mask;
+  }
+  return masks;
+}
+
+}  // namespace
+
+PartitionPlan multilevel_csr_plan(const Graph& graph, int k,
+                                  const PartitionerOptions& options) {
+  util::Stopwatch watch;
+  // Replica masks are 64-bit, so the over-partitioned k * m is clamped.
+  unsigned m = std::max(1u, options.split_merge_factor);
+  while (m > 1 && static_cast<std::uint64_t>(k) * m > 64) {
+    --m;
+  }
+  const int k_fine = k * static_cast<int>(m);
+  std::vector<std::uint32_t> assignment =
+      multilevel_assign(graph, k_fine, options);
+  if (k_fine > k) {
+    const std::vector<std::uint64_t> masks =
+        placement_masks(graph, assignment);
+    std::vector<std::uint64_t> weights(static_cast<std::size_t>(k_fine), 0);
+    for (std::uint32_t v = 0; v < graph.num_vertices(); ++v) {
+      weights[assignment[v]] += graph.vwgt[v];
+    }
+    const std::vector<std::uint32_t> remap =
+        split_merge_remap(masks, weights, k, options.balance_slack);
+    for (std::uint32_t& a : assignment) {
+      a = remap[a];
     }
   }
-  return cut;
+
+  PartitionPlan plan;
+  plan.assignment = std::move(assignment);
+  plan.metrics = compute_graph_metrics(graph, plan.assignment, k);
+  plan.partitions = static_cast<std::uint32_t>(k);
+  plan.seed = options.seed;
+  plan.algorithm =
+      m > 1 ? "multilevel+sm" + std::to_string(m) : "multilevel";
+  plan.triples_ingested = graph.num_edges();
+  plan.peak_state_entries = graph.num_vertices() + 2 * graph.num_edges();
+  plan.partition_seconds = watch.elapsed_seconds();
+  return plan;
 }
 
-std::vector<std::uint64_t> partition_weights(
-    const Graph& graph, const std::vector<std::uint32_t>& assignment, int k) {
-  std::vector<std::uint64_t> weights(static_cast<std::size_t>(k), 0);
-  for (std::uint32_t v = 0; v < graph.num_vertices(); ++v) {
-    weights[assignment[v]] += graph.vwgt[v];
+void MultilevelPartitioner::ingest(std::span<const rdf::Triple> chunk) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+}
+
+PartitionPlan MultilevelPartitioner::finalize() {
+  util::Stopwatch watch;
+  const ResourceGraph rg = build_resource_graph(buffer_, *dict_, exclude_);
+  PartitionPlan plan =
+      multilevel_csr_plan(rg.graph, static_cast<int>(k_), options_);
+  plan.owners.reserve(rg.node_term.size());
+  for (std::uint32_t v = 0; v < rg.node_term.size(); ++v) {
+    plan.owners.emplace(rg.node_term[v], plan.assignment[v]);
   }
-  return weights;
+  plan.assignment.clear();
+  plan.assignment.shrink_to_fit();
+  plan.triples_ingested = buffer_.size();
+  plan.peak_state_entries =
+      buffer_.size() + rg.node_term.size() + 2 * rg.graph.num_edges();
+  plan.partition_seconds = watch.elapsed_seconds();
+  return plan;
 }
 
 }  // namespace parowl::partition

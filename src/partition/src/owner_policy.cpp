@@ -1,29 +1,148 @@
 #include "parowl/partition/owner_policy.hpp"
 
+#include <algorithm>
+
 #include "parowl/util/strings.hpp"
+#include "parowl/util/timer.hpp"
 
 namespace parowl::partition {
-namespace {
 
-bool is_excluded(const ExcludedTerms* exclude, rdf::TermId term) {
-  return exclude != nullptr && exclude->contains(term);
+PartitionPlan OwnerPolicy::plan(std::span<const rdf::Triple> instance_triples,
+                                const rdf::Dictionary& dict,
+                                std::uint32_t num_partitions,
+                                const ExcludedTerms* exclude) const {
+  const std::unique_ptr<Partitioner> partitioner =
+      create(dict, num_partitions, exclude);
+  partitioner->ingest(instance_triples);
+  return partitioner->finalize();
 }
 
-}  // namespace
+OwnerTable OwnerPolicy::assign(std::span<const rdf::Triple> instance_triples,
+                               const rdf::Dictionary& dict,
+                               std::uint32_t num_partitions,
+                               const ExcludedTerms* exclude) const {
+  return plan(instance_triples, dict, num_partitions, exclude).owners;
+}
 
-OwnerTable GraphOwnerPolicy::assign(
-    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
-    std::uint32_t num_partitions, const ExcludedTerms* exclude) const {
-  const ResourceGraph rg =
-      build_resource_graph(instance_triples, dict, exclude);
-  const PartitionResult pr =
-      partition_graph(rg.graph, static_cast<int>(num_partitions), options_);
-  OwnerTable owners;
-  owners.reserve(rg.node_term.size());
-  for (std::uint32_t v = 0; v < rg.node_term.size(); ++v) {
-    owners.emplace(rg.node_term[v], pr.assignment[v]);
+// --- PointwisePartitioner ---
+
+PointwisePartitioner::PointwisePartitioner(OwnerFn owner_of,
+                                           std::string algorithm,
+                                           const rdf::Dictionary& dict,
+                                           std::uint32_t num_partitions,
+                                           const ExcludedTerms* exclude)
+    : owner_of_(std::move(owner_of)),
+      algorithm_(std::move(algorithm)),
+      dict_(&dict),
+      exclude_(exclude),
+      k_(num_partitions) {
+  loads_.assign(k_, 0);
+  if (k_ <= 64) {
+    cut_matrix_.assign(static_cast<std::size_t>(k_) * k_, 0);
   }
-  return owners;
+}
+
+PointwisePartitioner::Node* PointwisePartitioner::touch(rdf::TermId term) {
+  if (exclude_ != nullptr && exclude_->contains(term)) {
+    return nullptr;
+  }
+  const auto [it, fresh] = nodes_.try_emplace(term);
+  if (fresh) {
+    it->second.owner = owner_of_(term, dict_->lexical(term));
+    if (k_ <= 64) {
+      it->second.mask = std::uint64_t{1} << it->second.owner;
+    }
+    ++loads_[it->second.owner];
+  }
+  return &it->second;
+}
+
+void PointwisePartitioner::ingest(std::span<const rdf::Triple> chunk) {
+  util::Stopwatch watch;
+  for (const rdf::Triple& t : chunk) {
+    ++triples_ingested_;
+    Node* s = touch(t.s);
+    Node* o = dict_->is_resource(t.o) && t.o != t.s ? touch(t.o) : nullptr;
+    if (s != nullptr && o != nullptr && k_ <= 64) {
+      s->mask |= std::uint64_t{1} << o->owner;
+      o->mask |= std::uint64_t{1} << s->owner;
+      if (s->owner != o->owner) {
+        const auto lo = std::min(s->owner, o->owner);
+        const auto hi = std::max(s->owner, o->owner);
+        ++cut_matrix_[static_cast<std::size_t>(lo) * k_ + hi];
+      }
+    }
+  }
+  peak_state_ = std::max(peak_state_, nodes_.size());
+  ingest_seconds_ += watch.elapsed_seconds();
+}
+
+PartitionPlan PointwisePartitioner::finalize() {
+  util::Stopwatch watch;
+  PartitionPlan plan;
+  plan.partitions = k_;
+  plan.algorithm = algorithm_;
+  plan.triples_ingested = triples_ingested_;
+  plan.peak_state_entries = peak_state_ + cut_matrix_.size() + k_;
+  plan.owners.reserve(nodes_.size());
+  for (const auto& [term, node] : nodes_) {
+    plan.owners.emplace(term, node.owner);
+  }
+  if (k_ <= 64) {
+    std::vector<std::uint64_t> masks;
+    masks.reserve(nodes_.size());
+    for (const auto& [term, node] : nodes_) {
+      masks.push_back(node.mask);
+    }
+    std::uint64_t cut = 0;
+    for (const std::uint64_t c : cut_matrix_) {
+      cut += c;
+    }
+    plan.metrics = metrics_from_replica_masks(masks, loads_, cut);
+  } else {
+    plan.metrics.partition_weights = loads_;
+    plan.metrics.total_nodes = nodes_.size();
+  }
+  plan.partition_seconds = ingest_seconds_ + watch.elapsed_seconds();
+  return plan;
+}
+
+// --- policies ---
+
+std::unique_ptr<Partitioner> GraphOwnerPolicy::create(
+    const rdf::Dictionary& dict, std::uint32_t num_partitions,
+    const ExcludedTerms* exclude) const {
+  return make_partitioner(options_, dict, num_partitions, exclude);
+}
+
+StreamingOwnerPolicy::StreamingOwnerPolicy(PartitionerOptions options,
+                                           std::string label)
+    : options_(options), label_(std::move(label)) {
+  if (label_.empty()) {
+    switch (options_.kind) {
+      case PartitionerKind::kHdrf:
+        label_ = "HDRF";
+        break;
+      case PartitionerKind::kFennel:
+        label_ = "Fennel";
+        break;
+      case PartitionerKind::kNe:
+        label_ = "NE";
+        break;
+      case PartitionerKind::kMultilevel:
+        label_ = "Multilevel";
+        break;
+    }
+    if (options_.split_merge_factor > 1) {
+      label_ += "+SM";
+    }
+  }
+}
+
+std::unique_ptr<Partitioner> StreamingOwnerPolicy::create(
+    const rdf::Dictionary& dict, std::uint32_t num_partitions,
+    const ExcludedTerms* exclude) const {
+  return make_partitioner(options_, dict, num_partitions, exclude);
 }
 
 std::uint32_t HashOwnerPolicy::owner_of(std::string_view lexical,
@@ -32,56 +151,40 @@ std::uint32_t HashOwnerPolicy::owner_of(std::string_view lexical,
       util::mix64(util::fnv1a64(lexical) ^ salt_) % num_partitions);
 }
 
-OwnerTable HashOwnerPolicy::assign(
-    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
-    std::uint32_t num_partitions, const ExcludedTerms* exclude) const {
-  OwnerTable owners;
-  auto add = [&](rdf::TermId term) {
-    if (is_excluded(exclude, term) || owners.contains(term)) {
-      return;
-    }
-    owners.emplace(term, owner_of(dict.lexical(term), num_partitions));
-  };
-  for (const rdf::Triple& t : instance_triples) {
-    add(t.s);
-    if (dict.is_resource(t.o)) {
-      add(t.o);
-    }
-  }
-  return owners;
+std::unique_ptr<Partitioner> HashOwnerPolicy::create(
+    const rdf::Dictionary& dict, std::uint32_t num_partitions,
+    const ExcludedTerms* exclude) const {
+  const std::uint64_t salt = salt_;
+  return std::make_unique<PointwisePartitioner>(
+      [salt, num_partitions](rdf::TermId, std::string_view lexical) {
+        return static_cast<std::uint32_t>(
+            util::mix64(util::fnv1a64(lexical) ^ salt) % num_partitions);
+      },
+      "hash", dict, num_partitions, exclude);
 }
 
-OwnerTable DomainOwnerPolicy::assign(
-    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
-    std::uint32_t num_partitions, const ExcludedTerms* exclude) const {
-  OwnerTable owners;
-  // Locality keys are mapped to partitions round-robin in first-seen order.
-  std::unordered_map<std::int64_t, std::uint32_t> key_partition;
-  const HashOwnerPolicy fallback;
-
-  auto add = [&](rdf::TermId term) {
-    if (is_excluded(exclude, term) || owners.contains(term)) {
-      return;
-    }
-    const std::string& lexical = dict.lexical(term);
-    const std::int64_t key = extractor_(lexical);
-    if (key == kNoKey) {
-      owners.emplace(term, fallback.owner_of(lexical, num_partitions));
-      return;
-    }
-    const auto [it, fresh] = key_partition.try_emplace(
-        key,
-        static_cast<std::uint32_t>(key_partition.size() % num_partitions));
-    owners.emplace(term, it->second);
-  };
-
-  for (const rdf::Triple& t : instance_triples) {
-    add(t.s);
-    if (dict.is_resource(t.o)) {
-      add(t.o);
-    }
-  }
-  return owners;
+std::unique_ptr<Partitioner> DomainOwnerPolicy::create(
+    const rdf::Dictionary& dict, std::uint32_t num_partitions,
+    const ExcludedTerms* exclude) const {
+  // Locality keys are mapped to partitions round-robin in first-seen order;
+  // the map is the partitioner's own state, fresh per run.
+  auto key_partition =
+      std::make_shared<std::unordered_map<std::int64_t, std::uint32_t>>();
+  const KeyExtractor extractor = extractor_;
+  return std::make_unique<PointwisePartitioner>(
+      [key_partition, extractor, num_partitions](
+          rdf::TermId, std::string_view lexical) -> std::uint32_t {
+        const std::int64_t key = extractor(lexical);
+        if (key == kNoKey) {
+          return static_cast<std::uint32_t>(
+              util::mix64(util::fnv1a64(lexical)) % num_partitions);
+        }
+        const auto [it, fresh] = key_partition->try_emplace(
+            key, static_cast<std::uint32_t>(key_partition->size() %
+                                            num_partitions));
+        return it->second;
+      },
+      "domain", dict, num_partitions, exclude);
 }
 
 std::int64_t lubm_university_key(std::string_view iri) {

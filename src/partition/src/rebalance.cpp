@@ -8,31 +8,20 @@
 
 namespace parowl::partition {
 
-OwnerTable FixedOwnerPolicy::assign(
-    std::span<const rdf::Triple> instance_triples, const rdf::Dictionary& dict,
-    std::uint32_t num_partitions, const ExcludedTerms* exclude) const {
-  OwnerTable owners;
-  owners.reserve(owners_.size());
-  const HashOwnerPolicy fallback;
-  auto add = [&](rdf::TermId term) {
-    if ((exclude != nullptr && exclude->contains(term)) ||
-        owners.contains(term)) {
-      return;
-    }
-    if (const auto it = owners_.find(term); it != owners_.end()) {
-      owners.emplace(term, std::min(it->second, num_partitions - 1));
-    } else {
-      owners.emplace(term,
-                     fallback.owner_of(dict.lexical(term), num_partitions));
-    }
-  };
-  for (const rdf::Triple& t : instance_triples) {
-    add(t.s);
-    if (dict.is_resource(t.o)) {
-      add(t.o);
-    }
-  }
-  return owners;
+std::unique_ptr<Partitioner> FixedOwnerPolicy::create(
+    const rdf::Dictionary& dict, std::uint32_t num_partitions,
+    const ExcludedTerms* exclude) const {
+  const OwnerTable* owners = &owners_;  // the policy outlives the partitioner
+  return std::make_unique<PointwisePartitioner>(
+      [owners, num_partitions](rdf::TermId term,
+                               std::string_view lexical) -> std::uint32_t {
+        if (const auto it = owners->find(term); it != owners->end()) {
+          return std::min(it->second, num_partitions - 1);
+        }
+        return static_cast<std::uint32_t>(
+            util::mix64(util::fnv1a64(lexical)) % num_partitions);
+      },
+      "fixed", dict, num_partitions, exclude);
 }
 
 OwnerTable rebalance_data_partition(const rdf::TripleStore& store,
@@ -41,7 +30,7 @@ OwnerTable rebalance_data_partition(const rdf::TripleStore& store,
                                     const OwnerTable& previous,
                                     std::span<const double> measured_cost,
                                     std::uint32_t num_partitions,
-                                    const MultilevelOptions& options) {
+                                    const PartitionerOptions& options) {
   const ontology::SchemaSplit split = ontology::split_schema(store, vocab);
   const ontology::Ontology onto = ontology::extract_ontology(store, vocab);
   const ResourceGraph rg =
@@ -88,20 +77,21 @@ OwnerTable rebalance_data_partition(const rdf::TripleStore& store,
                std::llround(16.0 * cost / min_positive)));
   }
 
-  // Re-partition with the cost weights (reuse the CSR, swap weights).
+  // Re-partition with the cost weights (reuse the CSR, swap weights) via
+  // the unified Partitioner API — the options pick the algorithm.
   Graph weighted = rg.graph;
   weighted.vwgt = std::move(vwgt);
   weighted.total_vwgt = 0;
   for (const auto w : weighted.vwgt) {
     weighted.total_vwgt += w;
   }
-  const PartitionResult pr = partition_graph(
+  const PartitionPlan plan = partition_csr_graph(
       weighted, static_cast<int>(num_partitions), options);
 
   OwnerTable owners;
   owners.reserve(rg.node_term.size());
   for (std::uint32_t v = 0; v < rg.node_term.size(); ++v) {
-    owners.emplace(rg.node_term[v], pr.assignment[v]);
+    owners.emplace(rg.node_term[v], plan.assignment[v]);
   }
   return owners;
 }

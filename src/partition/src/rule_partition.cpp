@@ -25,13 +25,13 @@ RulePartitioning partition_rules(const rules::RuleSet& rules,
     }
   }
   const Graph g = build_graph(graph.num_rules, edges);
-  const PartitionResult pr = partition_graph(
-      g, static_cast<int>(num_partitions), options.multilevel);
+  const PartitionPlan plan = partition_csr_graph(
+      g, static_cast<int>(num_partitions), options.partitioner);
 
-  out.assignment = pr.assignment;
-  out.edge_cut = pr.edge_cut;
+  out.assignment = plan.assignment;
+  out.edge_cut = plan.metrics.edge_cut;
   for (std::size_t i = 0; i < rules.size(); ++i) {
-    out.parts[pr.assignment[i]].add(rules[i]);
+    out.parts[out.assignment[i]].add(rules[i]);
   }
   out.partition_seconds = watch.elapsed_seconds();
   return out;

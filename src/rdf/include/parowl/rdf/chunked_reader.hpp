@@ -23,6 +23,8 @@
 //               are rebased to document-global line/byte positions.
 
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +43,16 @@ struct IngestOptions {
 
   /// Observability sinks/sampling (docs/architecture.md "Observability").
   obs::ObsOptions obs;
+
+  /// Streaming consumer invoked during the merge stage with each newly
+  /// inserted (deduplicated, globally interned) slice of the store's
+  /// insertion log.  The concatenation of the slices is the store's full
+  /// appended range in canonical order, independent of `threads` — the same
+  /// bit-identity invariant the parser itself keeps — so streaming
+  /// partitioners can consume the ingest without a second pass.  Called on
+  /// the merging thread; the spans alias the store and are only valid for
+  /// the duration of the call.
+  std::function<void(std::span<const Triple>)> chunk_sink;
 };
 
 struct IngestStats {

@@ -84,9 +84,13 @@ void run_parallel(std::size_t n, unsigned threads, Fn&& fn) {
 
 /// Merge thread-local tables into the global ones, chunk order first —
 /// this is what makes global ids equal the serial first-occurrence order.
-/// Returns extra duplicates discovered across chunk boundaries.
+/// Returns extra duplicates discovered across chunk boundaries.  After each
+/// chunk's triples land in the store, the freshly appended slice of the
+/// insertion log is handed to `sink` (when set) so streaming consumers see
+/// the exact serial-order delta regardless of thread count.
 std::size_t merge_chunks(std::vector<ChunkResult>& chunks, Dictionary& dict,
-                         TripleStore& store) {
+                         TripleStore& store,
+                         const IngestOptions& options) {
   std::size_t total_terms = 0;
   for (const ChunkResult& c : chunks) total_terms += c.dict.size();
   dict.reserve(total_terms);
@@ -94,13 +98,28 @@ std::size_t merge_chunks(std::vector<ChunkResult>& chunks, Dictionary& dict,
   std::vector<TermId> remap;
   for (ChunkResult& c : chunks) {
     dict.intern_batch(c.dict, remap);
+    const std::size_t before = store.size();
     for (const Triple& t : c.store.triples()) {
       if (!store.insert({remap[t.s], remap[t.p], remap[t.o]})) {
         ++cross_duplicates;
       }
     }
+    if (options.chunk_sink && store.size() > before) {
+      options.chunk_sink(std::span<const Triple>(store.triples())
+                             .subspan(before, store.size() - before));
+    }
   }
   return cross_duplicates;
+}
+
+/// Serial-path variant: the whole appended range [before, size()) is one
+/// chunk-sink delta.
+void flush_serial_sink(const TripleStore& store, std::size_t before,
+                       const IngestOptions& options) {
+  if (options.chunk_sink && store.size() > before) {
+    options.chunk_sink(std::span<const Triple>(store.triples())
+                           .subspan(before, store.size() - before));
+  }
 }
 
 void sum_stats(const std::vector<ChunkResult>& chunks, ParseStats& out) {
@@ -147,8 +166,10 @@ IngestStats ingest_ntriples(std::string_view text, Dictionary& dict,
     // Serial fast path: no thread-local tables, no merge — identical to
     // parse_ntriples by construction (same per-line loop).
     PAROWL_SPAN("rdf.parse", {{"chunks", 1}});
+    const std::size_t before = store.size();
     std::istringstream in{std::string(text)};
     stats.parse = parse_ntriples(in, dict, store);
+    flush_serial_sink(store, before, options);
     stats.parse_seconds = sw.elapsed_seconds();
     return stats;
   }
@@ -178,7 +199,7 @@ IngestStats ingest_ntriples(std::string_view text, Dictionary& dict,
   sw.restart();
   PAROWL_SPAN("rdf.merge", {{"chunks", n}});
   sum_stats(chunks, stats.parse);
-  stats.parse.duplicates += merge_chunks(chunks, dict, store);
+  stats.parse.duplicates += merge_chunks(chunks, dict, store, options);
   // First malformed line, rebased to document-global line/byte numbers.
   std::size_t lines_before = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -208,7 +229,9 @@ IngestStats ingest_turtle(std::string_view text, Dictionary& dict,
   util::Stopwatch sw;
   if (threads == 1) {
     PAROWL_SPAN("rdf.parse", {{"chunks", 1}});
+    const std::size_t before = store.size();
     stats.parse = parse_turtle_text(text, dict, store);
+    flush_serial_sink(store, before, options);
     stats.parse_seconds = sw.elapsed_seconds();
     return stats;
   }
@@ -281,7 +304,7 @@ IngestStats ingest_turtle(std::string_view text, Dictionary& dict,
   sw.restart();
   PAROWL_SPAN("rdf.merge", {{"chunks", n}});
   sum_stats(chunks, stats.parse);
-  stats.parse.duplicates += merge_chunks(chunks, dict, store);
+  stats.parse.duplicates += merge_chunks(chunks, dict, store, options);
   for (const ChunkResult& c : chunks) {
     if (!c.stats.first_error.empty()) {
       stats.parse.first_error = c.stats.first_error;

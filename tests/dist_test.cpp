@@ -197,6 +197,37 @@ TEST(DistService, BitIdenticalToSingleStoreForAllPartitionCounts) {
   }
 }
 
+TEST(DistService, BitIdenticalWithStreamingPartitioners) {
+  // Owner tables from the streaming partitioners must serve the same
+  // answers as the single store — placement only moves triples, never
+  // loses them.
+  DistFixtureData fx;
+  const auto expected = reference_answers(fx);
+  constexpr std::uint32_t k = 4;
+
+  for (const auto kind : {partition::PartitionerKind::kHdrf,
+                          partition::PartitionerKind::kFennel,
+                          partition::PartitionerKind::kNe}) {
+    partition::PartitionerOptions popts;
+    popts.kind = kind;
+    popts.split_merge_factor = kind == partition::PartitionerKind::kHdrf
+                                   ? 4u
+                                   : 1u;
+    const partition::StreamingOwnerPolicy policy(popts);
+    partition::OwnerTable owners =
+        partition::partition_data(fx.store, fx.dict, *fx.vocab, policy, k)
+            .owners;
+    parallel::MemoryTransport transport(dist::NodeLayout{k, 1}.num_nodes());
+    dist::DistService service(fx.dict, fx.store, std::move(owners), k,
+                              transport, dist_options());
+    for (const auto& [sparql, want] : expected) {
+      const serve::Response got = service.execute(sparql);
+      ASSERT_EQ(got.status, serve::RequestStatus::kOk) << policy.name();
+      expect_identical(want, got.results, policy.name());
+    }
+  }
+}
+
 TEST(DistService, BitIdenticalUnderFaultsWithReplicaKilledMidRun) {
   DistFixtureData fx;
   const auto expected = reference_answers(fx);

@@ -140,6 +140,13 @@ TEST_F(PolicyTest, JoinableTuplesAreColocated) {
   policies.push_back(std::make_unique<HashOwnerPolicy>());
   policies.push_back(
       std::make_unique<DomainOwnerPolicy>(&lubm_university_key));
+  PartitionerOptions hdrf;
+  hdrf.kind = PartitionerKind::kHdrf;
+  policies.push_back(std::make_unique<StreamingOwnerPolicy>(hdrf));
+  PartitionerOptions fennel_sm;
+  fennel_sm.kind = PartitionerKind::kFennel;
+  fennel_sm.split_merge_factor = 4;
+  policies.push_back(std::make_unique<StreamingOwnerPolicy>(fennel_sm));
   for (const auto& policy : policies) {
     const DataPartitioning dp =
         partition_data(store, dict, vocab, *policy, 3);
@@ -176,6 +183,25 @@ TEST_F(PolicyTest, MetricsBalAndIr) {
   EXPECT_GT(m_hash.input_replication, m_domain.input_replication * 2);
   EXPECT_EQ(m_domain.nodes_per_partition.size(), 4u);
   EXPECT_GT(m_domain.total_nodes, 0u);
+}
+
+TEST_F(PolicyTest, SplitMergeImprovesOrMatchesHdrfOnLubm) {
+  // The FSM acceptance property at equal balance tolerance: over-partition
+  // to k*m then merge must never replicate more than plain HDRF at k.
+  lubm(2);
+  PartitionerOptions plain;
+  plain.kind = PartitionerKind::kHdrf;
+  PartitionerOptions merged = plain;
+  merged.split_merge_factor = 4;
+
+  const StreamingOwnerPolicy plain_policy(plain);
+  const StreamingOwnerPolicy merged_policy(merged);
+  const auto dp_plain = partition_data(store, dict, vocab, plain_policy, 4);
+  const auto dp_merged = partition_data(store, dict, vocab, merged_policy, 4);
+  EXPECT_EQ(dp_plain.algorithm, "hdrf");
+  EXPECT_EQ(dp_merged.algorithm, "hdrf+sm4");
+  EXPECT_LE(dp_merged.plan_metrics.replication_factor,
+            dp_plain.plan_metrics.replication_factor + 1e-9);
 }
 
 TEST_F(PolicyTest, MetricsOnSinglePartitionAreZero) {

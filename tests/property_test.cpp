@@ -36,18 +36,19 @@ TEST_P(PartitionProperty, ValidBalancedAssignment) {
     }
   }
   const partition::Graph g = partition::build_graph(c.n, edges);
-  const partition::PartitionResult pr = partition::partition_graph(g, c.k);
+  const partition::PartitionPlan plan = partition::partition_csr_graph(g, c.k);
 
-  ASSERT_EQ(pr.assignment.size(), c.n);
-  for (const auto part : pr.assignment) {
+  ASSERT_EQ(plan.assignment.size(), c.n);
+  for (const auto part : plan.assignment) {
     ASSERT_LT(part, static_cast<std::uint32_t>(c.k));
   }
   // Edge cut reported == recomputed.
-  EXPECT_EQ(pr.edge_cut, partition::compute_edge_cut(g, pr.assignment));
+  const partition::PartitionMetrics scored =
+      partition::compute_graph_metrics(g, plan.assignment, c.k);
+  EXPECT_EQ(plan.metrics.edge_cut, scored.edge_cut);
   // Balance within 40% of proportional share (loose bound; random graphs).
-  const auto weights = partition::partition_weights(g, pr.assignment, c.k);
   const double share = static_cast<double>(g.total_vwgt) / c.k;
-  for (const auto w : weights) {
+  for (const auto w : scored.partition_weights) {
     EXPECT_LT(static_cast<double>(w), share * 1.4);
   }
 }

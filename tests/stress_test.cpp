@@ -42,10 +42,9 @@ TEST(Stress, PartitionerHandles50kVertices) {
     }
   }
   const partition::Graph g = partition::build_graph(n, edges);
-  const partition::PartitionResult pr = partition::partition_graph(g, 16);
-  const auto weights = partition::partition_weights(g, pr.assignment, 16);
+  const partition::PartitionPlan plan = partition::partition_csr_graph(g, 16);
   const double share = static_cast<double>(n) / 16;
-  for (const auto w : weights) {
+  for (const auto w : plan.metrics.partition_weights) {
     EXPECT_LT(static_cast<double>(w), share * 1.35);
   }
 }

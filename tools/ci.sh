@@ -8,9 +8,10 @@
 # Tier labels are assigned in tests/CMakeLists.txt via parowl_add_test:
 # tier1 is every fast deterministic suite, tier2 the slower sweeps.  The
 # ASan subset covers the transport/worker/cluster/fault layers plus the
-# ingest pipeline, triple codec, and incremental maintenance (DRed/FBF
-# store rebuilds) — the places where serialization and concurrency bugs
-# would live.
+# ingest pipeline, triple codec, partitioner suite (streaming state
+# machines + split-merge), and incremental maintenance (DRed/FBF store
+# rebuilds) — the places where serialization and concurrency bugs would
+# live.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,19 +34,20 @@ if [ "$full" = 1 ]; then
   ctest --preset default -j "$jobs" -L tier2
 fi
 
-echo "=== asan subset (transport/worker/cluster/fault/async/ingest/codec/dist/incremental/sameas) ==="
+echo "=== asan subset (transport/worker/cluster/fault/async/ingest/codec/dist/incremental/sameas/partition) ==="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target transport_test worker_test cluster_test fault_injection_test \
   async_test async_equivalence_test codec_test ingest_equivalence_test \
   dist_test incremental_test incremental_equivalence_test \
-  sameas_equivalence_test sameas_serve_test
-ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Async|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable|Dist|Incremental|SameAs'
+  sameas_equivalence_test sameas_serve_test graph_partition_test
+ctest --preset asan -j "$jobs" -R 'Transport|Worker|Cluster|Fault|Async|Ingest|Codec|Varint|Zigzag|TripleBlock|TermTable|Dist|Incremental|SameAs|Partition|Streaming|SplitMerge'
 
-echo "=== tsan subset (obs, dist executor + replica RCU, async steal/token, incremental serve loop, equality rewrite) ==="
+echo "=== tsan subset (obs, dist executor + replica RCU, async steal/token, incremental serve loop, equality rewrite, reader->partitioner chunk sink) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" --target obs_test dist_test async_test \
-  incremental_test sameas_equivalence_test sameas_serve_test
-ctest --preset tsan -j "$jobs" -R 'Obs|Dist|Async|IncrementalServe|SameAs'
+  incremental_test sameas_equivalence_test sameas_serve_test \
+  graph_partition_test
+ctest --preset tsan -j "$jobs" -R 'Obs|Dist|Async|IncrementalServe|SameAs|StreamingPartitioner'
 
 echo "=== ci green ==="

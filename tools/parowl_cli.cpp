@@ -26,6 +26,7 @@
 #include "parowl/gen/lubm.hpp"
 #include "parowl/obs/obs.hpp"
 #include "parowl/partition/data_partition.hpp"
+#include "parowl/partition/rebalance.hpp"
 #include "parowl/gen/lubm_queries.hpp"
 #include "parowl/gen/mdc.hpp"
 #include "parowl/gen/sameas.hpp"
@@ -74,8 +75,9 @@ commands:
   query <kb> <sparql> [--reason] [--equality-mode naive|rewrite]
   query <kb> --queries-file <file> [--reason]   (one query per line)
   explain <kb> <s> <p> <o>       (terms as full IRIs; reasons, then proves)
-  partition <kb> -k N [--policy graph|hash|lubm|mdc]
+  partition <kb> -k N [--policy graph|hash|lubm|mdc] [partitioner options]
   cluster <kb> -k N [--policy ...] [--approach data|rule|hybrid]
+          [partitioner options]
           [--rule-parts M] [--strategy ...]
           [--exec-mode sync|threaded|async|async-threaded|async-sim]
           [--no-steal] [--steal-batch N] [--chunk N]   (async modes)
@@ -92,8 +94,19 @@ commands:
            R*M previously added triples and adds M new ones)
   serve-dist <kb> [--reason] [--equality-mode naive|rewrite]
           --partitions N [--replicas R] [--policy ...]
+          [partitioner options]
           [--faults seed=S,drop=P,...] [serve-bench workload options]
           (sharded serving tier: scatter/gather over partition replicas)
+
+partitioner options (partition / cluster / run / serve-dist):
+  --partitioner multilevel|hdrf|fennel|ne   algorithm behind the graph
+          policy; the streaming kinds (hdrf/fennel/ne) assign owners in one
+          pass over the ingest stream with O(vertices) state — `run` feeds
+          them straight from the parallel reader, never building the full
+          resource graph
+  --balance-slack S          allowed load imbalance (default 0.05)
+  --split-merge-factor M     over-partition to k*M fine parts, then greedily
+          merge back to k maximizing co-replication (default 1 = off)
 
 kb files: .nt (N-Triples), .ttl (Turtle), .snap (binary snapshot)
 every command that loads a .nt/.ttl KB accepts --load-threads N
@@ -118,7 +131,9 @@ bool ends_with(const std::string& s, const char* suffix) {
 /// wrong answers.
 bool load_kb(const std::string& path, rdf::Dictionary& dict,
              rdf::TripleStore& store, unsigned load_threads = 1,
-             rdf::EqualityClassMap* equality = nullptr) {
+             rdf::EqualityClassMap* equality = nullptr,
+             std::function<void(std::span<const rdf::Triple>)> chunk_sink =
+                 {}) {
   if (ends_with(path, ".snap")) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -134,10 +149,15 @@ bool load_kb(const std::string& path, rdf::Dictionary& dict,
       std::cerr << "bad snapshot " << path << ": " << error << "\n";
       return false;
     }
+    if (chunk_sink) {
+      // Snapshots arrive whole; the stream degenerates to one chunk.
+      chunk_sink(store.triples());
+    }
     return true;
   }
   rdf::IngestOptions opts;
   opts.threads = load_threads;
+  opts.chunk_sink = std::move(chunk_sink);
   rdf::IngestStats stats;
   std::string error;
   if (!rdf::ingest_file(path, dict, store, stats, opts, &error)) {
@@ -246,7 +266,8 @@ class Args {
                           "--max-threads", "--partitions", "--replicas",
                           "--trace-out", "--metrics-out",
                           "--sample-every", "--equality-mode",
-                          "--max-clique"}) {
+                          "--max-clique", "--partitioner",
+                          "--balance-slack", "--split-merge-factor"}) {
       if (flag_name == f) {
         return true;
       }
@@ -282,7 +303,32 @@ obs::ObsOptions obs_options_from(const Args& args) {
   return o;
 }
 
-std::unique_ptr<partition::OwnerPolicy> make_policy(const std::string& name) {
+/// The shared partitioner knobs (`--partitioner`, `--balance-slack`,
+/// `--split-merge-factor`), identical across partition / cluster / run /
+/// serve-dist and the partition benches.
+partition::PartitionerOptions partitioner_options_from(const Args& args) {
+  partition::PartitionerOptions popts;
+  const std::string name = args.option("--partitioner", "multilevel");
+  if (const auto kind = partition::partitioner_kind_from(name)) {
+    popts.kind = *kind;
+  } else {
+    std::cerr << "--partitioner: expected multilevel|hdrf|fennel|ne, got '"
+              << name << "' (using multilevel)\n";
+  }
+  popts.balance_slack = std::stod(args.option("--balance-slack", "0.05"));
+  popts.split_merge_factor = static_cast<unsigned>(
+      std::stoul(args.option("--split-merge-factor", "1")));
+  return popts;
+}
+
+std::unique_ptr<partition::OwnerPolicy> make_policy(const Args& args,
+                                                    const char* fallback) {
+  // --partitioner selects the algorithm behind the graph policy; an
+  // explicit --policy hash|lubm|mdc still picks those owner functions.
+  std::string name = args.option("--policy");
+  if (name.empty()) {
+    name = args.option("--partitioner").empty() ? fallback : "graph";
+  }
   if (name == "hash") {
     return std::make_unique<partition::HashOwnerPolicy>();
   }
@@ -294,7 +340,11 @@ std::unique_ptr<partition::OwnerPolicy> make_policy(const std::string& name) {
     return std::make_unique<partition::DomainOwnerPolicy>(
         &gen::mdc_field_key, "Dom sp. (MDC)");
   }
-  return std::make_unique<partition::GraphOwnerPolicy>();
+  const partition::PartitionerOptions popts = partitioner_options_from(args);
+  if (popts.kind != partition::PartitionerKind::kMultilevel) {
+    return std::make_unique<partition::StreamingOwnerPolicy>(popts);
+  }
+  return std::make_unique<partition::GraphOwnerPolicy>(popts);
 }
 
 int cmd_gen(const Args& args) {
@@ -912,7 +962,7 @@ int cmd_partition(const Args& args) {
     return 1;
   }
   const auto k = static_cast<std::uint32_t>(std::stoul(args.option("-k", "4")));
-  const auto policy = make_policy(args.option("--policy", "graph"));
+  const auto policy = make_policy(args, "graph");
 
   ontology::Vocabulary vocab(dict);
   const partition::DataPartitioning dp =
@@ -926,9 +976,11 @@ int cmd_partition(const Args& args) {
                    std::to_string(m.nodes_per_partition[p])});
   }
   table.print(std::cout);
-  std::cout << "policy " << policy->name() << ": bal="
-            << util::fmt_double(m.bal, 1)
+  std::cout << "policy " << policy->name() << " [" << dp.algorithm
+            << "]: bal=" << util::fmt_double(m.bal, 1)
             << " IR=" << util::fmt_double(m.input_replication, 3)
+            << " RF=" << util::fmt_double(m.replication_factor, 3)
+            << " plan.cut=" << dp.plan_metrics.edge_cut
             << " part.time=" << util::format_seconds(dp.partition_seconds)
             << "\n";
   return 0;
@@ -1021,7 +1073,7 @@ int cmd_serve_dist(const Args& args) {
       std::stoul(args.option("--partitions", args.option("-k", "4"))));
   const auto replicas = static_cast<std::uint32_t>(
       std::stoul(args.option("--replicas", "1")));
-  const auto policy = make_policy(args.option("--policy", "hash"));
+  const auto policy = make_policy(args, "hash");
   partition::OwnerTable owners =
       partition::partition_data(store, dict, vocab, *policy, k).owners;
 
@@ -1087,16 +1139,43 @@ int cmd_serve_dist(const Args& args) {
 
 int cmd_cluster(const Args& args) {
   const std::string path = args.positional(0);
+  if (path.empty()) {
+    return usage();
+  }
   rdf::Dictionary dict;
   rdf::TripleStore store;
-  if (path.empty() || !load_kb(path, dict, store, load_threads_of(args))) {
+  const auto partitions = static_cast<std::uint32_t>(
+      std::stoul(args.option("-k", args.option("--partitions", "4"))));
+
+  // Streaming bootstrap: with a streaming --partitioner the owner table is
+  // built *during* load — the reader's chunk_sink feeds each merged chunk
+  // to the partitioner, so the full resource graph is never materialized.
+  // The resulting plan replays into Algorithm 1 via FixedOwnerPolicy.
+  partition::PartitionerOptions popts = partitioner_options_from(args);
+  const bool streaming_bootstrap =
+      popts.kind != partition::PartitionerKind::kMultilevel &&
+      args.option("--policy").empty();
+  std::unique_ptr<partition::Partitioner> bootstrap;
+  std::function<void(std::span<const rdf::Triple>)> sink;
+  if (streaming_bootstrap) {
+    // Intern the vocabulary up front so rdf:type triples can be routed
+    // subject-only before the ontology pass exists (class IRIs in object
+    // position would otherwise become giant hubs).
+    const ontology::Vocabulary pre(dict);
+    popts.type_predicate = pre.rdf_type;
+    bootstrap = partition::make_partitioner(popts, dict, partitions);
+    sink = [&bootstrap](std::span<const rdf::Triple> chunk) {
+      bootstrap->ingest(chunk);
+    };
+  }
+  if (!load_kb(path, dict, store, load_threads_of(args), nullptr,
+               std::move(sink))) {
     return 1;
   }
   ontology::Vocabulary vocab(dict);
 
   parallel::ParallelOptions opts;
-  opts.partitions = static_cast<std::uint32_t>(
-      std::stoul(args.option("-k", args.option("--partitions", "4"))));
+  opts.partitions = partitions;
   opts.obs = obs_options_from(args);
   opts.rule_partitions = static_cast<std::uint32_t>(
       std::stoul(args.option("--rule-parts", "2")));
@@ -1122,7 +1201,20 @@ int cmd_cluster(const Args& args) {
   if (args.option("--strategy") == "query") {
     opts.local_strategy = reason::Strategy::kQueryDriven;
   }
-  const auto policy = make_policy(args.option("--policy", "graph"));
+  std::unique_ptr<partition::OwnerPolicy> policy;
+  if (bootstrap) {
+    partition::PartitionPlan plan = bootstrap->finalize();
+    std::cout << "streamed partitioner " << plan.algorithm << ": "
+              << plan.triples_ingested << " triples, RF="
+              << util::fmt_double(plan.metrics.replication_factor, 3)
+              << " cut=" << plan.metrics.edge_cut << " peak state "
+              << plan.peak_state_entries << " entries, "
+              << util::format_seconds(plan.partition_seconds) << "\n";
+    policy = std::make_unique<partition::FixedOwnerPolicy>(
+        std::move(plan.owners), plan.algorithm);
+  } else {
+    policy = make_policy(args, "graph");
+  }
   opts.policy = policy.get();
   opts.build_merged = false;
 

@@ -20,6 +20,10 @@
 #     generator: naive sameAs closure vs representative rewriting × clique
 #     density {3, 6, 10} × threads {1, 4}, plus query-time class-map
 #     expansion vs naive BGP evaluation.
+#   bench/BENCH_partition.json — Fig. 5 partitioner comparison: the seven
+#     owner policies (multilevel graph, domain, hash, HDRF, Fennel, NE,
+#     HDRF+split-merge) × 2/4/8/16 partitions with speedup/IR/OR/RF/cut
+#     counters.
 # Usage: tools/record_bench.sh [extra benchmark args...]
 #
 # The baselines answer "did this PR make a hot path slower?" — compare a
@@ -34,7 +38,7 @@ jobs=$(nproc 2>/dev/null || echo 2)
 cmake --preset default
 cmake --build --preset default -j "$jobs" --target micro_reason \
   extension_ingest extension_distributed_serving ablation_async \
-  extension_incremental extension_sameas
+  extension_incremental extension_sameas fig5_partitioner_comparison
 
 build/bench/micro_reason \
   --benchmark_filter='BM_Closure' \
@@ -78,3 +82,10 @@ build/bench/extension_sameas \
   "$@"
 
 echo "wrote bench/BENCH_sameas.json"
+
+build/bench/fig5_partitioner_comparison \
+  --benchmark_out=bench/BENCH_partition.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote bench/BENCH_partition.json"
